@@ -1,0 +1,32 @@
+//! Fig. 2 — bandwidth of the strided SISD scan: comparing only every n-th
+//! 4-byte value loads the same cache lines but fewer compares, so GB/s
+//! rises while values/µs falls. Criterion reports throughput in bytes (the
+//! constant-cache-line panel); `figures --fig 2` derives both panels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fts_core::stride::{stride_metrics, strided_count_eq};
+
+const ROWS: usize = 16_000_000;
+
+fn bench(c: &mut Criterion) {
+    let data: Vec<u32> = fts_storage::gen::uniform_column(ROWS, 0xBA5E);
+    let mut group = c.benchmark_group("fig2_strided_bandwidth");
+    group.sample_size(10);
+
+    for skipped in 0..=7usize {
+        let stride = skipped + 1;
+        let m = stride_metrics(ROWS, stride);
+        group.throughput(Throughput::Bytes(m.bytes_touched));
+        group.bench_with_input(
+            BenchmarkId::new("values_skipped", skipped),
+            &stride,
+            |b, &stride| {
+                b.iter(|| std::hint::black_box(strided_count_eq(&data, 5, stride)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 4 — fused AVX-512 scan vs auto-vectorized SISD across table sizes
+//! and selectivities (criterion times both sides; the speedup ratio is the
+//! figure's bar height, printed by `figures --fig 4`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fts_bench::workload::{equality_chain, preds_of};
+use fts_core::{run_scan, OutputMode, RegWidth, ScanImpl};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_speedup_over_sisd");
+    group.sample_size(10);
+
+    for rows in [100_000usize, 4_000_000] {
+        for sel in [0.1f64, 0.001] {
+            let chain = equality_chain(rows, 2, sel, 11);
+            let preds = preds_of(&chain);
+            let expected = chain.matching_rows.len() as u64;
+            let label = format!("{rows}rows_sel{sel}");
+
+            group.bench_with_input(BenchmarkId::new("sisd_autovec", &label), &(), |b, _| {
+                b.iter(|| {
+                    let out =
+                        run_scan(ScanImpl::SisdAutoVec, &preds, OutputMode::Count).unwrap();
+                    assert_eq!(out.count(), expected);
+                });
+            });
+            let fused = ScanImpl::FusedAvx512(RegWidth::W512);
+            if fused.available() {
+                group.bench_with_input(BenchmarkId::new("fused_avx512", &label), &(), |b, _| {
+                    b.iter(|| {
+                        let out = run_scan(fused, &preds, OutputMode::Count).unwrap();
+                        assert_eq!(out.count(), expected);
+                    });
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

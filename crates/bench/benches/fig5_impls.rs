@@ -1,0 +1,39 @@
+//! Fig. 5 — the six evaluated implementations (SISD no-vec/auto-vec, AVX2
+//! fused, AVX-512 fused at 128/256/512 bits) at a fixed table size across
+//! two representative selectivities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fts_bench::workload::{equality_chain, preds_of};
+use fts_core::{run_scan, OutputMode, ScanImpl};
+
+const ROWS: usize = 4_000_000;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_implementations");
+    group.sample_size(10);
+
+    for sel in [0.5f64, 0.001] {
+        let chain = equality_chain(ROWS, 2, sel, 31);
+        let preds = preds_of(&chain);
+        let expected = chain.matching_rows.len() as u64;
+        for imp in ScanImpl::PAPER_FIG5 {
+            if !imp.available() {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(imp.name().replace(' ', "_"), sel),
+                &imp,
+                |b, &imp| {
+                    b.iter(|| {
+                        let out = run_scan(imp, &preds, OutputMode::Count).unwrap();
+                        assert_eq!(out.count(), expected);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig. 7 — runtime vs number of predicates (2–5). First predicate matches
+//! 1 %, following predicates 50 % of the remaining rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fts_bench::workload::{fig7_chain, preds_of};
+use fts_core::{run_scan, OutputMode, RegWidth, ScanImpl};
+
+const ROWS: usize = 4_000_000;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_predicate_count");
+    group.sample_size(10);
+
+    for p in 2..=5usize {
+        let chain = fig7_chain(ROWS, p, 51 + p as u64);
+        let preds = preds_of(&chain);
+        let expected = chain.matching_rows.len() as u64;
+        let impls = [
+            ScanImpl::SisdAutoVec,
+            ScanImpl::FusedAvx2,
+            ScanImpl::FusedAvx512(RegWidth::W512),
+        ];
+        for imp in impls {
+            if !imp.available() {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(imp.name().replace(' ', "_"), p),
+                &imp,
+                |b, &imp| {
+                    b.iter(|| {
+                        let out = run_scan(imp, &preds, OutputMode::Count).unwrap();
+                        assert_eq!(out.count(), expected);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! TPC-H Query 6 as a fused multi-predicate scan (§IV's example of a
+//! real multi-predicate query): five predicates + position-list-driven
+//! revenue aggregation, across the implementations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fts_bench::tpch::{generate_lineitem, q6_jit, q6_reference, q6_with};
+use fts_core::{RegWidth, ScanImpl};
+use fts_jit::{JitBackend, KernelCache};
+
+const ROWS: usize = 4_000_000;
+
+fn bench(c: &mut Criterion) {
+    let li = generate_lineitem(ROWS, 66);
+    let expected = q6_reference(&li);
+    let mut group = c.benchmark_group("tpch_q6");
+    group.sample_size(10);
+
+    let mut impls = vec![
+        ("sisd_branching", ScanImpl::SisdBranching),
+        ("sisd_autovec", ScanImpl::SisdAutoVec),
+    ];
+    if ScanImpl::FusedAvx2.available() {
+        impls.push(("avx2_fused", ScanImpl::FusedAvx2));
+    }
+    if ScanImpl::FusedAvx512(RegWidth::W512).available() {
+        impls.push(("avx512_fused_512", ScanImpl::FusedAvx512(RegWidth::W512)));
+    }
+    for (name, imp) in impls {
+        group.bench_function(name, |b| {
+            b.iter(|| assert_eq!(q6_with(&li, imp), expected));
+        });
+    }
+    if fts_simd::has_avx512() {
+        let cache = KernelCache::new(JitBackend::Avx512);
+        group.bench_function("jit_evex", |b| {
+            b.iter(|| assert_eq!(q6_jit(&li, &cache), expected));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! figures [--fig all|1|2|4|5|6|7|ablations] [--scale quick|default|paper] [--out DIR]
+//! ```
+
+use fts_bench::figures;
+use fts_bench::{FigureResult, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut scale = Scale::default_scale();
+    let mut out_dir = std::path::PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                which = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--scale" => {
+                scale = match args.get(i + 1).map(String::as_str) {
+                    Some("quick") => Scale::quick(),
+                    Some("default") => Scale::default_scale(),
+                    Some("paper") => Scale::paper(),
+                    _ => usage(),
+                };
+                i += 2;
+            }
+            "--out" => {
+                out_dir = args.get(i + 1).cloned().unwrap_or_else(|| usage()).into();
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    println!(
+        "host: {} | rows={} max_rows={} reps={} model_rows={}\n",
+        fts_simd::detect(),
+        scale.rows,
+        scale.max_rows,
+        scale.reps,
+        scale.model_rows
+    );
+
+    let runs: Vec<(&str, fn(&Scale) -> FigureResult, &str)> = vec![
+        ("1", figures::fig1, "runtime_ms"),
+        ("2", figures::fig2, "gb_per_s"),
+        ("4", figures::fig4, "speedup"),
+        ("5", figures::fig5, "median_ms"),
+        ("6", figures::fig6, "mispredictions"),
+        ("7", figures::fig7, "median_ms"),
+        ("ablations", figures::ablation_width, "median_ms"),
+        ("ablations", figures::ablation_gather_materialize, "median_ms"),
+        ("ablations", figures::ablation_jit, "median_ms"),
+        ("ablations", figures::ablation_parallel, "median_ms"),
+        ("ablations", figures::ablation_packed, "median_ms"),
+    ];
+
+    for (id, run, headline_metric) in runs {
+        if which != "all" && which != id {
+            continue;
+        }
+        let t = std::time::Instant::now();
+        let fig = run(&scale);
+        println!("{}", fig.table(headline_metric));
+        // Print the extra metric tables where the figure has several panels.
+        match fig.id.as_str() {
+            "fig1" => {
+                println!("{}", fig.table("branch_mispredictions"));
+                println!("{}", fig.table("useless_prefetches"));
+            }
+            "fig2" => println!("{}", fig.table("values_per_us")),
+            _ => {}
+        }
+        if let Err(e) = fig.save(&out_dir) {
+            eprintln!("warning: could not save {}: {e}", fig.id);
+        }
+        println!("[{} finished in {:.1}s]\n", fig.id, t.elapsed().as_secs_f64());
+    }
+    println!("results saved to {}", out_dir.display());
+}
+
+fn usage() -> ! {
+    eprintln!("usage: figures [--fig all|1|2|4|5|6|7|ablations] [--scale quick|default|paper] [--out DIR]");
+    std::process::exit(2);
+}

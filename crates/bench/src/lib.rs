@@ -1,0 +1,17 @@
+//! # fts-bench — the benchmark harness
+//!
+//! Regenerates every figure of the paper's evaluation section at a
+//! configurable scale ([`workload::Scale`]) and persists the results as
+//! JSON next to aligned text tables. The `figures` binary drives it; the
+//! criterion benches in `benches/` time representative points of each
+//! figure with criterion's statistics.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod tpch;
+pub mod report;
+pub mod workload;
+
+pub use report::{FigureResult, Point, Series};
+pub use workload::Scale;

@@ -1,0 +1,202 @@
+//! Benchmark result records: JSON persistence (for EXPERIMENTS.md) plus
+//! aligned text tables on stdout.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// One measured point of a series.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Point {
+    /// X coordinate (table size, selectivity, predicate count, …).
+    pub x: f64,
+    /// Named metrics at this point (median_ms, speedup, mispredictions, …).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// One line/bar series of a figure.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Series {
+    /// Legend label (matches the paper's legend where applicable).
+    pub label: String,
+    /// The measured points, in x order.
+    pub points: Vec<Point>,
+}
+
+/// A reproduced figure.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct FigureResult {
+    /// Identifier, e.g. "fig4".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Axis/meaning of `x`.
+    pub x_label: String,
+    /// Workload scale the run used.
+    pub config: BTreeMap<String, String>,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl FigureResult {
+    /// New empty figure.
+    pub fn new(id: &str, title: &str, x_label: &str) -> FigureResult {
+        FigureResult {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            config: BTreeMap::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Record a configuration key.
+    pub fn config(&mut self, key: &str, value: impl ToString) {
+        self.config.insert(key.into(), value.to_string());
+    }
+
+    /// Append a point to the series with `label`, creating it on demand.
+    pub fn push(&mut self, label: &str, x: f64, metrics: &[(&str, f64)]) {
+        let series = match self.series.iter_mut().find(|s| s.label == label) {
+            Some(s) => s,
+            None => {
+                self.series.push(Series { label: label.into(), points: Vec::new() });
+                self.series.last_mut().expect("just pushed")
+            }
+        };
+        series.points.push(Point {
+            x,
+            metrics: metrics.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        });
+    }
+
+    /// Write `<id>.json` into `dir`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(serde_json::to_string_pretty(self).expect("serialize").as_bytes())
+    }
+
+    /// Render an aligned text table: one row per x, one column per
+    /// (series, metric).
+    pub fn table(&self, metric: &str) -> String {
+        use std::fmt::Write;
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {} [{}]", self.id, self.title, metric);
+        let _ = write!(out, "{:>14}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>22}", s.label);
+        }
+        let _ = writeln!(out);
+        for x in xs {
+            let _ = write!(out, "{:>14}", format_x(x));
+            for s in &self.series {
+                let v = s
+                    .points
+                    .iter()
+                    .find(|p| p.x == x)
+                    .and_then(|p| p.metrics.get(metric));
+                match v {
+                    Some(v) => {
+                        let _ = write!(out, " {:>22}", format_metric(*v));
+                    }
+                    None => {
+                        let _ = write!(out, " {:>22}", "—");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+fn format_x(x: f64) -> String {
+    if x >= 1000.0 && x.fract() == 0.0 {
+        let mut v = x as u64;
+        let mut suffix = "";
+        for (div, s) in [(1_000_000_000, "G"), (1_000_000, "M"), (1_000, "K")] {
+            if v % div == 0 && v >= div {
+                v /= div;
+                suffix = s;
+                break;
+            }
+        }
+        if suffix.is_empty() { format!("{}", x as u64) } else { format!("{v}{suffix}") }
+    } else if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.7}").trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+fn format_metric(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e6 {
+        format!("{v:.3e}")
+    } else if v.fract() == 0.0 {
+        format!("{}", v as i64)
+    } else if v.abs() < 0.01 {
+        format!("{v:.5}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut fig = FigureResult::new("figX", "demo", "rows");
+        fig.config("rows", 100);
+        fig.push("A", 1000.0, &[("median_ms", 1.5), ("speedup", 2.0)]);
+        fig.push("A", 2000.0, &[("median_ms", 3.0)]);
+        fig.push("B", 1000.0, &[("median_ms", 0.5)]);
+        let t = fig.table("median_ms");
+        assert!(t.contains("1K"), "{t}");
+        assert!(t.contains("2K"));
+        assert!(t.contains("1.50"));
+        assert!(t.contains('—'), "missing point renders as dash: {t}");
+        assert_eq!(fig.series.len(), 2);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut fig = FigureResult::new("figY", "demo", "sel");
+        fig.push("S", 0.5, &[("m", 1.0)]);
+        let text = serde_json::to_string(&fig).unwrap();
+        let back: FigureResult = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, fig);
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let dir = std::env::temp_dir().join(format!("fts-bench-test-{}", std::process::id()));
+        let fig = FigureResult::new("figZ", "demo", "x");
+        fig.save(&dir).unwrap();
+        assert!(dir.join("figZ.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn x_formatting() {
+        assert_eq!(format_x(16_000_000.0), "16M");
+        assert_eq!(format_x(1_000.0), "1K");
+        assert_eq!(format_x(0.0001), "0.0001");
+        assert_eq!(format_x(5.0), "5");
+    }
+}

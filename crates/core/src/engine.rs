@@ -1,0 +1,478 @@
+//! Runtime dispatch over scan implementations.
+//!
+//! The benchmark harness and the query executor pick a [`ScanImpl`] — one of
+//! the paper's six evaluated configurations plus the auxiliary baselines —
+//! and this module routes it to the right kernel for the chain's element
+//! type, or reports why it cannot ([`EngineError`]).
+
+use fts_simd::{detect, SimdLevel};
+use fts_storage::{DataType, NativeType, PosList};
+
+use crate::pred::{ColumnPred, OutputMode, ScanOutput, TypedPred};
+use crate::{blockwise, fused, reference, sisd};
+
+/// AVX register width used by a fused kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegWidth {
+    /// 128-bit xmm registers (4 × 32-bit lanes).
+    W128,
+    /// 256-bit ymm registers (8 lanes).
+    W256,
+    /// 512-bit zmm registers (16 lanes).
+    W512,
+}
+
+impl RegWidth {
+    /// Lane count for 32-bit elements.
+    pub fn lanes32(self) -> usize {
+        match self {
+            RegWidth::W128 => 4,
+            RegWidth::W256 => 8,
+            RegWidth::W512 => 16,
+        }
+    }
+
+    /// Register width in bits.
+    pub fn bits(self) -> usize {
+        self.lanes32() * 32
+    }
+}
+
+/// A scan implementation, named after the paper's Fig. 5 legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScanImpl {
+    /// *SISD (no vec)*: tuple-at-a-time with short-circuit branches (§II).
+    SisdBranching,
+    /// *SISD (auto vec)*: branch-free tuple-at-a-time the compiler
+    /// auto-vectorizes.
+    SisdAutoVec,
+    /// Block-at-a-time with one materialized bitmask per predicate.
+    BlockBitmap,
+    /// Block-at-a-time with per-block selection vectors.
+    BlockSelVec,
+    /// Portable fused engine on the semantic models (any ISA); lane count
+    /// mirrors a register width.
+    FusedScalar(RegWidth),
+    /// *AVX2 Fused (128)*: the backport with emulated compress/permute.
+    FusedAvx2,
+    /// *AVX-512 Fused (128/256/512)*.
+    FusedAvx512(RegWidth),
+}
+
+impl ScanImpl {
+    /// The six configurations of paper Fig. 5, in legend order.
+    pub const PAPER_FIG5: [ScanImpl; 6] = [
+        ScanImpl::SisdBranching,
+        ScanImpl::SisdAutoVec,
+        ScanImpl::FusedAvx2,
+        ScanImpl::FusedAvx512(RegWidth::W128),
+        ScanImpl::FusedAvx512(RegWidth::W256),
+        ScanImpl::FusedAvx512(RegWidth::W512),
+    ];
+
+    /// Short name used in benchmark output (matches the paper's legend).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScanImpl::SisdBranching => "SISD (no vec)",
+            ScanImpl::SisdAutoVec => "SISD (auto vec)",
+            ScanImpl::BlockBitmap => "Block bitmap",
+            ScanImpl::BlockSelVec => "Block selvec",
+            ScanImpl::FusedScalar(RegWidth::W128) => "Scalar Fused (128)",
+            ScanImpl::FusedScalar(RegWidth::W256) => "Scalar Fused (256)",
+            ScanImpl::FusedScalar(RegWidth::W512) => "Scalar Fused (512)",
+            ScanImpl::FusedAvx2 => "AVX2 Fused (128)",
+            ScanImpl::FusedAvx512(RegWidth::W128) => "AVX-512 Fused (128)",
+            ScanImpl::FusedAvx512(RegWidth::W256) => "AVX-512 Fused (256)",
+            ScanImpl::FusedAvx512(RegWidth::W512) => "AVX-512 Fused (512)",
+        }
+    }
+
+    /// Whether the host ISA can run this implementation.
+    pub fn available(self) -> bool {
+        match self {
+            ScanImpl::FusedAvx2 => detect() >= SimdLevel::Avx2,
+            ScanImpl::FusedAvx512(_) => detect() >= SimdLevel::Avx512,
+            _ => true,
+        }
+    }
+}
+
+/// Why a scan could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The host lacks the instruction set the implementation needs.
+    IsaUnavailable(ScanImpl),
+    /// The element type has no kernel for this implementation (the SIMD
+    /// kernels cover the 32-bit types; route other types through
+    /// dictionary encoding or the scalar engine).
+    TypeUnsupported {
+        /// Requested implementation.
+        imp: &'static str,
+        /// Element type of the chain.
+        ty: DataType,
+    },
+    /// Chain longer than [`fused::MAX_PREDICATES`].
+    ChainTooLong(usize),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::IsaUnavailable(i) => write!(f, "{} not available on this host", i.name()),
+            EngineError::TypeUnsupported { imp, ty } => {
+                write!(f, "{imp} has no kernel for element type {ty}")
+            }
+            EngineError::ChainTooLong(n) => {
+                write!(f, "{n} predicates exceed the fused-kernel limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Element types that have hardware fused kernels. The other seven native
+/// types run through the scalar engine or a dictionary-encoded `u32` scan.
+pub trait ScanElem: NativeType {
+    /// Run the AVX2 fused kernel, if one exists for this type.
+    fn fused_avx2(preds: &[TypedPred<'_, Self>], mode: OutputMode) -> Option<ScanOutput> {
+        let _ = (preds, mode);
+        None
+    }
+
+    /// Run the AVX-512 fused kernel at `width`, if one exists for this type.
+    fn fused_avx512(
+        width: RegWidth,
+        preds: &[TypedPred<'_, Self>],
+        mode: OutputMode,
+    ) -> Option<ScanOutput> {
+        let _ = (width, preds, mode);
+        None
+    }
+}
+
+macro_rules! impl_scan_elem_32 {
+    ($t:ty, $avx2mod:ident, $m128:ident, $m256:ident, $m512:ident) => {
+        impl ScanElem for $t {
+            #[cfg(target_arch = "x86_64")]
+            fn fused_avx2(preds: &[TypedPred<'_, Self>], mode: OutputMode) -> Option<ScanOutput> {
+                Some(fused::avx2::$avx2mod::fused_scan(preds, mode))
+            }
+
+            #[cfg(target_arch = "x86_64")]
+            fn fused_avx512(
+                width: RegWidth,
+                preds: &[TypedPred<'_, Self>],
+                mode: OutputMode,
+            ) -> Option<ScanOutput> {
+                Some(match width {
+                    RegWidth::W128 => fused::avx512::$m128::fused_scan(preds, mode),
+                    RegWidth::W256 => fused::avx512::$m256::fused_scan(preds, mode),
+                    RegWidth::W512 => fused::avx512::$m512::fused_scan(preds, mode),
+                })
+            }
+        }
+    };
+}
+
+impl_scan_elem_32!(u32, u32_w128, u32_w128, u32_w256, u32_w512);
+impl_scan_elem_32!(i32, i32_w128, i32_w128, i32_w256, i32_w512);
+impl_scan_elem_32!(f32, f32_w128, f32_w128, f32_w256, f32_w512);
+
+macro_rules! impl_scan_elem_64 {
+    ($t:ty, $m512:ident) => {
+        impl ScanElem for $t {
+            #[cfg(target_arch = "x86_64")]
+            fn fused_avx512(
+                width: RegWidth,
+                preds: &[TypedPred<'_, Self>],
+                mode: OutputMode,
+            ) -> Option<ScanOutput> {
+                // 8-byte lanes exist at full zmm width only (8 lanes).
+                match width {
+                    RegWidth::W512 => Some(fused::w64::$m512::fused_scan(preds, mode)),
+                    RegWidth::W128 | RegWidth::W256 => None,
+                }
+            }
+        }
+    };
+}
+
+impl_scan_elem_64!(u64, u64_w512);
+impl_scan_elem_64!(i64, i64_w512);
+impl_scan_elem_64!(f64, f64_w512);
+impl ScanElem for u8 {}
+impl ScanElem for u16 {}
+impl ScanElem for i8 {}
+impl ScanElem for i16 {}
+
+fn positions_to_output(pl: PosList, mode: OutputMode) -> ScanOutput {
+    match mode {
+        OutputMode::Count => ScanOutput::Count(pl.len() as u64),
+        OutputMode::Positions => ScanOutput::Positions(pl),
+    }
+}
+
+/// Run `preds` with the chosen implementation.
+///
+/// ```
+/// use fts_core::{run_scan, OutputMode, RegWidth, ScanImpl, TypedPred};
+///
+/// let a: Vec<u32> = (0..100).map(|i| i % 10).collect();
+/// let b: Vec<u32> = (0..100).map(|i| i % 4).collect();
+/// let preds = [TypedPred::eq(&a[..], 5), TypedPred::eq(&b[..], 1)];
+/// // The portable engine runs on any machine; hardware kernels via
+/// // ScanImpl::FusedAvx512(..) when available.
+/// let out = run_scan(ScanImpl::FusedScalar(RegWidth::W512), &preds, OutputMode::Positions)
+///     .unwrap();
+/// assert_eq!(out.count(), 5);
+/// ```
+pub fn run_scan<T: ScanElem>(
+    imp: ScanImpl,
+    preds: &[TypedPred<'_, T>],
+    mode: OutputMode,
+) -> Result<ScanOutput, EngineError> {
+    if preds.len() > fused::MAX_PREDICATES {
+        return Err(EngineError::ChainTooLong(preds.len()));
+    }
+    if !imp.available() {
+        return Err(EngineError::IsaUnavailable(imp));
+    }
+    Ok(match imp {
+        ScanImpl::SisdBranching => match mode {
+            OutputMode::Count => ScanOutput::Count(sisd::branching_count(preds)),
+            OutputMode::Positions => ScanOutput::Positions(sisd::branching_positions(preds)),
+        },
+        ScanImpl::SisdAutoVec => match mode {
+            OutputMode::Count => ScanOutput::Count(sisd::branchfree_count(preds)),
+            OutputMode::Positions => ScanOutput::Positions(sisd::branchfree_positions(preds)),
+        },
+        ScanImpl::BlockBitmap => match mode {
+            OutputMode::Count => ScanOutput::Count(blockwise::bitmap_scan_count(preds)),
+            OutputMode::Positions => ScanOutput::Positions(blockwise::bitmap_scan(preds)),
+        },
+        ScanImpl::BlockSelVec => positions_to_output(
+            blockwise::block_scan(preds, blockwise::DEFAULT_BLOCK_ROWS),
+            mode,
+        ),
+        ScanImpl::FusedScalar(w) => match w {
+            RegWidth::W128 => fused::scalar::fused_scan_model::<T, 4>(preds, mode),
+            RegWidth::W256 => fused::scalar::fused_scan_model::<T, 8>(preds, mode),
+            RegWidth::W512 => fused::scalar::fused_scan_model::<T, 16>(preds, mode),
+        },
+        ScanImpl::FusedAvx2 => T::fused_avx2(preds, mode).ok_or(EngineError::TypeUnsupported {
+            imp: "AVX2 Fused",
+            ty: T::DATA_TYPE,
+        })?,
+        ScanImpl::FusedAvx512(w) => {
+            T::fused_avx512(w, preds, mode).ok_or(EngineError::TypeUnsupported {
+                imp: "AVX-512 Fused",
+                ty: T::DATA_TYPE,
+            })?
+        }
+    })
+}
+
+/// The best fused implementation the host and element type support:
+/// AVX-512 (512-bit) → AVX2 → scalar model engine.
+pub fn best_fused_impl<T: ScanElem>() -> ScanImpl {
+    let kernels_32 = matches!(T::DATA_TYPE, DataType::U32 | DataType::I32 | DataType::F32);
+    let kernels_64 = matches!(T::DATA_TYPE, DataType::U64 | DataType::I64 | DataType::F64);
+    match detect() {
+        SimdLevel::Avx512 if kernels_32 || kernels_64 => ScanImpl::FusedAvx512(RegWidth::W512),
+        SimdLevel::Avx2 | SimdLevel::Avx512 if kernels_32 => ScanImpl::FusedAvx2,
+        _ => ScanImpl::FusedScalar(RegWidth::W512),
+    }
+}
+
+/// Run the chain with [`best_fused_impl`].
+pub fn run_fused_auto<T: ScanElem>(preds: &[TypedPred<'_, T>], mode: OutputMode) -> ScanOutput {
+    run_scan(best_fused_impl::<T>(), preds, mode).expect("auto impl is always available")
+}
+
+/// Dynamic entry for the query layer: a chain over [`fts_storage::Column`]s.
+///
+/// Homogeneous 32-bit chains dispatch to the best fused kernel; everything
+/// else (mixed types, 64/16/8-bit elements) falls back to the reference
+/// row loop — the query layer avoids that path by dictionary-encoding.
+/// Returns `None` when a needle's type does not match its column.
+pub fn scan_columns_auto(preds: &[ColumnPred<'_>], mode: OutputMode) -> Option<ScanOutput> {
+    fn typed<'a, T: ScanElem>(preds: &[ColumnPred<'a>]) -> Option<Vec<TypedPred<'a, T>>> {
+        preds
+            .iter()
+            .map(|p| {
+                Some(TypedPred::new(
+                    p.column.as_native::<T>()?,
+                    p.op,
+                    T::from_value(p.needle)?,
+                ))
+            })
+            .collect()
+    }
+
+    let Some(first) = preds.first() else {
+        return Some(ScanOutput::Positions(PosList::new()));
+    };
+    let homogeneous = preds.iter().all(|p| p.column.data_type() == first.column.data_type());
+    if homogeneous && preds.len() <= fused::MAX_PREDICATES {
+        match first.column.data_type() {
+            DataType::U32 => return Some(run_fused_auto(&typed::<u32>(preds)?, mode)),
+            DataType::I32 => return Some(run_fused_auto(&typed::<i32>(preds)?, mode)),
+            DataType::F32 => return Some(run_fused_auto(&typed::<f32>(preds)?, mode)),
+            DataType::U64 => return Some(run_fused_auto(&typed::<u64>(preds)?, mode)),
+            DataType::I64 => return Some(run_fused_auto(&typed::<i64>(preds)?, mode)),
+            DataType::F64 => return Some(run_fused_auto(&typed::<f64>(preds)?, mode)),
+            _ => {}
+        }
+    }
+    let out = reference::scan_columns(preds)?;
+    Some(match (mode, out) {
+        (OutputMode::Count, o) => ScanOutput::Count(o.count()),
+        (OutputMode::Positions, o) => o,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_storage::{CmpOp, Column, Value};
+
+    fn all_impls() -> Vec<ScanImpl> {
+        let mut v = vec![
+            ScanImpl::SisdBranching,
+            ScanImpl::SisdAutoVec,
+            ScanImpl::BlockBitmap,
+            ScanImpl::BlockSelVec,
+            ScanImpl::FusedScalar(RegWidth::W128),
+            ScanImpl::FusedScalar(RegWidth::W256),
+            ScanImpl::FusedScalar(RegWidth::W512),
+        ];
+        if ScanImpl::FusedAvx2.available() {
+            v.push(ScanImpl::FusedAvx2);
+        }
+        for w in [RegWidth::W128, RegWidth::W256, RegWidth::W512] {
+            if ScanImpl::FusedAvx512(w).available() {
+                v.push(ScanImpl::FusedAvx512(w));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn every_impl_agrees_u32() {
+        let a: Vec<u32> = (0..2000).map(|i| i % 17).collect();
+        let b: Vec<u32> = (0..2000).map(|i| (i * 5) % 11).collect();
+        let preds =
+            [TypedPred::new(&a[..], CmpOp::Le, 8u32), TypedPred::new(&b[..], CmpOp::Ne, 3u32)];
+        let expected = reference::scan_positions(&preds);
+        for imp in all_impls() {
+            let got = run_scan(imp, &preds, OutputMode::Positions).unwrap();
+            assert_eq!(got.positions().unwrap(), &expected, "{}", imp.name());
+            let got = run_scan(imp, &preds, OutputMode::Count).unwrap();
+            assert_eq!(got.count(), expected.len() as u64, "{} count", imp.name());
+        }
+    }
+
+    #[test]
+    fn unsupported_type_for_hw_kernels() {
+        let a = [1u16, 2, 3];
+        let preds = [TypedPred::eq(&a[..], 2u16)];
+        if ScanImpl::FusedAvx2.available() {
+            let err = run_scan(ScanImpl::FusedAvx2, &preds, OutputMode::Count).unwrap_err();
+            assert!(matches!(err, EngineError::TypeUnsupported { .. }));
+        }
+        // 8-byte lanes only exist at 512 bits.
+        if ScanImpl::FusedAvx512(RegWidth::W128).available() {
+            let b = [1u64, 2, 3];
+            let p64 = [TypedPred::eq(&b[..], 2u64)];
+            let err =
+                run_scan(ScanImpl::FusedAvx512(RegWidth::W128), &p64, OutputMode::Count)
+                    .unwrap_err();
+            assert!(matches!(err, EngineError::TypeUnsupported { .. }));
+            let ok = run_scan(ScanImpl::FusedAvx512(RegWidth::W512), &p64, OutputMode::Count);
+            assert_eq!(ok.unwrap().count(), 1);
+        }
+        // But the scalar fused engine handles it.
+        let got = run_scan(ScanImpl::FusedScalar(RegWidth::W512), &preds, OutputMode::Count);
+        assert_eq!(got.unwrap().count(), 1);
+    }
+
+    #[test]
+    fn chain_length_guard() {
+        let a = [1u32];
+        let preds = vec![TypedPred::eq(&a[..], 1u32); fused::MAX_PREDICATES + 1];
+        let err = run_scan(ScanImpl::SisdAutoVec, &preds, OutputMode::Count).unwrap_err();
+        assert_eq!(err, EngineError::ChainTooLong(fused::MAX_PREDICATES + 1));
+    }
+
+    #[test]
+    fn auto_dispatch_picks_an_available_impl() {
+        let imp = best_fused_impl::<u32>();
+        assert!(imp.available());
+        let imp64 = best_fused_impl::<u64>();
+        if fts_simd::has_avx512() {
+            assert_eq!(imp64, ScanImpl::FusedAvx512(RegWidth::W512));
+        } else {
+            assert!(matches!(imp64, ScanImpl::FusedScalar(_)));
+        }
+        // 8-bit types still use the scalar engine.
+        assert!(matches!(best_fused_impl::<u8>(), ScanImpl::FusedScalar(_)));
+    }
+
+    #[test]
+    fn column_level_dispatch() {
+        let a = Column::from_vec((0..500u32).map(|i| i % 7).collect::<Vec<_>>());
+        let b = Column::from_vec((0..500u32).map(|i| i % 3).collect::<Vec<_>>());
+        let preds = [
+            ColumnPred { column: &a, op: CmpOp::Eq, needle: Value::U32(2) },
+            ColumnPred { column: &b, op: CmpOp::Eq, needle: Value::U32(1) },
+        ];
+        let expected = reference::scan_columns(&preds).unwrap();
+        let got = scan_columns_auto(&preds, OutputMode::Positions).unwrap();
+        assert_eq!(got, expected);
+        let got = scan_columns_auto(&preds, OutputMode::Count).unwrap();
+        assert_eq!(got.count(), expected.count());
+
+        // Heterogeneous chain falls back to the reference loop.
+        let c = Column::from_vec((0..500i64).map(|i| i % 2).collect::<Vec<_>>());
+        let mixed = [
+            ColumnPred { column: &a, op: CmpOp::Eq, needle: Value::U32(2) },
+            ColumnPred { column: &c, op: CmpOp::Eq, needle: Value::I64(1) },
+        ];
+        let expected = reference::scan_columns(&mixed).unwrap();
+        assert_eq!(scan_columns_auto(&mixed, OutputMode::Positions).unwrap(), expected);
+
+        // Type mismatch surfaces as None.
+        let bad = [ColumnPred { column: &a, op: CmpOp::Eq, needle: Value::I32(2) }];
+        assert!(scan_columns_auto(&bad, OutputMode::Count).is_none());
+    }
+
+    #[test]
+    fn column_level_dispatch_64bit_types() {
+        let a = Column::from_vec((0..300u64).map(|i| (i % 7) + (1 << 40)).collect::<Vec<_>>());
+        let b = Column::from_vec((0..300).map(|i| (i % 3) as f64 * 0.5).collect::<Vec<_>>());
+        let preds64 = [ColumnPred {
+            column: &a,
+            op: CmpOp::Ge,
+            needle: Value::U64((1 << 40) + 5),
+        }];
+        let expected = reference::scan_columns(&preds64).unwrap();
+        assert_eq!(scan_columns_auto(&preds64, OutputMode::Positions).unwrap(), expected);
+
+        let predsf = [
+            ColumnPred { column: &b, op: CmpOp::Gt, needle: Value::F64(0.4) },
+            ColumnPred { column: &b, op: CmpOp::Lt, needle: Value::F64(0.9) },
+        ];
+        let expected = reference::scan_columns(&predsf).unwrap();
+        assert_eq!(scan_columns_auto(&predsf, OutputMode::Positions).unwrap(), expected);
+    }
+
+    #[test]
+    fn names_and_availability() {
+        assert_eq!(ScanImpl::FusedAvx512(RegWidth::W512).name(), "AVX-512 Fused (512)");
+        assert_eq!(RegWidth::W256.bits(), 256);
+        assert_eq!(RegWidth::W128.lanes32(), 4);
+        assert!(ScanImpl::SisdBranching.available());
+        assert_eq!(ScanImpl::PAPER_FIG5.len(), 6);
+    }
+}

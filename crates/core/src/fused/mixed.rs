@@ -1,0 +1,292 @@
+//! Mixed-width fused chains — the §V splitting case.
+//!
+//! "Looking at the example, this becomes important if the first column uses
+//! 4-byte integers and the second column 8-byte integers. The first
+//! predicate would generate four indexes into the second column, but the
+//! 128-bit AVX register can only hold two of the 8-byte integers. In this
+//! case, the JIT compiler has to split the list of indexes and perform
+//! twice the number of iterations when evaluating the following predicate."
+//!
+//! This module implements exactly that at 512-bit width: the `u32` driver
+//! accumulates 16 positions per list; the `u64` follow-up predicate splits
+//! the list into two 8-lane halves, gathers each with `vpgatherdq` (dword
+//! indexes → qword values) and recombines the two 8-bit masks into one
+//! 16-bit mask for the compress step.
+
+#![cfg(target_arch = "x86_64")]
+#![allow(unsafe_op_in_unsafe_fn)] // one kernel = one contiguous unsafe context
+
+use std::arch::x86_64::*;
+
+use fts_simd::has_avx512;
+use fts_storage::{CmpOp, PosList};
+
+use crate::fused::MERGE16;
+use crate::pred::{OutputMode, ScanOutput, TypedPred};
+
+const LANES: usize = 16;
+
+#[inline]
+#[target_feature(enable = "avx512f,avx512vl,avx512dq")]
+unsafe fn mask_cmp_u64(k: __mmask8, op: CmpOp, a: __m512i, b: __m512i) -> __mmask8 {
+    match op {
+        CmpOp::Eq => _mm512_mask_cmpeq_epu64_mask(k, a, b),
+        CmpOp::Ne => _mm512_mask_cmpneq_epu64_mask(k, a, b),
+        CmpOp::Lt => _mm512_mask_cmplt_epu64_mask(k, a, b),
+        CmpOp::Le => _mm512_mask_cmple_epu64_mask(k, a, b),
+        CmpOp::Gt => _mm512_mask_cmpgt_epu64_mask(k, a, b),
+        CmpOp::Ge => _mm512_mask_cmpge_epu64_mask(k, a, b),
+    }
+}
+
+#[inline]
+#[target_feature(enable = "avx512f,avx512vl,avx512dq")]
+unsafe fn cmp_u32(op: CmpOp, a: __m512i, b: __m512i) -> __mmask16 {
+    match op {
+        CmpOp::Eq => _mm512_cmpeq_epu32_mask(a, b),
+        CmpOp::Ne => _mm512_cmpneq_epu32_mask(a, b),
+        CmpOp::Lt => _mm512_cmplt_epu32_mask(a, b),
+        CmpOp::Le => _mm512_cmple_epu32_mask(a, b),
+        CmpOp::Gt => _mm512_cmpgt_epu32_mask(a, b),
+        CmpOp::Ge => _mm512_cmpge_epu32_mask(a, b),
+    }
+}
+
+#[inline]
+#[target_feature(enable = "avx512f,avx512vl,avx512dq")]
+unsafe fn mask_cmp_u32(k: __mmask16, op: CmpOp, a: __m512i, b: __m512i) -> __mmask16 {
+    match op {
+        CmpOp::Eq => _mm512_mask_cmpeq_epu32_mask(k, a, b),
+        CmpOp::Ne => _mm512_mask_cmpneq_epu32_mask(k, a, b),
+        CmpOp::Lt => _mm512_mask_cmplt_epu32_mask(k, a, b),
+        CmpOp::Le => _mm512_mask_cmple_epu32_mask(k, a, b),
+        CmpOp::Gt => _mm512_mask_cmpgt_epu32_mask(k, a, b),
+        CmpOp::Ge => _mm512_mask_cmpge_epu32_mask(k, a, b),
+    }
+}
+
+struct State<'a> {
+    p1: &'a TypedPred<'a, u64>,
+    needle1: __m512i,
+    plist: __m512i,
+    count: usize,
+    out: Vec<u32>,
+    total: u64,
+}
+
+/// Evaluate the pending positions against the 8-byte column: split the
+/// 16-entry list into two halves, gather qwords with dword indexes, and
+/// recombine the masks (the "twice the number of iterations" of §V).
+#[target_feature(enable = "avx512f,avx512vl,avx512dq,avx2,popcnt")]
+unsafe fn flush<const EMIT: bool>(st: &mut State<'_>) {
+    let c = st.count;
+    if c == 0 {
+        return;
+    }
+    let plist = st.plist;
+    st.plist = _mm512_setzero_si512();
+    st.count = 0;
+
+    let base = st.p1.data.as_ptr() as *const i64;
+    let idx_lo = _mm512_castsi512_si256(plist);
+    let idx_hi = _mm512_extracti64x4_epi64::<1>(plist);
+    let k_lo = fts_simd::model::lane_mask(c.min(8)) as __mmask8;
+    let k_hi = fts_simd::model::lane_mask(c.saturating_sub(8)) as __mmask8;
+
+    let vals_lo = _mm512_mask_i32gather_epi64::<8>(_mm512_setzero_si512(), k_lo, idx_lo, base);
+    let m_lo = mask_cmp_u64(k_lo, st.p1.op, vals_lo, st.needle1);
+    let m_hi = if k_hi != 0 {
+        let vals_hi =
+            _mm512_mask_i32gather_epi64::<8>(_mm512_setzero_si512(), k_hi, idx_hi, base);
+        mask_cmp_u64(k_hi, st.p1.op, vals_hi, st.needle1)
+    } else {
+        0
+    };
+    let k2: __mmask16 = (m_lo as u16) | ((m_hi as u16) << 8);
+    let m2 = (k2 as u32).count_ones() as usize;
+    if m2 == 0 {
+        return;
+    }
+    let fresh2 = _mm512_maskz_compress_epi32(k2, plist);
+    st.total += m2 as u64;
+    if EMIT {
+        let len = st.out.len();
+        st.out.reserve(LANES);
+        _mm512_storeu_epi32(st.out.as_mut_ptr().add(len) as *mut i32, fresh2);
+        st.out.set_len(len + m2);
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512vl,avx512dq,avx2,popcnt")]
+unsafe fn kernel<const EMIT: bool>(
+    p0: &TypedPred<'_, u32>,
+    p1: &TypedPred<'_, u64>,
+) -> (u64, Vec<u32>) {
+    let rows = p0.data.len();
+    let mut st = State {
+        p1,
+        needle1: _mm512_set1_epi64(p1.needle as i64),
+        plist: _mm512_setzero_si512(),
+        count: 0,
+        out: Vec::new(),
+        total: 0,
+    };
+    let col0 = p0.data.as_ptr() as *const i32;
+    let needle0 = _mm512_set1_epi32(p0.needle as i32);
+    let iota = _mm512_loadu_epi32(super::avx512::IOTA16_PUB.as_ptr() as *const i32);
+
+    let push = |st: &mut State<'_>, fresh: __m512i, m: usize| {
+        if st.count + m > LANES {
+            flush::<EMIT>(st);
+            st.plist = fresh;
+            st.count = m;
+        } else {
+            let ctl = _mm512_loadu_epi32(MERGE16[st.count].as_ptr() as *const i32);
+            st.plist = _mm512_permutex2var_epi32(st.plist, ctl, fresh);
+            st.count += m;
+        }
+        if st.count == LANES {
+            flush::<EMIT>(st);
+        }
+    };
+
+    let full_blocks = rows / LANES;
+    for blk in 0..full_blocks {
+        let v = _mm512_loadu_epi32(col0.add(blk * LANES));
+        let k = cmp_u32(p0.op, v, needle0);
+        if k == 0 {
+            continue;
+        }
+        let m = (k as u32).count_ones() as usize;
+        let idx = _mm512_add_epi32(iota, _mm512_set1_epi32((blk * LANES) as i32));
+        push(&mut st, _mm512_maskz_compress_epi32(k, idx), m);
+    }
+    let tail = rows % LANES;
+    if tail != 0 {
+        let base = full_blocks * LANES;
+        let kt = fts_simd::model::lane_mask(tail) as __mmask16;
+        let v = _mm512_maskz_loadu_epi32(kt, col0.add(base));
+        let k = mask_cmp_u32(kt, p0.op, v, needle0);
+        if k != 0 {
+            let m = (k as u32).count_ones() as usize;
+            let idx = _mm512_add_epi32(iota, _mm512_set1_epi32(base as i32));
+            push(&mut st, _mm512_maskz_compress_epi32(k, idx), m);
+        }
+    }
+    flush::<EMIT>(&mut st);
+    (st.total, st.out)
+}
+
+/// Fused scan of a 4-byte driver predicate followed by an 8-byte predicate,
+/// splitting the position list exactly as paper §V prescribes.
+///
+/// Panics without AVX-512 or on ragged columns.
+pub fn fused_scan_u32_u64(
+    p0: &TypedPred<'_, u32>,
+    p1: &TypedPred<'_, u64>,
+    mode: OutputMode,
+) -> ScanOutput {
+    assert!(has_avx512(), "AVX-512 not available on this host");
+    assert_eq!(p0.data.len(), p1.data.len(), "chain columns must have equal length");
+    assert!(p0.data.len() <= i32::MAX as usize, "chunk exceeds 32-bit gather index range");
+    // SAFETY: AVX-512 presence asserted; columns validated.
+    match mode {
+        OutputMode::Count => {
+            let (total, _) = unsafe { kernel::<false>(p0, p1) };
+            ScanOutput::Count(total)
+        }
+        OutputMode::Positions => {
+            let (_, out) = unsafe { kernel::<true>(p0, p1) };
+            ScanOutput::Positions(PosList::from_vec(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skip() -> bool {
+        if !has_avx512() {
+            eprintln!("skipping: no AVX-512 on this host");
+            return true;
+        }
+        false
+    }
+
+    fn reference(p0: &TypedPred<'_, u32>, p1: &TypedPred<'_, u64>) -> Vec<u32> {
+        (0..p0.data.len())
+            .filter(|&r| p0.matches(r) && p1.matches(r))
+            .map(|r| r as u32)
+            .collect()
+    }
+
+    #[test]
+    fn splits_position_list_correctly() {
+        if skip() {
+            return;
+        }
+        let a: Vec<u32> = (0..3000).map(|i| i % 5).collect();
+        let b: Vec<u64> = (0..3000).map(|i| (i as u64 * 7) % 9).collect();
+        for op0 in CmpOp::ALL {
+            for op1 in CmpOp::ALL {
+                let p0 = TypedPred::new(&a[..], op0, 2u32);
+                let p1 = TypedPred::new(&b[..], op1, 4u64);
+                let expected = reference(&p0, &p1);
+                let got = fused_scan_u32_u64(&p0, &p1, OutputMode::Positions);
+                assert_eq!(got.positions().unwrap().as_slice(), &expected[..], "{op0} {op1}");
+                let got = fused_scan_u32_u64(&p0, &p1, OutputMode::Count);
+                assert_eq!(got.count(), expected.len() as u64, "{op0} {op1} count");
+            }
+        }
+    }
+
+    #[test]
+    fn large_u64_values_beyond_32_bits() {
+        if skip() {
+            return;
+        }
+        let a: Vec<u32> = (0..500).map(|i| i % 2).collect();
+        let big = u64::MAX - 3;
+        let b: Vec<u64> = (0..500).map(|i| if i % 3 == 0 { big } else { i as u64 }).collect();
+        let p0 = TypedPred::eq(&a[..], 0u32);
+        let p1 = TypedPred::eq(&b[..], big);
+        let expected = reference(&p0, &p1);
+        let got = fused_scan_u32_u64(&p0, &p1, OutputMode::Positions);
+        assert_eq!(got.positions().unwrap().as_slice(), &expected[..]);
+    }
+
+    #[test]
+    fn partial_lists_under_nine_entries_use_one_gather() {
+        if skip() {
+            return;
+        }
+        // Only 3 matches total: the flush path with k_hi == 0.
+        let mut a = vec![0u32; 100];
+        a[10] = 5;
+        a[50] = 5;
+        a[99] = 5;
+        let b: Vec<u64> = (0..100).map(|i| i as u64 % 2).collect();
+        let p0 = TypedPred::eq(&a[..], 5u32);
+        let p1 = TypedPred::eq(&b[..], 0u64);
+        let expected = reference(&p0, &p1);
+        let got = fused_scan_u32_u64(&p0, &p1, OutputMode::Positions);
+        assert_eq!(got.positions().unwrap().as_slice(), &expected[..]);
+    }
+
+    #[test]
+    fn tails_and_empty() {
+        if skip() {
+            return;
+        }
+        for rows in [0usize, 1, 15, 16, 17, 33] {
+            let a: Vec<u32> = (0..rows as u32).map(|i| i % 2).collect();
+            let b: Vec<u64> = (0..rows as u64).map(|i| i % 3).collect();
+            let p0 = TypedPred::eq(&a[..], 0u32);
+            let p1 = TypedPred::eq(&b[..], 0u64);
+            let expected = reference(&p0, &p1);
+            let got = fused_scan_u32_u64(&p0, &p1, OutputMode::Positions);
+            assert_eq!(got.positions().unwrap().as_slice(), &expected[..], "rows={rows}");
+        }
+    }
+}

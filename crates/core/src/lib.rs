@@ -1,0 +1,33 @@
+//! # fts-core — the Fused Table Scan
+//!
+//! Reproduction of the scan operator from *"Fused Table Scans: Combining
+//! AVX-512 and JIT to Double the Performance of Multi-Predicate Scans"*
+//! (Dreseler et al., HardBD/Active @ ICDE 2018).
+//!
+//! Implementations, all differential-tested against [`mod@reference`]:
+//!
+//! * [`sisd`] — tuple-at-a-time baselines (branching §II, branch-free /
+//!   auto-vectorizing).
+//! * [`blockwise`] — block-at-a-time baselines with materialized
+//!   intermediates (bitmask AND, selection-vector refinement).
+//! * [`fused`] — the paper's contribution: the scalar model engine
+//!   ([`fused::scalar`]), the AVX2 backport ([`fused::avx2`]) and the
+//!   AVX-512 kernels at 128/256/512 bits ([`fused::avx512`]).
+//! * [`engine`] — runtime dispatch over ISA, element type, register width
+//!   and output mode; the API the query layer and benchmarks call.
+//! * [`stride`] — the strided-scan bandwidth microbenchmark of Fig. 2.
+
+#![warn(missing_docs)]
+
+pub mod blockwise;
+pub mod engine;
+pub mod parallel;
+pub mod fused;
+pub mod pred;
+pub mod reference;
+pub mod sisd;
+pub mod stride;
+
+pub use parallel::{run_scan_parallel, DEFAULT_MORSEL_ROWS};
+pub use engine::{best_fused_impl, run_fused_auto, run_scan, scan_columns_auto, EngineError, RegWidth, ScanElem, ScanImpl};
+pub use pred::{ColumnPred, OutputMode, ScanOutput, TypedPred};

@@ -1,0 +1,230 @@
+//! Morsel-parallel execution of the fused scan.
+//!
+//! Paper footnote 1: the column-major table "can, however, be horizontally
+//! partitioned into chunks or morsels". This module exploits that: the row
+//! range is split into fixed-size morsels, a crossbeam-scoped worker pool
+//! pulls morsels from an atomic cursor (classic morsel-driven parallelism),
+//! each worker runs the single-threaded fused kernel on its sub-slices,
+//! and per-morsel outputs are stitched back together in row order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use fts_storage::PosList;
+
+use crate::engine::{run_scan, EngineError, ScanElem, ScanImpl};
+use crate::pred::{OutputMode, ScanOutput, TypedPred};
+
+/// Default morsel size: large enough to amortize dispatch, small enough to
+/// balance (64 K rows ≈ 256 KiB of u32 per column, L2-resident).
+pub const DEFAULT_MORSEL_ROWS: usize = 1 << 16;
+
+/// Run `imp` over the chain with `threads` workers on `morsel_rows`-row
+/// morsels. Produces exactly the single-threaded result (positions stay
+/// ascending).
+///
+/// ```
+/// use fts_core::{best_fused_impl, run_scan_parallel, OutputMode, TypedPred};
+///
+/// let a: Vec<u32> = (0..100_000).map(|i| i % 100).collect();
+/// let preds = [TypedPred::eq(&a[..], 42)];
+/// let out = run_scan_parallel(best_fused_impl::<u32>(), &preds, OutputMode::Count, 4, 1 << 14)
+///     .unwrap();
+/// assert_eq!(out.count(), 1000);
+/// ```
+pub fn run_scan_parallel<T: ScanElem>(
+    imp: ScanImpl,
+    preds: &[TypedPred<'_, T>],
+    mode: OutputMode,
+    threads: usize,
+    morsel_rows: usize,
+) -> Result<ScanOutput, EngineError> {
+    assert!(threads >= 1, "need at least one worker");
+    assert!(morsel_rows >= 1, "morsels must be non-empty");
+    let Some(first) = preds.first() else {
+        return run_scan(imp, preds, mode);
+    };
+    let rows = first.data.len();
+    let morsels = rows.div_ceil(morsel_rows).max(1);
+    if threads == 1 || morsels == 1 {
+        return run_scan(imp, preds, mode);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<parking_lot_free::Slot> =
+        (0..morsels).map(|_| parking_lot_free::Slot::new()).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(morsels) {
+            scope.spawn(|_| loop {
+                let m = cursor.fetch_add(1, Ordering::Relaxed);
+                if m >= morsels {
+                    break;
+                }
+                let base = m * morsel_rows;
+                let end = (base + morsel_rows).min(rows);
+                let sub: Vec<TypedPred<'_, T>> = preds
+                    .iter()
+                    .map(|p| TypedPred::new(&p.data[base..end], p.op, p.needle))
+                    .collect();
+                results[m].set(run_scan(imp, &sub, mode));
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    // Stitch morsel outputs in order, rebasing positions.
+    let mut total = 0u64;
+    let mut positions = PosList::new();
+    for (m, slot) in results.iter().enumerate() {
+        let out = slot.take().expect("every morsel was processed")?;
+        match out {
+            ScanOutput::Count(n) => total += n,
+            ScanOutput::Positions(pl) => {
+                let base = (m * morsel_rows) as u32;
+                total += pl.len() as u64;
+                for p in &pl {
+                    positions.push(base + p);
+                }
+            }
+        }
+    }
+    Ok(match mode {
+        OutputMode::Count => ScanOutput::Count(total),
+        OutputMode::Positions => ScanOutput::Positions(positions),
+    })
+}
+
+/// Tiny once-settable cell so workers can publish results without locks
+/// (each slot is written by exactly one worker, then read after the scope
+/// joins).
+mod parking_lot_free {
+    use std::cell::UnsafeCell;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    use super::{EngineError, ScanOutput};
+
+    pub struct Slot {
+        set: AtomicBool,
+        value: UnsafeCell<Option<Result<ScanOutput, EngineError>>>,
+    }
+
+    // SAFETY: one writer per slot (distinct morsel index per worker pull),
+    // reads happen only after the thread scope joined.
+    unsafe impl Sync for Slot {}
+
+    impl Slot {
+        pub fn new() -> Slot {
+            Slot { set: AtomicBool::new(false), value: UnsafeCell::new(None) }
+        }
+
+        pub fn set(&self, v: Result<ScanOutput, EngineError>) {
+            // SAFETY: exactly one worker owns this morsel index.
+            unsafe { *self.value.get() = Some(v) };
+            self.set.store(true, Ordering::Release);
+        }
+
+        pub fn take(&self) -> Option<Result<ScanOutput, EngineError>> {
+            if !self.set.load(Ordering::Acquire) {
+                return None;
+            }
+            // SAFETY: all writers joined before take() is called.
+            unsafe { (*self.value.get()).take() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RegWidth;
+    use crate::reference;
+    use fts_storage::CmpOp;
+
+    fn workload(rows: usize) -> (Vec<u32>, Vec<u32>) {
+        (
+            (0..rows as u32).map(|i| i % 10).collect(),
+            (0..rows as u32).map(|i| i.wrapping_mul(7) % 4).collect(),
+        )
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (a, b) = workload(300_000);
+        let preds =
+            [TypedPred::new(&a[..], CmpOp::Eq, 5u32), TypedPred::new(&b[..], CmpOp::Ne, 2u32)];
+        let expected = reference::scan_positions(&preds);
+        let imp = crate::engine::best_fused_impl::<u32>();
+        for threads in [1, 2, 4, 7] {
+            for morsel in [1 << 10, 1 << 16, 999] {
+                let got =
+                    run_scan_parallel(imp, &preds, OutputMode::Positions, threads, morsel)
+                        .unwrap();
+                assert_eq!(
+                    got.positions().unwrap(),
+                    &expected,
+                    "threads={threads} morsel={morsel}"
+                );
+                let got =
+                    run_scan_parallel(imp, &preds, OutputMode::Count, threads, morsel).unwrap();
+                assert_eq!(got.count(), expected.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs() {
+        let (a, b) = workload(3);
+        let preds =
+            [TypedPred::new(&a[..], CmpOp::Lt, 9u32), TypedPred::new(&b[..], CmpOp::Le, 3u32)];
+        let expected = reference::scan_count(&preds);
+        let got = run_scan_parallel(
+            ScanImpl::FusedScalar(RegWidth::W128),
+            &preds,
+            OutputMode::Count,
+            4,
+            DEFAULT_MORSEL_ROWS,
+        )
+        .unwrap();
+        assert_eq!(got.count(), expected);
+
+        let empty: Vec<TypedPred<'_, u32>> = vec![];
+        let got = run_scan_parallel(
+            ScanImpl::SisdBranching,
+            &empty,
+            OutputMode::Count,
+            4,
+            DEFAULT_MORSEL_ROWS,
+        )
+        .unwrap();
+        assert_eq!(got.count(), 0);
+    }
+
+    #[test]
+    fn errors_propagate_from_workers() {
+        let a = [1u16, 2, 3, 4];
+        let preds = [TypedPred::eq(&a[..], 2u16)];
+        if ScanImpl::FusedAvx2.available() {
+            let err =
+                run_scan_parallel(ScanImpl::FusedAvx2, &preds, OutputMode::Count, 2, 2)
+                    .unwrap_err();
+            assert!(matches!(err, EngineError::TypeUnsupported { .. }));
+        }
+    }
+
+    #[test]
+    fn many_threads_on_few_morsels() {
+        let (a, b) = workload(5000);
+        let preds =
+            [TypedPred::new(&a[..], CmpOp::Eq, 5u32), TypedPred::new(&b[..], CmpOp::Eq, 1u32)];
+        let expected = reference::scan_count(&preds);
+        let got = run_scan_parallel(
+            crate::engine::best_fused_impl::<u32>(),
+            &preds,
+            OutputMode::Count,
+            64,
+            500,
+        )
+        .unwrap();
+        assert_eq!(got.count(), expected);
+    }
+}

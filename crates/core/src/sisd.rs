@@ -1,0 +1,179 @@
+//! SISD baselines — the "data-centric" scans of paper §II.
+//!
+//! Three variants, matching the evaluation's baselines:
+//!
+//! * [`branching_count`]/[`branching_positions`] — the naïve tuple-at-a-time loop from §II, with
+//!   short-circuit `&&` between predicates. One conditional jump per
+//!   predicate per row: the branch-misprediction victim of Figs. 1 and 6.
+//!   This is *SISD (no vec)*: the data-dependent branches prevent the
+//!   compiler from vectorizing it.
+//! * [`branchfree_count`] — evaluates every predicate unconditionally and combines
+//!   with bitwise `&`. No data-dependent branches; LLVM auto-vectorizes the
+//!   counting form. This is the *SISD (auto vec)* baseline: the same
+//!   tuple-at-a-time logic, restructured just enough for the compiler's
+//!   auto-vectorizer (the paper compiles with gcc `-O3`; rustc's `-O3`
+//!   equivalent vectorizes this shape).
+//! * [`branchfree_positions`] — branch-free position-list form, using the
+//!   classic unconditional-store-and-bump idiom.
+
+use fts_storage::{NativeType, PosList};
+
+use crate::pred::TypedPred;
+
+/// Naïve short-circuit scan, counting form (the exact loop of paper §II).
+pub fn branching_count<T: NativeType>(preds: &[TypedPred<'_, T>]) -> u64 {
+    let Some(first) = preds.first() else { return 0 };
+    let rows = first.data.len();
+    let mut total: u64 = 0;
+    for row in 0..rows {
+        // Short-circuit: later columns are only touched when earlier
+        // predicates matched — the conditional load the prefetcher
+        // speculates on (paper §II).
+        if preds.iter().all(|p| p.matches(row)) {
+            total += 1;
+        }
+    }
+    total
+}
+
+/// Naïve short-circuit scan, position-list form.
+pub fn branching_positions<T: NativeType>(preds: &[TypedPred<'_, T>]) -> PosList {
+    let Some(first) = preds.first() else { return PosList::new() };
+    let rows = first.data.len();
+    let mut out = PosList::new();
+    for row in 0..rows {
+        if preds.iter().all(|p| p.matches(row)) {
+            out.push(row as u32);
+        }
+    }
+    out
+}
+
+/// Branch-free conjunctive count. Every predicate is evaluated for every
+/// row; the per-row match bit is accumulated arithmetically, so the loop
+/// body has no data-dependent branch and auto-vectorizes.
+pub fn branchfree_count<T: NativeType>(preds: &[TypedPred<'_, T>]) -> u64 {
+    let Some(first) = preds.first() else { return 0 };
+    let rows = first.data.len();
+    for p in preds {
+        assert_eq!(p.data.len(), rows, "chain columns must have equal length");
+    }
+    let mut total: u64 = 0;
+    match preds {
+        // The common chain lengths get dedicated loops so the compiler sees
+        // fixed trip structure (this is what the paper's JIT would emit for
+        // a SISD pipeline); the general case folds over the slice.
+        [p0] => {
+            for row in 0..rows {
+                total += u64::from(p0.matches(row));
+            }
+        }
+        [p0, p1] => {
+            for row in 0..rows {
+                total += u64::from(p0.matches(row) & p1.matches(row));
+            }
+        }
+        [p0, p1, p2] => {
+            for row in 0..rows {
+                total += u64::from(p0.matches(row) & p1.matches(row) & p2.matches(row));
+            }
+        }
+        _ => {
+            for row in 0..rows {
+                let mut hit = true;
+                for p in preds {
+                    hit &= p.matches(row);
+                }
+                total += u64::from(hit);
+            }
+        }
+    }
+    total
+}
+
+/// Branch-free position-list scan: unconditionally writes the row id and
+/// bumps the output cursor by the match bit.
+pub fn branchfree_positions<T: NativeType>(preds: &[TypedPred<'_, T>]) -> PosList {
+    let Some(first) = preds.first() else { return PosList::new() };
+    let rows = first.data.len();
+    for p in preds {
+        assert_eq!(p.data.len(), rows, "chain columns must have equal length");
+    }
+    let mut buf: Vec<u32> = vec![0; rows];
+    let mut cursor = 0usize;
+    for row in 0..rows {
+        let mut hit = true;
+        for p in preds {
+            hit &= p.matches(row);
+        }
+        buf[cursor] = row as u32;
+        cursor += usize::from(hit);
+    }
+    buf.truncate(cursor);
+    PosList::from_vec(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use fts_storage::CmpOp;
+
+    fn chain_data() -> (Vec<u32>, Vec<u32>) {
+        let a: Vec<u32> = (0..1000).map(|i| i % 10).collect();
+        let b: Vec<u32> = (0..1000).map(|i| (i * 7) % 5).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn all_variants_agree_with_reference() {
+        let (a, b) = chain_data();
+        for op in CmpOp::ALL {
+            let preds =
+                [TypedPred::new(&a[..], op, 5u32), TypedPred::new(&b[..], CmpOp::Eq, 2u32)];
+            let expected = reference::scan_positions(&preds);
+            assert_eq!(branching_count(&preds), expected.len() as u64, "{op}");
+            assert_eq!(branching_positions(&preds), expected, "{op}");
+            assert_eq!(branchfree_count(&preds), expected.len() as u64, "{op}");
+            assert_eq!(branchfree_positions(&preds), expected, "{op}");
+        }
+    }
+
+    #[test]
+    fn chain_lengths_one_to_five() {
+        let cols: Vec<Vec<u32>> = (0..5u32).map(|c| {
+            (0..500u32).map(|i| (i.wrapping_mul(c + 3)) % 4).collect()
+        }).collect();
+        for p in 1..=5 {
+            let preds: Vec<TypedPred<'_, u32>> =
+                cols[..p].iter().map(|c| TypedPred::eq(&c[..], 1)).collect();
+            let expected = reference::scan_count(&preds);
+            assert_eq!(branchfree_count(&preds), expected, "P={p}");
+            assert_eq!(branching_count(&preds), expected, "P={p}");
+            assert_eq!(branchfree_positions(&preds).len() as u64, expected, "P={p}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(branching_count::<u32>(&[]), 0);
+        assert_eq!(branchfree_count::<u32>(&[]), 0);
+        assert!(branchfree_positions::<u32>(&[]).is_empty());
+        let empty: [i64; 0] = [];
+        let preds = [TypedPred::eq(&empty[..], 5i64)];
+        assert_eq!(branching_count(&preds), 0);
+        assert_eq!(branchfree_count(&preds), 0);
+    }
+
+    #[test]
+    fn float_nan_semantics_carry_over() {
+        let a = [1.0f32, f32::NAN, 1.0];
+        for op in CmpOp::ALL {
+            let preds = [TypedPred::new(&a[..], op, f32::NAN)];
+            assert_eq!(branchfree_count(&preds), 0, "{op} NaN");
+        }
+        let preds = [TypedPred::new(&a[..], CmpOp::Ne, 2.0f32)];
+        // NaN != 2.0 is *false* under ordered-compare semantics.
+        assert_eq!(branchfree_positions(&preds).as_slice(), &[0, 2]);
+    }
+}

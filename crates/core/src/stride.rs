@@ -1,0 +1,99 @@
+//! The strided-scan microbenchmark behind paper Fig. 2.
+//!
+//! §II's argument: a SISD scan that compares every 4-byte value cannot
+//! saturate the memory bus; when only every n-th value is compared the same
+//! number of cache lines stream in, so bytes/second rise while values
+//! actually processed fall. The benchmark harness times
+//! [`strided_count_eq`] for `skip = 0..=7` skipped values per 16-value
+//! cache-line span and reports GB/s and values/µs, reproducing both panels
+//! of Fig. 2.
+
+/// Count occurrences of `needle` among every `stride`-th value of `data`.
+///
+/// `stride = 1` is the full SISD scan; `stride = 4` compares one value per
+/// 16 bytes. The loop is deliberately scalar (one compare at a time) — the
+/// point of the experiment is the per-value cost of SISD processing.
+pub fn strided_count_eq(data: &[u32], needle: u32, stride: usize) -> u64 {
+    assert!(stride >= 1, "stride must be at least 1");
+    let mut total = 0u64;
+    let mut i = 0usize;
+    while i < data.len() {
+        // black_box keeps the compiler from turning the stride-1 case into
+        // a vectorized loop, which would defeat the experiment.
+        total += u64::from(std::hint::black_box(data[i]) == needle);
+        i += stride;
+    }
+    total
+}
+
+/// Derived metrics for one stride configuration (Fig. 2's two panels).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrideMetrics {
+    /// Values skipped per 64-byte cache line (Fig. 2's x-axis, `stride-1`
+    /// in the unit of 4-byte values within a 16-value span scaled to the
+    /// paper's 1..=7 axis).
+    pub values_skipped: usize,
+    /// Values actually compared.
+    pub values_processed: u64,
+    /// Bytes the scan streams through the memory bus. All cache lines are
+    /// touched as long as `stride <= 16`, so this stays constant.
+    pub bytes_touched: u64,
+}
+
+/// Compute the workload metrics for `rows` 4-byte values at `stride`.
+pub fn stride_metrics(rows: usize, stride: usize) -> StrideMetrics {
+    assert!(stride >= 1);
+    let values_processed = rows.div_ceil(stride) as u64;
+    let lines = if stride <= 16 {
+        // Every cache line (16 × 4-byte values) is still touched.
+        (rows as u64).div_ceil(16)
+    } else {
+        values_processed
+    };
+    StrideMetrics {
+        values_skipped: stride - 1,
+        values_processed,
+        bytes_touched: lines * 64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_one_counts_everything() {
+        let data: Vec<u32> = (0..100).map(|i| i % 4).collect();
+        assert_eq!(strided_count_eq(&data, 2, 1), 25);
+    }
+
+    #[test]
+    fn stride_skips_values() {
+        let data = [5u32, 0, 5, 0, 5, 0, 5, 0];
+        assert_eq!(strided_count_eq(&data, 5, 2), 4); // indexes 0,2,4,6
+        assert_eq!(strided_count_eq(&data, 5, 4), 2); // indexes 0,4
+        assert_eq!(strided_count_eq(&data, 5, 8), 1); // index 0
+        assert_eq!(strided_count_eq(&data, 0, 2), 0);
+    }
+
+    #[test]
+    fn metrics_match_figure2_reasoning() {
+        let m1 = stride_metrics(16_000_000, 1);
+        let m4 = stride_metrics(16_000_000, 4);
+        // Same bytes over the bus, a quarter of the compares.
+        assert_eq!(m1.bytes_touched, m4.bytes_touched);
+        assert_eq!(m4.values_processed * 4, m1.values_processed);
+        assert_eq!(m1.values_skipped, 0);
+        assert_eq!(m4.values_skipped, 3);
+        assert_eq!(m1.bytes_touched, 16_000_000 / 16 * 64);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(strided_count_eq(&[], 1, 1), 0);
+        assert_eq!(strided_count_eq(&[7], 7, 5), 1);
+        let m = stride_metrics(1, 3);
+        assert_eq!(m.values_processed, 1);
+        assert_eq!(m.bytes_touched, 64);
+    }
+}

@@ -1,0 +1,162 @@
+//! The compiled-kernel cache.
+//!
+//! Paper §V: *"Especially when compiled operators are cached for future
+//! use, we do not see the additional compile time as a deciding
+//! bottleneck."* The cache maps a [`ScanSig`] to its [`CompiledKernel`]
+//! and tracks hit/miss statistics plus the total time spent compiling, so
+//! the `ablation_jit` benchmark can report exactly that amortization.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::ir::{JitError, ScanSig};
+use crate::kernel::{CompiledKernel, JitBackend};
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Total code-generation + mapping time across all misses.
+    pub compile_time: Duration,
+}
+
+/// A signature-keyed cache of compiled kernels for one backend.
+pub struct KernelCache {
+    backend: JitBackend,
+    map: Mutex<HashMap<ScanSig, Arc<CompiledKernel>>>,
+    stats: Mutex<CacheStats>,
+}
+
+impl KernelCache {
+    /// Empty cache for the given backend.
+    pub fn new(backend: JitBackend) -> KernelCache {
+        KernelCache { backend, map: Mutex::new(HashMap::new()), stats: Mutex::new(CacheStats::default()) }
+    }
+
+    /// Fetch the kernel for `sig`, compiling it on first use.
+    pub fn get_or_compile(&self, sig: &ScanSig) -> Result<Arc<CompiledKernel>, JitError> {
+        if let Some(k) = self.map.lock().get(sig) {
+            self.stats.lock().hits += 1;
+            return Ok(Arc::clone(k));
+        }
+        // Compile outside the map lock; a racing thread may compile the
+        // same signature — the first insert wins, both results are valid.
+        let kernel = Arc::new(CompiledKernel::compile(sig.clone(), self.backend)?);
+        let mut stats = self.stats.lock();
+        stats.misses += 1;
+        stats.compile_time += kernel.compile_time();
+        drop(stats);
+        let mut map = self.map.lock();
+        let entry = map.entry(sig.clone()).or_insert(kernel);
+        Ok(Arc::clone(entry))
+    }
+
+    /// Number of cached kernels.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    /// The backend this cache compiles with.
+    pub fn backend(&self) -> JitBackend {
+        self.backend
+    }
+}
+
+impl std::fmt::Debug for KernelCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "KernelCache({:?}, {} kernels, {} hits / {} misses, {:?} compiling)",
+            self.backend,
+            self.len(),
+            s.hits,
+            s.misses,
+            s.compile_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_storage::CmpOp;
+
+    #[test]
+    fn caches_by_signature() {
+        let cache = KernelCache::new(JitBackend::Scalar);
+        let s1 = ScanSig::u32_chain(&[(CmpOp::Eq, 5)], false);
+        let s2 = ScanSig::u32_chain(&[(CmpOp::Eq, 6)], false);
+
+        let k1a = cache.get_or_compile(&s1).unwrap();
+        let k1b = cache.get_or_compile(&s1).unwrap();
+        let k2 = cache.get_or_compile(&s2).unwrap();
+        assert!(Arc::ptr_eq(&k1a, &k1b), "same signature must reuse the kernel");
+        assert!(!Arc::ptr_eq(&k1a, &k2));
+        assert_eq!(cache.len(), 2);
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert!(stats.compile_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn cached_kernel_still_runs() {
+        let cache = KernelCache::new(JitBackend::Scalar);
+        let sig = ScanSig::u32_chain(&[(CmpOp::Gt, 2)], false);
+        let a = [1u32, 5, 3, 0, 9];
+        for _ in 0..3 {
+            let k = cache.get_or_compile(&sig).unwrap();
+            assert_eq!(k.run(&[&a[..]]).unwrap().count(), 3);
+        }
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(KernelCache::new(JitBackend::Scalar));
+        let sig = ScanSig::u32_chain(&[(CmpOp::Eq, 1)], false);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let sig = sig.clone();
+                std::thread::spawn(move || {
+                    let a = [1u32, 2, 1];
+                    let k = cache.get_or_compile(&sig).unwrap();
+                    assert_eq!(k.run(&[&a[..]]).unwrap().count(), 2);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.len(), 1);
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8);
+    }
+
+    #[test]
+    fn propagates_compile_errors() {
+        let cache = KernelCache::new(JitBackend::Scalar);
+        let bad = ScanSig::u32_chain(&[], false);
+        assert!(cache.get_or_compile(&bad).is_err());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! The scan-chain IR handed to the compilers — the "runtime parameters"
+//! of paper §V: element type, comparison operator and literal per
+//! predicate, and whether the operator must emit a position list or only a
+//! count. The JIT specializes all of them into the emitted code (needles
+//! become immediates, operators become instruction immediates), which is
+//! why the number of static instantiations would otherwise explode.
+
+use fts_storage::{CmpOp, DataType};
+
+/// Maximum chain length one compiled kernel supports (the paper evaluates
+/// up to 5 predicates; the register allocation in the AVX-512 backend is
+/// laid out for this bound).
+pub const MAX_JIT_PREDICATES: usize = 5;
+
+/// Element kinds with JIT backends (the 4- and 8-byte types; narrower
+/// widths route through dictionary encoding to `u32`, see `fts-storage`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JitElem {
+    /// Unsigned 32-bit integers (`vpcmpud`).
+    U32,
+    /// Signed 32-bit integers (`vpcmpd`).
+    I32,
+    /// Single-precision floats (`vcmpps`, ordered predicates).
+    F32,
+    /// Unsigned 64-bit integers (`vpcmpuq`).
+    U64,
+    /// Signed 64-bit integers (`vpcmpq`).
+    I64,
+    /// Double-precision floats (`vcmppd`, ordered predicates).
+    F64,
+}
+
+impl JitElem {
+    /// The storage-level type tag.
+    pub fn data_type(self) -> DataType {
+        match self {
+            JitElem::U32 => DataType::U32,
+            JitElem::I32 => DataType::I32,
+            JitElem::F32 => DataType::F32,
+            JitElem::U64 => DataType::U64,
+            JitElem::I64 => DataType::I64,
+            JitElem::F64 => DataType::F64,
+        }
+    }
+
+    /// Lanes per 512-bit value register (= rows per kernel block).
+    pub fn lanes(self) -> usize {
+        match self {
+            JitElem::U32 | JitElem::I32 | JitElem::F32 => 16,
+            JitElem::U64 | JitElem::I64 | JitElem::F64 => 8,
+        }
+    }
+
+    /// Whether the element is 8 bytes wide.
+    pub fn is_wide(self) -> bool {
+        self.lanes() == 8
+    }
+}
+
+/// One predicate: operator plus the literal's raw lane bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JitPred {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal bits (32-bit kinds use the low half; `f64::to_bits` etc.
+    /// for the 8-byte kinds).
+    pub needle_bits: u64,
+}
+
+/// A full scan-chain signature — also the kernel-cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScanSig {
+    /// Element kind shared by all columns of the chain.
+    pub elem: JitElem,
+    /// The predicates in evaluation order.
+    pub preds: Vec<JitPred>,
+    /// Whether the kernel writes matching positions (true) or only counts.
+    pub emit_positions: bool,
+}
+
+impl ScanSig {
+    /// Signature for a `u32` chain.
+    pub fn u32_chain(preds: &[(CmpOp, u32)], emit_positions: bool) -> ScanSig {
+        ScanSig {
+            elem: JitElem::U32,
+            preds: preds.iter().map(|&(op, n)| JitPred { op, needle_bits: n as u64 }).collect(),
+            emit_positions,
+        }
+    }
+
+    /// Signature for an `i32` chain.
+    pub fn i32_chain(preds: &[(CmpOp, i32)], emit_positions: bool) -> ScanSig {
+        ScanSig {
+            elem: JitElem::I32,
+            preds: preds
+                .iter()
+                .map(|&(op, n)| JitPred { op, needle_bits: n as u32 as u64 })
+                .collect(),
+            emit_positions,
+        }
+    }
+
+    /// Signature for an `f32` chain.
+    pub fn f32_chain(preds: &[(CmpOp, f32)], emit_positions: bool) -> ScanSig {
+        ScanSig {
+            elem: JitElem::F32,
+            preds: preds
+                .iter()
+                .map(|&(op, n)| JitPred { op, needle_bits: n.to_bits() as u64 })
+                .collect(),
+            emit_positions,
+        }
+    }
+
+    /// Signature for a `u64` chain.
+    pub fn u64_chain(preds: &[(CmpOp, u64)], emit_positions: bool) -> ScanSig {
+        ScanSig {
+            elem: JitElem::U64,
+            preds: preds.iter().map(|&(op, n)| JitPred { op, needle_bits: n }).collect(),
+            emit_positions,
+        }
+    }
+
+    /// Signature for an `i64` chain.
+    pub fn i64_chain(preds: &[(CmpOp, i64)], emit_positions: bool) -> ScanSig {
+        ScanSig {
+            elem: JitElem::I64,
+            preds: preds.iter().map(|&(op, n)| JitPred { op, needle_bits: n as u64 }).collect(),
+            emit_positions,
+        }
+    }
+
+    /// Signature for an `f64` chain.
+    pub fn f64_chain(preds: &[(CmpOp, f64)], emit_positions: bool) -> ScanSig {
+        ScanSig {
+            elem: JitElem::F64,
+            preds: preds.iter().map(|&(op, n)| JitPred { op, needle_bits: n.to_bits() }).collect(),
+            emit_positions,
+        }
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+}
+
+/// The argument block passed to every compiled kernel (SysV: pointer in
+/// `rdi`). Field offsets are part of the emitted code's ABI — keep in sync
+/// with the compilers.
+#[repr(C)]
+#[derive(Debug)]
+pub struct KernelArgs {
+    /// Base pointer of each predicate's column (offset `8 * i`).
+    pub cols: [*const u8; 8],
+    /// Rows to process (offset 64). The AVX-512 backend expects this
+    /// pre-truncated to a multiple of 16 (the wrapper owns the tail).
+    pub rows: u64,
+    /// Position output buffer (offset 72); must have `rows + 16` capacity.
+    /// Null in count mode.
+    pub out: *mut u32,
+}
+
+/// `extern "C"` signature of every compiled kernel: takes `&KernelArgs`,
+/// returns the match count; positions (if any) are written to `args.out`.
+pub type KernelFn = unsafe extern "C" fn(*const KernelArgs) -> u64;
+
+/// Errors from the JIT pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JitError {
+    /// Chain longer than [`MAX_JIT_PREDICATES`] or empty.
+    BadChainLength(usize),
+    /// This backend does not support the element kind (e.g. `f32` in the
+    /// scalar backend).
+    ElemUnsupported(JitElem),
+    /// The host lacks AVX-512.
+    IsaUnavailable,
+    /// Mapping the code failed.
+    Exec(crate::mem::ExecError),
+}
+
+impl std::fmt::Display for JitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JitError::BadChainLength(n) => write!(f, "chain length {n} unsupported"),
+            JitError::ElemUnsupported(e) => write!(f, "element kind {e:?} unsupported"),
+            JitError::IsaUnavailable => write!(f, "AVX-512 unavailable on this host"),
+            JitError::Exec(e) => write!(f, "exec memory: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JitError {}
+
+impl From<crate::mem::ExecError> for JitError {
+    fn from(e: crate::mem::ExecError) -> Self {
+        JitError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_capture_bits() {
+        let s = ScanSig::u32_chain(&[(CmpOp::Eq, 5), (CmpOp::Ne, 2)], false);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.preds[0].needle_bits, 5);
+        assert!(!s.emit_positions);
+
+        let s = ScanSig::i32_chain(&[(CmpOp::Lt, -1)], true);
+        assert_eq!(s.preds[0].needle_bits, u32::MAX as u64);
+
+        let s = ScanSig::f32_chain(&[(CmpOp::Ge, 1.5)], true);
+        assert_eq!(s.preds[0].needle_bits, 1.5f32.to_bits() as u64);
+
+        let s = ScanSig::u64_chain(&[(CmpOp::Gt, u64::MAX - 1)], false);
+        assert_eq!(s.preds[0].needle_bits, u64::MAX - 1);
+        assert_eq!(s.elem.lanes(), 8);
+        assert!(s.elem.is_wide());
+
+        let s = ScanSig::f64_chain(&[(CmpOp::Le, -2.5)], false);
+        assert_eq!(s.preds[0].needle_bits, (-2.5f64).to_bits());
+    }
+
+    #[test]
+    fn signature_is_hashable_cache_key() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(ScanSig::u32_chain(&[(CmpOp::Eq, 5)], false));
+        set.insert(ScanSig::u32_chain(&[(CmpOp::Eq, 5)], false));
+        set.insert(ScanSig::u32_chain(&[(CmpOp::Eq, 6)], false));
+        set.insert(ScanSig::u32_chain(&[(CmpOp::Eq, 5)], true));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn kernel_args_layout_is_stable() {
+        assert_eq!(std::mem::offset_of!(KernelArgs, cols), 0);
+        assert_eq!(std::mem::offset_of!(KernelArgs, rows), 64);
+        assert_eq!(std::mem::offset_of!(KernelArgs, out), 72);
+        assert_eq!(std::mem::size_of::<KernelArgs>(), 80);
+    }
+}

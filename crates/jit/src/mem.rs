@@ -1,0 +1,233 @@
+//! W^X executable memory for JIT-compiled kernels.
+//!
+//! [`ExecBuf`] owns one anonymous mapping: code is copied in while the pages
+//! are read-write, then the mapping is flipped to read-execute before a
+//! function pointer is handed out (never writable *and* executable at the
+//! same time). The mapping is created with raw Linux syscalls via inline
+//! assembly, which keeps the crate inside the allowed dependency set
+//! (DESIGN.md §2) — `libc` is not needed for three syscalls.
+//!
+//! Linux x86-64 only, like the paper's evaluation platform.
+
+#![cfg(all(target_arch = "x86_64", target_os = "linux"))]
+
+use std::arch::asm;
+
+const SYS_MMAP: usize = 9;
+const SYS_MPROTECT: usize = 10;
+const SYS_MUNMAP: usize = 11;
+
+const PROT_READ: usize = 1;
+const PROT_WRITE: usize = 2;
+const PROT_EXEC: usize = 4;
+const MAP_PRIVATE: usize = 2;
+const MAP_ANONYMOUS: usize = 0x20;
+
+const PAGE: usize = 4096;
+
+/// Errors when materializing executable code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// `mmap` failed (errno).
+    MapFailed(i32),
+    /// `mprotect` failed (errno).
+    ProtectFailed(i32),
+    /// Empty code buffer.
+    EmptyCode,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::MapFailed(e) => write!(f, "mmap failed with errno {e}"),
+            ExecError::ProtectFailed(e) => write!(f, "mprotect failed with errno {e}"),
+            ExecError::EmptyCode => write!(f, "cannot map empty code"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// SAFETY: raw syscall wrappers — arguments must follow the Linux ABI.
+unsafe fn sys_mmap(len: usize, prot: usize) -> isize {
+    let ret: isize;
+    // SAFETY: registers set up per the x86-64 syscall convention; rcx/r11
+    // are clobbered by `syscall`.
+    unsafe {
+        asm!(
+            "syscall",
+            inlateout("rax") SYS_MMAP => ret,
+            in("rdi") 0usize,
+            in("rsi") len,
+            in("rdx") prot,
+            in("r10") MAP_PRIVATE | MAP_ANONYMOUS,
+            in("r8") -1isize,
+            in("r9") 0usize,
+            out("rcx") _,
+            out("r11") _,
+            options(nostack)
+        );
+    }
+    ret
+}
+
+unsafe fn sys_mprotect(addr: *mut u8, len: usize, prot: usize) -> isize {
+    let ret: isize;
+    // SAFETY: see sys_mmap.
+    unsafe {
+        asm!(
+            "syscall",
+            inlateout("rax") SYS_MPROTECT => ret,
+            in("rdi") addr,
+            in("rsi") len,
+            in("rdx") prot,
+            out("rcx") _,
+            out("r11") _,
+            options(nostack)
+        );
+    }
+    ret
+}
+
+unsafe fn sys_munmap(addr: *mut u8, len: usize) -> isize {
+    let ret: isize;
+    // SAFETY: see sys_mmap.
+    unsafe {
+        asm!(
+            "syscall",
+            inlateout("rax") SYS_MUNMAP => ret,
+            in("rdi") addr,
+            in("rsi") len,
+            out("rcx") _,
+            out("r11") _,
+            options(nostack)
+        );
+    }
+    ret
+}
+
+/// An immutable, executable code buffer.
+pub struct ExecBuf {
+    ptr: *mut u8,
+    len: usize,
+    code_len: usize,
+}
+
+// SAFETY: the mapping is immutable (RX) after construction.
+unsafe impl Send for ExecBuf {}
+// SAFETY: shared access is read/execute only.
+unsafe impl Sync for ExecBuf {}
+
+impl ExecBuf {
+    /// Map `code` into fresh executable memory (W^X: written while RW,
+    /// then sealed RX).
+    pub fn new(code: &[u8]) -> Result<ExecBuf, ExecError> {
+        if code.is_empty() {
+            return Err(ExecError::EmptyCode);
+        }
+        let len = code.len().div_ceil(PAGE) * PAGE;
+        // SAFETY: fresh anonymous private mapping, no file descriptor.
+        let ret = unsafe { sys_mmap(len, PROT_READ | PROT_WRITE) };
+        if !(0..isize::MAX).contains(&ret) || ret as usize % PAGE != 0 {
+            return Err(ExecError::MapFailed(-(ret as i32)));
+        }
+        let ptr = ret as *mut u8;
+        // SAFETY: `ptr` is a fresh RW mapping of at least `code.len()` bytes.
+        unsafe { std::ptr::copy_nonoverlapping(code.as_ptr(), ptr, code.len()) };
+        // SAFETY: flipping our own mapping to RX.
+        let ret = unsafe { sys_mprotect(ptr, len, PROT_READ | PROT_EXEC) };
+        if ret != 0 {
+            // SAFETY: unmapping the mapping we just created.
+            unsafe { sys_munmap(ptr, len) };
+            return Err(ExecError::ProtectFailed(-(ret as i32)));
+        }
+        Ok(ExecBuf { ptr, len, code_len: code.len() })
+    }
+
+    /// Entry point of the mapped code.
+    ///
+    /// # Safety
+    ///
+    /// The caller must transmute this to the exact signature the emitted
+    /// code implements and uphold that code's contract.
+    pub unsafe fn entry(&self) -> *const u8 {
+        self.ptr
+    }
+
+    /// The machine code bytes (for disassembly / debugging).
+    pub fn code(&self) -> &[u8] {
+        // SAFETY: ptr..ptr+code_len is our readable mapping.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.code_len) }
+    }
+
+    /// Code size in bytes.
+    pub fn code_len(&self) -> usize {
+        self.code_len
+    }
+}
+
+impl Drop for ExecBuf {
+    fn drop(&mut self) {
+        // SAFETY: unmapping the mapping owned by self.
+        unsafe { sys_munmap(self.ptr, self.len) };
+    }
+}
+
+impl std::fmt::Debug for ExecBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ExecBuf({} bytes at {:p})", self.code_len, self.ptr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executes_trivial_function() {
+        // mov eax, 42; ret
+        let code = [0xB8, 42, 0, 0, 0, 0xC3];
+        let buf = ExecBuf::new(&code).unwrap();
+        // SAFETY: the code implements extern "C" fn() -> i32.
+        let f: extern "C" fn() -> i32 = unsafe { std::mem::transmute(buf.entry()) };
+        assert_eq!(f(), 42);
+        assert_eq!(buf.code(), &code);
+        assert_eq!(buf.code_len(), 6);
+    }
+
+    #[test]
+    fn executes_function_with_argument() {
+        // lea eax, [rdi + rdi*2]; ret   (returns 3*x)
+        let code = [0x8D, 0x04, 0x7F, 0xC3];
+        let buf = ExecBuf::new(&code).unwrap();
+        // SAFETY: the code implements extern "C" fn(u32) -> u32 (arg in edi).
+        let f: extern "C" fn(u32) -> u32 = unsafe { std::mem::transmute(buf.entry()) };
+        assert_eq!(f(14), 42);
+        assert_eq!(f(0), 0);
+    }
+
+    #[test]
+    fn rejects_empty_code() {
+        assert_eq!(ExecBuf::new(&[]).unwrap_err(), ExecError::EmptyCode);
+    }
+
+    #[test]
+    fn large_buffer_spans_pages() {
+        // 5000 NOPs then mov eax, 7; ret.
+        let mut code = vec![0x90u8; 5000];
+        code.extend_from_slice(&[0xB8, 7, 0, 0, 0, 0xC3]);
+        let buf = ExecBuf::new(&code).unwrap();
+        // SAFETY: NOP sled into extern "C" fn() -> i32.
+        let f: extern "C" fn() -> i32 = unsafe { std::mem::transmute(buf.entry()) };
+        assert_eq!(f(), 7);
+    }
+
+    #[test]
+    fn drop_unmaps() {
+        // Mostly checks that Drop does not crash; repeated map/unmap cycles.
+        for _ in 0..100 {
+            let buf = ExecBuf::new(&[0xB8, 1, 0, 0, 0, 0xC3]).unwrap();
+            drop(buf);
+        }
+    }
+}

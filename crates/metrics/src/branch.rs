@@ -1,0 +1,266 @@
+//! Branch predictor models.
+//!
+//! The paper measures `PAPI_BR_MSP` (retired mispredicted branches) on a
+//! Skylake-SP part. We substitute deterministic predictor models fed by the
+//! *logical* branch stream of each scan implementation (see
+//! [`crate::instrument`]): a branch *site* is one static conditional jump
+//! (e.g. "does `a[i] == 5` match?"), an *event* is one dynamic execution
+//! with its taken/not-taken outcome.
+//!
+//! Three classic predictors are provided. [`GShare`] is the default used by
+//! the Fig. 1/6 reproductions: like real global-history predictors it nails
+//! loop-control branches and adapts to biased data branches, but cannot
+//! predict i.i.d. random outcomes — exactly the behaviour the paper's
+//! measurements show (mispredictions peak where match probability is 50 %
+//! and vanish at 0 % / 100 %).
+
+/// Statistics accumulated by a predictor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchStats {
+    /// Dynamic branch events observed.
+    pub branches: u64,
+    /// Events whose outcome differed from the prediction.
+    pub mispredictions: u64,
+}
+
+impl BranchStats {
+    /// Misprediction rate in `[0, 1]` (0 for an empty stream).
+    pub fn miss_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.branches as f64
+        }
+    }
+}
+
+/// A branch predictor consuming (site, outcome) events.
+pub trait BranchPredictor {
+    /// Record one dynamic branch; returns `true` if it was mispredicted.
+    fn record(&mut self, site: u32, taken: bool) -> bool;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> BranchStats;
+
+    /// Forget all learned state and statistics.
+    fn reset(&mut self);
+}
+
+/// Static always-taken prediction (the simplest possible baseline).
+#[derive(Debug, Clone, Default)]
+pub struct AlwaysTaken {
+    stats: BranchStats,
+}
+
+impl BranchPredictor for AlwaysTaken {
+    fn record(&mut self, _site: u32, taken: bool) -> bool {
+        self.stats.branches += 1;
+        let miss = !taken;
+        self.stats.mispredictions += u64::from(miss);
+        miss
+    }
+
+    fn stats(&self) -> BranchStats {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.stats = BranchStats::default();
+    }
+}
+
+/// Saturating 2-bit counter helper (00/01 predict not-taken, 10/11 taken).
+#[inline]
+fn update_2bit(ctr: &mut u8, taken: bool) -> bool {
+    let predict_taken = *ctr >= 2;
+    let miss = predict_taken != taken;
+    if taken {
+        *ctr = (*ctr + 1).min(3);
+    } else {
+        *ctr = ctr.saturating_sub(1);
+    }
+    miss
+}
+
+/// Per-site 2-bit saturating counters (bimodal predictor).
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<u8>,
+    stats: BranchStats,
+}
+
+impl Bimodal {
+    /// Predictor with `sites` distinct branch sites (no aliasing).
+    pub fn new(sites: usize) -> Bimodal {
+        Bimodal { table: vec![1; sites.max(1)], stats: BranchStats::default() }
+    }
+}
+
+impl BranchPredictor for Bimodal {
+    fn record(&mut self, site: u32, taken: bool) -> bool {
+        let idx = site as usize % self.table.len();
+        self.stats.branches += 1;
+        let miss = update_2bit(&mut self.table[idx], taken);
+        self.stats.mispredictions += u64::from(miss);
+        miss
+    }
+
+    fn stats(&self) -> BranchStats {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.table.fill(1);
+        self.stats = BranchStats::default();
+    }
+}
+
+/// GShare: global branch history XORed with the site selects a 2-bit
+/// counter. History lets it learn short repeating patterns, approximating
+/// a modern predictor far better than bimodal alone.
+#[derive(Debug, Clone)]
+pub struct GShare {
+    table: Vec<u8>,
+    history: u32,
+    history_bits: u32,
+    stats: BranchStats,
+}
+
+impl GShare {
+    /// Predictor with `2^index_bits` counters and `history_bits` of global
+    /// history (history is truncated to `index_bits`).
+    pub fn new(index_bits: u32, history_bits: u32) -> GShare {
+        assert!(index_bits >= 1 && index_bits <= 24);
+        GShare {
+            table: vec![1; 1 << index_bits],
+            history: 0,
+            history_bits: history_bits.min(index_bits),
+            stats: BranchStats::default(),
+        }
+    }
+
+    /// The configuration used by the figure harness: 4096 counters, 12 bits
+    /// of history.
+    pub fn default_config() -> GShare {
+        GShare::new(12, 12)
+    }
+}
+
+impl BranchPredictor for GShare {
+    fn record(&mut self, site: u32, taken: bool) -> bool {
+        let mask = (self.table.len() - 1) as u32;
+        let idx = ((site.wrapping_mul(0x9E37_79B9)) ^ self.history) & mask;
+        self.stats.branches += 1;
+        let miss = update_2bit(&mut self.table[idx as usize], taken);
+        self.stats.mispredictions += u64::from(miss);
+        let hist_mask = (1u32 << self.history_bits) - 1;
+        self.history = ((self.history << 1) | u32::from(taken)) & hist_mask;
+        miss
+    }
+
+    fn stats(&self) -> BranchStats {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.table.fill(1);
+        self.history = 0;
+        self.stats = BranchStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn always_taken_counts() {
+        let mut p = AlwaysTaken::default();
+        assert!(!p.record(0, true));
+        assert!(p.record(0, false));
+        assert_eq!(p.stats(), BranchStats { branches: 2, mispredictions: 1 });
+        p.reset();
+        assert_eq!(p.stats().branches, 0);
+    }
+
+    #[test]
+    fn bimodal_learns_bias() {
+        let mut p = Bimodal::new(4);
+        for _ in 0..1000 {
+            p.record(1, true);
+        }
+        // After warm-up, a fully biased branch never mispredicts.
+        assert!(p.stats().mispredictions <= 2);
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern() {
+        // T,N,T,N… defeats bimodal but is trivial with history.
+        let mut g = GShare::new(10, 8);
+        let mut b = Bimodal::new(4);
+        for i in 0..10_000u32 {
+            let taken = i % 2 == 0;
+            g.record(7, taken);
+            b.record(7, taken);
+        }
+        assert!(g.stats().miss_rate() < 0.02, "gshare rate {}", g.stats().miss_rate());
+        assert!(b.stats().miss_rate() > 0.45, "bimodal rate {}", b.stats().miss_rate());
+    }
+
+    #[test]
+    fn random_branches_peak_at_half() {
+        // Misprediction rate must be ~0 at p≈0, maximal at p=0.5 — the
+        // shape driving paper Figs. 1 and 6.
+        let mut rates = Vec::new();
+        for p in [0.001, 0.1, 0.5, 0.9, 0.999] {
+            let mut g = GShare::default_config();
+            let mut rng = StdRng::seed_from_u64(9);
+            for _ in 0..200_000 {
+                g.record(3, rng.random_bool(p));
+            }
+            rates.push(g.stats().miss_rate());
+        }
+        assert!(rates[0] < 0.01);
+        assert!(rates[2] > rates[1] && rates[2] > rates[3], "peak at 0.5: {rates:?}");
+        assert!(rates[2] > 0.35);
+        assert!(rates[4] < 0.01);
+    }
+
+    #[test]
+    fn gshare_reset_forgets_history() {
+        let mut g = GShare::new(8, 8);
+        for i in 0..1000u32 {
+            g.record(1, i % 2 == 0);
+        }
+        let trained_rate = g.stats().miss_rate();
+        g.reset();
+        assert_eq!(g.stats().branches, 0);
+        // Right after reset the alternating pattern mispredicts again.
+        let mut early_misses = 0;
+        for i in 0..8u32 {
+            if g.record(1, i % 2 == 0) {
+                early_misses += 1;
+            }
+        }
+        assert!(early_misses >= 1, "history must be forgotten");
+        assert!(trained_rate < 0.05);
+    }
+
+    #[test]
+    fn bimodal_sites_do_not_interfere_when_table_is_large_enough() {
+        let mut p = Bimodal::new(64);
+        for _ in 0..1000 {
+            p.record(1, true);
+            p.record(2, false);
+        }
+        // Both fully biased branches converge despite opposite outcomes.
+        assert!(p.stats().miss_rate() < 0.01, "{}", p.stats().miss_rate());
+    }
+
+    #[test]
+    fn miss_rate_empty_stream() {
+        assert_eq!(BranchStats::default().miss_rate(), 0.0);
+    }
+}

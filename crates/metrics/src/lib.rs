@@ -1,0 +1,28 @@
+//! # fts-metrics — microarchitectural counter models and timing
+//!
+//! The paper quantifies *why* the Fused Table Scan wins with two PAPI
+//! counters: branch mispredictions (`PAPI_BR_MSP`) and useless hardware
+//! prefetches (`l2_lines_out.useless_hwpf`). This crate substitutes
+//! deterministic models (see DESIGN.md §2):
+//!
+//! * [`branch`] — always-taken / bimodal / gshare predictors;
+//! * [`cache`] — Skylake-shaped L1/L2 LRU caches plus a streaming
+//!   prefetcher that tags prefetched lines and counts useless ones;
+//! * [`probe`] — the event interface and the combined [`probe::HwModel`];
+//! * [`instrument`] — instrumented twins of every scan implementation that
+//!   report branches and loads while computing the same result;
+//! * [`timing`] — median-of-N wall-clock measurement (the paper's §IV
+//!   protocol) and bandwidth/throughput derivations for Fig. 2.
+
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod cache;
+pub mod instrument;
+pub mod probe;
+pub mod timing;
+
+pub use branch::{AlwaysTaken, Bimodal, BranchPredictor, BranchStats, GShare};
+pub use cache::{CacheSim, MemStats, PrefetcherConfig, StreamPrefetcher};
+pub use probe::{column_base, HwCounters, HwModel, NullProbe, Probe};
+pub use timing::{bytes_per_second, measure, values_per_microsecond, Measurements};

@@ -1,0 +1,157 @@
+//! Execution probes: the glue between instrumented scans and the
+//! microarchitectural models.
+//!
+//! An instrumented scan ([`crate::instrument`]) reports two event kinds:
+//! dynamic *branches* (site + outcome) and demand *loads* (synthetic byte
+//! address + width). A [`Probe`] consumes them; [`HwModel`] feeds them to a
+//! branch predictor and the cache/prefetcher simulator, yielding the
+//! counter pair of paper Fig. 1.
+
+use crate::branch::{BranchPredictor, BranchStats, GShare};
+use crate::cache::{CacheSim, MemStats, PrefetcherConfig};
+
+/// Branch-site identifiers used by the instrumented scans.
+pub mod site {
+    /// Data branch of predicate `level` in a tuple-at-a-time scan
+    /// (`if col[level][row] OP needle`).
+    pub const fn pred_check(level: usize) -> u32 {
+        level as u32
+    }
+
+    /// Fused driver: "did any lane of this block match?" (`k == 0` skip).
+    pub const BLOCK_ANY_MATCH: u32 = 16;
+
+    /// Fused stage `s`: "does the incoming batch overflow the list?".
+    pub const fn list_overflow(stage: usize) -> u32 {
+        24 + stage as u32
+    }
+
+    /// Fused stage `s`: "is the list exactly full now?".
+    pub const fn list_full(stage: usize) -> u32 {
+        32 + stage as u32
+    }
+
+    /// Fused stage `s`: "did any gathered lane survive the compare?".
+    pub const fn flush_any(stage: usize) -> u32 {
+        40 + stage as u32
+    }
+}
+
+/// Synthetic base byte address of column `col`: each column gets its own
+/// 4-GiB region so streams never alias.
+pub fn column_base(col: usize) -> u64 {
+    ((col as u64) + 1) << 32
+}
+
+/// Consumer of execution events.
+pub trait Probe {
+    /// One dynamic branch at `site` with the given outcome.
+    fn branch(&mut self, site: u32, taken: bool);
+
+    /// One demand load of `bytes` at synthetic byte address `addr`.
+    fn load(&mut self, addr: u64, bytes: usize);
+}
+
+/// Discards all events (lets the instrumented scans run un-modeled).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    #[inline]
+    fn branch(&mut self, _site: u32, _taken: bool) {}
+    #[inline]
+    fn load(&mut self, _addr: u64, _bytes: usize) {}
+}
+
+/// Combined counter model: branch predictor + cache/prefetcher simulator.
+pub struct HwModel<P = GShare> {
+    /// The branch predictor consuming branch events.
+    pub predictor: P,
+    /// The cache + prefetcher simulator consuming load events.
+    pub cache: CacheSim,
+}
+
+/// Result of one modeled run (the Fig. 1 / Fig. 6 counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwCounters {
+    /// Branch predictor statistics.
+    pub branch: BranchStats,
+    /// Memory hierarchy statistics.
+    pub mem: MemStats,
+}
+
+impl HwModel<GShare> {
+    /// Default model: GShare(12,12) + Skylake-shaped caches with streamer.
+    pub fn skylake() -> Self {
+        HwModel {
+            predictor: GShare::default_config(),
+            cache: CacheSim::skylake(PrefetcherConfig::default()),
+        }
+    }
+}
+
+impl<P: BranchPredictor> HwModel<P> {
+    /// Custom predictor + cache.
+    pub fn new(predictor: P, cache: CacheSim) -> Self {
+        HwModel { predictor, cache }
+    }
+
+    /// Finish the run: account still-resident unused prefetches and return
+    /// the counters.
+    pub fn finish(self) -> HwCounters {
+        HwCounters { branch: self.predictor.stats(), mem: self.cache.finish() }
+    }
+}
+
+impl<P: BranchPredictor> Probe for HwModel<P> {
+    #[inline]
+    fn branch(&mut self, site: u32, taken: bool) {
+        self.predictor.record(site, taken);
+    }
+
+    #[inline]
+    fn load(&mut self, addr: u64, bytes: usize) {
+        self.cache.load(addr, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_bases_do_not_alias() {
+        assert_ne!(column_base(0), column_base(1));
+        assert!(column_base(0) >= 1 << 32);
+        // 4 GiB apart: a 2^31-row u32 column never crosses into the next.
+        assert_eq!(column_base(1) - column_base(0), 1 << 32);
+    }
+
+    #[test]
+    fn sites_are_distinct() {
+        let mut all = vec![site::BLOCK_ANY_MATCH];
+        for l in 0..8 {
+            all.push(site::pred_check(l));
+            all.push(site::list_overflow(l));
+            all.push(site::list_full(l));
+            all.push(site::flush_any(l));
+        }
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "branch sites must be unique");
+    }
+
+    #[test]
+    fn hw_model_accumulates() {
+        let mut m = HwModel::skylake();
+        m.branch(0, true);
+        m.branch(0, false);
+        m.load(column_base(0), 4);
+        m.load(column_base(0), 4);
+        let c = m.finish();
+        assert_eq!(c.branch.branches, 2);
+        assert_eq!(c.mem.memory_loads, 1);
+        assert_eq!(c.mem.l1_hits, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Wall-clock measurement helpers used by the figure harness.
+//!
+//! The paper reports the **median** of ≥ 100 runs per configuration
+//! (§IV); these helpers implement that protocol plus the derived
+//! bandwidth/throughput metrics of Fig. 2.
+
+use std::time::{Duration, Instant};
+
+/// A set of repeated measurements of one configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Measurements {
+    times: Vec<Duration>,
+}
+
+impl Measurements {
+    /// Record a single duration.
+    pub fn push(&mut self, d: Duration) {
+        self.times.push(d);
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether no run was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Median runtime (the paper's reported statistic). Panics when empty.
+    pub fn median(&self) -> Duration {
+        assert!(!self.times.is_empty(), "no measurements");
+        let mut t = self.times.clone();
+        t.sort_unstable();
+        let n = t.len();
+        if n % 2 == 1 {
+            t[n / 2]
+        } else {
+            (t[n / 2 - 1] + t[n / 2]) / 2
+        }
+    }
+
+    /// Minimum runtime.
+    pub fn min(&self) -> Duration {
+        *self.times.iter().min().expect("no measurements")
+    }
+
+    /// Median in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.median().as_secs_f64() * 1e3
+    }
+}
+
+/// Run `f` once as warm-up, then `reps` timed repetitions. The closure's
+/// result is returned through `std::hint::black_box` so the compiler cannot
+/// elide the work.
+pub fn measure<R>(reps: usize, mut f: impl FnMut() -> R) -> Measurements {
+    assert!(reps >= 1);
+    std::hint::black_box(f());
+    let mut m = Measurements::default();
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        m.push(t.elapsed());
+    }
+    m
+}
+
+/// Bytes per second given a payload size and a duration.
+pub fn bytes_per_second(bytes: u64, d: Duration) -> f64 {
+    bytes as f64 / d.as_secs_f64()
+}
+
+/// Values per microsecond (Fig. 2's lower panel).
+pub fn values_per_microsecond(values: u64, d: Duration) -> f64 {
+    values as f64 / (d.as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        let mut m = Measurements::default();
+        for ms in [5u64, 1, 3] {
+            m.push(Duration::from_millis(ms));
+        }
+        assert_eq!(m.median(), Duration::from_millis(3));
+        m.push(Duration::from_millis(7));
+        assert_eq!(m.median(), Duration::from_millis(4)); // (3+5)/2
+        assert_eq!(m.min(), Duration::from_millis(1));
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn measure_runs_the_closure() {
+        let mut calls = 0u32;
+        let m = measure(5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(m.len(), 5);
+        assert_eq!(calls, 6); // warm-up + 5
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let d = Duration::from_secs(2);
+        assert_eq!(bytes_per_second(4_000_000_000, d), 2e9);
+        assert_eq!(values_per_microsecond(2_000_000, d), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no measurements")]
+    fn median_of_empty_panics() {
+        Measurements::default().median();
+    }
+}

@@ -1,0 +1,118 @@
+//! Abstract syntax tree for the supported SQL subset:
+//!
+//! ```sql
+//! [EXPLAIN] SELECT COUNT(*) | * | col [, col …]
+//! FROM table
+//! [WHERE col OP literal [AND col OP literal …]]
+//! [LIMIT n]
+//! ```
+//!
+//! exactly the shape of the paper's motivating query (§II) plus enough
+//! projection support for the examples.
+
+use fts_storage::CmpOp;
+
+/// A literal in a predicate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Literal {
+    /// Integer literal (widened; cast to the column type during planning).
+    Int(i128),
+    /// Float literal.
+    Float(f64),
+}
+
+/// One `column OP literal` predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstPredicate {
+    /// Column name.
+    pub column: String,
+    /// Comparison operator (already flipped if the literal was on the left).
+    pub op: CmpOp,
+    /// Literal operand.
+    pub literal: Literal,
+}
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+    /// `AVG(col)`.
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// One aggregate expression: function + argument column (`None` = `*`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument column; only `COUNT(*)` has none.
+    pub column: Option<String>,
+}
+
+/// What the query projects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Projection {
+    /// One or more aggregate expressions (no GROUP BY — whole-table).
+    Aggregates(Vec<AggExpr>),
+    /// `*`.
+    Star,
+    /// Explicit column list.
+    Columns(Vec<String>),
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Projection clause.
+    pub projection: Projection,
+    /// Table name.
+    pub table: String,
+    /// Conjunctive predicates (empty = no WHERE).
+    pub predicates: Vec<AstPredicate>,
+    /// Optional LIMIT.
+    pub limit: Option<u64>,
+    /// Whether the statement was prefixed with EXPLAIN.
+    pub explain: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_shapes() {
+        let p = AstPredicate { column: "a".into(), op: CmpOp::Eq, literal: Literal::Int(5) };
+        let s = Select {
+            projection: Projection::Aggregates(vec![AggExpr {
+                func: AggFunc::Count,
+                column: None,
+            }]),
+            table: "tbl".into(),
+            predicates: vec![p.clone()],
+            limit: None,
+            explain: false,
+        };
+        assert_eq!(s.predicates[0], p);
+        assert_ne!(s.projection, Projection::Star);
+    }
+}

@@ -1,0 +1,165 @@
+//! Table catalog: name → table plus cached per-column statistics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fts_storage::{Segment, Table};
+
+use crate::stats::ColumnStats;
+
+/// Per-chunk, per-column value range (as f64), `None` when the chunk has
+/// no orderable values. Used by the executor's chunk pruning.
+pub type ChunkRanges = Vec<Vec<Option<(f64, f64)>>>;
+
+/// A registered table with its statistics.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// The table data.
+    pub table: Arc<Table>,
+    /// Per-column statistics (index-aligned with the schema).
+    pub stats: Arc<Vec<ColumnStats>>,
+    /// Min/max per chunk per column, for chunk pruning.
+    pub chunk_ranges: Arc<ChunkRanges>,
+}
+
+/// The database catalog.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, CatalogEntry>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table under `name`, computing statistics.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) -> Arc<Table> {
+        let table = Arc::new(table);
+        let stats = Arc::new(compute_stats(&table));
+        let chunk_ranges = Arc::new(compute_chunk_ranges(&table));
+        self.tables.insert(
+            name.into(),
+            CatalogEntry { table: Arc::clone(&table), stats, chunk_ranges },
+        );
+        table
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> Option<&CatalogEntry> {
+        self.tables.get(name)
+    }
+
+    /// Registered table names (sorted for stable output).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+fn compute_stats(table: &Table) -> Vec<ColumnStats> {
+    // Statistics are computed on the first chunk's data (like sampling);
+    // good enough for ordering predicates, cheap for large tables.
+    (0..table.columns())
+        .map(|col| match table.chunks().first().map(|c| c.segment(col)) {
+            Some(Segment::Plain(c)) => ColumnStats::from_column(c),
+            Some(Segment::Dict(d)) => {
+                let mut stats = ColumnStats::from_column(d.dictionary());
+                stats.rows = d.len() as u64;
+                stats
+            }
+            Some(Segment::Packed(p)) => {
+                ColumnStats::from_column(&fts_storage::Column::from_vec(p.unpack()))
+            }
+            None => ColumnStats { rows: 0, min: None, max: None, distinct: 1 },
+        })
+        .collect()
+}
+
+/// Min/max per chunk per column, on the decoded domain.
+fn compute_chunk_ranges(table: &Table) -> ChunkRanges {
+    table
+        .chunks()
+        .iter()
+        .map(|chunk| {
+            (0..table.columns())
+                .map(|col| segment_range(chunk.segment(col)))
+                .collect()
+        })
+        .collect()
+}
+
+fn segment_range(seg: &Segment) -> Option<(f64, f64)> {
+    let minmax = match seg {
+        Segment::Plain(c) => c.min_max(),
+        // The dictionary is sorted: first/last entry bound the chunk.
+        Segment::Dict(d) => {
+            let dict = d.dictionary();
+            if dict.is_empty() || d.is_empty() {
+                None
+            } else {
+                Some((dict.value_at(0), dict.value_at(dict.len() - 1)))
+            }
+        }
+        Segment::Packed(p) => {
+            if p.is_empty() {
+                None
+            } else {
+                let mut lo = u32::MAX;
+                let mut hi = 0u32;
+                for i in 0..p.len() {
+                    let v = p.get(i);
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                return Some((lo as f64, hi as f64));
+            }
+        }
+    };
+    minmax.and_then(|(lo, hi)| Some((lo.as_f64()?, hi.as_f64()?)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_storage::{Column, ColumnDef, DataType};
+
+    fn sample_table() -> Table {
+        Table::from_columns(
+            vec![ColumnDef::new("a", DataType::U32), ColumnDef::new("b", DataType::U32)],
+            vec![
+                Column::from_fn(100, |i| (i % 10) as u32),
+                Column::from_fn(100, |i| (i % 4) as u32),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = Catalog::new();
+        cat.register("t", sample_table());
+        let e = cat.get("t").unwrap();
+        assert_eq!(e.table.rows(), 100);
+        assert_eq!(e.stats.len(), 2);
+        assert_eq!(e.chunk_ranges.len(), e.table.chunks().len());
+        assert_eq!(e.chunk_ranges[0][0], Some((0.0, 9.0)));
+        assert_eq!(e.chunk_ranges[0][1], Some((0.0, 3.0)));
+        assert_eq!(e.stats[0].distinct, 10);
+        assert_eq!(e.stats[1].distinct, 4);
+        assert!(cat.get("missing").is_none());
+        assert_eq!(cat.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn dictionary_tables_get_stats_from_the_dictionary() {
+        let t = sample_table().with_dictionary_encoding(&[0]).unwrap();
+        let mut cat = Catalog::new();
+        cat.register("t", t);
+        let e = cat.get("t").unwrap();
+        assert_eq!(e.stats[0].distinct, 10);
+        assert_eq!(e.stats[0].rows, 100);
+    }
+}

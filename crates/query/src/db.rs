@@ -1,0 +1,191 @@
+//! The top-level database facade: register tables, run SQL, explain plans.
+
+use fts_storage::{Table, TableError};
+
+use crate::catalog::Catalog;
+use crate::executor::{execute, ExecContext, ExecError, JitMode, QueryResult};
+use crate::lqp::{plan, PlanError};
+use crate::optimizer::optimize;
+use crate::parser::{parse, ParseError};
+
+/// Any error a query can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// SQL parsing failed.
+    Parse(ParseError),
+    /// Binding/planning failed.
+    Plan(PlanError),
+    /// Execution failed.
+    Exec(ExecError),
+    /// Table construction failed.
+    Table(TableError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "parse error: {e}"),
+            QueryError::Plan(e) => write!(f, "plan error: {e}"),
+            QueryError::Exec(e) => write!(f, "execution error: {e}"),
+            QueryError::Table(e) => write!(f, "table error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+impl From<PlanError> for QueryError {
+    fn from(e: PlanError) -> Self {
+        QueryError::Plan(e)
+    }
+}
+impl From<ExecError> for QueryError {
+    fn from(e: ExecError) -> Self {
+        QueryError::Exec(e)
+    }
+}
+impl From<TableError> for QueryError {
+    fn from(e: TableError) -> Self {
+        QueryError::Table(e)
+    }
+}
+
+/// An in-memory database with the fused-scan execution pipeline.
+///
+/// ```
+/// use fts_query::{Database, QueryResult};
+/// use fts_storage::{Column, ColumnDef, DataType, Table};
+///
+/// let mut db = Database::new();
+/// db.register("t", Table::from_columns(
+///     vec![ColumnDef::new("a", DataType::U32), ColumnDef::new("b", DataType::U32)],
+///     vec![Column::from_fn(100, |i| (i % 10) as u32),
+///          Column::from_fn(100, |i| (i % 4) as u32)],
+/// ).unwrap());
+/// let n = db.query("SELECT COUNT(*) FROM t WHERE a = 5 AND b = 1").unwrap();
+/// assert_eq!(n, QueryResult::Count(5));
+/// let plan = db.explain("SELECT COUNT(*) FROM t WHERE a = 5 AND b = 1").unwrap();
+/// assert!(plan.contains("FusedTableScan"));
+/// ```
+pub struct Database {
+    catalog: Catalog,
+    ctx: ExecContext,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    /// Database with the default execution context (JIT on where AVX-512
+    /// is available).
+    pub fn new() -> Database {
+        Database { catalog: Catalog::new(), ctx: ExecContext::default() }
+    }
+
+    /// Database with an explicit JIT policy.
+    pub fn with_jit(jit: JitMode) -> Database {
+        Database { catalog: Catalog::new(), ctx: ExecContext { jit, ..Default::default() } }
+    }
+
+    /// Register a table.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) {
+        self.catalog.register(name, table);
+    }
+
+    /// The catalog (for inspection).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The execution context (kernel cache statistics live here).
+    pub fn context(&self) -> &ExecContext {
+        &self.ctx
+    }
+
+    /// Parse, plan, optimize and execute one SQL statement. `EXPLAIN`
+    /// statements return the optimized plan as a one-column result.
+    pub fn query(&self, sql: &str) -> Result<QueryResult, QueryError> {
+        let ast = parse(sql)?;
+        let logical = optimize(plan(&ast, &self.catalog)?);
+        if ast.explain {
+            return Ok(QueryResult::Explain(logical.explain()));
+        }
+        Ok(execute(&logical, &self.ctx)?)
+    }
+
+    /// The optimized plan for a statement, as text.
+    pub fn explain(&self, sql: &str) -> Result<String, QueryError> {
+        let ast = parse(sql)?;
+        let logical = optimize(plan(&ast, &self.catalog)?);
+        Ok(logical.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_storage::{Column, ColumnDef, DataType, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.register(
+            "tbl",
+            Table::from_columns(
+                vec![ColumnDef::new("a", DataType::U32), ColumnDef::new("b", DataType::U32)],
+                vec![
+                    Column::from_fn(400, |i| (i % 10) as u32),
+                    Column::from_fn(400, |i| (i % 4) as u32),
+                ],
+            )
+            .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn end_to_end_count() {
+        let db = db();
+        let r = db.query("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2").unwrap();
+        let expected = (0..400).filter(|i| i % 10 == 5 && i % 4 == 2).count() as u64;
+        assert_eq!(r, crate::executor::QueryResult::Count(expected));
+    }
+
+    #[test]
+    fn end_to_end_rows() {
+        let db = db();
+        let r = db.query("SELECT b FROM tbl WHERE a = 3 LIMIT 2").unwrap();
+        let crate::executor::QueryResult::Rows { columns, rows } = r else { panic!() };
+        assert_eq!(columns, vec!["b"]);
+        assert_eq!(rows, vec![vec![Value::U32(3)], vec![Value::U32(1)]]);
+    }
+
+    #[test]
+    fn explain_pipeline() {
+        let db = db();
+        let text = db.explain("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2").unwrap();
+        assert!(text.contains("FusedTableScan"), "{text}");
+        assert!(text.contains("StoredTable tbl"));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let db = db();
+        assert!(matches!(db.query("SELEC"), Err(QueryError::Parse(_))));
+        assert!(matches!(
+            db.query("SELECT COUNT(*) FROM missing"),
+            Err(QueryError::Plan(_))
+        ));
+        assert!(matches!(
+            db.query("SELECT COUNT(*) FROM tbl WHERE a = -5"),
+            Err(QueryError::Plan(_))
+        ));
+    }
+}

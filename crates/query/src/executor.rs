@@ -1,0 +1,904 @@
+//! Physical execution (paper Fig. 9: LQP Translator → Physical Query Plan
+//! → Executor).
+//!
+//! Per chunk, the scan translator rewrites each bound predicate into its
+//! *effective* form:
+//!
+//! * a plain `u32` segment scans directly;
+//! * a **dictionary** segment of *any* type rewrites into a `u32` value-id
+//!   predicate (paper assumption 3 — this is how non-32-bit types reach the
+//!   fused kernel);
+//! * plain `i32`/`f32` segments use their own typed kernels when the whole
+//!   chain shares the type;
+//! * anything else becomes a row-wise dynamic predicate.
+//!
+//! The `u32` portion of the chain runs through one Fused Table Scan —
+//! either the pre-monomorphized kernels of `fts-core` or, when enabled, a
+//! machine-code kernel from `fts-jit`'s cache — and the dynamic remainder
+//! filters the resulting position list row by row.
+
+use std::sync::Arc;
+
+use fts_core::fused::packed::{fused_scan_packed, packed_kernel_available, PackedPred};
+use fts_core::{
+    run_fused_auto, scan_columns_auto, ColumnPred, OutputMode, ScanOutput, TypedPred,
+};
+use fts_jit::{
+    JitBackend, KernelCache, PackedColRef, PackedColSig, PackedKernelCache, PackedScanSig,
+    ScanSig,
+};
+use fts_simd::has_avx512;
+use fts_storage::{Chunk, CmpOp, DataType, IdPredicate, PosList, Segment, Value};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::ast::AggFunc;
+use crate::catalog::CatalogEntry;
+use crate::lqp::{BoundAgg, BoundPred, Lqp};
+
+/// How scans execute their fused portion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JitMode {
+    /// Pre-monomorphized kernels from `fts-core` (the "static" path).
+    Off,
+    /// Machine-code kernels from the `fts-jit` cache when applicable
+    /// (u32 chains of ≤ 5 predicates on AVX-512 hosts), falling back to
+    /// the static kernels otherwise.
+    On,
+}
+
+/// Execution context shared across queries.
+pub struct ExecContext {
+    /// JIT policy.
+    pub jit: JitMode,
+    /// Compiled-kernel cache (used when `jit == On`).
+    pub kernels: Arc<KernelCache>,
+    /// Compiled packed-kernel cache (bit-packed chains, `jit == On`).
+    pub packed_kernels: Arc<PackedKernelCache>,
+    /// Chunks skipped by min/max pruning (observability + tests).
+    pub chunks_pruned: AtomicU64,
+    /// Chunks actually scanned.
+    pub chunks_scanned: AtomicU64,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext {
+            jit: if has_avx512() { JitMode::On } else { JitMode::Off },
+            kernels: Arc::new(KernelCache::new(JitBackend::Avx512)),
+            packed_kernels: Arc::new(PackedKernelCache::new()),
+            chunks_pruned: AtomicU64::new(0),
+            chunks_scanned: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Can `OP literal` match any value of a chunk with the given min/max?
+/// Conservative under f64 rounding: only prunes when impossibility is
+/// certain under the monotone int→f64 map (so `Ne` never prunes).
+fn range_can_match(range: Option<(f64, f64)>, op: CmpOp, literal: Value) -> bool {
+    let Some((min, max)) = range else {
+        // Empty chunk or no orderable values: nothing to find.
+        return false;
+    };
+    let Some(lit) = literal.as_f64() else { return true };
+    match op {
+        CmpOp::Eq => lit >= min && lit <= max,
+        CmpOp::Ne => true,
+        CmpOp::Lt | CmpOp::Le => min <= lit,
+        CmpOp::Gt | CmpOp::Ge => max >= lit,
+    }
+}
+
+/// A query result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// `COUNT(*)` result.
+    Count(u64),
+    /// Materialized rows.
+    Rows {
+        /// Column headers.
+        columns: Vec<String>,
+        /// Row-major values.
+        rows: Vec<Vec<Value>>,
+    },
+    /// The optimized plan of an `EXPLAIN` statement.
+    Explain(String),
+}
+
+impl QueryResult {
+    /// The count, for count results.
+    pub fn count(&self) -> Option<u64> {
+        match self {
+            QueryResult::Count(n) => Some(*n),
+            QueryResult::Rows { .. } | QueryResult::Explain(_) => None,
+        }
+    }
+
+    /// Number of result rows (count results report 1 logical row).
+    pub fn num_rows(&self) -> usize {
+        match self {
+            QueryResult::Count(_) => 1,
+            QueryResult::Rows { rows, .. } => rows.len(),
+            QueryResult::Explain(text) => text.lines().count(),
+        }
+    }
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The plan has a shape the executor does not support (internal).
+    UnsupportedPlan(String),
+    /// A predicate's literal/type combination failed at runtime (internal —
+    /// the binder should have rejected it).
+    PredicateTypeError,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnsupportedPlan(s) => write!(f, "unsupported plan: {s}"),
+            ExecError::PredicateTypeError => write!(f, "predicate type error"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Evaluate the predicate chain over one chunk, returning matching
+/// positions (chunk-relative).
+fn scan_chunk(
+    chunk: &Chunk,
+    preds: &[BoundPred],
+    ctx: &ExecContext,
+    mode: OutputMode,
+) -> Result<ScanOutput, ExecError> {
+    // 1. Rewrite into effective predicates.
+    let mut u32_preds: Vec<(&[u32], CmpOp, u32)> = Vec::new();
+    let mut packed_preds: Vec<(&fts_storage::PackedColumn, CmpOp, u32)> = Vec::new();
+    let mut typed: Vec<ColumnPred<'_>> = Vec::new();
+    let mut dynp: Vec<(&Segment, CmpOp, Value)> = Vec::new();
+
+    for p in preds {
+        let seg = chunk.segment(p.column);
+        match seg {
+            Segment::Dict(d) => {
+                let ip = d.translate(p.op, p.value).ok_or(ExecError::PredicateTypeError)?;
+                match ip {
+                    IdPredicate::MatchNone => {
+                        return Ok(match mode {
+                            OutputMode::Count => ScanOutput::Count(0),
+                            OutputMode::Positions => ScanOutput::Positions(PosList::new()),
+                        });
+                    }
+                    IdPredicate::MatchAll => { /* predicate vanishes */ }
+                    IdPredicate::Cmp(op, id) => u32_preds.push((d.value_ids(), op, id)),
+                }
+            }
+            Segment::Packed(pc) => {
+                let Value::U32(needle) = p.value else {
+                    return Err(ExecError::PredicateTypeError);
+                };
+                if packed_kernel_available() {
+                    packed_preds.push((pc, p.op, needle));
+                } else {
+                    // No VBMI2: evaluate row-wise in phase 2.
+                    dynp.push((seg, p.op, p.value));
+                }
+            }
+            Segment::Plain(col) => match col.data_type() {
+                DataType::U32 => {
+                    let data = col.as_native::<u32>().expect("type checked");
+                    let Value::U32(needle) = p.value else {
+                        return Err(ExecError::PredicateTypeError);
+                    };
+                    u32_preds.push((data, p.op, needle));
+                }
+                DataType::I32
+                | DataType::F32
+                | DataType::U64
+                | DataType::I64
+                | DataType::F64 => {
+                    typed.push(ColumnPred { column: col, op: p.op, needle: p.value });
+                }
+                _ => dynp.push((seg, p.op, p.value)),
+            },
+        }
+    }
+
+    // Homogeneous typed chain with nothing else: one fused typed scan.
+    if u32_preds.is_empty() && packed_preds.is_empty() && dynp.is_empty() && !typed.is_empty() {
+        let same = typed.windows(2).all(|w| w[0].column.data_type() == w[1].column.data_type());
+        if same {
+            return scan_columns_auto(&typed, mode).ok_or(ExecError::PredicateTypeError);
+        }
+    }
+    // Mixed chains: typed predicates degrade to the row-wise phase.
+    for t in typed {
+        dynp.push((
+            chunk.segments().iter().find(|s| s.as_plain() == Some(t.column)).expect("segment"),
+            t.op,
+            t.needle,
+        ));
+    }
+
+    // 2. Phase 1 — the fused scan over u32 and packed predicates.
+    let rows = chunk.rows() as u32;
+    let phase1_mode =
+        if dynp.is_empty() { mode } else { OutputMode::Positions };
+    let phase1: ScanOutput = if !packed_preds.is_empty() {
+        // Mixed packed + plain-u32 chain runs as one packed fused scan —
+        // JIT-compiled when enabled and the chain fits one kernel.
+        run_packed_chain(&u32_preds, &packed_preds, ctx, phase1_mode)?
+    } else if u32_preds.is_empty() {
+        match phase1_mode {
+            OutputMode::Count if dynp.is_empty() => ScanOutput::Count(rows as u64),
+            _ => ScanOutput::Positions((0..rows).collect()),
+        }
+    } else {
+        run_u32_chain(&u32_preds, ctx, phase1_mode)
+    };
+
+    if dynp.is_empty() {
+        return Ok(match (mode, phase1) {
+            (OutputMode::Count, o) => ScanOutput::Count(o.count()),
+            (OutputMode::Positions, o) => o,
+        });
+    }
+
+    // 3. Phase 2 — row-wise dynamic filtering of the position list.
+    let positions = phase1.positions().expect("phase 1 produced positions");
+    let mut out = PosList::new();
+    'rows: for pos in positions {
+        for (seg, op, needle) in &dynp {
+            if !segment_matches(seg, pos as usize, *op, *needle)
+                .ok_or(ExecError::PredicateTypeError)?
+            {
+                continue 'rows;
+            }
+        }
+        out.push(pos);
+    }
+    Ok(match mode {
+        OutputMode::Count => ScanOutput::Count(out.len() as u64),
+        OutputMode::Positions => ScanOutput::Positions(out),
+    })
+}
+
+/// Row-wise predicate evaluation over any segment kind (phase-2 fallback).
+fn segment_matches(seg: &Segment, row: usize, op: CmpOp, needle: Value) -> Option<bool> {
+    use fts_storage::NativeType;
+    match seg {
+        Segment::Plain(col) => col.matches_at(row, op, needle),
+        Segment::Packed(pc) => {
+            let Value::U32(n) = needle else { return None };
+            Some(pc.get(row).cmp_op(op, n))
+        }
+        // Dictionary predicates are always rewritten in phase 1.
+        Segment::Dict(d) => {
+            let Value::U32(_) = needle else { return None };
+            let _ = d;
+            None
+        }
+    }
+}
+
+/// Run a mixed plain/packed chain: the JIT packed backend when possible,
+/// otherwise the static packed kernel.
+fn run_packed_chain(
+    u32_preds: &[(&[u32], CmpOp, u32)],
+    packed_preds: &[(&fts_storage::PackedColumn, CmpOp, u32)],
+    ctx: &ExecContext,
+    mode: OutputMode,
+) -> Result<ScanOutput, ExecError> {
+    let total = u32_preds.len() + packed_preds.len();
+    // JIT path: driver must be a plain column or a ≤16-bit packed column;
+    // ordering puts the plain predicates first, which satisfies that when
+    // any plain predicate exists.
+    if ctx.jit == JitMode::On && total <= fts_jit::MAX_JIT_PREDICATES {
+        let driver_ok = !u32_preds.is_empty() || packed_preds[0].0.bits() <= 16;
+        let in_domain = packed_preds
+            .iter()
+            .all(|&(pc, _, n)| n <= fts_storage::mask_of(pc.bits()));
+        if driver_ok && in_domain {
+            let sig = PackedScanSig {
+                preds: u32_preds
+                    .iter()
+                    .map(|&(_, op, n)| PackedColSig::Plain { op, needle: n })
+                    .chain(packed_preds.iter().map(|&(pc, op, n)| PackedColSig::Packed {
+                        bits: pc.bits(),
+                        op,
+                        needle: n,
+                    }))
+                    .collect(),
+                emit_positions: mode == OutputMode::Positions,
+            };
+            if let Ok(kernel) = ctx.packed_kernels.get_or_compile(&sig) {
+                let cols: Vec<PackedColRef<'_>> = u32_preds
+                    .iter()
+                    .map(|&(d, _, _)| PackedColRef::Plain(d))
+                    .chain(packed_preds.iter().map(|&(pc, _, _)| PackedColRef::Packed(pc)))
+                    .collect();
+                if let Ok(out) = kernel.run(&cols) {
+                    return Ok(out);
+                }
+            }
+        }
+    }
+    let chain: Vec<PackedPred<'_>> = u32_preds
+        .iter()
+        .map(|&(d, op, n)| PackedPred::Plain(TypedPred::new(d, op, n)))
+        .chain(
+            packed_preds.iter().map(|&(pc, op, n)| PackedPred::Packed { col: pc, op, needle: n }),
+        )
+        .collect();
+    fused_scan_packed(&chain, mode).map_err(|e| ExecError::UnsupportedPlan(e.to_string()))
+}
+
+/// Run a homogeneous `u32` chain through the best available engine.
+/// Chains longer than one kernel supports are split into groups whose
+/// position lists are intersected (sorted merge).
+fn run_u32_chain(
+    preds: &[(&[u32], CmpOp, u32)],
+    ctx: &ExecContext,
+    mode: OutputMode,
+) -> ScanOutput {
+    let max = fts_core::fused::MAX_PREDICATES;
+    if preds.len() > max {
+        let mut acc: Option<PosList> = None;
+        for group in preds.chunks(max) {
+            let out = run_u32_chain(group, ctx, OutputMode::Positions);
+            let pl = match out {
+                ScanOutput::Positions(pl) => pl,
+                ScanOutput::Count(_) => unreachable!("positions requested"),
+            };
+            acc = Some(match acc {
+                None => pl,
+                Some(prev) => prev.intersect(&pl),
+            });
+        }
+        let pl = acc.expect("at least one group");
+        return match mode {
+            OutputMode::Count => ScanOutput::Count(pl.len() as u64),
+            OutputMode::Positions => ScanOutput::Positions(pl),
+        };
+    }
+    if ctx.jit == JitMode::On
+        && has_avx512()
+        && preds.len() <= fts_jit::MAX_JIT_PREDICATES
+    {
+        let sig = ScanSig::u32_chain(
+            &preds.iter().map(|&(_, op, n)| (op, n)).collect::<Vec<_>>(),
+            mode == OutputMode::Positions,
+        );
+        if let Ok(kernel) = ctx.kernels.get_or_compile(&sig) {
+            let cols: Vec<&[u32]> = preds.iter().map(|&(d, _, _)| d).collect();
+            if let Ok(out) = kernel.run(&cols) {
+                return out;
+            }
+        }
+    }
+    let typed: Vec<TypedPred<'_, u32>> =
+        preds.iter().map(|&(d, op, n)| TypedPred::new(d, op, n)).collect();
+    run_fused_auto(&typed, mode)
+}
+
+
+
+/// Execute an optimized logical plan.
+pub fn execute(plan: &Lqp, ctx: &ExecContext) -> Result<QueryResult, ExecError> {
+    match plan {
+        Lqp::Aggregate { input, aggs } => {
+            let (entry, preds) = scan_root(input)?;
+            // Pure COUNT(*) needs no gathered values — count mode end to end.
+            if aggs.len() == 1 && aggs[0].func == AggFunc::Count {
+                let mut total = 0u64;
+                for (ci, chunk) in entry.table.chunks().iter().enumerate() {
+                    if prune_chunk(entry, ci, preds) {
+                        ctx.chunks_pruned.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    ctx.chunks_scanned.fetch_add(1, Ordering::Relaxed);
+                    total += scan_chunk(chunk, preds, ctx, OutputMode::Count)?.count();
+                }
+                return Ok(QueryResult::Count(total));
+            }
+            let mut states: Vec<AggState> = aggs.iter().map(AggState::new).collect();
+            for (ci, chunk) in entry.table.chunks().iter().enumerate() {
+                if prune_chunk(entry, ci, preds) {
+                    ctx.chunks_pruned.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                ctx.chunks_scanned.fetch_add(1, Ordering::Relaxed);
+                let out = scan_chunk(chunk, preds, ctx, OutputMode::Positions)?;
+                let positions = out.positions().expect("positions requested");
+                for pos in positions {
+                    for (state, agg) in states.iter_mut().zip(aggs) {
+                        state.accumulate(agg, chunk, pos as usize);
+                    }
+                }
+            }
+            Ok(QueryResult::Rows {
+                columns: aggs.iter().map(|a| a.label.clone()).collect(),
+                rows: vec![states
+                    .into_iter()
+                    .zip(aggs)
+                    .map(|(st, agg)| st.finish(agg))
+                    .collect()],
+            })
+        }
+        Lqp::Limit { input, n } => {
+            let inner = execute(input, ctx)?;
+            Ok(match inner {
+                QueryResult::Rows { columns, mut rows } => {
+                    rows.truncate(*n as usize);
+                    QueryResult::Rows { columns, rows }
+                }
+                other => other,
+            })
+        }
+        Lqp::Project { input, columns, names } => {
+            let (entry, preds) = scan_root(input)?;
+            let mut rows: Vec<Vec<Value>> = Vec::new();
+            for (ci, chunk) in entry.table.chunks().iter().enumerate() {
+                if prune_chunk(entry, ci, preds) {
+                    ctx.chunks_pruned.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                ctx.chunks_scanned.fetch_add(1, Ordering::Relaxed);
+                let out = scan_chunk(chunk, preds, ctx, OutputMode::Positions)?;
+                let positions = out.positions().expect("positions requested");
+                for pos in positions {
+                    rows.push(
+                        columns
+                            .iter()
+                            .map(|&c| chunk.segment(c).value_at(pos as usize))
+                            .collect(),
+                    );
+                }
+            }
+            Ok(QueryResult::Rows { columns: names.clone(), rows })
+        }
+        other => Err(ExecError::UnsupportedPlan(format!("{other:?}"))),
+    }
+}
+
+/// Running state of one aggregate expression.
+enum AggState {
+    Count(u64),
+    /// Integer SUM/AVG accumulate exactly in i128; floats in f64.
+    Sum { ints: i128, floats: f64, n: u64, is_float: bool },
+    MinMax { best: Option<Value>, want_max: bool },
+}
+
+impl AggState {
+    fn new(agg: &BoundAgg) -> AggState {
+        match agg.func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum | AggFunc::Avg => {
+                AggState::Sum { ints: 0, floats: 0.0, n: 0, is_float: false }
+            }
+            AggFunc::Min => AggState::MinMax { best: None, want_max: false },
+            AggFunc::Max => AggState::MinMax { best: None, want_max: true },
+        }
+    }
+
+    fn accumulate(&mut self, agg: &BoundAgg, chunk: &Chunk, row: usize) {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Sum { ints, floats, n, is_float } => {
+                let v = chunk.segment(agg.column.expect("SUM/AVG bind a column")).value_at(row);
+                match value_num(v) {
+                    Num::Int(i) => *ints += i,
+                    Num::Float(f) => {
+                        *floats += f;
+                        *is_float = true;
+                    }
+                }
+                *n += 1;
+            }
+            AggState::MinMax { best, want_max } => {
+                let v = chunk.segment(agg.column.expect("MIN/MAX bind a column")).value_at(row);
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let ord = num_cmp(value_num(v), value_num(*b));
+                        if *want_max { ord == std::cmp::Ordering::Greater } else { ord == std::cmp::Ordering::Less }
+                    }
+                };
+                if better {
+                    *best = Some(v);
+                }
+            }
+        }
+    }
+
+    fn finish(self, agg: &BoundAgg) -> Value {
+        match self {
+            AggState::Count(n) => Value::U64(n),
+            AggState::Sum { ints, floats, n, is_float } => {
+                if agg.func == AggFunc::Avg {
+                    let total = floats + ints as f64;
+                    return Value::F64(if n == 0 { 0.0 } else { total / n as f64 });
+                }
+                if is_float {
+                    Value::F64(floats + ints as f64)
+                } else {
+                    Value::I64(ints.clamp(i64::MIN as i128, i64::MAX as i128) as i64)
+                }
+            }
+            AggState::MinMax { best, .. } => best.unwrap_or(Value::I64(0)),
+        }
+    }
+}
+
+enum Num {
+    Int(i128),
+    Float(f64),
+}
+
+fn value_num(v: Value) -> Num {
+    match v {
+        Value::I8(x) => Num::Int(x as i128),
+        Value::I16(x) => Num::Int(x as i128),
+        Value::I32(x) => Num::Int(x as i128),
+        Value::I64(x) => Num::Int(x as i128),
+        Value::U8(x) => Num::Int(x as i128),
+        Value::U16(x) => Num::Int(x as i128),
+        Value::U32(x) => Num::Int(x as i128),
+        Value::U64(x) => Num::Int(x as i128),
+        Value::F32(x) => Num::Float(x as f64),
+        Value::F64(x) => Num::Float(x),
+    }
+}
+
+fn num_cmp(a: Num, b: Num) -> std::cmp::Ordering {
+    match (a, b) {
+        (Num::Int(x), Num::Int(y)) => x.cmp(&y),
+        (x, y) => {
+            let fx = match x { Num::Int(i) => i as f64, Num::Float(f) => f };
+            let fy = match y { Num::Int(i) => i as f64, Num::Float(f) => f };
+            fx.partial_cmp(&fy).unwrap_or(std::cmp::Ordering::Equal)
+        }
+    }
+}
+
+/// Unwrap a scan subtree: (fused chain | single filter | bare table).
+fn scan_root(plan: &Lqp) -> Result<(&CatalogEntry, &[BoundPred]), ExecError> {
+    match plan {
+        Lqp::StoredTable { entry, .. } => Ok((entry, &[])),
+        Lqp::Filter { input, pred } => match input.as_ref() {
+            Lqp::StoredTable { entry, .. } => Ok((entry, std::slice::from_ref(pred))),
+            other => Err(ExecError::UnsupportedPlan(format!("filter over {other:?}"))),
+        },
+        Lqp::FusedFilterChain { input, preds } => match input.as_ref() {
+            Lqp::StoredTable { entry, .. } => Ok((entry, preds)),
+            other => Err(ExecError::UnsupportedPlan(format!("chain over {other:?}"))),
+        },
+        other => Err(ExecError::UnsupportedPlan(format!("{other:?}"))),
+    }
+}
+
+/// Whether min/max pruning proves this chunk cannot produce matches.
+fn prune_chunk(entry: &CatalogEntry, chunk_idx: usize, preds: &[BoundPred]) -> bool {
+    !preds.is_empty()
+        && preds.iter().any(|p| {
+            !range_can_match(entry.chunk_ranges[chunk_idx][p.column], p.op, p.value)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::lqp::plan;
+    use crate::optimizer::optimize;
+    use crate::parser::parse;
+    use fts_storage::{Column, ColumnDef, Table};
+
+    fn make_ctx(jit: JitMode) -> ExecContext {
+        ExecContext { jit, ..Default::default() }
+    }
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let t = Table::from_chunked_columns(
+            vec![
+                ColumnDef::new("a", DataType::U32),
+                ColumnDef::new("b", DataType::U32),
+                ColumnDef::new("big", DataType::I64),
+                ColumnDef::new("f", DataType::F32),
+            ],
+            vec![
+                Column::from_fn(1000, |i| (i % 10) as u32),
+                Column::from_fn(1000, |i| (i % 4) as u32),
+                Column::from_fn(1000, |i| i as i64 - 500),
+                Column::from_fn(1000, |i| (i % 8) as f32),
+            ],
+            256, // multiple chunks
+        )
+        .unwrap();
+        cat.register("t", t.clone());
+        cat.register("t_dict", t.with_dictionary_encoding(&[0, 2]).unwrap());
+        cat
+    }
+
+    fn run(sql: &str, jit: JitMode) -> QueryResult {
+        let cat = catalog();
+        let ctx = make_ctx(jit);
+        let p = optimize(plan(&parse(sql).unwrap(), &cat).unwrap());
+        execute(&p, &ctx).unwrap()
+    }
+
+    fn expected_count(f: impl Fn(usize) -> bool) -> u64 {
+        (0..1000).filter(|&i| f(i)).count() as u64
+    }
+
+    #[test]
+    fn count_star_paper_query() {
+        let expected = expected_count(|i| i % 10 == 5 && i % 4 == 1);
+        assert!(expected > 0, "test data must produce matches");
+        for jit in [JitMode::Off, JitMode::On] {
+            let r = run("SELECT COUNT(*) FROM t WHERE a = 5 AND b = 1", jit);
+            assert_eq!(r, QueryResult::Count(expected), "{jit:?}");
+        }
+    }
+
+    #[test]
+    fn count_without_where() {
+        assert_eq!(run("SELECT COUNT(*) FROM t", JitMode::Off), QueryResult::Count(1000));
+    }
+
+    #[test]
+    fn dictionary_segments_scan_as_value_ids() {
+        // Column `a` and `big` are dictionary-encoded in t_dict.
+        let expected = expected_count(|i| i % 10 == 5 && i % 4 == 1);
+        let r = run("SELECT COUNT(*) FROM t_dict WHERE a = 5 AND b = 1", JitMode::On);
+        assert_eq!(r, QueryResult::Count(expected));
+
+        // Range predicate over a dict-encoded i64 column → u32 id range.
+        let expected = expected_count(|i| (i as i64 - 500) >= 250);
+        let r = run("SELECT COUNT(*) FROM t_dict WHERE big >= 250", JitMode::On);
+        assert_eq!(r, QueryResult::Count(expected));
+
+        // Literal not in the dictionary: Ne matches everything.
+        let r = run("SELECT COUNT(*) FROM t_dict WHERE big <> 123456", JitMode::Off);
+        assert_eq!(r, QueryResult::Count(1000));
+    }
+
+    #[test]
+    fn bitpacked_segments_scan_via_packed_kernel() {
+        let cat = catalog();
+        let base = cat.get("t").unwrap().table.as_ref().clone();
+        let packed = base.with_bitpacking(&[0, 1]).unwrap();
+        let mut cat2 = Catalog::new();
+        cat2.register("tp", packed);
+        let expected = expected_count(|i| i % 10 == 5 && i % 4 == 1);
+        let ctx = make_ctx(JitMode::Off);
+        let p = optimize(
+            plan(&parse("SELECT COUNT(*) FROM tp WHERE a = 5 AND b = 1").unwrap(), &cat2)
+                .unwrap(),
+        );
+        assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(expected));
+
+        // Mixed: packed driver + plain follow-up + dynamic i64 predicate.
+        let expected = expected_count(|i| i % 10 == 5 && (i as i64 - 500) < 0);
+        let p = optimize(
+            plan(&parse("SELECT COUNT(*) FROM tp WHERE a = 5 AND big < 0").unwrap(), &cat2)
+                .unwrap(),
+        );
+        assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(expected));
+    }
+
+    #[test]
+    fn packed_chains_use_the_packed_jit_cache() {
+        if !fts_simd::has_avx512() || !std::arch::is_x86_feature_detected!("avx512vbmi2") {
+            eprintln!("skipping: no AVX-512 VBMI2");
+            return;
+        }
+        let cat = catalog();
+        let base = cat.get("t").unwrap().table.as_ref().clone();
+        let packed = base.with_bitpacking(&[0, 1]).unwrap();
+        let mut cat2 = Catalog::new();
+        cat2.register("tp", packed);
+        let ctx = make_ctx(JitMode::On);
+        let p = optimize(
+            plan(&parse("SELECT COUNT(*) FROM tp WHERE a = 5 AND b = 1").unwrap(), &cat2)
+                .unwrap(),
+        );
+        let expected = expected_count(|i| i % 10 == 5 && i % 4 == 1);
+        assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(expected));
+        assert!(!ctx.packed_kernels.is_empty(), "packed JIT kernel must be compiled");
+        // Re-running hits the cache, same result.
+        assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(expected));
+        assert_eq!(ctx.packed_kernels.len(), 1);
+    }
+
+    #[test]
+    fn mixed_u32_and_dynamic_chain() {
+        let expected = expected_count(|i| i % 10 == 5 && (i as i64 - 500) < 0);
+        let r = run("SELECT COUNT(*) FROM t WHERE a = 5 AND big < 0", JitMode::On);
+        assert_eq!(r, QueryResult::Count(expected));
+    }
+
+    #[test]
+    fn homogeneous_i64_chain_uses_typed_kernel() {
+        let expected = expected_count(|i| (i as i64 - 500) >= -100 && (i as i64 - 500) < 100);
+        let r = run("SELECT COUNT(*) FROM t WHERE big >= -100 AND big < 100", JitMode::Off);
+        assert_eq!(r, QueryResult::Count(expected));
+    }
+
+    #[test]
+    fn homogeneous_f32_chain_uses_typed_kernel() {
+        let expected = expected_count(|i| (i % 8) as f32 >= 2.0 && ((i % 8) as f32) < 6.0);
+        let r = run("SELECT COUNT(*) FROM t WHERE f >= 2.0 AND f < 6.0", JitMode::Off);
+        assert_eq!(r, QueryResult::Count(expected));
+    }
+
+    #[test]
+    fn projection_and_limit() {
+        let r = run("SELECT a, big FROM t WHERE a = 5 AND b = 1 LIMIT 3", JitMode::On);
+        let QueryResult::Rows { columns, rows } = r else { panic!("{r:?}") };
+        assert_eq!(columns, vec!["a", "big"]);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert_eq!(row[0], Value::U32(5));
+        }
+        // First matching row is i=25 (i%10==5, i%4==1? no…) — verify against
+        // the generator directly instead of hand-computing.
+        let first = (0..1000).find(|&i| i % 10 == 5 && i % 4 == 1).unwrap();
+        assert_eq!(rows[0][1], Value::I64(first as i64 - 500));
+    }
+
+    #[test]
+    fn select_star() {
+        let r = run("SELECT * FROM t WHERE a = 5 AND b = 1 LIMIT 2", JitMode::Off);
+        let QueryResult::Rows { columns, rows } = r else { panic!() };
+        assert_eq!(columns, vec!["a", "b", "big", "f"]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), 4);
+    }
+
+    #[test]
+    fn jit_and_static_agree_across_operators() {
+        for op in ["=", "<>", "<", "<=", ">", ">="] {
+            let sql = format!("SELECT COUNT(*) FROM t WHERE a {op} 5 AND b {op} 2");
+            let a = run(&sql, JitMode::Off);
+            let b = run(&sql, JitMode::On);
+            assert_eq!(a, b, "{op}");
+        }
+    }
+
+    #[test]
+    fn aggregate_functions() {
+        // SUM/MIN/MAX/AVG over the rows matching a = 5 (big = i - 500).
+        let matching: Vec<i64> =
+            (0..1000).filter(|i| i % 10 == 5).map(|i| i as i64 - 500).collect();
+        let r = run(
+            "SELECT COUNT(*), SUM(big), MIN(big), MAX(big), AVG(big) FROM t WHERE a = 5",
+            JitMode::On,
+        );
+        let QueryResult::Rows { columns, rows } = r else { panic!("{r:?}") };
+        assert_eq!(columns, vec!["count(*)", "sum(big)", "min(big)", "max(big)", "avg(big)"]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::U64(matching.len() as u64));
+        assert_eq!(rows[0][1], Value::I64(matching.iter().sum()));
+        assert_eq!(rows[0][2], Value::I64(*matching.iter().min().unwrap()));
+        assert_eq!(rows[0][3], Value::I64(*matching.iter().max().unwrap()));
+        let avg = matching.iter().sum::<i64>() as f64 / matching.len() as f64;
+        assert_eq!(rows[0][4], Value::F64(avg));
+    }
+
+    #[test]
+    fn float_aggregates_and_empty_input() {
+        let r = run("SELECT SUM(f), AVG(f) FROM t WHERE a = 5 AND b = 1", JitMode::Off);
+        let QueryResult::Rows { rows, .. } = r else { panic!() };
+        let expected_sum: f64 = (0..1000)
+            .filter(|i| i % 10 == 5 && i % 4 == 1)
+            .map(|i| (i % 8) as f64)
+            .sum();
+        assert_eq!(rows[0][0], Value::F64(expected_sum));
+
+        // Nothing matches: SUM = 0, AVG = 0, MIN/MAX fall back to 0.
+        let r = run("SELECT SUM(big), AVG(big), MIN(big) FROM t WHERE a = 5 AND a = 6", JitMode::Off);
+        let QueryResult::Rows { rows, .. } = r else { panic!() };
+        assert_eq!(rows[0][0], Value::I64(0));
+        assert_eq!(rows[0][1], Value::F64(0.0));
+        assert_eq!(rows[0][2], Value::I64(0));
+    }
+
+    #[test]
+    fn chains_longer_than_one_kernel_split_and_intersect() {
+        // 10 predicates exceed MAX_PREDICATES (8): the executor must split.
+        let mut cat = Catalog::new();
+        let cols: Vec<Column> = (0..10).map(|c| {
+            Column::from_fn(500, move |i| ((i as u32).wrapping_mul(c + 3)) % 3)
+        }).collect();
+        let schema = (0..10).map(|c| ColumnDef::new(format!("c{c}"), DataType::U32)).collect();
+        cat.register("wide", Table::from_columns(schema, cols.clone()).unwrap());
+        let sql = format!(
+            "SELECT COUNT(*) FROM wide WHERE {}",
+            (0..10).map(|c| format!("c{c} = 0")).collect::<Vec<_>>().join(" AND ")
+        );
+        let expected = (0..500usize)
+            .filter(|&i| {
+                (0..10u32).all(|c| ((i as u32).wrapping_mul(c + 3)) % 3 == 0)
+            })
+            .count() as u64;
+        for jit in [JitMode::Off, JitMode::On] {
+            let ctx = make_ctx(jit);
+            let p = optimize(plan(&parse(&sql).unwrap(), &cat).unwrap());
+            assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(expected), "{jit:?}");
+        }
+    }
+
+    #[test]
+    fn chunk_pruning_skips_impossible_chunks() {
+        // A sorted column chunked into 4: each chunk covers a disjoint
+        // range, so an equality hits exactly one chunk.
+        let mut cat = Catalog::new();
+        cat.register(
+            "sorted",
+            Table::from_chunked_columns(
+                vec![ColumnDef::new("k", DataType::U32), ColumnDef::new("v", DataType::U32)],
+                vec![Column::from_fn(1000, |i| i as u32), Column::from_fn(1000, |i| (i % 7) as u32)],
+                250,
+            )
+            .unwrap(),
+        );
+        let ctx = make_ctx(JitMode::Off);
+        let p = optimize(
+            plan(&parse("SELECT COUNT(*) FROM sorted WHERE k = 600 AND v < 7").unwrap(), &cat)
+                .unwrap(),
+        );
+        assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(1));
+        assert_eq!(ctx.chunks_pruned.load(Ordering::Relaxed), 3, "3 of 4 chunks pruned");
+        assert_eq!(ctx.chunks_scanned.load(Ordering::Relaxed), 1);
+
+        // Range predicate prunes the low chunks only.
+        let ctx = make_ctx(JitMode::Off);
+        let p = optimize(
+            plan(&parse("SELECT COUNT(*) FROM sorted WHERE k >= 750").unwrap(), &cat).unwrap(),
+        );
+        assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(250));
+        assert_eq!(ctx.chunks_pruned.load(Ordering::Relaxed), 3);
+
+        // Ne never prunes (f64-rounding conservatism).
+        let ctx = make_ctx(JitMode::Off);
+        let p = optimize(
+            plan(&parse("SELECT COUNT(*) FROM sorted WHERE k <> 5").unwrap(), &cat).unwrap(),
+        );
+        assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(999));
+        assert_eq!(ctx.chunks_pruned.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn range_can_match_is_conservative() {
+        let r = Some((10.0, 20.0));
+        assert!(range_can_match(r, CmpOp::Eq, Value::U32(10)));
+        assert!(range_can_match(r, CmpOp::Eq, Value::U32(20)));
+        assert!(!range_can_match(r, CmpOp::Eq, Value::U32(9)));
+        assert!(!range_can_match(r, CmpOp::Eq, Value::U32(21)));
+        // Strict compares stay conservative at the exact boundary (f64
+        // rounding of 64-bit values makes boundary pruning unsound).
+        assert!(range_can_match(r, CmpOp::Lt, Value::U32(10)));
+        assert!(!range_can_match(r, CmpOp::Lt, Value::U32(9)));
+        assert!(range_can_match(r, CmpOp::Le, Value::U32(10)));
+        assert!(range_can_match(r, CmpOp::Gt, Value::U32(20)));
+        assert!(!range_can_match(r, CmpOp::Gt, Value::U32(21)));
+        assert!(range_can_match(r, CmpOp::Ge, Value::U32(20)));
+        assert!(range_can_match(r, CmpOp::Ne, Value::U32(15)), "Ne never prunes");
+        assert!(!range_can_match(None, CmpOp::Eq, Value::U32(1)), "empty chunk");
+    }
+
+    #[test]
+    fn query_result_helpers() {
+        let r = QueryResult::Count(5);
+        assert_eq!(r.count(), Some(5));
+        assert_eq!(r.num_rows(), 1);
+        let r = QueryResult::Rows { columns: vec![], rows: vec![vec![], vec![]] };
+        assert_eq!(r.count(), None);
+        assert_eq!(r.num_rows(), 2);
+    }
+}

@@ -1,0 +1,229 @@
+//! SQL lexer for the query subset the paper exercises.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier (case preserved) — table or column name.
+    Ident(String),
+    /// Keyword (uppercased): SELECT, FROM, WHERE, AND, COUNT, AS, EXPLAIN.
+    Keyword(String),
+    /// Integer literal.
+    Int(i128),
+    /// Float literal.
+    Float(f64),
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// Comparison operator: `=`, `<>`, `!=`, `<`, `<=`, `>`, `>=`.
+    Op(String),
+    /// `;`
+    Semicolon,
+}
+
+/// Lexer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const KEYWORDS: &[&str] =
+    &["SELECT", "FROM", "WHERE", "AND", "COUNT", "SUM", "MIN", "MAX", "AVG", "AS", "EXPLAIN", "LIMIT", "BETWEEN"];
+
+/// Tokenize a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Op("=".into()));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Op("<=".into()));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Op("<>".into()));
+                    i += 2;
+                } else {
+                    out.push(Token::Op("<".into()));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Op(">=".into()));
+                    i += 2;
+                } else {
+                    out.push(Token::Op(">".into()));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Op("<>".into()));
+                    i += 2;
+                } else {
+                    return Err(LexError { at: i, message: "expected '=' after '!'".into() });
+                }
+            }
+            '0'..='9' | '-' | '+' => {
+                let start = i;
+                if c == '-' || c == '+' {
+                    i += 1;
+                    if !bytes.get(i).is_some_and(|b| b.is_ascii_digit()) {
+                        return Err(LexError { at: start, message: "dangling sign".into() });
+                    }
+                }
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'-' || bytes[i] == b'+')
+                            && matches!(bytes[i - 1], b'e' | b'E')))
+                {
+                    if bytes[i] == b'.' || bytes[i] == b'e' || bytes[i] == b'E' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|_| LexError {
+                        at: start,
+                        message: format!("bad float literal '{text}'"),
+                    })?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v = text.parse::<i128>().map_err(|_| LexError {
+                        at: start,
+                        message: format!("bad integer literal '{text}'"),
+                    })?;
+                    out.push(Token::Int(v));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let upper = text.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(Token::Keyword(upper));
+                } else {
+                    out.push(Token::Ident(text.to_string()));
+                }
+            }
+            _ => {
+                return Err(LexError { at: i, message: format!("unexpected character '{c}'") });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_paper_query() {
+        let toks = lex("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Keyword("COUNT".into()),
+                Token::LParen,
+                Token::Star,
+                Token::RParen,
+                Token::Keyword("FROM".into()),
+                Token::Ident("tbl".into()),
+                Token::Keyword("WHERE".into()),
+                Token::Ident("a".into()),
+                Token::Op("=".into()),
+                Token::Int(5),
+                Token::Keyword("AND".into()),
+                Token::Ident("b".into()),
+                Token::Op("=".into()),
+                Token::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        let toks = lex("x <= -3 AND y <> 1.5e2 AND z != 0").unwrap();
+        assert!(toks.contains(&Token::Op("<=".into())));
+        assert!(toks.contains(&Token::Int(-3)));
+        assert!(toks.contains(&Token::Float(150.0)));
+        // != normalizes to <>
+        assert_eq!(toks.iter().filter(|t| **t == Token::Op("<>".into())).count(), 2);
+    }
+
+    #[test]
+    fn keywords_case_insensitive_idents_preserved() {
+        let toks = lex("select Foo from BAR").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Ident("Foo".into()));
+        assert_eq!(toks[3], Token::Ident("BAR".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a = 5 #").is_err());
+        assert!(lex("a ! 5").is_err());
+        assert!(lex("a = 5.5.5").is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(lex("").unwrap(), vec![]);
+        assert_eq!(lex("   \n\t ").unwrap(), vec![]);
+    }
+}

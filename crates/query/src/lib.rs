@@ -1,0 +1,28 @@
+//! # fts-query — the SQL pipeline around the Fused Table Scan
+//!
+//! A self-contained mini column-store DBMS implementing the paper's
+//! Figs. 8–9 pipeline: SQL string → [`parser`] → AST → [`lqp`] (logical
+//! plan with bound predicates and selectivity estimates) → [`optimizer`]
+//! (pushdown, selectivity reordering, fused-chain tagging) → [`executor`]
+//! (per-chunk effective-predicate translation, dictionary value-id
+//! rewriting, fused/JIT kernel dispatch, dynamic fallback).
+//!
+//! Entry point: [`Database`].
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod catalog;
+pub mod db;
+pub mod executor;
+pub mod lexer;
+pub mod lqp;
+pub mod optimizer;
+pub mod parser;
+pub mod stats;
+
+pub use catalog::Catalog;
+pub use db::{Database, QueryError};
+pub use executor::{ExecContext, JitMode, QueryResult};
+pub use lqp::{BoundPred, Lqp};
+pub use stats::ColumnStats;

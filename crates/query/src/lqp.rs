@@ -1,0 +1,379 @@
+//! Logical query plans (paper Fig. 9: "logical query plans … contain
+//! relational operators but do not define the actual implementation") and
+//! the binder that builds them from an AST.
+
+use std::sync::Arc;
+
+use fts_storage::{CmpOp, Table, Value};
+
+use crate::ast::{AggFunc, Literal, Projection, Select};
+use crate::catalog::{Catalog, CatalogEntry};
+
+/// A bound aggregate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundAgg {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument column index (`None` only for `COUNT(*)`).
+    pub column: Option<usize>,
+    /// Output label, e.g. `sum(price)`.
+    pub label: String,
+}
+
+/// A bound predicate: column resolved, literal cast, selectivity estimated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundPred {
+    /// Column index in the table schema.
+    pub column: usize,
+    /// Column name (for plan printing).
+    pub column_name: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal, cast to the column's type.
+    pub value: Value,
+    /// Estimated fraction of qualifying rows.
+    pub selectivity: f64,
+}
+
+/// Logical plan nodes (σ chains are kept as individual `Filter` nodes until
+/// the optimizer tags them — Fig. 8's left side).
+#[derive(Debug, Clone)]
+pub enum Lqp {
+    /// A stored table (leaf).
+    StoredTable {
+        /// Table name.
+        name: String,
+        /// Resolved table handle.
+        table: Arc<Table>,
+        /// Catalog entry (statistics + chunk ranges for pruning).
+        entry: CatalogEntry,
+    },
+    /// One σ node.
+    Filter {
+        /// Input plan.
+        input: Box<Lqp>,
+        /// The predicate.
+        pred: BoundPred,
+    },
+    /// A σ chain tagged for translation into one Fused Table Scan
+    /// (Fig. 8's right side — produced by the optimizer only).
+    FusedFilterChain {
+        /// Input plan.
+        input: Box<Lqp>,
+        /// Predicates in evaluation order.
+        preds: Vec<BoundPred>,
+    },
+    /// Whole-table aggregation (COUNT/SUM/MIN/MAX/AVG, no GROUP BY).
+    Aggregate {
+        /// Input plan.
+        input: Box<Lqp>,
+        /// The aggregate expressions.
+        aggs: Vec<BoundAgg>,
+    },
+    /// Column projection.
+    Project {
+        /// Input plan.
+        input: Box<Lqp>,
+        /// Projected column indexes.
+        columns: Vec<usize>,
+        /// Their names.
+        names: Vec<String>,
+    },
+    /// Row limit.
+    Limit {
+        /// Input plan.
+        input: Box<Lqp>,
+        /// Maximum rows.
+        n: u64,
+    },
+}
+
+impl Lqp {
+    /// The input of a unary node, if any.
+    pub fn input(&self) -> Option<&Lqp> {
+        match self {
+            Lqp::StoredTable { .. } => None,
+            Lqp::Filter { input, .. }
+            | Lqp::FusedFilterChain { input, .. }
+            | Lqp::Aggregate { input, .. }
+            | Lqp::Project { input, .. }
+            | Lqp::Limit { input, .. } => Some(input),
+        }
+    }
+
+    /// Pretty-print the plan tree (used for `EXPLAIN`).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            Lqp::StoredTable { name, table, .. } => {
+                let _ = writeln!(out, "{pad}StoredTable {name} [{} rows]", table.rows());
+            }
+            Lqp::Filter { input, pred } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}Filter σ({} {} {}) [sel≈{:.4}]",
+                    pred.column_name, pred.op, pred.value, pred.selectivity
+                );
+                input.explain_into(out, depth + 1);
+            }
+            Lqp::FusedFilterChain { input, preds } => {
+                let chain: Vec<String> = preds
+                    .iter()
+                    .map(|p| format!("{} {} {}", p.column_name, p.op, p.value))
+                    .collect();
+                let _ = writeln!(out, "{pad}FusedTableScan ꔖ[{}]", chain.join(" AND "));
+                input.explain_into(out, depth + 1);
+            }
+            Lqp::Aggregate { input, aggs } => {
+                let labels: Vec<&str> = aggs.iter().map(|a| a.label.as_str()).collect();
+                let _ = writeln!(out, "{pad}Aggregate {}", labels.join(", ").to_uppercase());
+                input.explain_into(out, depth + 1);
+            }
+            Lqp::Project { input, names, .. } => {
+                let _ = writeln!(out, "{pad}Project [{}]", names.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            Lqp::Limit { input, n } => {
+                let _ = writeln!(out, "{pad}Limit {n}");
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// Binding/planning errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Table not in the catalog.
+    UnknownTable(String),
+    /// Column not in the table schema.
+    UnknownColumn {
+        /// The offending column.
+        column: String,
+        /// The table searched.
+        table: String,
+    },
+    /// Literal does not fit the column's type (e.g. `-1` against `uint`).
+    LiteralOutOfRange {
+        /// The column.
+        column: String,
+        /// The literal as written.
+        literal: String,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            PlanError::UnknownColumn { column, table } => {
+                write!(f, "unknown column '{column}' in table '{table}'")
+            }
+            PlanError::LiteralOutOfRange { column, literal } => {
+                write!(f, "literal {literal} does not fit column '{column}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Bind an AST to the catalog and build the (un-optimized) logical plan:
+/// table → σ…σ → (aggregate | project) → limit.
+pub fn plan(select: &Select, catalog: &Catalog) -> Result<Lqp, PlanError> {
+    let entry = catalog
+        .get(&select.table)
+        .ok_or_else(|| PlanError::UnknownTable(select.table.clone()))?;
+    let table = &entry.table;
+
+    let mut node = Lqp::StoredTable {
+        name: select.table.clone(),
+        table: Arc::clone(table),
+        entry: entry.clone(),
+    };
+
+    for p in &select.predicates {
+        let column = table.column_index(&p.column).ok_or_else(|| PlanError::UnknownColumn {
+            column: p.column.clone(),
+            table: select.table.clone(),
+        })?;
+        let raw = match p.literal {
+            Literal::Int(v) => {
+                // Widen through i64/u64 then cast precisely.
+                if let Ok(v) = i64::try_from(v) {
+                    Value::I64(v)
+                } else if let Ok(v) = u64::try_from(v) {
+                    Value::U64(v)
+                } else {
+                    return Err(PlanError::LiteralOutOfRange {
+                        column: p.column.clone(),
+                        literal: v.to_string(),
+                    });
+                }
+            }
+            Literal::Float(v) => Value::F64(v),
+        };
+        let ty = table.schema()[column].data_type;
+        let value = raw.cast_to(ty).ok_or_else(|| PlanError::LiteralOutOfRange {
+            column: p.column.clone(),
+            literal: format!("{raw}"),
+        })?;
+        let selectivity = entry.stats[column].selectivity(p.op, value);
+        node = Lqp::Filter {
+            input: Box::new(node),
+            pred: BoundPred {
+                column,
+                column_name: p.column.clone(),
+                op: p.op,
+                value,
+                selectivity,
+            },
+        };
+    }
+
+    node = match &select.projection {
+        Projection::Aggregates(aggs) => {
+            let mut bound = Vec::with_capacity(aggs.len());
+            for a in aggs {
+                let column = match &a.column {
+                    Some(c) => {
+                        Some(table.column_index(c).ok_or_else(|| PlanError::UnknownColumn {
+                            column: c.clone(),
+                            table: select.table.clone(),
+                        })?)
+                    }
+                    None => None,
+                };
+                let label = match &a.column {
+                    Some(c) => format!("{}({c})", a.func.name()),
+                    None => format!("{}(*)", a.func.name()),
+                };
+                bound.push(BoundAgg { func: a.func, column, label });
+            }
+            Lqp::Aggregate { input: Box::new(node), aggs: bound }
+        }
+        Projection::Star => {
+            let columns: Vec<usize> = (0..table.columns()).collect();
+            let names = table.schema().iter().map(|c| c.name.clone()).collect();
+            Lqp::Project { input: Box::new(node), columns, names }
+        }
+        Projection::Columns(cols) => {
+            let mut columns = Vec::with_capacity(cols.len());
+            for c in cols {
+                columns.push(table.column_index(c).ok_or_else(|| PlanError::UnknownColumn {
+                    column: c.clone(),
+                    table: select.table.clone(),
+                })?);
+            }
+            Lqp::Project { input: Box::new(node), columns, names: cols.clone() }
+        }
+    };
+
+    if let Some(n) = select.limit {
+        node = Lqp::Limit { input: Box::new(node), n };
+    }
+    Ok(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use fts_storage::{Column, ColumnDef, DataType};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(
+            "tbl",
+            Table::from_columns(
+                vec![
+                    ColumnDef::new("a", DataType::U32),
+                    ColumnDef::new("b", DataType::U32),
+                    ColumnDef::new("f", DataType::F32),
+                ],
+                vec![
+                    Column::from_fn(100, |i| (i % 10) as u32),
+                    Column::from_fn(100, |i| (i % 4) as u32),
+                    Column::from_fn(100, |i| i as f32),
+                ],
+            )
+            .unwrap(),
+        );
+        cat
+    }
+
+    #[test]
+    fn plans_the_paper_query() {
+        let cat = catalog();
+        let ast = parse("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2").unwrap();
+        let plan = plan(&ast, &cat).unwrap();
+        let Lqp::Aggregate { input, aggs } = &plan else { panic!("expected Aggregate root") };
+        assert_eq!(aggs[0].label, "count(*)");
+        let Lqp::Filter { input: f2, pred: p2 } = input.as_ref() else { panic!() };
+        assert_eq!(p2.column_name, "b");
+        assert_eq!(p2.value, Value::U32(2));
+        assert!((p2.selectivity - 0.25).abs() < 1e-9);
+        let Lqp::Filter { input: f1, pred: p1 } = f2.as_ref() else { panic!() };
+        assert_eq!(p1.column_name, "a");
+        assert!((p1.selectivity - 0.1).abs() < 1e-9);
+        assert!(matches!(f1.as_ref(), Lqp::StoredTable { .. }));
+    }
+
+    #[test]
+    fn literal_casting() {
+        let cat = catalog();
+        // Integer literal against a float column becomes F32.
+        let ast = parse("SELECT COUNT(*) FROM tbl WHERE f < 50").unwrap();
+        let p = plan(&ast, &cat).unwrap();
+        let Lqp::Aggregate { input, .. } = &p else { panic!() };
+        let Lqp::Filter { pred, .. } = input.as_ref() else { panic!() };
+        assert_eq!(pred.value, Value::F32(50.0));
+
+        // Negative literal against unsigned column is rejected.
+        let ast = parse("SELECT COUNT(*) FROM tbl WHERE a = -1").unwrap();
+        assert!(matches!(plan(&ast, &cat), Err(PlanError::LiteralOutOfRange { .. })));
+
+        // Float literal against integer column is rejected.
+        let ast = parse("SELECT COUNT(*) FROM tbl WHERE a = 1.5").unwrap();
+        assert!(matches!(plan(&ast, &cat), Err(PlanError::LiteralOutOfRange { .. })));
+    }
+
+    #[test]
+    fn unknown_names() {
+        let cat = catalog();
+        let ast = parse("SELECT COUNT(*) FROM nope").unwrap();
+        assert!(matches!(plan(&ast, &cat), Err(PlanError::UnknownTable(t)) if t == "nope"));
+        let ast = parse("SELECT COUNT(*) FROM tbl WHERE zz = 1").unwrap();
+        assert!(matches!(plan(&ast, &cat), Err(PlanError::UnknownColumn { .. })));
+        let ast = parse("SELECT zz FROM tbl").unwrap();
+        assert!(matches!(plan(&ast, &cat), Err(PlanError::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn projections_and_limit() {
+        let cat = catalog();
+        let ast = parse("SELECT a, f FROM tbl WHERE b = 1 LIMIT 5").unwrap();
+        let p = plan(&ast, &cat).unwrap();
+        let Lqp::Limit { input, n: 5 } = &p else { panic!("{p:?}") };
+        let Lqp::Project { columns, names, .. } = input.as_ref() else { panic!() };
+        assert_eq!(columns, &vec![0, 2]);
+        assert_eq!(names, &vec!["a".to_string(), "f".to_string()]);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let cat = catalog();
+        let ast = parse("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2").unwrap();
+        let text = plan(&ast, &cat).unwrap().explain();
+        assert!(text.contains("Aggregate COUNT(*)"));
+        assert!(text.contains("Filter σ(a = 5)"));
+        assert!(text.contains("StoredTable tbl [100 rows]"));
+    }
+}

@@ -1,0 +1,198 @@
+//! The rule-based optimizer (paper §V, Figs. 8–9).
+//!
+//! Three rules, applied in order:
+//!
+//! 1. **Predicate pushdown** — σ nodes sink below projections so scans see
+//!    them ("make sure that predicates are evaluated as early as
+//!    possible").
+//! 2. **Predicate reordering** — consecutive σ chains are sorted by
+//!    estimated selectivity, most selective first ("… and in the most
+//!    efficient order"). The driver predicate of the fused scan then
+//!    filters the most rows, minimizing gather traffic.
+//! 3. **Fused-chain tagging** — a maximal chain of ≥ 2 consecutive σ nodes
+//!    is collapsed into one [`Lqp::FusedFilterChain`], which the translator
+//!    turns into a Fused Table Scan operator (Fig. 8's right-hand plan).
+
+use crate::lqp::{BoundPred, Lqp};
+
+/// Apply all rules and return the optimized plan.
+pub fn optimize(plan: Lqp) -> Lqp {
+    let plan = pushdown(plan);
+    let plan = reorder_predicates(plan);
+    fuse_chains(plan)
+}
+
+/// Rule 1: sink σ below Project (column sets are index-based and unchanged
+/// by projection, so the move is always valid for our plan shapes).
+pub fn pushdown(plan: Lqp) -> Lqp {
+    match plan {
+        Lqp::Filter { input, pred } => {
+            let input = pushdown(*input);
+            match input {
+                Lqp::Project { input: pin, columns, names } => {
+                    let pushed = pushdown(Lqp::Filter { input: pin, pred });
+                    Lqp::Project { input: Box::new(pushed), columns, names }
+                }
+                other => Lqp::Filter { input: Box::new(other), pred },
+            }
+        }
+        other => map_input(other, pushdown),
+    }
+}
+
+/// Rule 2: sort maximal σ chains by estimated selectivity (ascending).
+pub fn reorder_predicates(plan: Lqp) -> Lqp {
+    match plan {
+        Lqp::Filter { .. } => {
+            let (mut preds, below) = collect_chain(plan);
+            // Stable sort keeps the written order for equal estimates.
+            preds.sort_by(|a, b| {
+                a.selectivity.partial_cmp(&b.selectivity).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            rebuild_chain(preds, reorder_predicates(below))
+        }
+        other => map_input(other, reorder_predicates),
+    }
+}
+
+/// Rule 3: tag maximal σ chains of length ≥ 2 as fused.
+pub fn fuse_chains(plan: Lqp) -> Lqp {
+    match plan {
+        Lqp::Filter { .. } => {
+            let (preds, below) = collect_chain(plan);
+            let below = fuse_chains(below);
+            if preds.len() >= 2 {
+                Lqp::FusedFilterChain { input: Box::new(below), preds }
+            } else {
+                rebuild_chain(preds, below)
+            }
+        }
+        other => map_input(other, fuse_chains),
+    }
+}
+
+/// Split a σ chain into its predicates (top-first = evaluation-last …) and
+/// the node below. Returned predicates are in *evaluation order* (the
+/// bottom-most σ is evaluated first).
+fn collect_chain(plan: Lqp) -> (Vec<BoundPred>, Lqp) {
+    let mut preds_top_down = Vec::new();
+    let mut node = plan;
+    loop {
+        match node {
+            Lqp::Filter { input, pred } => {
+                preds_top_down.push(pred);
+                node = *input;
+            }
+            other => {
+                preds_top_down.reverse();
+                return (preds_top_down, other);
+            }
+        }
+    }
+}
+
+/// Rebuild a σ chain from evaluation-ordered predicates.
+fn rebuild_chain(preds: Vec<BoundPred>, below: Lqp) -> Lqp {
+    preds
+        .into_iter()
+        .fold(below, |input, pred| Lqp::Filter { input: Box::new(input), pred })
+}
+
+/// Recurse into the (single) input of a non-Filter node.
+fn map_input(plan: Lqp, f: impl Fn(Lqp) -> Lqp) -> Lqp {
+    match plan {
+        Lqp::StoredTable { .. } => plan,
+        Lqp::Filter { input, pred } => Lqp::Filter { input: Box::new(f(*input)), pred },
+        Lqp::FusedFilterChain { input, preds } => {
+            Lqp::FusedFilterChain { input: Box::new(f(*input)), preds }
+        }
+        Lqp::Aggregate { input, aggs } => Lqp::Aggregate { input: Box::new(f(*input)), aggs },
+        Lqp::Project { input, columns, names } => {
+            Lqp::Project { input: Box::new(f(*input)), columns, names }
+        }
+        Lqp::Limit { input, n } => Lqp::Limit { input: Box::new(f(*input)), n },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::lqp::plan;
+    use crate::parser::parse;
+    use fts_storage::{Column, ColumnDef, DataType, Table};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(
+            "t",
+            Table::from_columns(
+                vec![
+                    ColumnDef::new("wide", DataType::U32),   // 2 distinct → sel 0.5
+                    ColumnDef::new("narrow", DataType::U32), // 100 distinct → sel 0.01
+                    ColumnDef::new("mid", DataType::U32),    // 10 distinct → sel 0.1
+                ],
+                vec![
+                    Column::from_fn(1000, |i| (i % 2) as u32),
+                    Column::from_fn(1000, |i| (i % 100) as u32),
+                    Column::from_fn(1000, |i| (i % 10) as u32),
+                ],
+            )
+            .unwrap(),
+        );
+        cat
+    }
+
+    fn optimized(sql: &str) -> Lqp {
+        let cat = catalog();
+        optimize(plan(&parse(sql).unwrap(), &cat).unwrap())
+    }
+
+    #[test]
+    fn chains_are_fused_and_reordered() {
+        let p = optimized("SELECT COUNT(*) FROM t WHERE wide = 1 AND narrow = 7 AND mid = 3");
+        let Lqp::Aggregate { input, .. } = &p else { panic!("{p:?}") };
+        let Lqp::FusedFilterChain { preds, input } = input.as_ref() else { panic!("{p:?}") };
+        // Most selective first: narrow (0.01), mid (0.1), wide (0.5).
+        let names: Vec<&str> = preds.iter().map(|q| q.column_name.as_str()).collect();
+        assert_eq!(names, vec!["narrow", "mid", "wide"]);
+        assert!(matches!(input.as_ref(), Lqp::StoredTable { .. }));
+    }
+
+    #[test]
+    fn single_predicate_stays_a_filter() {
+        let p = optimized("SELECT COUNT(*) FROM t WHERE mid = 3");
+        let Lqp::Aggregate { input, .. } = &p else { panic!() };
+        assert!(matches!(input.as_ref(), Lqp::Filter { .. }));
+    }
+
+    #[test]
+    fn no_where_clause() {
+        let p = optimized("SELECT COUNT(*) FROM t");
+        let Lqp::Aggregate { input, .. } = &p else { panic!() };
+        assert!(matches!(input.as_ref(), Lqp::StoredTable { .. }));
+    }
+
+    #[test]
+    fn explain_shows_fused_tag() {
+        let text = optimized("SELECT COUNT(*) FROM t WHERE wide = 1 AND mid = 3").explain();
+        assert!(text.contains("FusedTableScan ꔖ[mid = 3 AND wide = 1]"), "{text}");
+    }
+
+    #[test]
+    fn projection_queries_fuse_below_project() {
+        let p = optimized("SELECT narrow FROM t WHERE wide = 0 AND mid = 2 LIMIT 3");
+        let Lqp::Limit { input, .. } = &p else { panic!("{p:?}") };
+        let Lqp::Project { input, .. } = input.as_ref() else { panic!("{p:?}") };
+        assert!(matches!(input.as_ref(), Lqp::FusedFilterChain { .. }));
+    }
+
+    #[test]
+    fn reorder_is_stable_for_equal_selectivities() {
+        let p = optimized("SELECT COUNT(*) FROM t WHERE mid = 1 AND mid = 2");
+        let Lqp::Aggregate { input, .. } = &p else { panic!() };
+        let Lqp::FusedFilterChain { preds, .. } = input.as_ref() else { panic!() };
+        assert_eq!(preds[0].value, fts_storage::Value::U32(1));
+        assert_eq!(preds[1].value, fts_storage::Value::U32(2));
+    }
+}

@@ -1,0 +1,341 @@
+//! Recursive-descent parser for the SQL subset (see [`crate::ast`]).
+
+use fts_storage::CmpOp;
+
+use crate::ast::{AggExpr, AggFunc, AstPredicate, Literal, Projection, Select};
+use crate::lexer::{lex, LexError, Token};
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Unexpected token (or end of input).
+    Unexpected {
+        /// What the parser found (`None` = end of input).
+        got: Option<Token>,
+        /// What it expected.
+        expected: String,
+    },
+    /// Tokens left over after a complete statement.
+    TrailingTokens,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { got: Some(t), expected } => {
+                write!(f, "unexpected token {t:?}, expected {expected}")
+            }
+            ParseError::Unexpected { got: None, expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            ParseError::TrailingTokens => write!(f, "trailing tokens after statement"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Keyword(k)) if k == kw => Ok(()),
+            got => Err(ParseError::Unexpected { got, expected: kw.to_string() }),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            got => Err(ParseError::Unexpected { got, expected: "identifier".into() }),
+        }
+    }
+
+    fn agg_keyword(&self) -> Option<AggFunc> {
+        match self.peek() {
+            Some(Token::Keyword(k)) => match k.as_str() {
+                "COUNT" => Some(AggFunc::Count),
+                "SUM" => Some(AggFunc::Sum),
+                "MIN" => Some(AggFunc::Min),
+                "MAX" => Some(AggFunc::Max),
+                "AVG" => Some(AggFunc::Avg),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn parse_agg(&mut self) -> Result<AggExpr, ParseError> {
+        let func = self.agg_keyword().expect("caller checked");
+        self.pos += 1;
+        match self.next() {
+            Some(Token::LParen) => {}
+            got => return Err(ParseError::Unexpected { got, expected: "(".into() }),
+        }
+        let column = match (func, self.next()) {
+            (AggFunc::Count, Some(Token::Star)) => None,
+            (AggFunc::Count, got) => {
+                return Err(ParseError::Unexpected { got, expected: "* (only COUNT(*))".into() })
+            }
+            (_, Some(Token::Ident(c))) => Some(c),
+            (_, got) => {
+                return Err(ParseError::Unexpected { got, expected: "column name".into() })
+            }
+        };
+        match self.next() {
+            Some(Token::RParen) => Ok(AggExpr { func, column }),
+            got => Err(ParseError::Unexpected { got, expected: ")".into() }),
+        }
+    }
+
+    fn parse_projection(&mut self) -> Result<Projection, ParseError> {
+        if self.agg_keyword().is_some() {
+            let mut aggs = vec![self.parse_agg()?];
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                if self.agg_keyword().is_none() {
+                    return Err(ParseError::Unexpected {
+                        got: self.peek().cloned(),
+                        expected: "aggregate function (no mixing with plain columns)".into(),
+                    });
+                }
+                aggs.push(self.parse_agg()?);
+            }
+            Ok(Projection::Aggregates(aggs))
+        } else if matches!(self.peek(), Some(Token::Star)) {
+            self.pos += 1;
+            Ok(Projection::Star)
+        } else {
+            let mut cols = vec![self.expect_ident()?];
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                cols.push(self.expect_ident()?);
+            }
+            Ok(Projection::Columns(cols))
+        }
+    }
+
+    fn parse_op(&mut self) -> Result<CmpOp, ParseError> {
+        match self.next() {
+            Some(Token::Op(op)) => Ok(match op.as_str() {
+                "=" => CmpOp::Eq,
+                "<>" => CmpOp::Ne,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                _ => unreachable!("lexer emits only the six operators"),
+            }),
+            got => Err(ParseError::Unexpected { got, expected: "comparison operator".into() }),
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Literal::Int(v)),
+            Some(Token::Float(v)) => Ok(Literal::Float(v)),
+            got => Err(ParseError::Unexpected { got, expected: "literal".into() }),
+        }
+    }
+
+    /// `col OP literal`, `literal OP col` (operator flipped), or
+    /// `col BETWEEN lo AND hi` (desugared into two predicates; BETWEEN
+    /// binds tighter than the conjunction's AND).
+    fn parse_predicates(&mut self, out: &mut Vec<AstPredicate>) -> Result<(), ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Ident(_)) => {
+                let column = self.expect_ident()?;
+                if self.eat_keyword("BETWEEN") {
+                    let lo = self.parse_literal()?;
+                    self.expect_keyword("AND")?;
+                    let hi = self.parse_literal()?;
+                    out.push(AstPredicate { column: column.clone(), op: CmpOp::Ge, literal: lo });
+                    out.push(AstPredicate { column, op: CmpOp::Le, literal: hi });
+                } else {
+                    let op = self.parse_op()?;
+                    let literal = self.parse_literal()?;
+                    out.push(AstPredicate { column, op, literal });
+                }
+                Ok(())
+            }
+            Some(Token::Int(_)) | Some(Token::Float(_)) => {
+                let literal = self.parse_literal()?;
+                let op = self.parse_op()?;
+                let column = self.expect_ident()?;
+                out.push(AstPredicate { column, op: op.flip(), literal });
+                Ok(())
+            }
+            got => Err(ParseError::Unexpected { got, expected: "predicate".into() }),
+        }
+    }
+}
+
+/// Parse one SELECT statement.
+pub fn parse(sql: &str) -> Result<Select, ParseError> {
+    let mut p = Parser { tokens: lex(sql)?, pos: 0 };
+    let explain = p.eat_keyword("EXPLAIN");
+    p.expect_keyword("SELECT")?;
+    let projection = p.parse_projection()?;
+    p.expect_keyword("FROM")?;
+    let table = p.expect_ident()?;
+
+    let mut predicates = Vec::new();
+    if p.eat_keyword("WHERE") {
+        p.parse_predicates(&mut predicates)?;
+        while p.eat_keyword("AND") {
+            p.parse_predicates(&mut predicates)?;
+        }
+    }
+    let mut limit = None;
+    if p.eat_keyword("LIMIT") {
+        match p.next() {
+            Some(Token::Int(n)) if n >= 0 => limit = Some(n as u64),
+            got => return Err(ParseError::Unexpected { got, expected: "limit count".into() }),
+        }
+    }
+    if matches!(p.peek(), Some(Token::Semicolon)) {
+        p.pos += 1;
+    }
+    if p.peek().is_some() {
+        return Err(ParseError::TrailingTokens);
+    }
+    Ok(Select { projection, table, predicates, limit, explain })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_query() {
+        let s = parse("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2").unwrap();
+        assert_eq!(
+            s.projection,
+            Projection::Aggregates(vec![AggExpr { func: AggFunc::Count, column: None }])
+        );
+        assert_eq!(s.table, "tbl");
+        assert_eq!(s.predicates.len(), 2);
+        assert_eq!(s.predicates[0].column, "a");
+        assert_eq!(s.predicates[0].op, CmpOp::Eq);
+        assert_eq!(s.predicates[0].literal, Literal::Int(5));
+        assert!(!s.explain);
+        assert_eq!(s.limit, None);
+    }
+
+    #[test]
+    fn parses_projections_and_limit() {
+        let s = parse("SELECT * FROM t LIMIT 10;").unwrap();
+        assert_eq!(s.projection, Projection::Star);
+        assert_eq!(s.limit, Some(10));
+
+        let s = parse("SELECT a, b, c FROM t WHERE a < 3").unwrap();
+        assert_eq!(
+            s.projection,
+            Projection::Columns(vec!["a".into(), "b".into(), "c".into()])
+        );
+    }
+
+    #[test]
+    fn flips_literal_on_left() {
+        let s = parse("SELECT COUNT(*) FROM t WHERE 5 < a").unwrap();
+        assert_eq!(s.predicates[0].op, CmpOp::Gt);
+        assert_eq!(s.predicates[0].column, "a");
+    }
+
+    #[test]
+    fn explain_prefix_and_long_chains() {
+        let s = parse(
+            "EXPLAIN SELECT COUNT(*) FROM t WHERE a = 1 AND b = 2 AND c = 3 AND d = 4 AND e = 5",
+        )
+        .unwrap();
+        assert!(s.explain);
+        assert_eq!(s.predicates.len(), 5);
+    }
+
+    #[test]
+    fn float_literals_and_all_ops() {
+        for (text, op) in [
+            ("=", CmpOp::Eq),
+            ("<>", CmpOp::Ne),
+            ("<", CmpOp::Lt),
+            ("<=", CmpOp::Le),
+            (">", CmpOp::Gt),
+            (">=", CmpOp::Ge),
+        ] {
+            let s = parse(&format!("SELECT COUNT(*) FROM t WHERE x {text} 1.5")).unwrap();
+            assert_eq!(s.predicates[0].op, op, "{text}");
+            assert_eq!(s.predicates[0].literal, Literal::Float(1.5));
+        }
+    }
+
+    #[test]
+    fn aggregate_projections() {
+        let s = parse("SELECT COUNT(*), SUM(a), MIN(b), MAX(b), AVG(a) FROM t").unwrap();
+        let Projection::Aggregates(aggs) = &s.projection else { panic!("{s:?}") };
+        assert_eq!(aggs.len(), 5);
+        assert_eq!(aggs[1], AggExpr { func: AggFunc::Sum, column: Some("a".into()) });
+        assert_eq!(aggs[4].func, AggFunc::Avg);
+        // COUNT(col) is not supported; mixing aggs and columns is not.
+        assert!(parse("SELECT COUNT(a) FROM t").is_err());
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+        assert!(parse("SELECT SUM(a), b FROM t").is_err());
+    }
+
+    #[test]
+    fn between_desugars_into_two_predicates() {
+        let s = parse("SELECT COUNT(*) FROM t WHERE d BETWEEN 5 AND 7 AND q < 24").unwrap();
+        assert_eq!(s.predicates.len(), 3);
+        assert_eq!(s.predicates[0].op, CmpOp::Ge);
+        assert_eq!(s.predicates[0].literal, Literal::Int(5));
+        assert_eq!(s.predicates[1].op, CmpOp::Le);
+        assert_eq!(s.predicates[1].literal, Literal::Int(7));
+        assert_eq!(s.predicates[2].column, "q");
+        // BETWEEN needs both bounds.
+        assert!(parse("SELECT COUNT(*) FROM t WHERE d BETWEEN 5").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE d BETWEEN 5 AND").is_err());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT COUNT(*) FROM").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE a =").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t garbage").is_err());
+        assert!(parse("SELECT COUNT(* FROM t").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t LIMIT x").is_err());
+    }
+}

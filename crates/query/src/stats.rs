@@ -1,0 +1,183 @@
+//! Column statistics and selectivity estimation.
+//!
+//! The rule-based optimizer (paper §V, Fig. 9) reorders predicate chains
+//! "in the most efficient order" — most selective first. These statistics
+//! provide the estimates: min/max plus a distinct-value count (exact up to
+//! a cap, then a range-based heuristic), with the classic uniformity
+//! assumptions for each operator.
+
+use fts_storage::{CmpOp, Column, NativeType as _, Value};
+
+/// Exact-distinct cap; above it the estimate falls back to the value range.
+const DISTINCT_CAP: usize = 65_536;
+
+/// Summary statistics of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of rows.
+    pub rows: u64,
+    /// Minimum value (as f64, for range math); `None` for empty columns.
+    pub min: Option<f64>,
+    /// Maximum value.
+    pub max: Option<f64>,
+    /// Estimated number of distinct values (≥ 1 for non-empty columns).
+    pub distinct: u64,
+}
+
+impl ColumnStats {
+    /// Compute statistics for a column.
+    pub fn from_column(col: &Column) -> ColumnStats {
+        let rows = col.len() as u64;
+        let (min, max) = match col.min_max() {
+            Some((lo, hi)) => (lo.as_f64(), hi.as_f64()),
+            None => (None, None),
+        };
+        let distinct = estimate_distinct(col, min, max);
+        ColumnStats { rows, min, max, distinct }
+    }
+
+    /// Estimated fraction of rows satisfying `col OP literal`, in `[0, 1]`.
+    pub fn selectivity(&self, op: CmpOp, literal: Value) -> f64 {
+        let Some(lit) = literal.as_f64() else { return 0.5 };
+        let (Some(min), Some(max)) = (self.min, self.max) else {
+            return 0.0; // empty column: nothing matches
+        };
+        let eq = 1.0 / self.distinct.max(1) as f64;
+        let range_frac = |x: f64| {
+            if max > min {
+                ((x - min) / (max - min)).clamp(0.0, 1.0)
+            } else {
+                // Single-valued column: the fraction strictly below x.
+                f64::from(x > min)
+            }
+        };
+        match op {
+            CmpOp::Eq => {
+                if lit < min || lit > max {
+                    0.0
+                } else {
+                    eq
+                }
+            }
+            CmpOp::Ne => {
+                if lit < min || lit > max {
+                    1.0
+                } else {
+                    1.0 - eq
+                }
+            }
+            CmpOp::Lt => range_frac(lit),
+            CmpOp::Le => (range_frac(lit) + eq).min(1.0),
+            CmpOp::Gt => 1.0 - (range_frac(lit) + eq).min(1.0),
+            CmpOp::Ge => 1.0 - range_frac(lit),
+        }
+        .clamp(0.0, 1.0)
+    }
+}
+
+fn estimate_distinct(col: &Column, min: Option<f64>, max: Option<f64>) -> u64 {
+    use std::collections::HashSet;
+    let mut seen: HashSet<u64> = HashSet::new();
+    fts_storage::with_native!(col, values => {
+        for v in values {
+            // Bit-pattern identity is a fine distinctness proxy here.
+            let bits = value_bits(v.to_value());
+            seen.insert(bits);
+            if seen.len() > DISTINCT_CAP {
+                // Fallback: integer ranges bound distinctness; otherwise rows.
+                let span = match (min, max) {
+                    (Some(lo), Some(hi)) if col.data_type().is_integer() => {
+                        (hi - lo + 1.0) as u64
+                    }
+                    _ => values.len() as u64,
+                };
+                return span.min(values.len() as u64).max(1);
+            }
+        }
+        seen.len().max(1) as u64
+    })
+}
+
+fn value_bits(v: Value) -> u64 {
+    match v {
+        Value::I8(x) => x as u64,
+        Value::I16(x) => x as u64,
+        Value::I32(x) => x as u64,
+        Value::I64(x) => x as u64,
+        Value::U8(x) => x as u64,
+        Value::U16(x) => x as u64,
+        Value::U32(x) => x as u64,
+        Value::U64(x) => x,
+        Value::F32(x) => x.to_bits() as u64,
+        Value::F64(x) => x.to_bits(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(values: Vec<u32>) -> ColumnStats {
+        ColumnStats::from_column(&Column::from_vec(values))
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = stats((0..100).collect());
+        assert_eq!(s.rows, 100);
+        assert_eq!(s.min, Some(0.0));
+        assert_eq!(s.max, Some(99.0));
+        assert_eq!(s.distinct, 100);
+    }
+
+    #[test]
+    fn eq_selectivity_uses_distinct() {
+        let s = stats((0..1000).map(|i| i % 10).collect());
+        assert_eq!(s.distinct, 10);
+        assert!((s.selectivity(CmpOp::Eq, Value::U32(5)) - 0.1).abs() < 1e-9);
+        assert!((s.selectivity(CmpOp::Ne, Value::U32(5)) - 0.9).abs() < 1e-9);
+        // Out-of-range literal.
+        assert_eq!(s.selectivity(CmpOp::Eq, Value::U32(50)), 0.0);
+        assert_eq!(s.selectivity(CmpOp::Ne, Value::U32(50)), 1.0);
+    }
+
+    #[test]
+    fn range_selectivities_are_monotone() {
+        let s = stats((0..=100).collect());
+        let lo = s.selectivity(CmpOp::Lt, Value::U32(10));
+        let hi = s.selectivity(CmpOp::Lt, Value::U32(90));
+        assert!(lo < hi);
+        assert!((lo - 0.1).abs() < 0.02);
+        assert!(s.selectivity(CmpOp::Ge, Value::U32(90)) < 0.15);
+        assert!(s.selectivity(CmpOp::Le, Value::U32(100)) > 0.99);
+        assert!(s.selectivity(CmpOp::Gt, Value::U32(100)) < 0.02);
+    }
+
+    #[test]
+    fn empty_and_constant_columns() {
+        let s = stats(vec![]);
+        assert_eq!(s.selectivity(CmpOp::Eq, Value::U32(1)), 0.0);
+        let s = stats(vec![7; 50]);
+        assert_eq!(s.distinct, 1);
+        assert_eq!(s.selectivity(CmpOp::Eq, Value::U32(7)), 1.0);
+        assert!(s.selectivity(CmpOp::Lt, Value::U32(7)) < 1e-9);
+    }
+
+    #[test]
+    fn distinct_cap_falls_back_to_range() {
+        let col = Column::from_fn(100_000, |i| i as u32);
+        let s = ColumnStats::from_column(&col);
+        // Exact counting stops at the cap; the range heuristic takes over.
+        assert!(s.distinct >= DISTINCT_CAP as u64, "distinct={}", s.distinct);
+        assert!(s.distinct <= 100_000);
+    }
+
+    #[test]
+    fn float_columns() {
+        let col = Column::from_vec(vec![1.0f32, 2.0, 3.0, 4.0]);
+        let s = ColumnStats::from_column(&col);
+        assert_eq!(s.distinct, 4);
+        let sel = s.selectivity(CmpOp::Le, Value::F32(2.0));
+        assert!(sel > 0.3 && sel < 0.8, "{sel}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Robustness properties of the SQL front end: the lexer and parser must
+//! never panic, round-trip every statement the planner accepts, and keep
+//! error reporting structured for arbitrary garbage.
+
+use fts_query::parser::parse;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup: lexing + parsing must return, never panic.
+    #[test]
+    fn parser_never_panics_on_garbage(input in ".{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// Arbitrary sequences of plausible SQL tokens: still no panics, and
+    /// when parsing succeeds the statement has a table.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "SELECT", "FROM", "WHERE", "AND", "COUNT", "SUM", "AVG", "LIMIT",
+                "EXPLAIN", "(", ")", "*", ",", "=", "<", "<=", "<>", "tbl", "a",
+                "b", "5", "-3", "1.5", ";",
+            ]),
+            0..16,
+        )
+    ) {
+        let input = tokens.join(" ");
+        if let Ok(stmt) = parse(&input) {
+            prop_assert!(!stmt.table.is_empty());
+        }
+    }
+
+    /// Well-formed statements generated from a grammar always parse, and
+    /// the parsed shape matches the generated pieces.
+    #[test]
+    fn generated_statements_round_trip(
+        explain in any::<bool>(),
+        agg in prop::sample::select(vec!["COUNT(*)", "SUM(x)", "MIN(x)", "MAX(x)", "AVG(x)"]),
+        preds in prop::collection::vec(
+            (
+                prop::sample::select(vec!["a", "b", "c_3"]),
+                prop::sample::select(vec!["=", "<>", "<", "<=", ">", ">="]),
+                -1000i32..1000,
+            ),
+            0..5,
+        ),
+        limit in prop::option::of(0u64..10_000),
+    ) {
+        let mut sql = String::new();
+        if explain {
+            sql.push_str("EXPLAIN ");
+        }
+        sql.push_str(&format!("SELECT {agg} FROM t"));
+        for (i, (col, op, lit)) in preds.iter().enumerate() {
+            sql.push_str(if i == 0 { " WHERE " } else { " AND " });
+            sql.push_str(&format!("{col} {op} {lit}"));
+        }
+        if let Some(n) = limit {
+            sql.push_str(&format!(" LIMIT {n}"));
+        }
+        let stmt = parse(&sql).unwrap_or_else(|e| panic!("'{sql}' must parse: {e}"));
+        prop_assert_eq!(stmt.explain, explain);
+        prop_assert_eq!(stmt.table, "t");
+        prop_assert_eq!(stmt.predicates.len(), preds.len());
+        prop_assert_eq!(stmt.limit, limit);
+        for (parsed, (col, _, lit)) in stmt.predicates.iter().zip(&preds) {
+            prop_assert_eq!(&parsed.column, col);
+            prop_assert_eq!(parsed.literal, fts_query::ast::Literal::Int(*lit as i128));
+        }
+    }
+}

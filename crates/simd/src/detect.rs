@@ -1,0 +1,111 @@
+//! Runtime ISA detection.
+//!
+//! The JIT layer (paper §V) must know which instruction-set extension the
+//! host offers before choosing a kernel: AVX-512 (with the VL extension for
+//! 128/256-bit masked operations), AVX2 for the backported fused scan, or
+//! neither (scalar reference engine). Detection is done once and cached.
+
+use std::sync::OnceLock;
+
+/// Highest vector extension usable for the fused scan on this host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimdLevel {
+    /// No usable vector extension — scalar reference engine only.
+    Scalar,
+    /// AVX2: fused scan via the multi-instruction compress/permute emulation
+    /// (paper §III last paragraph, `REG == 128 && !AVX512`).
+    Avx2,
+    /// AVX-512 F+VL(+BW+DQ): native masked compare, compress and
+    /// permutex2var at 128-, 256- and 512-bit widths.
+    Avx512,
+}
+
+impl SimdLevel {
+    /// Human-readable name used by benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Detect the best [`SimdLevel`] available at runtime (cached).
+pub fn detect() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        if has_avx512() {
+            SimdLevel::Avx512
+        } else if has_avx2() {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Scalar
+        }
+    })
+}
+
+/// Whether the full AVX-512 subset the fused kernels use is present:
+/// F (512-bit foundation), VL (128/256-bit forms), BW (8/16-bit lanes),
+/// DQ (64-bit lane compares and `kmov` on larger masks).
+pub fn has_avx512() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether AVX2 (plus FMA-era gathers) is present.
+pub fn has_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_is_stable() {
+        assert_eq!(detect(), detect());
+    }
+
+    #[test]
+    fn level_ordering_reflects_capability() {
+        assert!(SimdLevel::Scalar < SimdLevel::Avx2);
+        assert!(SimdLevel::Avx2 < SimdLevel::Avx512);
+    }
+
+    #[test]
+    fn avx512_implies_avx2_level() {
+        if has_avx512() {
+            assert_eq!(detect(), SimdLevel::Avx512);
+            assert!(has_avx2(), "every AVX-512 part also has AVX2");
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SimdLevel::Avx512.to_string(), "avx512");
+        assert_eq!(SimdLevel::Scalar.name(), "scalar");
+    }
+}

@@ -1,0 +1,312 @@
+//! Thin array-in/array-out wrappers over the real AVX-512 intrinsics.
+//!
+//! These exist so the semantic models in [`crate::model`] can be
+//! differential-tested against the hardware on machines that have AVX-512
+//! (see `tests/` of this crate), and so higher layers can execute a single
+//! primitive without writing `unsafe` themselves. The hot fused-scan loops
+//! in `fts-core` do **not** go through these wrappers — they use the
+//! intrinsics directly inside one `#[target_feature]` function so everything
+//! inlines.
+//!
+//! x86-64 only; every safe wrapper panics when [`crate::detect::has_avx512`]
+//! is false.
+
+#![cfg(target_arch = "x86_64")]
+
+use fts_storage::CmpOp;
+
+use crate::detect::has_avx512;
+
+macro_rules! hw_width {
+    ($modname:ident, $n:expr, $mask:ty, $vec:ty,
+     $loadu:ident, $storeu:ident, $set1:ident,
+     $cmpeq:ident, $cmpneq:ident, $cmplt:ident, $cmple:ident, $cmpgt:ident, $cmpge:ident,
+     $mask_cmpeq:ident, $compress:ident, $permutex2var:ident,
+     |$base:ident, $idx:ident| $gather:expr,
+     |$gsrc:ident, $gk:ident, $gidx:ident, $gbase:ident| $mask_gather:expr) => {
+        /// Wrappers at one register width. Lane type is `u32` (the paper's
+        /// 4-byte integers); `N` lanes per register.
+        pub mod $modname {
+            use super::*;
+            use std::arch::x86_64::*;
+
+            /// Lanes per register at this width.
+            pub const LANES: usize = $n;
+
+            #[inline]
+            #[target_feature(enable = "avx512f,avx512vl")]
+            unsafe fn load(a: &[u32; $n]) -> $vec {
+                // SAFETY: `a` is a valid, readable [u32; N].
+                unsafe { $loadu(a.as_ptr() as *const $vec) }
+            }
+
+            #[inline]
+            #[target_feature(enable = "avx512f,avx512vl")]
+            unsafe fn store(v: $vec) -> [u32; $n] {
+                let mut out = [0u32; $n];
+                // SAFETY: `out` is a valid, writable [u32; N].
+                unsafe { $storeu(out.as_mut_ptr() as *mut $vec, v) };
+                out
+            }
+
+            /// `_mm*_mask_compress_epi32(src, k, a)`.
+            pub fn compress(src: [u32; $n], k: u32, a: [u32; $n]) -> [u32; $n] {
+                assert!(has_avx512());
+                // SAFETY: feature presence checked above.
+                unsafe { compress_impl(src, k, a) }
+            }
+
+            #[target_feature(enable = "avx512f,avx512vl")]
+            unsafe fn compress_impl(src: [u32; $n], k: u32, a: [u32; $n]) -> [u32; $n] {
+                // SAFETY: inherited target features; loads/stores on locals.
+                unsafe { store($compress(load(&src), k as $mask, load(&a))) }
+            }
+
+            /// `_mm*_permutex2var_epi32(a, idx, b)`.
+            pub fn permutex2var(a: [u32; $n], idx: [u32; $n], b: [u32; $n]) -> [u32; $n] {
+                assert!(has_avx512());
+                // SAFETY: feature presence checked above.
+                unsafe { permutex2var_impl(a, idx, b) }
+            }
+
+            #[target_feature(enable = "avx512f,avx512vl")]
+            unsafe fn permutex2var_impl(a: [u32; $n], idx: [u32; $n], b: [u32; $n]) -> [u32; $n] {
+                // SAFETY: inherited target features.
+                unsafe { store($permutex2var(load(&a), load(&idx), load(&b))) }
+            }
+
+            /// Unsigned 32-bit compare to mask, any of the six operators.
+            pub fn cmp_epu32_mask(op: CmpOp, a: [u32; $n], b: [u32; $n]) -> u32 {
+                assert!(has_avx512());
+                // SAFETY: feature presence checked above.
+                unsafe { cmp_impl(op, a, b) }
+            }
+
+            #[target_feature(enable = "avx512f,avx512vl")]
+            unsafe fn cmp_impl(op: CmpOp, a: [u32; $n], b: [u32; $n]) -> u32 {
+                // SAFETY: inherited target features.
+                unsafe {
+                    let (a, b) = (load(&a), load(&b));
+                    (match op {
+                        CmpOp::Eq => $cmpeq(a, b),
+                        CmpOp::Ne => $cmpneq(a, b),
+                        CmpOp::Lt => $cmplt(a, b),
+                        CmpOp::Le => $cmple(a, b),
+                        CmpOp::Gt => $cmpgt(a, b),
+                        CmpOp::Ge => $cmpge(a, b),
+                    }) as u32
+                }
+            }
+
+            /// Zero-masked equality compare: `_mm*_mask_cmpeq_epu32_mask`.
+            pub fn mask_cmpeq_epu32_mask(k1: u32, a: [u32; $n], b: [u32; $n]) -> u32 {
+                assert!(has_avx512());
+                // SAFETY: feature presence checked above.
+                unsafe { mask_cmpeq_impl(k1, a, b) }
+            }
+
+            #[target_feature(enable = "avx512f,avx512vl")]
+            unsafe fn mask_cmpeq_impl(k1: u32, a: [u32; $n], b: [u32; $n]) -> u32 {
+                // SAFETY: inherited target features.
+                unsafe { $mask_cmpeq(k1 as $mask, load(&a), load(&b)) as u32 }
+            }
+
+            /// Unmasked 32-bit gather: `out[i] = base[idx[i]]`.
+            ///
+            /// Every index must be in bounds of `base`.
+            pub fn gather(base: &[u32], idx: [u32; $n]) -> [u32; $n] {
+                assert!(has_avx512());
+                for &i in &idx {
+                    assert!((i as usize) < base.len(), "gather index out of bounds");
+                }
+                // SAFETY: features checked; all lanes verified in bounds.
+                unsafe { gather_impl(base, idx) }
+            }
+
+            #[target_feature(enable = "avx512f,avx512vl,avx2")]
+            unsafe fn gather_impl(base: &[u32], idx: [u32; $n]) -> [u32; $n] {
+                // SAFETY: caller verified every lane index.
+                unsafe {
+                    let $idx = load(&idx);
+                    let $base = base.as_ptr() as *const i32;
+                    store($gather)
+                }
+            }
+
+            /// Masked 32-bit gather; inactive lanes keep `src` and their
+            /// indexes are never dereferenced (fault suppression).
+            pub fn mask_gather(src: [u32; $n], k: u32, idx: [u32; $n], base: &[u32]) -> [u32; $n] {
+                assert!(has_avx512());
+                for lane in 0..$n {
+                    if k & (1 << lane) != 0 {
+                        assert!((idx[lane] as usize) < base.len(), "gather index out of bounds");
+                    }
+                }
+                // SAFETY: features checked; every *active* lane verified.
+                unsafe { mask_gather_impl(src, k, idx, base) }
+            }
+
+            #[target_feature(enable = "avx512f,avx512vl,avx2")]
+            unsafe fn mask_gather_impl(
+                src: [u32; $n],
+                k: u32,
+                idx: [u32; $n],
+                base: &[u32],
+            ) -> [u32; $n] {
+                // SAFETY: caller verified every active lane index; masked
+                // lanes are architecturally not dereferenced.
+                unsafe {
+                    let $gsrc = load(&src);
+                    let $gk = k as $mask;
+                    let $gidx = load(&idx);
+                    let $gbase = base.as_ptr() as *const i32;
+                    store($mask_gather)
+                }
+            }
+        }
+    };
+}
+
+hw_width!(
+    w128, 4, __mmask8, __m128i,
+    _mm_loadu_si128, _mm_storeu_si128, _mm_set1_epi32,
+    _mm_cmpeq_epu32_mask, _mm_cmpneq_epu32_mask, _mm_cmplt_epu32_mask,
+    _mm_cmple_epu32_mask, _mm_cmpgt_epu32_mask, _mm_cmpge_epu32_mask,
+    _mm_mask_cmpeq_epu32_mask, _mm_mask_compress_epi32, _mm_permutex2var_epi32,
+    |base, idx| _mm_i32gather_epi32::<4>(base, idx),
+    |src, k, idx, base| _mm_mmask_i32gather_epi32::<4>(src, k, idx, base)
+);
+
+hw_width!(
+    w256, 8, __mmask8, __m256i,
+    _mm256_loadu_si256, _mm256_storeu_si256, _mm256_set1_epi32,
+    _mm256_cmpeq_epu32_mask, _mm256_cmpneq_epu32_mask, _mm256_cmplt_epu32_mask,
+    _mm256_cmple_epu32_mask, _mm256_cmpgt_epu32_mask, _mm256_cmpge_epu32_mask,
+    _mm256_mask_cmpeq_epu32_mask, _mm256_mask_compress_epi32, _mm256_permutex2var_epi32,
+    |base, idx| _mm256_i32gather_epi32::<4>(base, idx),
+    |src, k, idx, base| _mm256_mmask_i32gather_epi32::<4>(src, k, idx, base)
+);
+
+hw_width!(
+    w512, 16, __mmask16, __m512i,
+    _mm512_loadu_si512, _mm512_storeu_si512, _mm512_set1_epi32,
+    _mm512_cmpeq_epu32_mask, _mm512_cmpneq_epu32_mask, _mm512_cmplt_epu32_mask,
+    _mm512_cmple_epu32_mask, _mm512_cmpgt_epu32_mask, _mm512_cmpge_epu32_mask,
+    _mm512_mask_cmpeq_epu32_mask, _mm512_mask_compress_epi32, _mm512_permutex2var_epi32,
+    |base, idx| _mm512_i32gather_epi32::<4>(idx, base),
+    |src, k, idx, base| _mm512_mask_i32gather_epi32::<4>(src, k, idx, base)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model;
+
+    fn skip() -> bool {
+        if !has_avx512() {
+            eprintln!("skipping: no AVX-512 on this host");
+            return true;
+        }
+        false
+    }
+
+    #[test]
+    fn w128_matches_figure3() {
+        if skip() {
+            return;
+        }
+        // Fig. 3, first block: (2,5,4,5) = 5 → mask 0b1010.
+        let k = w128::cmp_epu32_mask(CmpOp::Eq, [2, 5, 4, 5], [5; 4]);
+        assert_eq!(k, 0b1010);
+        let pos = w128::compress([0; 4], k, [0, 1, 2, 3]);
+        assert_eq!(pos[..2], [1, 3]);
+    }
+
+    #[test]
+    fn compress_matches_model_all_masks_w128() {
+        if skip() {
+            return;
+        }
+        let src = [100u32, 101, 102, 103];
+        let a = [10u32, 11, 12, 13];
+        for k in 0..16u32 {
+            assert_eq!(w128::compress(src, k, a), model::compress(src, k, a), "k={k:04b}");
+        }
+    }
+
+    #[test]
+    fn permutex2var_matches_model_w256() {
+        if skip() {
+            return;
+        }
+        let a: [u32; 8] = std::array::from_fn(|i| i as u32);
+        let b: [u32; 8] = std::array::from_fn(|i| 100 + i as u32);
+        for shift in 0..8u32 {
+            let idx: [u32; 8] = std::array::from_fn(|i| i as u32 + shift);
+            assert_eq!(
+                w256::permutex2var(a, idx, b),
+                model::permutex2var(a, idx, b),
+                "shift={shift}"
+            );
+        }
+    }
+
+    #[test]
+    fn cmp_all_ops_matches_model_w512() {
+        if skip() {
+            return;
+        }
+        let a: [u32; 16] = std::array::from_fn(|i| (i as u32) % 7);
+        let b = [3u32; 16];
+        for op in CmpOp::ALL {
+            assert_eq!(w512::cmp_epu32_mask(op, a, b), model::cmp_mask(op, a, b), "{op}");
+        }
+    }
+
+    #[test]
+    fn gathers_match_model() {
+        if skip() {
+            return;
+        }
+        let base: Vec<u32> = (0..64).map(|i| i * 3).collect();
+        let idx = [63u32, 0, 17, 4];
+        assert_eq!(w128::gather(&base, idx), model::gather(&base, idx));
+        let idx16: [u32; 16] = std::array::from_fn(|i| (i * 4) as u32);
+        assert_eq!(w512::gather(&base, idx16), model::gather(&base, idx16));
+        let src = [7u32; 16];
+        for k in [0u32, 0xFFFF, 0x00FF, 0xAAAA] {
+            assert_eq!(
+                w512::mask_gather(src, k, idx16, &base),
+                model::mask_gather(src, k, idx16, &base),
+                "k={k:x}"
+            );
+        }
+    }
+
+    #[test]
+    fn mask_gather_does_not_fault_on_inactive_oob() {
+        if skip() {
+            return;
+        }
+        let base = [1u32, 2];
+        // Lane 1..3 indexes are wildly out of bounds but masked off.
+        let out = w128::mask_gather([9; 4], 0b0001, [1, 0xFFFF_FF00, 123456, 999], &base);
+        assert_eq!(out, [2, 9, 9, 9]);
+    }
+
+    #[test]
+    fn mask_cmpeq_matches_model() {
+        if skip() {
+            return;
+        }
+        let a = [5u32; 8];
+        let b: [u32; 8] = std::array::from_fn(|i| if i % 2 == 0 { 5 } else { 6 });
+        for k1 in [0u32, 0xFF, 0x0F, 0b10101010] {
+            assert_eq!(
+                w256::mask_cmpeq_epu32_mask(k1, a, b),
+                model::mask_cmp_mask(k1, CmpOp::Eq, a, b),
+                "k1={k1:08b}"
+            );
+        }
+    }
+}

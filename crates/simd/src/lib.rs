@@ -1,0 +1,20 @@
+//! # fts-simd — SIMD semantics layer
+//!
+//! Three things live here:
+//!
+//! * [`mod@detect`] — runtime ISA detection ([`SimdLevel`]): AVX-512(F+VL+BW+DQ),
+//!   AVX2, or scalar.
+//! * [`model`] — portable scalar models of every AVX-512 primitive the Fused
+//!   Table Scan uses (masked compare, compress, permutex2var, gather). They
+//!   are the executable specification of paper Fig. 3 and the oracle the
+//!   hardware kernels are differential-tested against.
+//! * [`hw`] — array-in/array-out wrappers over the real intrinsics at 128,
+//!   256 and 512 bits (x86-64 only), used by the equivalence tests.
+
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod hw;
+pub mod model;
+
+pub use detect::{detect, has_avx2, has_avx512, SimdLevel};

@@ -1,0 +1,245 @@
+//! Portable, scalar *semantic models* of the AVX-512 primitives the Fused
+//! Table Scan uses (the blue instructions of paper Fig. 3).
+//!
+//! Each function reproduces the Intel SDM semantics of one intrinsic family,
+//! lane for lane, for any lane count `N ≤ 32`. They serve three purposes:
+//!
+//! 1. **Test oracle** — property tests in this crate assert that the real
+//!    hardware intrinsics agree with the model on random inputs.
+//! 2. **Portable engine** — `fts-core`'s scalar fused kernel is written
+//!    against these models, so the full algorithm runs (slowly) on any
+//!    architecture and differential-tests the SIMD kernels.
+//! 3. **Documentation** — the models are the precise statement of what each
+//!    step of Fig. 3 computes.
+//!
+//! Masks are passed as `u32` with lane `i` at bit `i`; bits ≥ N are ignored
+//! on input and zero on output.
+
+/// Lane-mask helper: the low `n` bits set.
+#[inline]
+pub fn lane_mask(n: usize) -> u32 {
+    debug_assert!(n <= 32);
+    if n == 32 { u32::MAX } else { (1u32 << n) - 1 }
+}
+
+/// Semantics of `_mm*_mask_compress_epi32(src, k, a)` (and the other lane
+/// widths): active lanes of `a` (those with their `k` bit set) are packed
+/// contiguously into the low lanes of the result; the remaining high lanes
+/// are taken from `src` *at their own positions*.
+pub fn compress<T: Copy, const N: usize>(src: [T; N], k: u32, a: [T; N]) -> [T; N] {
+    let mut out = src;
+    let mut dst = 0;
+    for (i, lane) in a.iter().enumerate() {
+        if k & (1 << i) != 0 {
+            out[dst] = *lane;
+            dst += 1;
+        }
+    }
+    // Lanes dst..N keep src values (already copied via `out = src`).
+    out
+}
+
+/// Semantics of `_mm*_permutex2var_epi32(a, idx, b)`: each output lane `i`
+/// selects lane `idx[i] mod 2N` from the 2N-lane concatenation `a ++ b`
+/// (bit log2(N) of the index picks the second table).
+pub fn permutex2var<T: Copy, const N: usize>(a: [T; N], idx: [u32; N], b: [T; N]) -> [T; N] {
+    std::array::from_fn(|i| {
+        let sel = (idx[i] as usize) % (2 * N);
+        if sel < N { a[sel] } else { b[sel - N] }
+    })
+}
+
+/// Semantics of the unmasked compare-to-mask family
+/// (`_mm*_cmp{eq,lt,...}_ep{i,u}{8,16,32,64}_mask`, `_mm*_cmp_p{s,d}_mask`
+/// with ordered non-signaling predicates): bit `i` of the result is the
+/// outcome of `a[i] OP b[i]`; NaN makes every float comparison false.
+pub fn cmp_mask<T: fts_storage::NativeType, const N: usize>(
+    op: fts_storage::CmpOp,
+    a: [T; N],
+    b: [T; N],
+) -> u32 {
+    let mut k = 0u32;
+    for i in 0..N {
+        if a[i].cmp_op(op, b[i]) {
+            k |= 1 << i;
+        }
+    }
+    k
+}
+
+/// Semantics of the zero-masked compare family
+/// (`_mm*_mask_cmp*_mask(k1, a, b)`): like [`cmp_mask`] but lanes whose
+/// `k1` bit is clear produce 0 regardless of the comparison.
+pub fn mask_cmp_mask<T: fts_storage::NativeType, const N: usize>(
+    k1: u32,
+    op: fts_storage::CmpOp,
+    a: [T; N],
+    b: [T; N],
+) -> u32 {
+    cmp_mask(op, a, b) & k1 & lane_mask(N)
+}
+
+/// Semantics of `_mm*_i32gather_epi32` with scale = `size_of::<T>()`:
+/// `out[i] = base[idx[i]]`. Every index must be in bounds (the hardware
+/// instruction has no bounds — the caller guarantees validity; the model
+/// checks it so tests catch out-of-bounds gathers).
+pub fn gather<T: Copy, const N: usize>(base: &[T], idx: [u32; N]) -> [T; N] {
+    std::array::from_fn(|i| base[idx[i] as usize])
+}
+
+/// Semantics of the masked gather `_mm*_mmask_i32gather_epi32(src, k, idx,
+/// base, scale)`: active lanes load `base[idx[i]]`, inactive lanes keep
+/// `src[i]`. Inactive lanes' indexes are *not* dereferenced — exactly like
+/// the hardware, which suppresses faults on masked-off lanes. The fused
+/// kernel relies on this when the position list is partially filled.
+pub fn mask_gather<T: Copy, const N: usize>(
+    src: [T; N],
+    k: u32,
+    idx: [u32; N],
+    base: &[T],
+) -> [T; N] {
+    std::array::from_fn(|i| if k & (1 << i) != 0 { base[idx[i] as usize] } else { src[i] })
+}
+
+/// Semantics of `_mm*_set1_epi32` etc.: broadcast one value to all lanes.
+pub fn splat<T: Copy, const N: usize>(v: T) -> [T; N] {
+    [v; N]
+}
+
+/// The iota vector `(0, 1, …, N-1)` used as "indexes of current block"
+/// in Fig. 3.
+pub fn iota<const N: usize>() -> [u32; N] {
+    std::array::from_fn(|i| i as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_storage::CmpOp;
+
+    #[test]
+    fn lane_mask_widths() {
+        assert_eq!(lane_mask(0), 0);
+        assert_eq!(lane_mask(4), 0b1111);
+        assert_eq!(lane_mask(16), 0xFFFF);
+        assert_eq!(lane_mask(32), u32::MAX);
+    }
+
+    /// The worked example of paper Fig. 3, first iteration: block
+    /// (2, 5, 4, 5) compared against 5 gives mask 0b1010; compressing the
+    /// index vector (0,1,2,3) with it yields positions (1, 3) packed low.
+    #[test]
+    fn figure3_first_iteration() {
+        let block = [2u32, 5, 4, 5];
+        let k = cmp_mask(CmpOp::Eq, block, splat(5));
+        assert_eq!(k, 0b1010);
+        let compressed = compress([0u32; 4], k, iota());
+        assert_eq!(compressed[..2], [1, 3]);
+    }
+
+    /// Fig. 3 second iteration: positions (1, 3) already collected; block
+    /// (6, 1, 5, 7) at base offset 4 yields mask 0b0100 → new position 6.
+    /// The kernels keep the list left-aligned with an explicit length and
+    /// append in two steps, exactly the instruction pair the paper names:
+    /// `_mm_mask_compress_epi32` packs the new block's matching indexes,
+    /// then `_mm_permutex2var_epi32` merges them behind the existing
+    /// entries using a per-length index table.
+    #[test]
+    fn figure3_append_via_compress_then_permute() {
+        let plist = [1u32, 3, 0, 0]; // positions (1,3), count = 2
+        let count = 2usize;
+        // Step 1: compress the new block's matching indexes to the front.
+        let block_idx = [4u32, 5, 6, 7];
+        let k = cmp_mask(CmpOp::Eq, [6u32, 1, 5, 7], splat(5));
+        assert_eq!(k, 0b0100);
+        let fresh = compress([0u32; 4], k, block_idx);
+        assert_eq!(fresh[0], 6);
+        // Step 2: merge — lane i keeps plist[i] for i < count and takes
+        // fresh[i - count] (table index N + i - count) beyond.
+        let merge_idx: [u32; 4] =
+            std::array::from_fn(|i| if i < count { i as u32 } else { (4 + i - count) as u32 });
+        assert_eq!(merge_idx, [0, 1, 4, 5]);
+        let appended = permutex2var(plist, merge_idx, fresh);
+        assert_eq!(appended[..3], [1, 3, 6]);
+    }
+
+    #[test]
+    fn compress_semantics_match_sdm() {
+        // SDM: dst[remaining] = src[remaining] *at their own position*.
+        let src = [100u32, 101, 102, 103];
+        let a = [10u32, 11, 12, 13];
+        assert_eq!(compress(src, 0b0101, a), [10, 12, 102, 103]);
+        assert_eq!(compress(src, 0b0000, a), src);
+        assert_eq!(compress(src, 0b1111, a), a);
+        // Bits beyond N are ignored.
+        assert_eq!(compress(src, 0xFFF0, a), src);
+    }
+
+    #[test]
+    fn permutex2var_selects_across_tables() {
+        let a = [0u32, 1, 2, 3];
+        let b = [10u32, 11, 12, 13];
+        assert_eq!(permutex2var(a, [0, 3, 4, 7], b), [0, 3, 10, 13]);
+        // Index wraps modulo 2N.
+        assert_eq!(permutex2var(a, [8, 9, 12, 15], b), [0, 1, 10, 13]);
+    }
+
+    #[test]
+    fn cmp_mask_all_ops() {
+        let a = [1i32, 5, 9, 5];
+        let b = splat(5i32);
+        assert_eq!(cmp_mask(CmpOp::Eq, a, b), 0b1010);
+        assert_eq!(cmp_mask(CmpOp::Ne, a, b), 0b0101);
+        assert_eq!(cmp_mask(CmpOp::Lt, a, b), 0b0001);
+        assert_eq!(cmp_mask(CmpOp::Le, a, b), 0b1011);
+        assert_eq!(cmp_mask(CmpOp::Gt, a, b), 0b0100);
+        assert_eq!(cmp_mask(CmpOp::Ge, a, b), 0b1110);
+    }
+
+    #[test]
+    fn mask_cmp_zeroes_inactive_lanes() {
+        let a = [5u32, 5, 5, 5];
+        assert_eq!(mask_cmp_mask(0b0011, CmpOp::Eq, a, splat(5)), 0b0011);
+        assert_eq!(mask_cmp_mask(0b0000, CmpOp::Eq, a, splat(5)), 0);
+    }
+
+    #[test]
+    fn float_nan_lanes_never_match() {
+        let a = [1.0f32, f32::NAN, 3.0, f32::NAN];
+        for op in CmpOp::ALL {
+            let k = cmp_mask(op, a, splat(f32::NAN));
+            assert_eq!(k, 0, "{op} against NaN");
+        }
+        assert_eq!(cmp_mask(CmpOp::Ne, a, splat(1.0f32)), 0b0100);
+    }
+
+    #[test]
+    fn gather_and_masked_gather() {
+        let base = [10u32, 11, 12, 13, 14, 15, 16, 17];
+        assert_eq!(gather(&base, [7, 0, 3, 3]), [17, 10, 13, 13]);
+        let src = [0u32, 1, 2, 3];
+        assert_eq!(mask_gather(src, 0b0110, [99, 0, 3, 99], &base), [0, 10, 13, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gather_model_checks_bounds() {
+        let base = [1u32, 2];
+        let _ = gather(&base, [0u32, 5, 0, 0]);
+    }
+
+    #[test]
+    fn masked_gather_suppresses_inactive_faults() {
+        // An out-of-bounds index under a cleared mask bit must NOT fault —
+        // that is exactly how the kernel handles partial position lists.
+        let base = [1u32, 2];
+        let out = mask_gather([7u32, 7, 7, 7], 0b0001, [1, 999, 999, 999], &base);
+        assert_eq!(out, [2, 7, 7, 7]);
+    }
+
+    #[test]
+    fn iota_and_splat() {
+        assert_eq!(iota::<8>(), [0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(splat::<u32, 4>(9), [9, 9, 9, 9]);
+    }
+}

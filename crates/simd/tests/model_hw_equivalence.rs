@@ -1,0 +1,127 @@
+//! Property tests: the portable semantic models agree with the real AVX-512
+//! hardware intrinsics, lane for lane, on random inputs at every register
+//! width. On hosts without AVX-512 the properties reduce to model-only
+//! sanity checks so the suite stays green everywhere.
+
+use fts_simd::{has_avx512, model};
+use fts_storage::CmpOp;
+use proptest::prelude::*;
+
+fn ops() -> impl Strategy<Value = CmpOp> {
+    prop::sample::select(CmpOp::ALL.to_vec())
+}
+
+macro_rules! equivalence_props {
+    ($modname:ident, $hw:ident, $n:expr, $maskmax:expr) => {
+        mod $modname {
+            use super::*;
+            #[cfg(target_arch = "x86_64")]
+            use fts_simd::hw::$hw;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(256))]
+
+                #[test]
+                fn compress_matches(
+                    src in prop::array::uniform::<_, $n>(any::<u32>()),
+                    a in prop::array::uniform::<_, $n>(any::<u32>()),
+                    k in 0u32..=$maskmax,
+                ) {
+                    let m = model::compress::<u32, $n>(src, k, a);
+                    // Model invariant: popcount(k & lanes) entries packed low.
+                    let live = (k & model::lane_mask($n)).count_ones() as usize;
+                    let expected: Vec<u32> = (0..$n)
+                        .filter(|i| k & (1 << i) != 0)
+                        .map(|i| a[i])
+                        .collect();
+                    prop_assert_eq!(&m[..live], &expected[..]);
+                    #[cfg(target_arch = "x86_64")]
+                    if has_avx512() {
+                        prop_assert_eq!($hw::compress(src, k, a), m);
+                    }
+                }
+
+                #[test]
+                fn permutex2var_matches(
+                    a in prop::array::uniform::<_, $n>(any::<u32>()),
+                    b in prop::array::uniform::<_, $n>(any::<u32>()),
+                    idx in prop::array::uniform::<_, $n>(any::<u32>()),
+                ) {
+                    let m = model::permutex2var::<u32, $n>(a, idx, b);
+                    #[cfg(target_arch = "x86_64")]
+                    if has_avx512() {
+                        prop_assert_eq!($hw::permutex2var(a, idx, b), m);
+                    }
+                    // Model invariant: every output lane is from a or b.
+                    for (i, v) in m.iter().enumerate() {
+                        let sel = (idx[i] as usize) % (2 * $n);
+                        let src = if sel < $n { a[sel] } else { b[sel - $n] };
+                        prop_assert_eq!(*v, src);
+                    }
+                }
+
+                #[test]
+                fn cmp_matches(
+                    a in prop::array::uniform::<_, $n>(0u32..16),
+                    b in prop::array::uniform::<_, $n>(0u32..16),
+                    op in ops(),
+                ) {
+                    let m = model::cmp_mask::<u32, $n>(op, a, b);
+                    prop_assert_eq!(m & !model::lane_mask($n), 0, "no bits beyond N");
+                    #[cfg(target_arch = "x86_64")]
+                    if has_avx512() {
+                        prop_assert_eq!($hw::cmp_epu32_mask(op, a, b), m);
+                    }
+                }
+
+                #[test]
+                fn mask_gather_matches(
+                    src in prop::array::uniform::<_, $n>(any::<u32>()),
+                    k in 0u32..=$maskmax,
+                    raw_idx in prop::array::uniform::<_, $n>(any::<u32>()),
+                    base in prop::collection::vec(any::<u32>(), 1..200),
+                ) {
+                    let idx: [u32; $n] =
+                        std::array::from_fn(|i| raw_idx[i] % base.len() as u32);
+                    let m = model::mask_gather::<u32, $n>(src, k, idx, &base);
+                    #[cfg(target_arch = "x86_64")]
+                    if has_avx512() {
+                        prop_assert_eq!($hw::mask_gather(src, k, idx, &base), m);
+                    }
+                }
+
+                #[test]
+                fn mask_cmpeq_matches(
+                    a in prop::array::uniform::<_, $n>(0u32..4),
+                    b in prop::array::uniform::<_, $n>(0u32..4),
+                    k1 in 0u32..=$maskmax,
+                ) {
+                    let m = model::mask_cmp_mask::<u32, $n>(k1, CmpOp::Eq, a, b);
+                    prop_assert_eq!(m & !k1, 0, "masked-off lanes are zero");
+                    #[cfg(target_arch = "x86_64")]
+                    if has_avx512() {
+                        prop_assert_eq!($hw::mask_cmpeq_epu32_mask(k1, a, b), m);
+                    }
+                }
+            }
+        }
+    };
+}
+
+equivalence_props!(lanes4, w128, 4, 0xFu32);
+equivalence_props!(lanes8, w256, 8, 0xFFu32);
+equivalence_props!(lanes16, w512, 16, 0xFFFFu32);
+
+/// compress ∘ expand-style identity: compressing with a full mask is the
+/// identity, with an empty mask returns src untouched — at every width.
+#[test]
+fn compress_boundary_masks() {
+    let src: [u32; 16] = std::array::from_fn(|i| 1000 + i as u32);
+    let a: [u32; 16] = std::array::from_fn(|i| i as u32);
+    assert_eq!(model::compress(src, 0, a), src);
+    assert_eq!(model::compress(src, 0xFFFF, a), a);
+    if has_avx512() {
+        assert_eq!(fts_simd::hw::w512::compress(src, 0, a), src);
+        assert_eq!(fts_simd::hw::w512::compress(src, 0xFFFF, a), a);
+    }
+}

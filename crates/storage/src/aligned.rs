@@ -1,0 +1,198 @@
+//! Cache-line-aligned, immutable value buffers.
+//!
+//! Scan kernels load whole 64-byte cache lines; the bandwidth experiment of
+//! paper Fig. 2 reasons about values-per-cache-line, which only makes sense
+//! when column data starts on a cache-line boundary. [`AlignedBuf`] is the
+//! backing store of every column segment: a heap allocation aligned to
+//! [`CACHE_LINE`] bytes, sized in whole elements, immutable after
+//! construction (analytic segments are write-once).
+
+use std::alloc::{self, Layout};
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::ptr::NonNull;
+
+use crate::types::NativeType;
+
+/// Size of one cache line on every x86-64 part we target.
+pub const CACHE_LINE: usize = 64;
+
+/// A 64-byte-aligned, immutable buffer of `T` values.
+pub struct AlignedBuf<T: NativeType> {
+    ptr: NonNull<T>,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: the buffer is an owned, immutable allocation of Send+Sync values.
+unsafe impl<T: NativeType> Send for AlignedBuf<T> {}
+// SAFETY: shared access is read-only.
+unsafe impl<T: NativeType> Sync for AlignedBuf<T> {}
+
+impl<T: NativeType> AlignedBuf<T> {
+    fn layout(len: usize) -> Layout {
+        let bytes = len.checked_mul(std::mem::size_of::<T>()).expect("buffer too large");
+        Layout::from_size_align(bytes.max(1), CACHE_LINE).expect("invalid layout")
+    }
+
+    /// Copy `values` into a fresh cache-line-aligned allocation.
+    pub fn from_slice(values: &[T]) -> Self {
+        let layout = Self::layout(values.len());
+        // SAFETY: layout has non-zero size (max(1) above) and valid alignment.
+        let raw = unsafe { alloc::alloc(layout) } as *mut T;
+        let Some(ptr) = NonNull::new(raw) else {
+            alloc::handle_alloc_error(layout);
+        };
+        // SAFETY: `ptr` points to an allocation of at least `values.len()`
+        // elements; source and destination do not overlap.
+        unsafe {
+            std::ptr::copy_nonoverlapping(values.as_ptr(), ptr.as_ptr(), values.len());
+        }
+        Self { ptr, len: values.len(), _marker: PhantomData }
+    }
+
+    /// Build a buffer by filling `len` slots from `f(index)`.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> T) -> Self {
+        let layout = Self::layout(len);
+        // SAFETY: as in `from_slice`.
+        let raw = unsafe { alloc::alloc(layout) } as *mut T;
+        let Some(ptr) = NonNull::new(raw) else {
+            alloc::handle_alloc_error(layout);
+        };
+        for i in 0..len {
+            // SAFETY: i < len <= allocation size.
+            unsafe { ptr.as_ptr().add(i).write(f(i)) };
+        }
+        Self { ptr, len, _marker: PhantomData }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The values as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: ptr/len describe an initialized allocation owned by self.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Raw base pointer (64-byte aligned). Kernels use this for unaligned
+    /// tail-safe loads; the pointer is valid for `len` reads of `T`.
+    #[inline]
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr.as_ptr()
+    }
+}
+
+impl<T: NativeType> Drop for AlignedBuf<T> {
+    fn drop(&mut self) {
+        // SAFETY: allocated with the identical layout in the constructors.
+        unsafe { alloc::dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.len)) };
+    }
+}
+
+impl<T: NativeType> Deref for AlignedBuf<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: NativeType> Clone for AlignedBuf<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl<T: NativeType> std::fmt::Debug for AlignedBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlignedBuf(len={}, ", self.len)?;
+        if self.len <= 8 {
+            write!(f, "{:?})", self.as_slice())
+        } else {
+            write!(f, "head={:?}…)", &self.as_slice()[..8])
+        }
+    }
+}
+
+impl<T: NativeType> From<Vec<T>> for AlignedBuf<T> {
+    fn from(v: Vec<T>) -> Self {
+        Self::from_slice(&v)
+    }
+}
+
+impl<T: NativeType> PartialEq for AlignedBuf<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_cache_line() {
+        for len in [0usize, 1, 7, 16, 1000] {
+            let buf = AlignedBuf::<u32>::from_fn(len, |i| i as u32);
+            assert_eq!(buf.as_ptr() as usize % CACHE_LINE, 0, "len={len}");
+            assert_eq!(buf.len(), len);
+        }
+        let buf = AlignedBuf::<u8>::from_slice(&[1, 2, 3]);
+        assert_eq!(buf.as_ptr() as usize % CACHE_LINE, 0);
+    }
+
+    #[test]
+    fn round_trips_values() {
+        let data: Vec<i64> = (0..999).map(|i| i * 3 - 500).collect();
+        let buf = AlignedBuf::from_slice(&data);
+        assert_eq!(buf.as_slice(), &data[..]);
+        assert_eq!(&*buf, &data[..]);
+    }
+
+    #[test]
+    fn from_fn_fills_in_order() {
+        let buf = AlignedBuf::<u16>::from_fn(64, |i| (i * 2) as u16);
+        assert_eq!(buf[0], 0);
+        assert_eq!(buf[63], 126);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let a = AlignedBuf::from_slice(&[1.0f32, 2.0, 3.0]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn empty_buffer_is_safe() {
+        let buf = AlignedBuf::<f64>::from_slice(&[]);
+        assert!(buf.is_empty());
+        assert_eq!(buf.as_slice(), &[] as &[f64]);
+        let _cloned = buf.clone();
+    }
+
+    #[test]
+    fn large_type_alignment_and_indexing() {
+        let buf = AlignedBuf::<u64>::from_fn(1000, |i| (i as u64) << 32);
+        assert_eq!(buf.as_ptr() as usize % CACHE_LINE, 0);
+        assert_eq!(buf[999], 999u64 << 32);
+    }
+
+    #[test]
+    fn debug_truncates() {
+        let buf = AlignedBuf::<u32>::from_fn(100, |i| i as u32);
+        let s = format!("{buf:?}");
+        assert!(s.contains("len=100"));
+        assert!(s.contains('…'));
+    }
+}

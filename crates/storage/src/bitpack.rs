@@ -1,0 +1,260 @@
+//! Fixed-width bit-packing (null suppression) — the paper's §VII future
+//! work: *"the concept of bit-packing (aka. null suppression) can be most
+//! beneficial for our approach. The main challenge for this will be the
+//! extraction of single values as part of the gather step."*
+//!
+//! A [`PackedColumn`] stores `len` unsigned values of `bits` bits each,
+//! little-endian within a stream of 32-bit words (value `i` occupies bits
+//! `[i*bits, (i+1)*bits)` of the stream). One guard word is appended so
+//! vectorized extractors may always read the word *after* a value's last
+//! word — that is what makes the gather-side extraction of
+//! `fts-core::fused::packed` branch-free.
+
+use crate::aligned::AlignedBuf;
+
+/// Maximum bit width (32 = uncompressed; widths 31 and 32 are stored but
+/// scanned on the scalar path — see `fts-core::fused::packed`).
+pub const MAX_BITS: u8 = 32;
+
+/// A bit-packed column of unsigned values.
+///
+/// ```
+/// use fts_storage::PackedColumn;
+///
+/// let values: Vec<u32> = (0..100).map(|i| i % 8).collect();
+/// let packed = PackedColumn::pack_min_bits(&values);
+/// assert_eq!(packed.bits(), 3);
+/// assert_eq!(packed.get(42), 42 % 8);
+/// assert_eq!(packed.unpack(), values);
+/// assert!(packed.compression_ratio() > 8.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedColumn {
+    words: AlignedBuf<u32>,
+    bits: u8,
+    len: usize,
+}
+
+/// Packing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackError {
+    /// Bit width outside `1..=32`.
+    BadWidth(u8),
+    /// A value does not fit the width.
+    ValueTooWide {
+        /// Row of the offending value.
+        row: usize,
+        /// The value.
+        value: u32,
+        /// The configured width.
+        bits: u8,
+    },
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackError::BadWidth(b) => write!(f, "bit width {b} outside 1..=32"),
+            PackError::ValueTooWide { row, value, bits } => {
+                write!(f, "value {value} at row {row} does not fit {bits} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+impl PackedColumn {
+    /// Pack `values` at `bits` bits each.
+    pub fn pack(values: &[u32], bits: u8) -> Result<PackedColumn, PackError> {
+        if bits == 0 || bits > MAX_BITS {
+            return Err(PackError::BadWidth(bits));
+        }
+        let mask = mask_of(bits);
+        let total_bits = values.len() as u64 * bits as u64;
+        // +1 guard word for the vectorized funnel extractors.
+        let words_len = total_bits.div_ceil(32) as usize + 1;
+        let mut words = vec![0u32; words_len];
+        for (row, &v) in values.iter().enumerate() {
+            if v & !mask != 0 {
+                return Err(PackError::ValueTooWide { row, value: v, bits });
+            }
+            let bit = row as u64 * bits as u64;
+            let word = (bit / 32) as usize;
+            let off = (bit % 32) as u32;
+            words[word] |= v << off;
+            let spill = off + bits as u32;
+            if spill > 32 {
+                words[word + 1] |= v >> (32 - off);
+            }
+        }
+        Ok(PackedColumn { words: AlignedBuf::from_slice(&words), bits, len: values.len() })
+    }
+
+    /// Pack with the minimal width that fits every value.
+    pub fn pack_min_bits(values: &[u32]) -> PackedColumn {
+        let max = values.iter().copied().max().unwrap_or(0);
+        let bits = (32 - max.leading_zeros()).max(1) as u8;
+        PackedColumn::pack(values, bits).expect("width fits by construction")
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per value.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The packed words, including the guard word.
+    pub fn words(&self) -> &[u32] {
+        self.words.as_slice()
+    }
+
+    /// Compression ratio versus plain `u32` storage (> 1 = smaller).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.len == 0 {
+            return 1.0;
+        }
+        (self.len as f64 * 4.0) / (self.words.len() as f64 * 4.0)
+    }
+
+    /// Extract one value.
+    pub fn get(&self, row: usize) -> u32 {
+        assert!(row < self.len, "row out of bounds");
+        let bit = row as u64 * self.bits as u64;
+        let word = (bit / 32) as usize;
+        let off = (bit % 32) as u32;
+        let w = self.words[word] as u64 | ((self.words[word + 1] as u64) << 32);
+        ((w >> off) as u32) & mask_of(self.bits)
+    }
+
+    /// Decode the whole column.
+    pub fn unpack(&self) -> Vec<u32> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Clamp a comparison literal into the packed domain: values above the
+    /// width's maximum can never be stored, so `= lit` matches nothing and
+    /// `< lit` matches everything; the caller handles those via the
+    /// returned flag (`None` = literal exceeds the domain).
+    pub fn clamp_needle(&self, needle: u32) -> Option<u32> {
+        (needle <= mask_of(self.bits)).then_some(needle)
+    }
+}
+
+/// The low-`bits` mask.
+#[inline]
+pub fn mask_of(bits: u8) -> u32 {
+    if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let values = [3u32, 0, 7, 5, 1, 6, 2, 4];
+        let p = PackedColumn::pack(&values, 3).unwrap();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.bits(), 3);
+        assert_eq!(p.unpack(), values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(p.get(i), v);
+        }
+    }
+
+    #[test]
+    fn word_spanning_widths() {
+        // 5-bit values straddle word boundaries (32 % 5 != 0).
+        let values: Vec<u32> = (0..100).map(|i| i % 32).collect();
+        let p = PackedColumn::pack(&values, 5).unwrap();
+        assert_eq!(p.unpack(), values);
+        // 17-bit values span two words at many positions.
+        let values: Vec<u32> = (0..100).map(|i| (i * 1009) % (1 << 17)).collect();
+        let p = PackedColumn::pack(&values, 17).unwrap();
+        assert_eq!(p.unpack(), values);
+    }
+
+    #[test]
+    fn full_width_and_one_bit() {
+        let values = [u32::MAX, 0, 12345, u32::MAX - 1];
+        let p = PackedColumn::pack(&values, 32).unwrap();
+        assert_eq!(p.unpack(), values);
+        let bits: Vec<u32> = (0..67).map(|i| i % 2).collect();
+        let p = PackedColumn::pack(&bits, 1).unwrap();
+        assert_eq!(p.unpack(), bits);
+        assert!(p.compression_ratio() > 8.0);
+    }
+
+    #[test]
+    fn pack_min_bits_picks_tight_width() {
+        let p = PackedColumn::pack_min_bits(&[0, 1, 2, 3]);
+        assert_eq!(p.bits(), 2);
+        let p = PackedColumn::pack_min_bits(&[0]);
+        assert_eq!(p.bits(), 1);
+        let p = PackedColumn::pack_min_bits(&[1 << 20]);
+        assert_eq!(p.bits(), 21);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(PackedColumn::pack(&[1], 0), Err(PackError::BadWidth(0)));
+        assert_eq!(PackedColumn::pack(&[1], 33), Err(PackError::BadWidth(33)));
+        assert_eq!(
+            PackedColumn::pack(&[8], 3),
+            Err(PackError::ValueTooWide { row: 0, value: 8, bits: 3 })
+        );
+    }
+
+    #[test]
+    fn guard_word_present() {
+        let p = PackedColumn::pack(&[1u32; 16], 2).unwrap();
+        // 16 × 2 bits = 1 word + 1 guard.
+        assert_eq!(p.words().len(), 2);
+        let p = PackedColumn::pack(&[], 7).unwrap();
+        assert_eq!(p.words().len(), 1, "even empty columns keep the guard");
+    }
+
+    #[test]
+    fn clamp_needle() {
+        let p = PackedColumn::pack(&[1, 2, 3], 3).unwrap();
+        assert_eq!(p.clamp_needle(7), Some(7));
+        assert_eq!(p.clamp_needle(8), None);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_any_width(
+            bits in 1u8..=32,
+            seed in any::<u64>(),
+            len in 0usize..300,
+        ) {
+            let mask = mask_of(bits);
+            let mut state = seed | 1;
+            let values: Vec<u32> = (0..len)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state as u32) & mask
+                })
+                .collect();
+            let p = PackedColumn::pack(&values, bits).unwrap();
+            prop_assert_eq!(p.unpack(), values);
+        }
+    }
+}

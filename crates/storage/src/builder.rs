@@ -1,0 +1,239 @@
+//! Row-oriented table construction.
+//!
+//! The analytic store is column-major and write-once, but users load data
+//! row by row. [`TableBuilder`] buffers typed rows, splits them into chunks
+//! of a configurable size and produces an immutable [`Table`] — with
+//! optional dictionary encoding or bit-packing applied per column at
+//! finish time.
+
+use crate::column::Column;
+use crate::table::{ColumnDef, Table, TableError};
+use crate::types::{DataType, Value};
+
+/// Per-column write buffer.
+#[derive(Debug, Clone)]
+enum ColBuf {
+    I8(Vec<i8>),
+    I16(Vec<i16>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    U8(Vec<u8>),
+    U16(Vec<u16>),
+    U32(Vec<u32>),
+    U64(Vec<u64>),
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+}
+
+impl ColBuf {
+    fn new(ty: DataType) -> ColBuf {
+        match ty {
+            DataType::I8 => ColBuf::I8(Vec::new()),
+            DataType::I16 => ColBuf::I16(Vec::new()),
+            DataType::I32 => ColBuf::I32(Vec::new()),
+            DataType::I64 => ColBuf::I64(Vec::new()),
+            DataType::U8 => ColBuf::U8(Vec::new()),
+            DataType::U16 => ColBuf::U16(Vec::new()),
+            DataType::U32 => ColBuf::U32(Vec::new()),
+            DataType::U64 => ColBuf::U64(Vec::new()),
+            DataType::F32 => ColBuf::F32(Vec::new()),
+            DataType::F64 => ColBuf::F64(Vec::new()),
+        }
+    }
+
+    fn push(&mut self, v: Value) -> bool {
+        match (self, v) {
+            (ColBuf::I8(b), Value::I8(x)) => b.push(x),
+            (ColBuf::I16(b), Value::I16(x)) => b.push(x),
+            (ColBuf::I32(b), Value::I32(x)) => b.push(x),
+            (ColBuf::I64(b), Value::I64(x)) => b.push(x),
+            (ColBuf::U8(b), Value::U8(x)) => b.push(x),
+            (ColBuf::U16(b), Value::U16(x)) => b.push(x),
+            (ColBuf::U32(b), Value::U32(x)) => b.push(x),
+            (ColBuf::U64(b), Value::U64(x)) => b.push(x),
+            (ColBuf::F32(b), Value::F32(x)) => b.push(x),
+            (ColBuf::F64(b), Value::F64(x)) => b.push(x),
+            _ => return false,
+        }
+        true
+    }
+
+    fn freeze(&self) -> Column {
+        match self {
+            ColBuf::I8(b) => Column::from_slice(b),
+            ColBuf::I16(b) => Column::from_slice(b),
+            ColBuf::I32(b) => Column::from_slice(b),
+            ColBuf::I64(b) => Column::from_slice(b),
+            ColBuf::U8(b) => Column::from_slice(b),
+            ColBuf::U16(b) => Column::from_slice(b),
+            ColBuf::U32(b) => Column::from_slice(b),
+            ColBuf::U64(b) => Column::from_slice(b),
+            ColBuf::F32(b) => Column::from_slice(b),
+            ColBuf::F64(b) => Column::from_slice(b),
+        }
+    }
+}
+
+/// Builder errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// A row's arity does not match the schema.
+    RowArity {
+        /// Columns the schema declares.
+        expected: usize,
+        /// Values in the offending row.
+        got: usize,
+    },
+    /// A value's type does not match its column (after implicit casting).
+    ValueType {
+        /// Offending column index.
+        column: usize,
+        /// The rejected value (rendered).
+        value: String,
+    },
+    /// Assembling the final table failed.
+    Table(TableError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::RowArity { expected, got } => {
+                write!(f, "row has {got} values, schema has {expected} columns")
+            }
+            BuildError::ValueType { column, value } => {
+                write!(f, "value {value} does not fit column {column}")
+            }
+            BuildError::Table(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<TableError> for BuildError {
+    fn from(e: TableError) -> Self {
+        BuildError::Table(e)
+    }
+}
+
+/// Row-by-row table builder.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    schema: Vec<ColumnDef>,
+    bufs: Vec<ColBuf>,
+    chunk_rows: usize,
+    rows: usize,
+}
+
+impl TableBuilder {
+    /// Builder with the default chunk size.
+    pub fn new(schema: Vec<ColumnDef>) -> TableBuilder {
+        Self::with_chunk_rows(schema, crate::table::DEFAULT_CHUNK_ROWS)
+    }
+
+    /// Builder with an explicit chunk size.
+    pub fn with_chunk_rows(schema: Vec<ColumnDef>, chunk_rows: usize) -> TableBuilder {
+        assert!(chunk_rows > 0, "chunk size must be positive");
+        let bufs = schema.iter().map(|c| ColBuf::new(c.data_type)).collect();
+        TableBuilder { schema, bufs, chunk_rows, rows: 0 }
+    }
+
+    /// Rows buffered so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Append one row. Values are implicitly cast to the column types
+    /// ([`Value::cast_to`]), so integer literals fit any integer column
+    /// they are in range for.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<(), BuildError> {
+        if row.len() != self.schema.len() {
+            return Err(BuildError::RowArity { expected: self.schema.len(), got: row.len() });
+        }
+        // Validate the whole row before mutating any buffer, so a failed
+        // push never leaves ragged columns behind.
+        let mut cast = Vec::with_capacity(row.len());
+        for (i, (v, def)) in row.iter().zip(&self.schema).enumerate() {
+            cast.push(v.cast_to(def.data_type).ok_or_else(|| BuildError::ValueType {
+                column: i,
+                value: v.to_string(),
+            })?);
+        }
+        for (buf, v) in self.bufs.iter_mut().zip(cast) {
+            let ok = buf.push(v);
+            debug_assert!(ok, "cast_to produced the column type");
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Finish into an immutable chunked [`Table`].
+    pub fn finish(self) -> Result<Table, BuildError> {
+        let columns: Vec<Column> = self.bufs.iter().map(ColBuf::freeze).collect();
+        Ok(Table::from_chunked_columns(self.schema, columns, self.chunk_rows)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Vec<ColumnDef> {
+        vec![
+            ColumnDef::new("id", DataType::U32),
+            ColumnDef::new("price", DataType::I64),
+            ColumnDef::new("ratio", DataType::F32),
+        ]
+    }
+
+    #[test]
+    fn builds_chunked_table_from_rows() {
+        let mut b = TableBuilder::with_chunk_rows(schema(), 4);
+        for i in 0..10i64 {
+            b.push_row(&[Value::I64(i), Value::I64(i * 100), Value::F64(i as f64 / 2.0)])
+                .unwrap();
+        }
+        assert_eq!(b.rows(), 10);
+        let t = b.finish().unwrap();
+        assert_eq!(t.rows(), 10);
+        assert_eq!(t.chunks().len(), 3); // 4 + 4 + 2
+        assert_eq!(t.value_at(0, 7), Value::U32(7));
+        assert_eq!(t.value_at(1, 7), Value::I64(700));
+        assert_eq!(t.value_at(2, 7), Value::F32(3.5));
+    }
+
+    #[test]
+    fn rejects_bad_rows_without_corruption() {
+        let mut b = TableBuilder::new(schema());
+        b.push_row(&[Value::I64(1), Value::I64(2), Value::F64(0.5)]).unwrap();
+        // Wrong arity.
+        assert_eq!(
+            b.push_row(&[Value::I64(1)]),
+            Err(BuildError::RowArity { expected: 3, got: 1 })
+        );
+        // Out-of-range cast (negative into u32) — first column fails, and
+        // no column may have grown.
+        let err = b.push_row(&[Value::I64(-1), Value::I64(2), Value::F64(0.5)]).unwrap_err();
+        assert!(matches!(err, BuildError::ValueType { column: 0, .. }));
+        assert_eq!(b.rows(), 1);
+        let t = b.finish().unwrap();
+        assert_eq!(t.rows(), 1);
+    }
+
+    #[test]
+    fn empty_builder_finishes() {
+        let t = TableBuilder::new(schema()).finish().unwrap();
+        assert_eq!(t.rows(), 0);
+        assert_eq!(t.columns(), 3);
+    }
+
+    #[test]
+    fn integer_literals_cast_across_integer_columns() {
+        let mut b = TableBuilder::new(vec![ColumnDef::new("x", DataType::U8)]);
+        b.push_row(&[Value::I64(255)]).unwrap();
+        assert!(b.push_row(&[Value::I64(256)]).is_err());
+        let t = b.finish().unwrap();
+        assert_eq!(t.value_at(0, 0), Value::U8(255));
+    }
+}

@@ -1,0 +1,288 @@
+//! Dictionary encoding.
+//!
+//! Paper assumption 3: values are fixed-size *"because a compression scheme
+//! such as dictionary encoding is used"*. A [`DictColumn`] stores the sorted
+//! distinct values plus one `u32` value id per row. Because the dictionary
+//! is sorted, any comparison predicate on the original domain reduces to a
+//! comparison predicate **on the value ids** ([`DictColumn::translate`]) —
+//! which is exactly the 4-byte unsigned scan the fused kernels are fastest
+//! at, regardless of the original data type.
+
+use crate::aligned::AlignedBuf;
+use crate::column::Column;
+use crate::types::{CmpOp, DataType, NativeType, Value};
+use crate::with_native;
+
+/// A predicate rewritten into the value-id domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdPredicate {
+    /// No row can match (e.g. `= v` for a `v` not in the dictionary).
+    MatchNone,
+    /// Every row matches (e.g. `<> v` for a `v` not in the dictionary).
+    MatchAll,
+    /// Rows whose value id satisfies `id OP rhs` match.
+    Cmp(CmpOp, u32),
+}
+
+/// Error cases of dictionary encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DictError {
+    /// The column contains NaN, which has no position in a sorted dictionary.
+    UnorderableValues,
+    /// More than `u32::MAX` distinct values.
+    TooManyDistinct,
+}
+
+impl std::fmt::Display for DictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DictError::UnorderableValues => write!(f, "column contains NaN values"),
+            DictError::TooManyDistinct => write!(f, "more than 2^32 distinct values"),
+        }
+    }
+}
+
+impl std::error::Error for DictError {}
+
+/// A dictionary-encoded column: sorted distinct values + per-row value ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DictColumn {
+    dict: Column,
+    value_ids: AlignedBuf<u32>,
+}
+
+impl DictColumn {
+    /// Encode a plain column.
+    pub fn encode(column: &Column) -> Result<DictColumn, DictError> {
+        with_native!(column, values => Self::encode_native(values))
+    }
+
+    /// Encode from a native slice.
+    pub fn encode_native<T: NativeType>(values: &[T]) -> Result<DictColumn, DictError> {
+        for v in values {
+            if !v.is_ordered_with(*v) {
+                return Err(DictError::UnorderableValues);
+            }
+        }
+        let mut distinct: Vec<T> = values.to_vec();
+        // NaN has been rejected, so partial_cmp is total here.
+        distinct.sort_by(|a, b| a.partial_cmp(b).expect("ordered"));
+        distinct.dedup_by(|a, b| a == b);
+        if distinct.len() > u32::MAX as usize {
+            return Err(DictError::TooManyDistinct);
+        }
+        let ids: Vec<u32> = values
+            .iter()
+            .map(|v| {
+                distinct
+                    .partition_point(|d| d.partial_cmp(v) == Some(std::cmp::Ordering::Less))
+                    as u32
+            })
+            .collect();
+        Ok(DictColumn {
+            dict: Column::from_vec(distinct),
+            value_ids: AlignedBuf::from_slice(&ids),
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.value_ids.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.value_ids.is_empty()
+    }
+
+    /// Number of distinct values.
+    pub fn dict_size(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Data type of the *decoded* values.
+    pub fn data_type(&self) -> DataType {
+        self.dict.data_type()
+    }
+
+    /// The sorted dictionary.
+    pub fn dictionary(&self) -> &Column {
+        &self.dict
+    }
+
+    /// The per-row value ids (always `u32`, always dense 0..dict_size).
+    pub fn value_ids(&self) -> &[u32] {
+        self.value_ids.as_slice()
+    }
+
+    /// Decode one row back to its original value.
+    pub fn value_at(&self, row: usize) -> Value {
+        self.dict.value_at(self.value_ids[row] as usize)
+    }
+
+    /// Decode the whole column (used by tests and result materialization).
+    pub fn decode(&self) -> Column {
+        with_native!(&self.dict, dict => {
+            fn go<T: NativeType>(dict: &[T], ids: &[u32]) -> Column {
+                Column::from_fn(ids.len(), |row| dict[ids[row] as usize])
+            }
+            go(dict, self.value_ids.as_slice())
+        })
+    }
+
+    /// Rewrite `value OP literal` into the value-id domain.
+    ///
+    /// The literal must have this column's data type (cast it first);
+    /// returns `None` on a type mismatch.
+    pub fn translate(&self, op: CmpOp, literal: Value) -> Option<IdPredicate> {
+        with_native!(&self.dict, dict => {
+            fn go<T: NativeType>(dict: &[T], op: CmpOp, lit: Value) -> Option<IdPredicate> {
+                let lit = T::from_value(lit)?;
+                if !lit.is_ordered_with(lit) {
+                    // NaN literal: nothing compares true.
+                    return Some(IdPredicate::MatchNone);
+                }
+                let n = dict.len() as u32;
+                // First id whose value is >= lit, and whether lit is present.
+                let lb = dict
+                    .partition_point(|d| d.partial_cmp(&lit) == Some(std::cmp::Ordering::Less))
+                    as u32;
+                let present = (lb as usize) < dict.len() && dict[lb as usize] == lit;
+                Some(match op {
+                    CmpOp::Eq => {
+                        if present { IdPredicate::Cmp(CmpOp::Eq, lb) } else { IdPredicate::MatchNone }
+                    }
+                    CmpOp::Ne => {
+                        if present { IdPredicate::Cmp(CmpOp::Ne, lb) } else { IdPredicate::MatchAll }
+                    }
+                    CmpOp::Lt => {
+                        if lb == 0 { IdPredicate::MatchNone }
+                        else if lb == n { IdPredicate::MatchAll }
+                        else { IdPredicate::Cmp(CmpOp::Lt, lb) }
+                    }
+                    CmpOp::Ge => {
+                        if lb == 0 { IdPredicate::MatchAll }
+                        else if lb == n { IdPredicate::MatchNone }
+                        else { IdPredicate::Cmp(CmpOp::Ge, lb) }
+                    }
+                    CmpOp::Le => {
+                        let ub = lb + u32::from(present);
+                        if ub == 0 { IdPredicate::MatchNone }
+                        else if ub == n { IdPredicate::MatchAll }
+                        else { IdPredicate::Cmp(CmpOp::Lt, ub) }
+                    }
+                    CmpOp::Gt => {
+                        let ub = lb + u32::from(present);
+                        if ub == 0 { IdPredicate::MatchAll }
+                        else if ub == n { IdPredicate::MatchNone }
+                        else { IdPredicate::Cmp(CmpOp::Ge, ub) }
+                    }
+                })
+            }
+            go(dict, op, literal)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DictColumn {
+        // values: 30 10 20 10 30 30 => dict [10,20,30], ids [2,0,1,0,2,2]
+        DictColumn::encode_native(&[30u32, 10, 20, 10, 30, 30]).unwrap()
+    }
+
+    #[test]
+    fn encode_builds_sorted_dense_dict() {
+        let d = sample();
+        assert_eq!(d.dict_size(), 3);
+        assert_eq!(d.dictionary().as_native::<u32>().unwrap(), &[10, 20, 30]);
+        assert_eq!(d.value_ids(), &[2, 0, 1, 0, 2, 2]);
+        assert_eq!(d.data_type(), DataType::U32);
+        assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let original = Column::from_vec(vec![-5i64, 3, 3, -5, 100, 0]);
+        let d = DictColumn::encode(&original).unwrap();
+        assert_eq!(d.decode(), original);
+        for row in 0..original.len() {
+            assert_eq!(d.value_at(row), original.value_at(row));
+        }
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let col = Column::from_vec(vec![1.0f32, f32::NAN]);
+        assert_eq!(DictColumn::encode(&col), Err(DictError::UnorderableValues));
+    }
+
+    #[test]
+    fn translate_eq_ne() {
+        let d = sample();
+        assert_eq!(d.translate(CmpOp::Eq, Value::U32(20)), Some(IdPredicate::Cmp(CmpOp::Eq, 1)));
+        assert_eq!(d.translate(CmpOp::Eq, Value::U32(15)), Some(IdPredicate::MatchNone));
+        assert_eq!(d.translate(CmpOp::Ne, Value::U32(30)), Some(IdPredicate::Cmp(CmpOp::Ne, 2)));
+        assert_eq!(d.translate(CmpOp::Ne, Value::U32(15)), Some(IdPredicate::MatchAll));
+        assert_eq!(d.translate(CmpOp::Eq, Value::I32(20)), None, "type mismatch");
+    }
+
+    #[test]
+    fn translate_ranges() {
+        let d = sample(); // dict [10,20,30]
+        assert_eq!(d.translate(CmpOp::Lt, Value::U32(10)), Some(IdPredicate::MatchNone));
+        assert_eq!(d.translate(CmpOp::Lt, Value::U32(25)), Some(IdPredicate::Cmp(CmpOp::Lt, 2)));
+        assert_eq!(d.translate(CmpOp::Lt, Value::U32(99)), Some(IdPredicate::MatchAll));
+        assert_eq!(d.translate(CmpOp::Le, Value::U32(20)), Some(IdPredicate::Cmp(CmpOp::Lt, 2)));
+        assert_eq!(d.translate(CmpOp::Le, Value::U32(30)), Some(IdPredicate::MatchAll));
+        assert_eq!(d.translate(CmpOp::Le, Value::U32(9)), Some(IdPredicate::MatchNone));
+        assert_eq!(d.translate(CmpOp::Gt, Value::U32(10)), Some(IdPredicate::Cmp(CmpOp::Ge, 1)));
+        assert_eq!(d.translate(CmpOp::Gt, Value::U32(30)), Some(IdPredicate::MatchNone));
+        assert_eq!(d.translate(CmpOp::Gt, Value::U32(5)), Some(IdPredicate::MatchAll));
+        assert_eq!(d.translate(CmpOp::Ge, Value::U32(30)), Some(IdPredicate::Cmp(CmpOp::Ge, 2)));
+        assert_eq!(d.translate(CmpOp::Ge, Value::U32(31)), Some(IdPredicate::MatchNone));
+        assert_eq!(d.translate(CmpOp::Ge, Value::U32(1)), Some(IdPredicate::MatchAll));
+    }
+
+    /// The translated id predicate must select exactly the same rows as the
+    /// original predicate on decoded values — for every operator and a
+    /// mix of present/absent/boundary literals.
+    #[test]
+    fn translate_equivalence_exhaustive() {
+        let values: Vec<i32> = vec![5, -3, 8, 5, 0, 12, -3, 7, 7, 99, -50];
+        let d = DictColumn::encode_native(&values).unwrap();
+        for op in CmpOp::ALL {
+            for lit in [-51, -50, -3, 0, 1, 5, 7, 8, 12, 98, 99, 100] {
+                let pred = d.translate(op, Value::I32(lit)).unwrap();
+                for (row, &v) in values.iter().enumerate() {
+                    let expected = v.cmp_op(op, lit);
+                    let got = match pred {
+                        IdPredicate::MatchNone => false,
+                        IdPredicate::MatchAll => true,
+                        IdPredicate::Cmp(id_op, rhs) => d.value_ids()[row].cmp_op(id_op, rhs),
+                    };
+                    assert_eq!(got, expected, "row {row} value {v} {op} {lit} → {pred:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_literal_matches_nothing() {
+        let d = DictColumn::encode_native(&[1.0f64, 2.0]).unwrap();
+        for op in CmpOp::ALL {
+            assert_eq!(d.translate(op, Value::F64(f64::NAN)), Some(IdPredicate::MatchNone));
+        }
+    }
+
+    #[test]
+    fn empty_column() {
+        let d = DictColumn::encode_native::<u16>(&[]).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.dict_size(), 0);
+        assert_eq!(d.translate(CmpOp::Eq, Value::U16(1)), Some(IdPredicate::MatchNone));
+        assert_eq!(d.translate(CmpOp::Ne, Value::U16(1)), Some(IdPredicate::MatchAll));
+    }
+}

@@ -1,0 +1,458 @@
+//! Seeded workload generators with *exact* selectivity control.
+//!
+//! Every experiment in the paper fixes "percent of qualifying rows per
+//! predicate" (Figs. 1, 4, 5, 6) or a per-predicate conditional selectivity
+//! (Fig. 7: first predicate 1 %, following predicates 50 % *of the remaining
+//! rows*). The generator reproduces that contract exactly: predicate *i*
+//! matches exactly `round(sel_i · |survivors of predicates 0..i|)` rows of
+//! the surviving set, while rows already filtered out receive values drawn
+//! from the same distribution (Bernoulli with the same selectivity), so
+//! branch-free and block-at-a-time baselines see realistic data too.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample as sample_indices;
+use rand::{Rng, SeedableRng};
+
+use crate::column::Column;
+use crate::table::{ColumnDef, Table, TableError};
+use crate::types::{CmpOp, NativeType};
+
+/// A native type that the generator can sample from a discrete, totally
+/// ordered lattice `[0, DOMAIN_MAX]`.
+///
+/// The lattice is mapped monotonically onto the type's domain, so range
+/// reasoning about comparison predicates (`x < needle` ⇔ `index(x) <
+/// index(needle)`) is exact. Floats use the integers exactly representable
+/// in their mantissa, keeping equality meaningful.
+pub trait GenValue: NativeType {
+    /// Largest lattice index (inclusive).
+    const DOMAIN_MAX: u64;
+
+    /// Monotone bijection from lattice index to value.
+    fn from_index(idx: u64) -> Self;
+
+    /// Inverse of [`GenValue::from_index`]; `None` when the value is not on
+    /// the lattice (possible for floats only).
+    fn to_index(self) -> Option<u64>;
+}
+
+macro_rules! impl_gen_uint {
+    ($($t:ty),*) => {$(
+        impl GenValue for $t {
+            const DOMAIN_MAX: u64 = <$t>::MAX as u64;
+            #[inline]
+            fn from_index(idx: u64) -> Self { idx as $t }
+            #[inline]
+            fn to_index(self) -> Option<u64> { Some(self as u64) }
+        }
+    )*};
+}
+
+macro_rules! impl_gen_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl GenValue for $t {
+            const DOMAIN_MAX: u64 = <$u>::MAX as u64;
+            #[inline]
+            fn from_index(idx: u64) -> Self {
+                // Shift the unsigned lattice onto the signed domain
+                // (0 -> MIN, DOMAIN_MAX -> MAX); monotone by construction.
+                ((idx as $u) ^ (1 << (<$t>::BITS - 1))) as $t
+            }
+            #[inline]
+            fn to_index(self) -> Option<u64> {
+                Some(((self as $u) ^ (1 << (<$t>::BITS - 1))) as u64)
+            }
+        }
+    )*};
+}
+
+impl_gen_uint!(u8, u16, u32, u64);
+impl_gen_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64);
+
+impl GenValue for f32 {
+    // Integers exactly representable in an f32 mantissa.
+    const DOMAIN_MAX: u64 = (1 << 24) - 1;
+    #[inline]
+    fn from_index(idx: u64) -> Self {
+        idx as f32
+    }
+    #[inline]
+    fn to_index(self) -> Option<u64> {
+        let idx = self as u64;
+        (self >= 0.0 && self.fract() == 0.0 && idx <= Self::DOMAIN_MAX).then_some(idx)
+    }
+}
+
+impl GenValue for f64 {
+    const DOMAIN_MAX: u64 = (1 << 53) - 1;
+    #[inline]
+    fn from_index(idx: u64) -> Self {
+        idx as f64
+    }
+    #[inline]
+    fn to_index(self) -> Option<u64> {
+        let idx = self as u64;
+        (self >= 0.0 && self.fract() == 0.0 && idx <= Self::DOMAIN_MAX).then_some(idx)
+    }
+}
+
+/// Inclusive index interval; empty iff `lo > hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    lo: u64,
+    hi: u64,
+}
+
+impl Interval {
+    fn size(&self) -> u128 {
+        if self.lo > self.hi { 0 } else { (self.hi - self.lo) as u128 + 1 }
+    }
+}
+
+/// Samples values that do / do not satisfy `x OP needle`.
+#[derive(Debug, Clone)]
+pub struct ValueSampler<T: GenValue> {
+    matching: Vec<Interval>,
+    non_matching: Vec<Interval>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Generator errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenError {
+    /// The needle is not on the generation lattice (float with fraction).
+    NeedleOffLattice,
+    /// No value can satisfy (or fail) the predicate, but the requested
+    /// selectivity requires one.
+    ImpossibleSelectivity {
+        /// Index of the offending predicate within the chain.
+        predicate: usize,
+    },
+    /// A selectivity outside `[0, 1]`.
+    InvalidSelectivity(f64),
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::NeedleOffLattice => write!(f, "needle not representable on lattice"),
+            GenError::ImpossibleSelectivity { predicate } => {
+                write!(f, "predicate {predicate}: requested selectivity unsatisfiable")
+            }
+            GenError::InvalidSelectivity(s) => write!(f, "selectivity {s} outside [0,1]"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+impl<T: GenValue> ValueSampler<T> {
+    /// Build a sampler for `x OP needle`.
+    pub fn new(op: CmpOp, needle: T) -> Result<Self, GenError> {
+        let ni = needle.to_index().ok_or(GenError::NeedleOffLattice)?;
+        let max = T::DOMAIN_MAX;
+        const EMPTY: Interval = Interval { lo: 1, hi: 0 };
+        let at = Interval { lo: ni, hi: ni };
+        let below = if ni == 0 { EMPTY } else { Interval { lo: 0, hi: ni - 1 } };
+        let above = if ni == max { EMPTY } else { Interval { lo: ni + 1, hi: max } };
+        let le = Interval { lo: 0, hi: ni };
+        let ge = Interval { lo: ni, hi: max };
+        let (matching, non_matching) = match op {
+            CmpOp::Eq => (vec![at], vec![below, above]),
+            CmpOp::Ne => (vec![below, above], vec![at]),
+            CmpOp::Lt => (vec![below], vec![ge]),
+            CmpOp::Le => (vec![le], vec![above]),
+            CmpOp::Gt => (vec![above], vec![le]),
+            CmpOp::Ge => (vec![ge], vec![below]),
+        };
+        Ok(ValueSampler { matching, non_matching, _marker: std::marker::PhantomData })
+    }
+
+    fn sample_from(intervals: &[Interval], rng: &mut impl Rng) -> Option<u64> {
+        let total: u128 = intervals.iter().map(Interval::size).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut pick = rng.random_range(0..total);
+        for iv in intervals {
+            let s = iv.size();
+            if pick < s {
+                return Some(iv.lo + pick as u64);
+            }
+            pick -= s;
+        }
+        unreachable!("pick < total");
+    }
+
+    /// A value satisfying the predicate, or `None` when none exists.
+    pub fn sample_matching(&self, rng: &mut impl Rng) -> Option<T> {
+        Self::sample_from(&self.matching, rng).map(T::from_index)
+    }
+
+    /// A value violating the predicate, or `None` when none exists.
+    pub fn sample_non_matching(&self, rng: &mut impl Rng) -> Option<T> {
+        Self::sample_from(&self.non_matching, rng).map(T::from_index)
+    }
+}
+
+/// One predicate of a generated chain.
+#[derive(Debug, Clone, Copy)]
+pub struct PredSpec<T> {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal to compare against.
+    pub needle: T,
+    /// Conditional selectivity among rows surviving earlier predicates,
+    /// in `[0, 1]`.
+    pub selectivity: f64,
+}
+
+impl<T> PredSpec<T> {
+    /// Equality predicate, the paper's default.
+    pub fn eq(needle: T, selectivity: f64) -> PredSpec<T> {
+        PredSpec { op: CmpOp::Eq, needle, selectivity }
+    }
+}
+
+/// Output of [`generate_chain`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedChain<T> {
+    /// One generated column per predicate, each `rows` long.
+    pub columns: Vec<Vec<T>>,
+    /// Rows that satisfy the *entire* chain, ascending. This is the ground
+    /// truth every kernel's output is checked against.
+    pub matching_rows: Vec<u32>,
+    /// Number of rows surviving after each predicate (prefix of the chain).
+    pub survivors_per_pred: Vec<usize>,
+}
+
+/// Generate `rows` rows for a conjunctive predicate chain with exact
+/// conditional selectivities (see module docs). Deterministic in `seed`.
+pub fn generate_chain<T: GenValue>(
+    rows: usize,
+    specs: &[PredSpec<T>],
+    seed: u64,
+) -> Result<GeneratedChain<T>, GenError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut columns = Vec::with_capacity(specs.len());
+    let mut survivors: Vec<u32> = (0..rows as u32).collect();
+    let mut survivors_per_pred = Vec::with_capacity(specs.len());
+
+    for (pi, spec) in specs.iter().enumerate() {
+        if !(0.0..=1.0).contains(&spec.selectivity) || spec.selectivity.is_nan() {
+            return Err(GenError::InvalidSelectivity(spec.selectivity));
+        }
+        let sampler = ValueSampler::new(spec.op, spec.needle)?;
+        let k = (spec.selectivity * survivors.len() as f64).round() as usize;
+
+        // Decide which survivors match this predicate.
+        let mut is_match = vec![false; rows];
+        if k > 0 {
+            for idx in sample_indices(&mut rng, survivors.len(), k) {
+                is_match[survivors[idx] as usize] = true;
+            }
+        }
+
+        // Fill the column. Surviving rows follow the exact plan; filtered-out
+        // rows get the same marginal distribution.
+        let mut in_survivors = vec![false; rows];
+        for &r in &survivors {
+            in_survivors[r as usize] = true;
+        }
+        let mut col = Vec::with_capacity(rows);
+        for row in 0..rows {
+            let want_match = if in_survivors[row] {
+                is_match[row]
+            } else {
+                rng.random_bool(spec.selectivity)
+            };
+            let v = if want_match {
+                sampler.sample_matching(&mut rng)
+            } else {
+                sampler.sample_non_matching(&mut rng)
+            };
+            match v {
+                Some(v) => col.push(v),
+                None => {
+                    // Requested a (non-)match that no lattice value provides.
+                    // Only an error when it affects a surviving row or the
+                    // marginal distribution cannot avoid it.
+                    if in_survivors[row] || want_match {
+                        return Err(GenError::ImpossibleSelectivity { predicate: pi });
+                    }
+                    // Non-surviving row wanted a non-match but every value
+                    // matches (e.g. `Ge domain-min`): emit a matching value,
+                    // it cannot change any result.
+                    col.push(sampler.sample_matching(&mut rng).expect("some value exists"));
+                }
+            }
+        }
+
+        survivors.retain(|&r| is_match[r as usize]);
+        survivors_per_pred.push(survivors.len());
+        columns.push(col);
+    }
+
+    Ok(GeneratedChain { columns, matching_rows: survivors, survivors_per_pred })
+}
+
+/// Build a [`Table`] (columns `c0..cN-1`) directly from a generated chain.
+pub fn chain_table<T: GenValue>(chain: &GeneratedChain<T>) -> Result<Table, TableError> {
+    let schema = (0..chain.columns.len())
+        .map(|i| ColumnDef::new(format!("c{i}"), T::DATA_TYPE))
+        .collect();
+    let columns = chain.columns.iter().map(|c| Column::from_slice(c)).collect();
+    Table::from_columns(schema, columns)
+}
+
+/// A uniform random column over the full lattice (used by the bandwidth
+/// experiment of Fig. 2, where selectivity is irrelevant).
+pub fn uniform_column<T: GenValue>(rows: usize, seed: u64) -> Vec<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows)
+        .map(|_| T::from_index(rng.random_range(0..=u128::from(T::DOMAIN_MAX)) as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_matches<T: GenValue>(col: &[T], spec: &PredSpec<T>) -> usize {
+        col.iter().filter(|v| v.cmp_op(spec.op, spec.needle)).count()
+    }
+
+    #[test]
+    fn single_predicate_exact_selectivity() {
+        for (rows, sel) in [(10_000usize, 0.1), (10_000, 0.5), (10_000, 0.0), (10_000, 1.0)] {
+            let spec = PredSpec::eq(5u32, sel);
+            let chain = generate_chain(rows, &[spec], 42).unwrap();
+            let expected = (rows as f64 * sel).round() as usize;
+            assert_eq!(count_matches(&chain.columns[0], &spec), expected, "sel={sel}");
+            assert_eq!(chain.matching_rows.len(), expected);
+            assert_eq!(chain.survivors_per_pred, vec![expected]);
+        }
+    }
+
+    #[test]
+    fn matching_rows_are_ground_truth() {
+        let specs = [PredSpec::eq(5u32, 0.3), PredSpec::eq(2u32, 0.5)];
+        let chain = generate_chain(1000, &specs, 7).unwrap();
+        let mut expected = Vec::new();
+        for row in 0..1000 {
+            if chain.columns[0][row] == 5 && chain.columns[1][row] == 2 {
+                expected.push(row as u32);
+            }
+        }
+        assert_eq!(chain.matching_rows, expected);
+        assert!(chain.matching_rows.windows(2).all(|w| w[0] < w[1]), "ascending");
+    }
+
+    #[test]
+    fn fig7_conditional_selectivities() {
+        // Paper Fig. 7: predicate 1 matches 1 %, following match 50 % of the
+        // remaining rows.
+        let specs = [
+            PredSpec::eq(5u32, 0.01),
+            PredSpec::eq(2u32, 0.5),
+            PredSpec::eq(9u32, 0.5),
+            PredSpec::eq(7u32, 0.5),
+        ];
+        let chain = generate_chain(100_000, &specs, 99).unwrap();
+        assert_eq!(chain.survivors_per_pred, vec![1000, 500, 250, 125]);
+        assert_eq!(chain.matching_rows.len(), 125);
+    }
+
+    #[test]
+    fn all_operators_generate_exact_counts() {
+        for op in CmpOp::ALL {
+            let spec = PredSpec { op, needle: 1000u32, selectivity: 0.25 };
+            let chain = generate_chain(4000, &[spec], 3).unwrap();
+            assert_eq!(count_matches(&chain.columns[0], &spec), 1000, "op={op}");
+        }
+    }
+
+    #[test]
+    fn signed_and_float_types() {
+        let spec = PredSpec { op: CmpOp::Lt, needle: 0i32, selectivity: 0.5 };
+        let chain = generate_chain(2000, &[spec], 11).unwrap();
+        assert_eq!(count_matches(&chain.columns[0], &spec), 1000);
+
+        let spec = PredSpec { op: CmpOp::Ge, needle: 100.0f64, selectivity: 0.125 };
+        let chain = generate_chain(800, &[spec], 11).unwrap();
+        assert_eq!(count_matches(&chain.columns[0], &spec), 100);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let spec = [PredSpec::eq(5u32, 0.1)];
+        let a = generate_chain(1000, &spec, 1).unwrap();
+        let b = generate_chain(1000, &spec, 1).unwrap();
+        let c = generate_chain(1000, &spec, 2).unwrap();
+        assert_eq!(a.columns, b.columns);
+        assert_ne!(a.columns, c.columns);
+    }
+
+    #[test]
+    fn impossible_selectivity_rejected() {
+        // x < 0 can never match for u32 lattice index 0.
+        let spec = [PredSpec { op: CmpOp::Lt, needle: 0u32, selectivity: 0.5 }];
+        assert_eq!(
+            generate_chain(100, &spec, 1),
+            Err(GenError::ImpossibleSelectivity { predicate: 0 })
+        );
+        // Selectivity 0 with the same impossible predicate is fine.
+        let spec = [PredSpec { op: CmpOp::Lt, needle: 0u32, selectivity: 0.0 }];
+        let chain = generate_chain(100, &spec, 1).unwrap();
+        assert!(chain.matching_rows.is_empty());
+    }
+
+    #[test]
+    fn invalid_selectivity_rejected() {
+        let spec = [PredSpec::eq(5u32, 1.5)];
+        assert!(matches!(generate_chain(10, &spec, 1), Err(GenError::InvalidSelectivity(_))));
+        let spec = [PredSpec::eq(5u32, f64::NAN)];
+        assert!(matches!(generate_chain(10, &spec, 1), Err(GenError::InvalidSelectivity(_))));
+    }
+
+    #[test]
+    fn needle_off_lattice_rejected() {
+        let spec = [PredSpec::eq(1.5f32, 0.5)];
+        assert_eq!(generate_chain(10, &spec, 1), Err(GenError::NeedleOffLattice));
+    }
+
+    #[test]
+    fn chain_table_matches_columns() {
+        let specs = [PredSpec::eq(5u32, 0.2), PredSpec::eq(2u32, 0.5)];
+        let chain = generate_chain(100, &specs, 5).unwrap();
+        let table = chain_table(&chain).unwrap();
+        assert_eq!(table.columns(), 2);
+        assert_eq!(table.rows(), 100);
+        assert_eq!(table.schema()[0].name, "c0");
+        assert_eq!(
+            table.chunks()[0].segment(1).as_plain().unwrap().as_native::<u32>().unwrap(),
+            &chain.columns[1][..]
+        );
+    }
+
+    #[test]
+    fn signed_lattice_is_monotone() {
+        let vals: Vec<i32> = (0..100u64)
+            .map(|i| i32::from_index(i * (u32::MAX as u64 / 100)))
+            .collect();
+        assert!(vals.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(i32::from_index(0), i32::MIN);
+        assert_eq!(i32::from_index(u32::MAX as u64), i32::MAX);
+        for v in [-5i32, 0, 7, i32::MIN, i32::MAX] {
+            assert_eq!(i32::from_index(v.to_index().unwrap()), v);
+        }
+    }
+
+    #[test]
+    fn uniform_column_spans_domain() {
+        let col: Vec<u8> = uniform_column(10_000, 13);
+        assert_eq!(col.len(), 10_000);
+        let distinct: std::collections::HashSet<u8> = col.iter().copied().collect();
+        assert!(distinct.len() > 200, "u8 uniform column should hit most values");
+    }
+}

@@ -1,0 +1,36 @@
+//! # fts-storage — column-store substrate
+//!
+//! In-memory, column-major storage for the Fused Table Scan reproduction
+//! (Dreseler et al., ICDE 2018 HardBD workshop). Provides exactly the
+//! storage model the paper assumes (§II):
+//!
+//! 1. all data in memory,
+//! 2. column-major layout, optionally horizontally partitioned into
+//!    chunks/morsels ([`Table`], [`Chunk`]),
+//! 3. fixed-size values — natively ([`Column`]) or via dictionary encoding
+//!    ([`DictColumn`]), which reduces any typed predicate to a `u32`
+//!    value-id comparison.
+//!
+//! It also hosts the seeded workload generators ([`gen`]) that reproduce
+//! the evaluation's exact-selectivity data sets.
+
+#![warn(missing_docs)]
+
+pub mod aligned;
+pub mod bitpack;
+pub mod builder;
+pub mod column;
+pub mod dictionary;
+pub mod gen;
+pub mod poslist;
+pub mod table;
+pub mod types;
+
+pub use aligned::{AlignedBuf, CACHE_LINE};
+pub use bitpack::{mask_of, PackError, PackedColumn};
+pub use builder::{BuildError, TableBuilder};
+pub use column::Column;
+pub use dictionary::{DictColumn, DictError, IdPredicate};
+pub use poslist::{PosList, MAX_CHUNK_ROWS};
+pub use table::{Chunk, ColumnDef, Segment, Table, TableError, DEFAULT_CHUNK_ROWS};
+pub use types::{CmpOp, DataType, NativeType, Value};

@@ -1,0 +1,494 @@
+//! Tables, chunks, and segments.
+//!
+//! Layout follows the paper's assumptions: column-major storage that *"can
+//! be horizontally partitioned into chunks or morsels"* (footnote 1). A
+//! [`Table`] owns a schema and a list of [`Chunk`]s; each chunk stores one
+//! [`Segment`] per column, either plain ([`Column`]) or dictionary-encoded
+//! ([`DictColumn`]).
+
+use std::sync::Arc;
+
+use crate::bitpack::{PackError, PackedColumn};
+use crate::column::Column;
+use crate::dictionary::{DictColumn, DictError};
+use crate::types::{DataType, Value};
+
+/// Default number of rows per chunk (matches Hyrise's default order of
+/// magnitude; large enough that per-chunk overhead is negligible).
+pub const DEFAULT_CHUNK_ROWS: usize = 1 << 20;
+
+/// One column's data within a chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// Uncompressed native values.
+    Plain(Column),
+    /// Dictionary-encoded values (sorted dict + u32 value ids).
+    Dict(DictColumn),
+    /// Bit-packed (null-suppressed) unsigned 32-bit values.
+    Packed(PackedColumn),
+}
+
+impl Segment {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Segment::Plain(c) => c.len(),
+            Segment::Dict(d) => d.len(),
+            Segment::Packed(p) => p.len(),
+        }
+    }
+
+    /// Whether the segment has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The *logical* (decoded) data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Segment::Plain(c) => c.data_type(),
+            Segment::Dict(d) => d.data_type(),
+            Segment::Packed(_) => DataType::U32,
+        }
+    }
+
+    /// Read one row as a dynamic value (decodes if dictionary-encoded).
+    pub fn value_at(&self, row: usize) -> Value {
+        match self {
+            Segment::Plain(c) => c.value_at(row),
+            Segment::Dict(d) => d.value_at(row),
+            Segment::Packed(p) => Value::U32(p.get(row)),
+        }
+    }
+
+    /// Plain column view if this segment is uncompressed.
+    pub fn as_plain(&self) -> Option<&Column> {
+        match self {
+            Segment::Plain(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Dictionary view if this segment is encoded.
+    pub fn as_dict(&self) -> Option<&DictColumn> {
+        match self {
+            Segment::Dict(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Packed view if this segment is bit-packed.
+    pub fn as_packed(&self) -> Option<&PackedColumn> {
+        match self {
+            Segment::Packed(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// A horizontal partition of a table: one segment per column, all of equal
+/// length.
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    segments: Vec<Segment>,
+    rows: usize,
+}
+
+impl Chunk {
+    /// Build a chunk; panics if the segments disagree on the row count.
+    pub fn new(segments: Vec<Segment>) -> Chunk {
+        let rows = segments.first().map_or(0, Segment::len);
+        for (i, s) in segments.iter().enumerate() {
+            assert_eq!(s.len(), rows, "segment {i} length mismatch");
+        }
+        Chunk { segments, rows }
+    }
+
+    /// Number of rows in this chunk.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Segment of column `col`.
+    pub fn segment(&self, col: usize) -> &Segment {
+        &self.segments[col]
+    }
+
+    /// All segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+}
+
+/// Schema entry: column name and logical type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (case-sensitive).
+    pub name: String,
+    /// Logical value type.
+    pub data_type: DataType,
+}
+
+impl ColumnDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> ColumnDef {
+        ColumnDef { name: name.into(), data_type }
+    }
+}
+
+/// Errors raised when assembling a table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// Number of columns does not match the schema.
+    ColumnCountMismatch {
+        /// Columns the schema declares.
+        expected: usize,
+        /// Columns provided.
+        got: usize,
+    },
+    /// A column's type does not match its schema entry.
+    TypeMismatch {
+        /// Offending column index.
+        column: usize,
+        /// Type declared in the schema.
+        expected: DataType,
+        /// Type of the provided data.
+        got: DataType,
+    },
+    /// Columns of one chunk have differing lengths.
+    LengthMismatch,
+    /// Dictionary encoding failed.
+    Dict(DictError),
+    /// Bit-packing failed (non-u32 column, or a value overflow).
+    Pack(PackError),
+    /// Bit-packing requested for a column that is not `u32`.
+    PackNeedsU32 {
+        /// Offending column index.
+        column: usize,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::ColumnCountMismatch { expected, got } => {
+                write!(f, "expected {expected} columns, got {got}")
+            }
+            TableError::TypeMismatch { column, expected, got } => {
+                write!(f, "column {column}: expected type {expected}, got {got}")
+            }
+            TableError::LengthMismatch => write!(f, "columns have differing lengths"),
+            TableError::Dict(e) => write!(f, "dictionary encoding failed: {e}"),
+            TableError::Pack(e) => write!(f, "bit-packing failed: {e}"),
+            TableError::PackNeedsU32 { column } => {
+                write!(f, "column {column} is not uint; bit-packing covers u32 columns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<DictError> for TableError {
+    fn from(e: DictError) -> Self {
+        TableError::Dict(e)
+    }
+}
+
+impl From<PackError> for TableError {
+    fn from(e: PackError) -> Self {
+        TableError::Pack(e)
+    }
+}
+
+/// A column-major, chunked, in-memory table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Vec<ColumnDef>,
+    chunks: Vec<Arc<Chunk>>,
+    rows: usize,
+}
+
+impl Table {
+    /// Build a single-chunk table from whole columns.
+    pub fn from_columns(
+        schema: Vec<ColumnDef>,
+        columns: Vec<Column>,
+    ) -> Result<Table, TableError> {
+        Self::from_chunked_columns(schema, columns, usize::MAX)
+    }
+
+    /// Build a table from whole columns, splitting horizontally into chunks
+    /// of at most `chunk_rows` rows.
+    pub fn from_chunked_columns(
+        schema: Vec<ColumnDef>,
+        columns: Vec<Column>,
+        chunk_rows: usize,
+    ) -> Result<Table, TableError> {
+        if columns.len() != schema.len() {
+            return Err(TableError::ColumnCountMismatch {
+                expected: schema.len(),
+                got: columns.len(),
+            });
+        }
+        for (i, (def, col)) in schema.iter().zip(&columns).enumerate() {
+            if def.data_type != col.data_type() {
+                return Err(TableError::TypeMismatch {
+                    column: i,
+                    expected: def.data_type,
+                    got: col.data_type(),
+                });
+            }
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        if columns.iter().any(|c| c.len() != rows) {
+            return Err(TableError::LengthMismatch);
+        }
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+
+        let mut chunks = Vec::new();
+        if rows == 0 || rows <= chunk_rows {
+            chunks.push(Arc::new(Chunk::new(
+                columns.into_iter().map(Segment::Plain).collect(),
+            )));
+        } else {
+            let mut start = 0;
+            while start < rows {
+                let end = (start + chunk_rows).min(rows);
+                let segments = columns
+                    .iter()
+                    .map(|c| Segment::Plain(slice_column(c, start, end)))
+                    .collect();
+                chunks.push(Arc::new(Chunk::new(segments)));
+                start = end;
+            }
+        }
+        Ok(Table { schema, chunks, rows })
+    }
+
+    /// Return a copy of this table with the given columns dictionary-encoded
+    /// (per chunk, like Hyrise encodes each chunk independently).
+    pub fn with_dictionary_encoding(&self, columns: &[usize]) -> Result<Table, TableError> {
+        let mut chunks = Vec::with_capacity(self.chunks.len());
+        for chunk in &self.chunks {
+            let segments = chunk
+                .segments()
+                .iter()
+                .enumerate()
+                .map(|(i, seg)| {
+                    if columns.contains(&i) {
+                        match seg {
+                            Segment::Plain(c) => Ok(Segment::Dict(DictColumn::encode(c)?)),
+                            d @ Segment::Dict(_) => Ok(d.clone()),
+                            Segment::Packed(p) => Ok(Segment::Dict(
+                                DictColumn::encode_native(&p.unpack())?,
+                            )),
+                        }
+                    } else {
+                        Ok(seg.clone())
+                    }
+                })
+                .collect::<Result<Vec<_>, DictError>>()?;
+            chunks.push(Arc::new(Chunk::new(segments)));
+        }
+        Ok(Table { schema: self.schema.clone(), chunks, rows: self.rows })
+    }
+
+    /// Return a copy with the given `u32` columns bit-packed at the minimal
+    /// width that fits each chunk's values (per-chunk, like dictionaries).
+    pub fn with_bitpacking(&self, columns: &[usize]) -> Result<Table, TableError> {
+        let mut chunks = Vec::with_capacity(self.chunks.len());
+        for chunk in &self.chunks {
+            let segments = chunk
+                .segments()
+                .iter()
+                .enumerate()
+                .map(|(i, seg)| {
+                    if !columns.contains(&i) {
+                        return Ok(seg.clone());
+                    }
+                    match seg {
+                        Segment::Plain(c) => match c.as_native::<u32>() {
+                            Some(values) => {
+                                Ok(Segment::Packed(PackedColumn::pack_min_bits(values)))
+                            }
+                            None => Err(TableError::PackNeedsU32 { column: i }),
+                        },
+                        p @ Segment::Packed(_) => Ok(p.clone()),
+                        Segment::Dict(_) => Err(TableError::PackNeedsU32 { column: i }),
+                    }
+                })
+                .collect::<Result<Vec<_>, TableError>>()?;
+            chunks.push(Arc::new(Chunk::new(segments)));
+        }
+        Ok(Table { schema: self.schema.clone(), chunks, rows: self.rows })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &[ColumnDef] {
+        &self.schema
+    }
+
+    /// Index of the column with the given name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.schema.iter().position(|c| c.name == name)
+    }
+
+    /// Total number of rows across all chunks.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn columns(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// The chunks.
+    pub fn chunks(&self) -> &[Arc<Chunk>] {
+        &self.chunks
+    }
+
+    /// Read a single cell (global row index) as a dynamic value.
+    pub fn value_at(&self, col: usize, mut row: usize) -> Value {
+        for chunk in &self.chunks {
+            if row < chunk.rows() {
+                return chunk.segment(col).value_at(row);
+            }
+            row -= chunk.rows();
+        }
+        panic!("row index out of bounds");
+    }
+}
+
+fn slice_column(col: &Column, start: usize, end: usize) -> Column {
+    crate::with_native!(col, s => {
+        Column::from_slice(&s[start..end])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::CmpOp;
+
+    fn two_col_table(rows: usize, chunk_rows: usize) -> Table {
+        let a = Column::from_fn(rows, |i| (i % 10) as u32);
+        let b = Column::from_fn(rows, |i| (i % 7) as u32);
+        Table::from_chunked_columns(
+            vec![ColumnDef::new("a", DataType::U32), ColumnDef::new("b", DataType::U32)],
+            vec![a, b],
+            chunk_rows,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_chunk_layout() {
+        let t = two_col_table(100, usize::MAX);
+        assert_eq!(t.rows(), 100);
+        assert_eq!(t.columns(), 2);
+        assert_eq!(t.chunks().len(), 1);
+        assert_eq!(t.column_index("b"), Some(1));
+        assert_eq!(t.column_index("z"), None);
+        assert_eq!(t.value_at(0, 13), Value::U32(3));
+    }
+
+    #[test]
+    fn chunking_partitions_rows() {
+        let t = two_col_table(100, 32);
+        assert_eq!(t.chunks().len(), 4); // 32+32+32+4
+        let sizes: Vec<usize> = t.chunks().iter().map(|c| c.rows()).collect();
+        assert_eq!(sizes, vec![32, 32, 32, 4]);
+        assert_eq!(t.rows(), 100);
+        // Global row addressing crosses chunk boundaries correctly.
+        for row in [0usize, 31, 32, 63, 64, 99] {
+            assert_eq!(t.value_at(0, row), Value::U32((row % 10) as u32));
+            assert_eq!(t.value_at(1, row), Value::U32((row % 7) as u32));
+        }
+    }
+
+    #[test]
+    fn schema_validation() {
+        let schema = vec![ColumnDef::new("a", DataType::U32)];
+        let err = Table::from_columns(schema.clone(), vec![]).unwrap_err();
+        assert_eq!(err, TableError::ColumnCountMismatch { expected: 1, got: 0 });
+
+        let err = Table::from_columns(schema.clone(), vec![Column::from_vec(vec![1i32])])
+            .unwrap_err();
+        assert!(matches!(err, TableError::TypeMismatch { column: 0, .. }));
+
+        let schema2 = vec![
+            ColumnDef::new("a", DataType::U32),
+            ColumnDef::new("b", DataType::U32),
+        ];
+        let err = Table::from_columns(
+            schema2,
+            vec![Column::from_vec(vec![1u32, 2]), Column::from_vec(vec![1u32])],
+        )
+        .unwrap_err();
+        assert_eq!(err, TableError::LengthMismatch);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::from_columns(
+            vec![ColumnDef::new("a", DataType::I8)],
+            vec![Column::from_vec(Vec::<i8>::new())],
+        )
+        .unwrap();
+        assert_eq!(t.rows(), 0);
+        assert_eq!(t.chunks().len(), 1);
+        assert_eq!(t.chunks()[0].rows(), 0);
+    }
+
+    #[test]
+    fn dictionary_encoding_per_chunk() {
+        let t = two_col_table(100, 32).with_dictionary_encoding(&[0]).unwrap();
+        for chunk in t.chunks() {
+            assert!(chunk.segment(0).as_dict().is_some());
+            assert!(chunk.segment(1).as_plain().is_some());
+        }
+        // Decoded values are unchanged.
+        for row in [0usize, 31, 32, 99] {
+            assert_eq!(t.value_at(0, row), Value::U32((row % 10) as u32));
+        }
+        // The dictionary-domain predicate still works per chunk.
+        let dict = t.chunks()[0].segment(0).as_dict().unwrap();
+        assert!(dict.translate(CmpOp::Eq, Value::U32(5)).is_some());
+    }
+
+    #[test]
+    fn bitpacking_round_trips_through_value_at() {
+        let t = two_col_table(100, 32).with_bitpacking(&[0]).unwrap();
+        for chunk in t.chunks() {
+            let p = chunk.segment(0).as_packed().unwrap();
+            assert_eq!(p.bits(), 4, "values 0..9 need 4 bits");
+            assert!(chunk.segment(1).as_packed().is_none());
+        }
+        for row in [0usize, 31, 32, 99] {
+            assert_eq!(t.value_at(0, row), Value::U32((row % 10) as u32));
+        }
+        // Non-u32 columns refuse to pack.
+        let bad = Table::from_columns(
+            vec![ColumnDef::new("x", DataType::I64)],
+            vec![Column::from_fn(4, |i| i as i64)],
+        )
+        .unwrap();
+        assert!(matches!(
+            bad.with_bitpacking(&[0]),
+            Err(TableError::PackNeedsU32 { column: 0 })
+        ));
+    }
+
+    #[test]
+    fn chunk_rejects_ragged_segments() {
+        let result = std::panic::catch_unwind(|| {
+            Chunk::new(vec![
+                Segment::Plain(Column::from_vec(vec![1u32, 2])),
+                Segment::Plain(Column::from_vec(vec![1u32])),
+            ])
+        });
+        assert!(result.is_err());
+    }
+}

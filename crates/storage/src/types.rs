@@ -1,0 +1,443 @@
+//! Scalar type system of the column store.
+//!
+//! The paper (§V) enumerates ten scannable data types — signed and unsigned
+//! integers of 1, 2, 4 and 8 bytes plus `f32`/`f64` — and six comparison
+//! operators. This module defines that type universe ([`DataType`],
+//! [`Value`]) together with the [`NativeType`] trait that lets kernels and
+//! generators be written once and monomorphized per type.
+
+use std::fmt;
+
+/// The six comparison operators a scan predicate can use (paper §V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// All six operators, in a stable order (useful for exhaustive tests).
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+
+    /// The operator with flipped operand order (`a < b` ⇔ `b > a`).
+    #[must_use]
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Logical negation (`!(a < b)` ⇔ `a >= b`). Exact for totally ordered
+    /// domains; for floats, NaN makes every comparison false, so negation is
+    /// only used on integer domains (dictionary value ids in particular).
+    #[must_use]
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// SQL spelling of the operator.
+    pub fn sql(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql())
+    }
+}
+
+/// The ten fixed-size data types the scan supports (paper §V footnote 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 1-byte signed integer.
+    I8,
+    /// 2-byte signed integer.
+    I16,
+    /// 4-byte signed integer.
+    I32,
+    /// 8-byte signed integer.
+    I64,
+    /// 1-byte unsigned integer.
+    U8,
+    /// 2-byte unsigned integer.
+    U16,
+    /// 4-byte unsigned integer.
+    U32,
+    /// 8-byte unsigned integer.
+    U64,
+    /// Single-precision float.
+    F32,
+    /// Double-precision float.
+    F64,
+}
+
+impl DataType {
+    /// All ten data types.
+    pub const ALL: [DataType; 10] = [
+        DataType::I8,
+        DataType::I16,
+        DataType::I32,
+        DataType::I64,
+        DataType::U8,
+        DataType::U16,
+        DataType::U32,
+        DataType::U64,
+        DataType::F32,
+        DataType::F64,
+    ];
+
+    /// Size of one value in bytes.
+    pub fn width(self) -> usize {
+        match self {
+            DataType::I8 | DataType::U8 => 1,
+            DataType::I16 | DataType::U16 => 2,
+            DataType::I32 | DataType::U32 | DataType::F32 => 4,
+            DataType::I64 | DataType::U64 | DataType::F64 => 8,
+        }
+    }
+
+    /// Whether this is one of the eight integer types.
+    pub fn is_integer(self) -> bool {
+        !matches!(self, DataType::F32 | DataType::F64)
+    }
+
+    /// SQL-ish name used by the parser and plan printer.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::I8 => "tinyint",
+            DataType::I16 => "smallint",
+            DataType::I32 => "int",
+            DataType::I64 => "bigint",
+            DataType::U8 => "utinyint",
+            DataType::U16 => "usmallint",
+            DataType::U32 => "uint",
+            DataType::U64 => "ubigint",
+            DataType::F32 => "float",
+            DataType::F64 => "double",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A dynamically typed scalar value.
+///
+/// Used on slow paths only (row insertion, plan literals, result rendering);
+/// kernels always work on native slices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 1-byte signed integer.
+    I8(i8),
+    /// 2-byte signed integer.
+    I16(i16),
+    /// 4-byte signed integer.
+    I32(i32),
+    /// 8-byte signed integer.
+    I64(i64),
+    /// 1-byte unsigned integer.
+    U8(u8),
+    /// 2-byte unsigned integer.
+    U16(u16),
+    /// 4-byte unsigned integer.
+    U32(u32),
+    /// 8-byte unsigned integer.
+    U64(u64),
+    /// Single-precision float.
+    F32(f32),
+    /// Double-precision float.
+    F64(f64),
+}
+
+impl Value {
+    /// The [`DataType`] of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::I8(_) => DataType::I8,
+            Value::I16(_) => DataType::I16,
+            Value::I32(_) => DataType::I32,
+            Value::I64(_) => DataType::I64,
+            Value::U8(_) => DataType::U8,
+            Value::U16(_) => DataType::U16,
+            Value::U32(_) => DataType::U32,
+            Value::U64(_) => DataType::U64,
+            Value::F32(_) => DataType::F32,
+            Value::F64(_) => DataType::F64,
+        }
+    }
+
+    /// Lossless-ish cast used when plan literals must match column types
+    /// (e.g. the SQL literal `5` scanned against a `uint` column). Returns
+    /// `None` when the value does not fit the target domain.
+    pub fn cast_to(&self, ty: DataType) -> Option<Value> {
+        // Go through i128/f64 as wide intermediates.
+        if let (Some(i), true) = (self.as_i128(), ty.is_integer()) {
+            return Value::from_i128(i, ty);
+        }
+        match (self.as_f64(), ty) {
+            (Some(f), DataType::F32) => Some(Value::F32(f as f32)),
+            (Some(f), DataType::F64) => Some(Value::F64(f)),
+            _ => None,
+        }
+    }
+
+    fn as_i128(&self) -> Option<i128> {
+        Some(match *self {
+            Value::I8(v) => v as i128,
+            Value::I16(v) => v as i128,
+            Value::I32(v) => v as i128,
+            Value::I64(v) => v as i128,
+            Value::U8(v) => v as i128,
+            Value::U16(v) => v as i128,
+            Value::U32(v) => v as i128,
+            Value::U64(v) => v as i128,
+            Value::F32(_) | Value::F64(_) => return None,
+        })
+    }
+
+    /// Numeric view as `f64` (floats only pass through losslessly for f32).
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match *self {
+            Value::F32(v) => v as f64,
+            Value::F64(v) => v,
+            _ => self.as_i128()? as f64,
+        })
+    }
+
+    fn from_i128(i: i128, ty: DataType) -> Option<Value> {
+        Some(match ty {
+            DataType::I8 => Value::I8(i8::try_from(i).ok()?),
+            DataType::I16 => Value::I16(i16::try_from(i).ok()?),
+            DataType::I32 => Value::I32(i32::try_from(i).ok()?),
+            DataType::I64 => Value::I64(i64::try_from(i).ok()?),
+            DataType::U8 => Value::U8(u8::try_from(i).ok()?),
+            DataType::U16 => Value::U16(u16::try_from(i).ok()?),
+            DataType::U32 => Value::U32(u32::try_from(i).ok()?),
+            DataType::U64 => Value::U64(u64::try_from(i).ok()?),
+            DataType::F32 | DataType::F64 => return None,
+        })
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I8(v) => write!(f, "{v}"),
+            Value::I16(v) => write!(f, "{v}"),
+            Value::I32(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U8(v) => write!(f, "{v}"),
+            Value::U16(v) => write!(f, "{v}"),
+            Value::U32(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F32(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// A fixed-size native type the scan kernels can operate on.
+///
+/// Sealed: exactly the ten types of [`DataType`] implement it.
+///
+/// Float semantics: a comparison involving NaN is `false` for every
+/// operator, including `Ne`. This matches the AVX ordered-compare predicates
+/// the vectorized kernels use (`_CMP_NEQ_OQ` etc.), so scalar and SIMD paths
+/// agree bit-for-bit.
+pub trait NativeType:
+    Copy + Send + Sync + PartialOrd + PartialEq + Default + fmt::Debug + fmt::Display + sealed::Sealed + 'static
+{
+    /// The dynamic tag for this type.
+    const DATA_TYPE: DataType;
+
+    /// Wrap into a dynamic [`Value`].
+    fn to_value(self) -> Value;
+
+    /// Extract from a dynamic [`Value`] of the matching variant.
+    fn from_value(v: Value) -> Option<Self>;
+
+    /// Wrap an aligned buffer of this type into a [`crate::Column`].
+    fn wrap_column(buf: crate::aligned::AlignedBuf<Self>) -> crate::column::Column;
+
+    /// Downcast a [`crate::Column`] to this type's buffer.
+    fn unwrap_column(col: &crate::column::Column) -> Option<&crate::aligned::AlignedBuf<Self>>;
+
+    /// Evaluate `self OP rhs` with the NaN semantics documented above.
+    #[inline(always)]
+    fn cmp_op(self, op: CmpOp, rhs: Self) -> bool {
+        match op {
+            CmpOp::Eq => self == rhs,
+            CmpOp::Ne => self.is_ordered_with(rhs) && self != rhs,
+            CmpOp::Lt => self < rhs,
+            CmpOp::Le => self <= rhs,
+            CmpOp::Gt => self > rhs,
+            CmpOp::Ge => self >= rhs,
+        }
+    }
+
+    /// `true` when the two values are ordered (always true for integers,
+    /// false for floats when either side is NaN).
+    #[inline(always)]
+    fn is_ordered_with(self, rhs: Self) -> bool {
+        self.partial_cmp(&rhs).is_some()
+    }
+}
+
+macro_rules! impl_native {
+    ($($t:ty => $variant:ident),* $(,)?) => {$(
+        impl sealed::Sealed for $t {}
+        impl NativeType for $t {
+            const DATA_TYPE: DataType = DataType::$variant;
+            #[inline]
+            fn to_value(self) -> Value { Value::$variant(self) }
+            #[inline]
+            fn from_value(v: Value) -> Option<Self> {
+                match v { Value::$variant(x) => Some(x), _ => None }
+            }
+            #[inline]
+            fn wrap_column(buf: crate::aligned::AlignedBuf<Self>) -> crate::column::Column {
+                crate::column::Column::$variant(buf)
+            }
+            #[inline]
+            fn unwrap_column(col: &crate::column::Column) -> Option<&crate::aligned::AlignedBuf<Self>> {
+                match col { crate::column::Column::$variant(b) => Some(b), _ => None }
+            }
+        }
+    )*};
+}
+
+impl_native! {
+    i8 => I8, i16 => I16, i32 => I32, i64 => I64,
+    u8 => U8, u16 => U16, u32 => U32, u64 => U64,
+    f32 => F32, f64 => F64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_rust_sizes() {
+        assert_eq!(DataType::I8.width(), std::mem::size_of::<i8>());
+        assert_eq!(DataType::U16.width(), std::mem::size_of::<u16>());
+        assert_eq!(DataType::I32.width(), std::mem::size_of::<i32>());
+        assert_eq!(DataType::F64.width(), std::mem::size_of::<f64>());
+        for ty in DataType::ALL {
+            assert!(matches!(ty.width(), 1 | 2 | 4 | 8));
+        }
+    }
+
+    #[test]
+    fn cmp_op_flip_is_involution() {
+        for op in CmpOp::ALL {
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_op_negate_is_involution() {
+        for op in CmpOp::ALL {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_op_semantics_integers() {
+        assert!(5u32.cmp_op(CmpOp::Eq, 5));
+        assert!(!5u32.cmp_op(CmpOp::Ne, 5));
+        assert!(4u32.cmp_op(CmpOp::Lt, 5));
+        assert!(5u32.cmp_op(CmpOp::Le, 5));
+        assert!(6u32.cmp_op(CmpOp::Gt, 5));
+        assert!(5u32.cmp_op(CmpOp::Ge, 5));
+        assert!((-1i8).cmp_op(CmpOp::Lt, 0));
+    }
+
+    #[test]
+    fn nan_compares_false_under_every_op() {
+        for op in CmpOp::ALL {
+            assert!(!f32::NAN.cmp_op(op, 1.0), "NaN {op} 1.0 must be false");
+            assert!(!1.0f32.cmp_op(op, f32::NAN), "1.0 {op} NaN must be false");
+            assert!(!f64::NAN.cmp_op(op, f64::NAN), "NaN {op} NaN must be false");
+        }
+    }
+
+    #[test]
+    fn negate_complements_for_integers() {
+        for op in CmpOp::ALL {
+            for a in [-3i32, 0, 7] {
+                for b in [-3i32, 0, 7] {
+                    assert_eq!(a.cmp_op(op, b), !a.cmp_op(op.negate(), b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value_round_trip() {
+        assert_eq!(u32::from_value(42u32.to_value()), Some(42));
+        assert_eq!(i64::from_value((-7i64).to_value()), Some(-7));
+        assert_eq!(f32::from_value(1.5f32.to_value()), Some(1.5));
+        assert_eq!(u32::from_value(Value::I32(1)), None);
+    }
+
+    #[test]
+    fn value_cast() {
+        assert_eq!(Value::I32(5).cast_to(DataType::U32), Some(Value::U32(5)));
+        assert_eq!(Value::I32(-5).cast_to(DataType::U32), None);
+        assert_eq!(Value::I32(300).cast_to(DataType::U8), None);
+        assert_eq!(Value::U64(7).cast_to(DataType::F64), Some(Value::F64(7.0)));
+        assert_eq!(Value::F64(1.5).cast_to(DataType::F32), Some(Value::F32(1.5)));
+        assert_eq!(Value::F64(1.5).cast_to(DataType::I32), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CmpOp::Le.to_string(), "<=");
+        assert_eq!(DataType::U32.to_string(), "uint");
+        assert_eq!(Value::F32(2.5).to_string(), "2.5");
+    }
+}

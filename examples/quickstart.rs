@@ -1,0 +1,68 @@
+//! Quickstart: run the paper's motivating query with every scan
+//! implementation and compare.
+//!
+//! ```text
+//! SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2        (paper §II)
+//! ```
+//!
+//! Usage: `cargo run --release --example quickstart [rows]`
+
+use std::time::Instant;
+
+use fused_table_scan::core::{run_scan, OutputMode, ScanImpl, TypedPred};
+use fused_table_scan::simd;
+use fused_table_scan::storage::gen::{generate_chain, PredSpec};
+
+fn main() {
+    let rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.replace('_', "").parse().ok())
+        .unwrap_or(8_000_000);
+
+    println!("host SIMD level: {}", simd::detect());
+    println!("generating {rows} rows (a: 10% match 5, b: 50% of those match 2)…");
+    let chain = generate_chain(
+        rows,
+        &[PredSpec::eq(5u32, 0.10), PredSpec::eq(2u32, 0.50)],
+        0xF05E,
+    )
+    .expect("generator");
+    let preds = [
+        TypedPred::eq(&chain.columns[0][..], 5u32),
+        TypedPred::eq(&chain.columns[1][..], 2u32),
+    ];
+    let expected = chain.matching_rows.len() as u64;
+    println!("ground truth: {expected} matching rows\n");
+
+    let impls = [
+        ScanImpl::SisdBranching,
+        ScanImpl::SisdAutoVec,
+        ScanImpl::BlockBitmap,
+        ScanImpl::FusedAvx2,
+        ScanImpl::FusedAvx512(fused_table_scan::core::RegWidth::W128),
+        ScanImpl::FusedAvx512(fused_table_scan::core::RegWidth::W256),
+        ScanImpl::FusedAvx512(fused_table_scan::core::RegWidth::W512),
+    ];
+
+    let mut baseline_ms = None;
+    println!("{:<24} {:>10}  {:>8}", "implementation", "median ms", "speedup");
+    for imp in impls {
+        if !imp.available() {
+            println!("{:<24} {:>10}", imp.name(), "n/a (ISA)");
+            continue;
+        }
+        let mut times: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                let out = run_scan(imp, &preds, OutputMode::Count).expect("scan");
+                assert_eq!(out.count(), expected, "{} returned a wrong count", imp.name());
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let median = times[times.len() / 2];
+        let baseline = *baseline_ms.get_or_insert(median);
+        println!("{:<24} {:>10.2}  {:>7.2}x", imp.name(), median, baseline / median);
+    }
+    println!("\nall implementations agree: COUNT(*) = {expected}");
+}

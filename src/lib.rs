@@ -1,0 +1,38 @@
+//! # fused-table-scan
+//!
+//! A Rust reproduction of **"Fused Table Scans: Combining AVX-512 and JIT
+//! to Double the Performance of Multi-Predicate Scans"** (Dreseler et al.,
+//! HardBD/Active @ ICDE 2018).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`storage`] — column-store substrate (tables, chunks, dictionary
+//!   encoding, exact-selectivity workload generators);
+//! * [`simd`] — ISA detection and the semantic models of the AVX-512
+//!   primitives;
+//! * [`core`] — the Fused Table Scan kernels (scalar/AVX2/AVX-512) and the
+//!   SISD / block-at-a-time baselines;
+//! * [`jit`] — runtime code generation (x86-64 EVEX emitter, kernel cache,
+//!   C++ source templates);
+//! * [`metrics`] — branch-predictor and cache/prefetcher counter models;
+//! * [`query`] — the SQL → plan → optimizer → executor pipeline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fused_table_scan::core::{run_fused_auto, OutputMode, TypedPred};
+//!
+//! let a: Vec<u32> = (0..10_000).map(|i| i % 10).collect();
+//! let b: Vec<u32> = (0..10_000).map(|i| i % 4).collect();
+//! // SELECT COUNT(*) FROM t WHERE a = 5 AND b = 1
+//! let preds = [TypedPred::eq(&a[..], 5), TypedPred::eq(&b[..], 1)];
+//! let out = run_fused_auto(&preds, OutputMode::Count);
+//! assert_eq!(out.count(), 500);
+//! ```
+
+pub use fts_core as core;
+pub use fts_jit as jit;
+pub use fts_metrics as metrics;
+pub use fts_query as query;
+pub use fts_simd as simd;
+pub use fts_storage as storage;
