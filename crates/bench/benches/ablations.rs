@@ -75,8 +75,12 @@ fn jit(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("static_kernel", |b| {
         b.iter(|| {
-            let out = run_scan(ScanImpl::FusedAvx512(RegWidth::W512), &preds, OutputMode::Count)
-                .unwrap();
+            let out = run_scan(
+                ScanImpl::FusedAvx512(RegWidth::W512),
+                &preds,
+                OutputMode::Count,
+            )
+            .unwrap();
             assert_eq!(out.count(), expected);
         });
     });
@@ -85,17 +89,18 @@ fn jit(c: &mut Criterion) {
     });
     group.bench_function("interpreted_engine", |b| {
         b.iter(|| {
-            let out =
-                run_scan(ScanImpl::FusedScalar(RegWidth::W512), &preds, OutputMode::Count)
-                    .unwrap();
+            let out = run_scan(
+                ScanImpl::FusedScalar(RegWidth::W512),
+                &preds,
+                OutputMode::Count,
+            )
+            .unwrap();
             assert_eq!(out.count(), expected);
         });
     });
     group.bench_function("jit_compile_step", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                CompiledKernel::compile(sig.clone(), JitBackend::Avx512).unwrap(),
-            )
+            std::hint::black_box(CompiledKernel::compile(sig.clone(), JitBackend::Avx512).unwrap())
         });
     });
     group.finish();

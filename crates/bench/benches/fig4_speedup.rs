@@ -19,8 +19,7 @@ fn bench(c: &mut Criterion) {
 
             group.bench_with_input(BenchmarkId::new("sisd_autovec", &label), &(), |b, _| {
                 b.iter(|| {
-                    let out =
-                        run_scan(ScanImpl::SisdAutoVec, &preds, OutputMode::Count).unwrap();
+                    let out = run_scan(ScanImpl::SisdAutoVec, &preds, OutputMode::Count).unwrap();
                     assert_eq!(out.count(), expected);
                 });
             });

@@ -45,7 +45,8 @@ fn main() {
         scale.model_rows
     );
 
-    let runs: Vec<(&str, fn(&Scale) -> FigureResult, &str)> = vec![
+    type Run = (&'static str, fn(&Scale) -> FigureResult, &'static str);
+    let runs: Vec<Run> = vec![
         ("1", figures::fig1, "runtime_ms"),
         ("2", figures::fig2, "gb_per_s"),
         ("4", figures::fig4, "speedup"),
@@ -53,7 +54,11 @@ fn main() {
         ("6", figures::fig6, "mispredictions"),
         ("7", figures::fig7, "median_ms"),
         ("ablations", figures::ablation_width, "median_ms"),
-        ("ablations", figures::ablation_gather_materialize, "median_ms"),
+        (
+            "ablations",
+            figures::ablation_gather_materialize,
+            "median_ms",
+        ),
         ("ablations", figures::ablation_jit, "median_ms"),
         ("ablations", figures::ablation_parallel, "median_ms"),
         ("ablations", figures::ablation_packed, "median_ms"),
@@ -78,7 +83,11 @@ fn main() {
         if let Err(e) = fig.save(&out_dir) {
             eprintln!("warning: could not save {}: {e}", fig.id);
         }
-        println!("[{} finished in {:.1}s]\n", fig.id, t.elapsed().as_secs_f64());
+        println!(
+            "[{} finished in {:.1}s]\n",
+            fig.id,
+            t.elapsed().as_secs_f64()
+        );
     }
     println!("results saved to {}", out_dir.display());
 }

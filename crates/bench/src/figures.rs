@@ -3,7 +3,10 @@
 //! Each returns a [`FigureResult`]; the `figures` binary prints the table
 //! and persists JSON for EXPERIMENTS.md.
 
-use fts_core::{run_scan, stride, OutputMode, RegWidth, ScanImpl, TypedPred};
+use fts_core::{
+    run_scan, run_scan_telemetered, stride, OutputMode, RegWidth, ScanImpl, TelemetryLevel,
+    TypedPred,
+};
 use fts_jit::{CompiledKernel, JitBackend, KernelCache, ScanSig};
 use fts_metrics::{instrument, timing, HwModel};
 use fts_simd::has_avx512;
@@ -16,8 +19,8 @@ use crate::workload::{equality_chain, fig7_chain, preds_of, sig_pairs, Scale};
 /// branch prediction is worst (Fig. 4's leading configuration).
 pub const SELECTIVITIES: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1.0];
 
-fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
-    timing::measure(reps, || f()).median_ms()
+fn median_ms(reps: usize, f: impl FnMut()) -> f64 {
+    timing::measure(reps, f).median_ms()
 }
 
 fn run_count(imp: ScanImpl, preds: &[TypedPred<'_, u32>], expected: u64) {
@@ -45,7 +48,9 @@ pub fn fig1(scale: &Scale) -> FigureResult {
         let chain = equality_chain(scale.rows, 2, sel, 100 + i as u64);
         let preds = preds_of(&chain);
         let expected = chain.matching_rows.len() as u64;
-        let ms = median_ms(scale.reps, || run_count(ScanImpl::SisdBranching, &preds, expected));
+        let ms = median_ms(scale.reps, || {
+            run_count(ScanImpl::SisdBranching, &preds, expected)
+        });
 
         // Modeled counters at reduced scale.
         let model_chain = equality_chain(scale.model_rows, 2, sel, 200 + i as u64);
@@ -59,8 +64,14 @@ pub fn fig1(scale: &Scale) -> FigureResult {
             sel,
             &[
                 ("runtime_ms", ms),
-                ("branch_mispredictions", c.branch.mispredictions as f64 * scale_factor),
-                ("useless_prefetches", c.mem.useless_prefetches as f64 * scale_factor),
+                (
+                    "branch_mispredictions",
+                    c.branch.mispredictions as f64 * scale_factor,
+                ),
+                (
+                    "useless_prefetches",
+                    c.mem.useless_prefetches as f64 * scale_factor,
+                ),
                 ("bus_lines", c.mem.bus_lines() as f64 * scale_factor),
             ],
         );
@@ -92,8 +103,14 @@ pub fn fig2(scale: &Scale) -> FigureResult {
             "SISD strided scan",
             skipped as f64,
             &[
-                ("gb_per_s", timing::bytes_per_second(m.bytes_touched, med) / 1e9),
-                ("values_per_us", timing::values_per_microsecond(m.values_processed, med)),
+                (
+                    "gb_per_s",
+                    timing::bytes_per_second(m.bytes_touched, med) / 1e9,
+                ),
+                (
+                    "values_per_us",
+                    timing::values_per_microsecond(m.values_processed, med),
+                ),
                 ("runtime_ms", med.as_secs_f64() * 1e3),
             ],
         );
@@ -110,10 +127,12 @@ pub fn fig4(scale: &Scale) -> FigureResult {
         "rows",
     );
     fig.config("reps_budget", scale.reps);
-    let sizes: Vec<usize> = [1_000, 10_000, 100_000, 1_000_000, 4_000_000, 16_000_000, 64_000_000]
-        .into_iter()
-        .filter(|&n| n <= scale.max_rows)
-        .collect();
+    let sizes: Vec<usize> = [
+        1_000, 10_000, 100_000, 1_000_000, 4_000_000, 16_000_000, 64_000_000,
+    ]
+    .into_iter()
+    .filter(|&n| n <= scale.max_rows)
+    .collect();
     let sels = [0.5, 0.1, 0.01, 0.001, 1e-6];
 
     for (i, &rows) in sizes.iter().enumerate() {
@@ -126,8 +145,7 @@ pub fn fig4(scale: &Scale) -> FigureResult {
             let preds = preds_of(&chain);
             let expected = chain.matching_rows.len() as u64;
             let reps = scale.reps_for(rows);
-            let sisd =
-                median_ms(reps, || run_count(ScanImpl::SisdAutoVec, &preds, expected));
+            let sisd = median_ms(reps, || run_count(ScanImpl::SisdAutoVec, &preds, expected));
             let fused_impl = if has_avx512() {
                 ScanImpl::FusedAvx512(RegWidth::W512)
             } else {
@@ -173,6 +191,17 @@ pub fn fig5(scale: &Scale) -> FigureResult {
             let ms = median_ms(scale.reps, || run_count(imp, &preds, expected));
             fig.push(imp.name(), sel, &[("median_ms", ms)]);
         }
+        // One full-telemetry run per selectivity with the best fused
+        // implementation: stage counters, observed selectivities, bytes
+        // and the bandwidth-vs-compute verdict, embedded in the JSON
+        // report for EXPERIMENTS.md.
+        let peak = stride::peak_bandwidth_gbps();
+        let imp = fts_core::best_fused_impl::<u32>();
+        let (out, telemetry) =
+            run_scan_telemetered(imp, &preds, OutputMode::Count, TelemetryLevel::Full)
+                .expect("auto impl is always available");
+        assert_eq!(out.count(), expected, "{} wrong result", imp.name());
+        fig.push_telemetry(&format!("{} sel={sel}", imp.name()), &telemetry, peak);
     }
     fig
 }
@@ -201,9 +230,11 @@ pub fn fig6(scale: &Scale) -> FigureResult {
         fig.push("SISD (no vec)", sel, &[("mispredictions", sisd)]);
         fig.push("SISD (auto vec)", sel, &[("mispredictions", sisd)]);
 
-        for (label, lanes) in
-            [("AVX2 Fused (128)", 4usize), ("AVX-512 Fused (256)", 8), ("AVX-512 Fused (512)", 16)]
-        {
+        for (label, lanes) in [
+            ("AVX2 Fused (128)", 4usize),
+            ("AVX-512 Fused (256)", 8),
+            ("AVX-512 Fused (512)", 16),
+        ] {
             let mut m = HwModel::skylake();
             match lanes {
                 4 => instrument::fused::<u32, 4>(&preds, &mut m),
@@ -252,8 +283,11 @@ pub fn fig7(scale: &Scale) -> FigureResult {
 /// Ablation: register width (the paper's observation that the 128→256 gap
 /// exceeds the 256→512 gap).
 pub fn ablation_width(scale: &Scale) -> FigureResult {
-    let mut fig =
-        FigureResult::new("ablation_width", "fused scan runtime by register width", "selectivity");
+    let mut fig = FigureResult::new(
+        "ablation_width",
+        "fused scan runtime by register width",
+        "selectivity",
+    );
     fig.config("rows", scale.rows);
     if !has_avx512() {
         return fig;
@@ -290,7 +324,10 @@ pub fn ablation_gather_materialize(scale: &Scale) -> FigureResult {
             ("materialized bitmasks", ScanImpl::BlockBitmap),
         ];
         if has_avx512() {
-            impls.push(("fused gather (AVX-512 512)", ScanImpl::FusedAvx512(RegWidth::W512)));
+            impls.push((
+                "fused gather (AVX-512 512)",
+                ScanImpl::FusedAvx512(RegWidth::W512),
+            ));
         }
         for (label, imp) in impls {
             let ms = median_ms(scale.reps, || run_count(imp, &preds, expected));
@@ -340,11 +377,9 @@ pub fn ablation_jit(scale: &Scale) -> FigureResult {
             ],
         );
 
-        let scalar_jit = CompiledKernel::compile(
-            ScanSig::u32_chain(&sig_pairs(2), false),
-            JitBackend::Scalar,
-        )
-        .expect("scalar jit");
+        let scalar_jit =
+            CompiledKernel::compile(ScanSig::u32_chain(&sig_pairs(2), false), JitBackend::Scalar)
+                .expect("scalar jit");
         let ms = median_ms(scale.reps.min(5), || {
             assert_eq!(scalar_jit.run(&cols).expect("run").count(), expected);
         });
@@ -377,7 +412,9 @@ pub fn ablation_parallel(scale: &Scale) -> FigureResult {
     let preds = preds_of(&chain);
     let expected = chain.matching_rows.len() as u64;
     let imp = fts_core::best_fused_impl::<u32>();
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut base_ms = None;
     for threads in [1usize, 2, 4, 8, 16] {
         if threads > cores * 2 {
@@ -427,7 +464,10 @@ pub fn ablation_packed(scale: &Scale) -> FigureResult {
         let needle0 = mask / 2;
         let needle1 = mask.saturating_sub(1).max(needle0 ^ 1);
         let mix = |i: usize, salt: u32| {
-            (i as u32).wrapping_mul(2654435761).wrapping_add(salt).rotate_left(13)
+            (i as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add(salt)
+                .rotate_left(13)
         };
         let col0: Vec<u32> = (0..scale.rows)
             .map(|i| {
@@ -435,7 +475,11 @@ pub fn ablation_packed(scale: &Scale) -> FigureResult {
                     needle0
                 } else {
                     let v = mix(i, 2) & mask;
-                    if v == needle0 { v ^ 1 } else { v }
+                    if v == needle0 {
+                        v ^ 1
+                    } else {
+                        v
+                    }
                 }
             })
             .collect();
@@ -445,26 +489,46 @@ pub fn ablation_packed(scale: &Scale) -> FigureResult {
                     needle1
                 } else {
                     let v = mix(i, 4) & mask;
-                    if v == needle1 { v ^ 1 } else { v }
+                    if v == needle1 {
+                        v ^ 1
+                    } else {
+                        v
+                    }
                 }
             })
             .collect();
         let cols = [col0, col1];
-        let preds =
-            [TypedPred::eq(&cols[0][..], needle0), TypedPred::eq(&cols[1][..], needle1)];
+        let preds = [
+            TypedPred::eq(&cols[0][..], needle0),
+            TypedPred::eq(&cols[1][..], needle1),
+        ];
         let expected = fts_core::reference::scan_count(&preds);
 
         let ms = median_ms(scale.reps, || {
             let out = fts_core::run_fused_auto(&preds, OutputMode::Count);
             assert_eq!(out.count(), expected);
         });
-        fig.push("plain fused (32-bit values)", bits as f64, &[("median_ms", ms)]);
+        fig.push(
+            "plain fused (32-bit values)",
+            bits as f64,
+            &[("median_ms", ms)],
+        );
 
-        let packed: Vec<PackedColumn> =
-            cols.iter().map(|c| PackedColumn::pack(c, bits).expect("fits")).collect();
+        let packed: Vec<PackedColumn> = cols
+            .iter()
+            .map(|c| PackedColumn::pack(c, bits).expect("fits"))
+            .collect();
         let ppreds = [
-            PackedPred::Packed { col: &packed[0], op: fts_storage::CmpOp::Eq, needle: needle0 },
-            PackedPred::Packed { col: &packed[1], op: fts_storage::CmpOp::Eq, needle: needle1 },
+            PackedPred::Packed {
+                col: &packed[0],
+                op: fts_storage::CmpOp::Eq,
+                needle: needle0,
+            },
+            PackedPred::Packed {
+                col: &packed[1],
+                op: fts_storage::CmpOp::Eq,
+                needle: needle1,
+            },
         ];
         let ms = median_ms(scale.reps, || {
             let out = fused_scan_packed(&ppreds, OutputMode::Count).expect("packed scan");
@@ -473,7 +537,10 @@ pub fn ablation_packed(scale: &Scale) -> FigureResult {
         fig.push(
             "bit-packed fused",
             bits as f64,
-            &[("median_ms", ms), ("compression", packed[0].compression_ratio())],
+            &[
+                ("median_ms", ms),
+                ("compression", packed[0].compression_ratio()),
+            ],
         );
 
         // The packed JIT backend (§V meets §VII): same scan, emitted code.
@@ -481,13 +548,24 @@ pub fn ablation_packed(scale: &Scale) -> FigureResult {
             use fts_jit::{CompiledPackedKernel, PackedColRef, PackedColSig, PackedScanSig};
             let sig = PackedScanSig {
                 preds: vec![
-                    PackedColSig::Packed { bits, op: fts_storage::CmpOp::Eq, needle: needle0 },
-                    PackedColSig::Packed { bits, op: fts_storage::CmpOp::Eq, needle: needle1 },
+                    PackedColSig::Packed {
+                        bits,
+                        op: fts_storage::CmpOp::Eq,
+                        needle: needle0,
+                    },
+                    PackedColSig::Packed {
+                        bits,
+                        op: fts_storage::CmpOp::Eq,
+                        needle: needle1,
+                    },
                 ],
                 emit_positions: false,
             };
             let kernel = CompiledPackedKernel::compile(sig).expect("packed jit");
-            let refs = [PackedColRef::Packed(&packed[0]), PackedColRef::Packed(&packed[1])];
+            let refs = [
+                PackedColRef::Packed(&packed[0]),
+                PackedColRef::Packed(&packed[1]),
+            ];
             let ms = median_ms(scale.reps, || {
                 assert_eq!(kernel.run(&refs).expect("run").count(), expected);
             });
@@ -510,7 +588,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { rows: 40_000, max_rows: 40_000, reps: 2, model_rows: 20_000 }
+        Scale {
+            rows: 40_000,
+            max_rows: 40_000,
+            reps: 2,
+            model_rows: 20_000,
+        }
     }
 
     #[test]
@@ -541,7 +624,10 @@ mod tests {
         let f4 = fig4(&s);
         assert!(!f4.series.is_empty());
         let f5 = fig5(&s);
-        assert!(f5.series.len() >= 2, "at least the two SISD variants run anywhere");
+        assert!(
+            f5.series.len() >= 2,
+            "at least the two SISD variants run anywhere"
+        );
         let f6 = fig6(&s);
         assert!(f6.series.iter().any(|se| se.label == "AVX-512 Fused (512)"));
         let f7 = fig7(&s);

@@ -9,9 +9,10 @@
 #![warn(missing_docs)]
 
 pub mod figures;
-pub mod tpch;
+pub mod json;
 pub mod report;
+pub mod tpch;
 pub mod workload;
 
-pub use report::{FigureResult, Point, Series};
+pub use report::{FigureResult, Point, Series, TelemetryRecord};
 pub use workload::Scale;

@@ -69,7 +69,12 @@ pub fn generate_lineitem(rows: usize, seed: u64) -> LineItem {
         quantity.push(rng.random_range(1u32..=50));
         extendedprice.push(rng.random_range(90_000u32..=10_500_000));
     }
-    LineItem { shipdate, discount, quantity, extendedprice }
+    LineItem {
+        shipdate,
+        discount,
+        quantity,
+        extendedprice,
+    }
 }
 
 /// The Q6 predicate chain in evaluation order (most selective first, as
@@ -90,8 +95,7 @@ pub fn q6_reference(li: &LineItem) -> (u64, u64) {
     let mut count = 0u64;
     for i in 0..li.rows() {
         let d = li.shipdate[i];
-        if d >= Q6_DATE_LO
-            && d < Q6_DATE_HI
+        if (Q6_DATE_LO..Q6_DATE_HI).contains(&d)
             && li.discount[i] >= Q6_DISCOUNT_LO
             && li.discount[i] <= Q6_DISCOUNT_HI
             && li.quantity[i] < Q6_QUANTITY_HI
@@ -136,8 +140,13 @@ pub fn q6_jit(li: &LineItem, cache: &fts_jit::KernelCache) -> (u64, u64) {
         true,
     );
     let kernel = cache.get_or_compile(&sig).expect("compile");
-    let cols: [&[u32]; 5] =
-        [&li.shipdate, &li.shipdate, &li.discount, &li.discount, &li.quantity];
+    let cols: [&[u32]; 5] = [
+        &li.shipdate,
+        &li.shipdate,
+        &li.discount,
+        &li.discount,
+        &li.quantity,
+    ];
     let out = kernel.run(&cols).expect("run");
     let positions = out.positions().expect("positions mode");
     let mut revenue = 0u64;

@@ -25,17 +25,32 @@ pub struct Scale {
 impl Scale {
     /// The default session scale.
     pub fn default_scale() -> Scale {
-        Scale { rows: 16_000_000, max_rows: 16_000_000, reps: 15, model_rows: 2_000_000 }
+        Scale {
+            rows: 16_000_000,
+            max_rows: 16_000_000,
+            reps: 15,
+            model_rows: 2_000_000,
+        }
     }
 
     /// Smoke-test scale.
     pub fn quick() -> Scale {
-        Scale { rows: 1_000_000, max_rows: 1_000_000, reps: 3, model_rows: 250_000 }
+        Scale {
+            rows: 1_000_000,
+            max_rows: 1_000_000,
+            reps: 3,
+            model_rows: 250_000,
+        }
     }
 
     /// The paper's scale.
     pub fn paper() -> Scale {
-        Scale { rows: 32_000_000, max_rows: 132_000_000, reps: 100, model_rows: 4_000_000 }
+        Scale {
+            rows: 32_000_000,
+            max_rows: 132_000_000,
+            reps: 100,
+            model_rows: 4_000_000,
+        }
     }
 
     /// Repetitions adapted to a table size: smaller tables get more reps
@@ -50,8 +65,9 @@ impl Scale {
 /// predicate has selectivity `sel` ("percent of qualifying rows per
 /// predicate", Figs. 1/4/5/6).
 pub fn equality_chain(rows: usize, predicates: usize, sel: f64, seed: u64) -> GeneratedChain<u32> {
-    let specs: Vec<PredSpec<u32>> =
-        (0..predicates).map(|i| PredSpec::eq(5 + i as u32, sel)).collect();
+    let specs: Vec<PredSpec<u32>> = (0..predicates)
+        .map(|i| PredSpec::eq(5 + i as u32, sel))
+        .collect();
     generate_chain(rows, &specs, seed).expect("workload generation")
 }
 

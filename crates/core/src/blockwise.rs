@@ -28,7 +28,10 @@ pub struct Bitmap {
 impl Bitmap {
     /// All-zero bitmap over `rows` rows.
     pub fn zeros(rows: usize) -> Bitmap {
-        Bitmap { words: vec![0; rows.div_ceil(64)], rows }
+        Bitmap {
+            words: vec![0; rows.div_ceil(64)],
+            rows,
+        }
     }
 
     /// Number of rows covered.
@@ -94,10 +97,16 @@ pub fn predicate_bitmap<T: NativeType>(pred: &TypedPred<'_, T>) -> Bitmap {
 
 /// Full-column bitmask scan: one materialized bitmask per predicate, ANDed.
 pub fn bitmap_scan<T: NativeType>(preds: &[TypedPred<'_, T>]) -> PosList {
-    let Some(first) = preds.first() else { return PosList::new() };
+    let Some(first) = preds.first() else {
+        return PosList::new();
+    };
     let mut acc = predicate_bitmap(first);
     for p in &preds[1..] {
-        assert_eq!(p.data.len(), acc.rows(), "chain columns must have equal length");
+        assert_eq!(
+            p.data.len(),
+            acc.rows(),
+            "chain columns must have equal length"
+        );
         acc.and_assign(&predicate_bitmap(p));
     }
     acc.to_positions()
@@ -121,7 +130,9 @@ pub const DEFAULT_BLOCK_ROWS: usize = 1024;
 /// position buffer; each following predicate compacts it in place.
 pub fn block_scan<T: NativeType>(preds: &[TypedPred<'_, T>], block_rows: usize) -> PosList {
     assert!(block_rows > 0, "block size must be positive");
-    let Some(first) = preds.first() else { return PosList::new() };
+    let Some(first) = preds.first() else {
+        return PosList::new();
+    };
     let rows = first.data.len();
     for p in preds {
         assert_eq!(p.data.len(), rows, "chain columns must have equal length");
@@ -196,8 +207,10 @@ mod tests {
         let a: Vec<i32> = (0..3000).map(|i| i % 13 - 6).collect();
         let b: Vec<i32> = (0..3000).map(|i| (i * 3) % 7).collect();
         for op in CmpOp::ALL {
-            let preds =
-                [TypedPred::new(&a[..], op, 0i32), TypedPred::new(&b[..], CmpOp::Lt, 3i32)];
+            let preds = [
+                TypedPred::new(&a[..], op, 0i32),
+                TypedPred::new(&b[..], CmpOp::Lt, 3i32),
+            ];
             let expected = reference::scan_positions(&preds);
             assert_eq!(bitmap_scan(&preds), expected, "{op}");
             assert_eq!(bitmap_scan_count(&preds), expected.len() as u64, "{op}");

@@ -9,6 +9,7 @@ use fts_simd::{detect, SimdLevel};
 use fts_storage::{DataType, NativeType, PosList};
 
 use crate::pred::{ColumnPred, OutputMode, ScanOutput, TypedPred};
+use crate::telemetry::{ScanTelemetry, TelemetryLevel};
 use crate::{blockwise, fused, reference, sisd};
 
 /// AVX register width used by a fused kernel.
@@ -113,6 +114,18 @@ pub enum EngineError {
     },
     /// Chain longer than [`fused::MAX_PREDICATES`].
     ChainTooLong(usize),
+    /// A parallel worker panicked while scanning one morsel.
+    WorkerPanicked {
+        /// Index of the morsel whose scan panicked.
+        morsel: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A morsel produced no result (a worker died without reporting).
+    MorselMissing {
+        /// Index of the unprocessed morsel.
+        morsel: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -124,6 +137,12 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::ChainTooLong(n) => {
                 write!(f, "{n} predicates exceed the fused-kernel limit")
+            }
+            EngineError::WorkerPanicked { morsel, message } => {
+                write!(f, "scan worker panicked on morsel {morsel}: {message}")
+            }
+            EngineError::MorselMissing { morsel } => {
+                write!(f, "morsel {morsel} was never processed")
             }
         }
     }
@@ -273,6 +292,32 @@ pub fn run_scan<T: ScanElem>(
     })
 }
 
+/// Run `preds` with the chosen implementation and collect
+/// [`ScanTelemetry`] at the requested level.
+///
+/// At [`TelemetryLevel::Off`] this is exactly [`run_scan`] — the kernels
+/// contain no telemetry code — and the returned record is
+/// [`ScanTelemetry::disabled`]. Otherwise the real kernel is timed, and at
+/// [`TelemetryLevel::Full`] stage statistics are collected afterwards
+/// (see [`crate::telemetry`] for the replay/analytic strategy and its
+/// one-extra-pass cost).
+pub fn run_scan_telemetered<T: ScanElem>(
+    imp: ScanImpl,
+    preds: &[TypedPred<'_, T>],
+    mode: OutputMode,
+    level: TelemetryLevel,
+) -> Result<(ScanOutput, ScanTelemetry), EngineError> {
+    if level == TelemetryLevel::Off {
+        return run_scan(imp, preds, mode).map(|o| (o, ScanTelemetry::disabled(imp.name())));
+    }
+    let started = std::time::Instant::now();
+    let out = run_scan(imp, preds, mode)?;
+    let wall = started.elapsed();
+    let mut telemetry = crate::telemetry::collect(imp, preds, level);
+    telemetry.wall = wall;
+    Ok((out, telemetry))
+}
+
 /// The best fused implementation the host and element type support:
 /// AVX-512 (512-bit) → AVX2 → scalar model engine.
 pub fn best_fused_impl<T: ScanElem>() -> ScanImpl {
@@ -297,39 +342,91 @@ pub fn run_fused_auto<T: ScanElem>(preds: &[TypedPred<'_, T>], mode: OutputMode)
 /// row loop — the query layer avoids that path by dictionary-encoding.
 /// Returns `None` when a needle's type does not match its column.
 pub fn scan_columns_auto(preds: &[ColumnPred<'_>], mode: OutputMode) -> Option<ScanOutput> {
-    fn typed<'a, T: ScanElem>(preds: &[ColumnPred<'a>]) -> Option<Vec<TypedPred<'a, T>>> {
-        preds
-            .iter()
-            .map(|p| {
-                Some(TypedPred::new(
-                    p.column.as_native::<T>()?,
-                    p.op,
-                    T::from_value(p.needle)?,
-                ))
-            })
-            .collect()
-    }
+    scan_columns_auto_telemetered(preds, mode, TelemetryLevel::Off).map(|(o, _)| o)
+}
 
+fn typed_preds<'a, T: ScanElem>(preds: &[ColumnPred<'a>]) -> Option<Vec<TypedPred<'a, T>>> {
+    preds
+        .iter()
+        .map(|p| {
+            Some(TypedPred::new(
+                p.column.as_native::<T>()?,
+                p.op,
+                T::from_value(p.needle)?,
+            ))
+        })
+        .collect()
+}
+
+/// [`scan_columns_auto`] that also collects [`ScanTelemetry`] at the
+/// requested level. Homogeneous chains report the fused kernel's full
+/// stage statistics; the reference fallback reports a [`TelemetryLevel::Timing`]-style
+/// record (rows, bytes, wall) under the name `reference`.
+pub fn scan_columns_auto_telemetered(
+    preds: &[ColumnPred<'_>],
+    mode: OutputMode,
+    level: TelemetryLevel,
+) -> Option<(ScanOutput, ScanTelemetry)> {
     let Some(first) = preds.first() else {
-        return Some(ScanOutput::Positions(PosList::new()));
+        return Some((
+            ScanOutput::Positions(PosList::new()),
+            ScanTelemetry::disabled("empty"),
+        ));
     };
-    let homogeneous = preds.iter().all(|p| p.column.data_type() == first.column.data_type());
+    let homogeneous = preds
+        .iter()
+        .all(|p| p.column.data_type() == first.column.data_type());
     if homogeneous && preds.len() <= fused::MAX_PREDICATES {
+        macro_rules! fused_typed {
+            ($t:ty) => {
+                return run_scan_telemetered(
+                    best_fused_impl::<$t>(),
+                    &typed_preds::<$t>(preds)?,
+                    mode,
+                    level,
+                )
+                .ok()
+            };
+        }
         match first.column.data_type() {
-            DataType::U32 => return Some(run_fused_auto(&typed::<u32>(preds)?, mode)),
-            DataType::I32 => return Some(run_fused_auto(&typed::<i32>(preds)?, mode)),
-            DataType::F32 => return Some(run_fused_auto(&typed::<f32>(preds)?, mode)),
-            DataType::U64 => return Some(run_fused_auto(&typed::<u64>(preds)?, mode)),
-            DataType::I64 => return Some(run_fused_auto(&typed::<i64>(preds)?, mode)),
-            DataType::F64 => return Some(run_fused_auto(&typed::<f64>(preds)?, mode)),
+            DataType::U32 => fused_typed!(u32),
+            DataType::I32 => fused_typed!(i32),
+            DataType::F32 => fused_typed!(f32),
+            DataType::U64 => fused_typed!(u64),
+            DataType::I64 => fused_typed!(i64),
+            DataType::F64 => fused_typed!(f64),
             _ => {}
         }
     }
+    let started = (level != TelemetryLevel::Off).then(std::time::Instant::now);
     let out = reference::scan_columns(preds)?;
-    Some(match (mode, out) {
+    let telemetry = match started {
+        None => ScanTelemetry::disabled("reference"),
+        Some(started) => {
+            let rows = first.column.len() as u64;
+            ScanTelemetry {
+                enabled: true,
+                impl_name: "reference",
+                rows,
+                predicates: preds.len(),
+                lanes: 1,
+                blocks: rows,
+                bytes_touched: preds
+                    .iter()
+                    .map(|p| rows * p.column.data_type().width() as u64)
+                    .sum(),
+                wall: started.elapsed(),
+                morsels: 1,
+                threads: 1,
+                ..ScanTelemetry::default()
+            }
+        }
+    };
+    let out = match (mode, out) {
         (OutputMode::Count, o) => ScanOutput::Count(o.count()),
         (OutputMode::Positions, o) => o,
-    })
+    };
+    Some((out, telemetry))
 }
 
 #[cfg(test)]
@@ -362,8 +459,10 @@ mod tests {
     fn every_impl_agrees_u32() {
         let a: Vec<u32> = (0..2000).map(|i| i % 17).collect();
         let b: Vec<u32> = (0..2000).map(|i| (i * 5) % 11).collect();
-        let preds =
-            [TypedPred::new(&a[..], CmpOp::Le, 8u32), TypedPred::new(&b[..], CmpOp::Ne, 3u32)];
+        let preds = [
+            TypedPred::new(&a[..], CmpOp::Le, 8u32),
+            TypedPred::new(&b[..], CmpOp::Ne, 3u32),
+        ];
         let expected = reference::scan_positions(&preds);
         for imp in all_impls() {
             let got = run_scan(imp, &preds, OutputMode::Positions).unwrap();
@@ -385,15 +484,26 @@ mod tests {
         if ScanImpl::FusedAvx512(RegWidth::W128).available() {
             let b = [1u64, 2, 3];
             let p64 = [TypedPred::eq(&b[..], 2u64)];
-            let err =
-                run_scan(ScanImpl::FusedAvx512(RegWidth::W128), &p64, OutputMode::Count)
-                    .unwrap_err();
+            let err = run_scan(
+                ScanImpl::FusedAvx512(RegWidth::W128),
+                &p64,
+                OutputMode::Count,
+            )
+            .unwrap_err();
             assert!(matches!(err, EngineError::TypeUnsupported { .. }));
-            let ok = run_scan(ScanImpl::FusedAvx512(RegWidth::W512), &p64, OutputMode::Count);
+            let ok = run_scan(
+                ScanImpl::FusedAvx512(RegWidth::W512),
+                &p64,
+                OutputMode::Count,
+            );
             assert_eq!(ok.unwrap().count(), 1);
         }
         // But the scalar fused engine handles it.
-        let got = run_scan(ScanImpl::FusedScalar(RegWidth::W512), &preds, OutputMode::Count);
+        let got = run_scan(
+            ScanImpl::FusedScalar(RegWidth::W512),
+            &preds,
+            OutputMode::Count,
+        );
         assert_eq!(got.unwrap().count(), 1);
     }
 
@@ -424,8 +534,16 @@ mod tests {
         let a = Column::from_vec((0..500u32).map(|i| i % 7).collect::<Vec<_>>());
         let b = Column::from_vec((0..500u32).map(|i| i % 3).collect::<Vec<_>>());
         let preds = [
-            ColumnPred { column: &a, op: CmpOp::Eq, needle: Value::U32(2) },
-            ColumnPred { column: &b, op: CmpOp::Eq, needle: Value::U32(1) },
+            ColumnPred {
+                column: &a,
+                op: CmpOp::Eq,
+                needle: Value::U32(2),
+            },
+            ColumnPred {
+                column: &b,
+                op: CmpOp::Eq,
+                needle: Value::U32(1),
+            },
         ];
         let expected = reference::scan_columns(&preds).unwrap();
         let got = scan_columns_auto(&preds, OutputMode::Positions).unwrap();
@@ -436,14 +554,29 @@ mod tests {
         // Heterogeneous chain falls back to the reference loop.
         let c = Column::from_vec((0..500i64).map(|i| i % 2).collect::<Vec<_>>());
         let mixed = [
-            ColumnPred { column: &a, op: CmpOp::Eq, needle: Value::U32(2) },
-            ColumnPred { column: &c, op: CmpOp::Eq, needle: Value::I64(1) },
+            ColumnPred {
+                column: &a,
+                op: CmpOp::Eq,
+                needle: Value::U32(2),
+            },
+            ColumnPred {
+                column: &c,
+                op: CmpOp::Eq,
+                needle: Value::I64(1),
+            },
         ];
         let expected = reference::scan_columns(&mixed).unwrap();
-        assert_eq!(scan_columns_auto(&mixed, OutputMode::Positions).unwrap(), expected);
+        assert_eq!(
+            scan_columns_auto(&mixed, OutputMode::Positions).unwrap(),
+            expected
+        );
 
         // Type mismatch surfaces as None.
-        let bad = [ColumnPred { column: &a, op: CmpOp::Eq, needle: Value::I32(2) }];
+        let bad = [ColumnPred {
+            column: &a,
+            op: CmpOp::Eq,
+            needle: Value::I32(2),
+        }];
         assert!(scan_columns_auto(&bad, OutputMode::Count).is_none());
     }
 
@@ -457,19 +590,36 @@ mod tests {
             needle: Value::U64((1 << 40) + 5),
         }];
         let expected = reference::scan_columns(&preds64).unwrap();
-        assert_eq!(scan_columns_auto(&preds64, OutputMode::Positions).unwrap(), expected);
+        assert_eq!(
+            scan_columns_auto(&preds64, OutputMode::Positions).unwrap(),
+            expected
+        );
 
         let predsf = [
-            ColumnPred { column: &b, op: CmpOp::Gt, needle: Value::F64(0.4) },
-            ColumnPred { column: &b, op: CmpOp::Lt, needle: Value::F64(0.9) },
+            ColumnPred {
+                column: &b,
+                op: CmpOp::Gt,
+                needle: Value::F64(0.4),
+            },
+            ColumnPred {
+                column: &b,
+                op: CmpOp::Lt,
+                needle: Value::F64(0.9),
+            },
         ];
         let expected = reference::scan_columns(&predsf).unwrap();
-        assert_eq!(scan_columns_auto(&predsf, OutputMode::Positions).unwrap(), expected);
+        assert_eq!(
+            scan_columns_auto(&predsf, OutputMode::Positions).unwrap(),
+            expected
+        );
     }
 
     #[test]
     fn names_and_availability() {
-        assert_eq!(ScanImpl::FusedAvx512(RegWidth::W512).name(), "AVX-512 Fused (512)");
+        assert_eq!(
+            ScanImpl::FusedAvx512(RegWidth::W512).name(),
+            "AVX-512 Fused (512)"
+        );
         assert_eq!(RegWidth::W256.bits(), 256);
         assert_eq!(RegWidth::W128.lanes32(), 4);
         assert!(ScanImpl::SisdBranching.available());

@@ -169,7 +169,12 @@ macro_rules! avx2_kernel {
             }
 
             #[target_feature(enable = "avx2,popcnt")]
-            unsafe fn push<const EMIT: bool>(st: &mut State<'_>, s: usize, fresh: __m128i, m: usize) {
+            unsafe fn push<const EMIT: bool>(
+                st: &mut State<'_>,
+                s: usize,
+                fresh: __m128i,
+                m: usize,
+            ) {
                 if st.counts[s] + m > LANES {
                     flush::<EMIT>(st, s);
                     st.plists[s] = fresh;
@@ -177,8 +182,7 @@ macro_rules! avx2_kernel {
                 } else {
                     // Append: shift the fresh batch up by the list length
                     // and OR onto the zero-padded list.
-                    let ctl =
-                        _mm_loadu_si128(SHIFT_LUT[st.counts[s]].as_ptr() as *const __m128i);
+                    let ctl = _mm_loadu_si128(SHIFT_LUT[st.counts[s]].as_ptr() as *const __m128i);
                     let shifted = _mm_shuffle_epi8(fresh, ctl);
                     st.plists[s] = _mm_or_si128(st.plists[s], shifted);
                     st.counts[s] += m;
@@ -231,9 +235,7 @@ macro_rules! avx2_kernel {
             }
 
             #[target_feature(enable = "avx2,popcnt")]
-            unsafe fn kernel<const EMIT: bool>(
-                preds: &[TypedPred<'_, $elem>],
-            ) -> (u64, Vec<u32>) {
+            unsafe fn kernel<const EMIT: bool>(preds: &[TypedPred<'_, $elem>]) -> (u64, Vec<u32>) {
                 let p = preds.len();
                 let rows = preds[0].data.len();
                 let mut st = State {
@@ -287,17 +289,25 @@ macro_rules! avx2_kernel {
             /// Safe entry point; panics without AVX2 or on an invalid chain.
             pub fn fused_scan(preds: &[TypedPred<'_, $elem>], mode: OutputMode) -> ScanOutput {
                 assert!(has_avx2(), "AVX2 not available on this host");
-                assert!(preds.len() <= MAX_PREDICATES, "chain too long for one fused kernel");
+                assert!(
+                    preds.len() <= MAX_PREDICATES,
+                    "chain too long for one fused kernel"
+                );
                 let empty = match mode {
                     OutputMode::Count => ScanOutput::Count(0),
                     OutputMode::Positions => ScanOutput::Positions(PosList::new()),
                 };
-                let Some(first) = preds.first() else { return empty };
+                let Some(first) = preds.first() else {
+                    return empty;
+                };
                 let rows = first.data.len();
                 for q in preds {
                     assert_eq!(q.data.len(), rows, "chain columns must have equal length");
                 }
-                assert!(rows <= i32::MAX as usize, "chunk exceeds 32-bit gather index range");
+                assert!(
+                    rows <= i32::MAX as usize,
+                    "chunk exceeds 32-bit gather index range"
+                );
                 // SAFETY: AVX2 presence asserted; columns validated.
                 match mode {
                     OutputMode::Count => {
@@ -339,7 +349,7 @@ mod tests {
     #[test]
     fn luts_are_consistent() {
         // COMPRESS_LUT[m] packs exactly the lanes of m in order.
-        for m in 0..16usize {
+        for (m, packed) in COMPRESS_LUT.iter().enumerate() {
             let mut expect = [0x80u8; 16];
             let mut d = 0;
             for lane in 0..4 {
@@ -350,7 +360,7 @@ mod tests {
                     d += 1;
                 }
             }
-            assert_eq!(COMPRESS_LUT[m], expect, "mask {m:04b}");
+            assert_eq!(*packed, expect, "mask {m:04b}");
         }
         // SHIFT_LUT[c] moves lane j to lane j + c.
         assert_eq!(SHIFT_LUT[0][0], 0);
@@ -378,7 +388,16 @@ mod tests {
             return;
         }
         // Values straddling the sign bit expose a missing unsigned bias.
-        let a: Vec<u32> = vec![0, 1, 0x7FFF_FFFF, 0x8000_0000, 0xFFFF_FFFF, 5, 0x8000_0001, 2];
+        let a: Vec<u32> = vec![
+            0,
+            1,
+            0x7FFF_FFFF,
+            0x8000_0000,
+            0xFFFF_FFFF,
+            5,
+            0x8000_0001,
+            2,
+        ];
         let b: Vec<u32> = vec![1; 8];
         for op in CmpOp::ALL {
             let preds = [
@@ -399,8 +418,10 @@ mod tests {
         let a: Vec<i32> = (0..333).map(|i| (i % 9) - 4).collect();
         let b: Vec<i32> = (0..333).map(|i| (i % 5) - 2).collect();
         for op in CmpOp::ALL {
-            let preds =
-                [TypedPred::new(&a[..], op, 0i32), TypedPred::new(&b[..], CmpOp::Ge, -1i32)];
+            let preds = [
+                TypedPred::new(&a[..], op, 0i32),
+                TypedPred::new(&b[..], CmpOp::Ge, -1i32),
+            ];
             let expected = reference::scan_positions(&preds);
             let got = i32_w128::fused_scan(&preds, OutputMode::Positions);
             assert_eq!(got.positions().unwrap(), &expected, "i32 {op}");
@@ -410,8 +431,10 @@ mod tests {
         f[31] = f32::NAN;
         let g: Vec<f32> = (0..333).map(|i| (i % 3) as f32).collect();
         for op in CmpOp::ALL {
-            let preds =
-                [TypedPred::new(&f[..], op, 3.0f32), TypedPred::new(&g[..], CmpOp::Lt, 2.0f32)];
+            let preds = [
+                TypedPred::new(&f[..], op, 3.0f32),
+                TypedPred::new(&g[..], CmpOp::Lt, 2.0f32),
+            ];
             let expected = reference::scan_positions(&preds);
             let got = f32_w128::fused_scan(&preds, OutputMode::Positions);
             assert_eq!(got.positions().unwrap(), &expected, "f32 {op}");
@@ -425,7 +448,11 @@ mod tests {
         }
         for rows in [0usize, 1, 3, 4, 5, 7, 9, 100, 101, 102, 103] {
             let cols: Vec<Vec<u32>> = (0..4u32)
-                .map(|c| (0..rows as u32).map(|i| i.wrapping_mul(c + 3) % 3).collect())
+                .map(|c| {
+                    (0..rows as u32)
+                        .map(|i| i.wrapping_mul(c + 3) % 3)
+                        .collect()
+                })
                 .collect();
             for p in 1..=4 {
                 let preds: Vec<TypedPred<'_, u32>> =
@@ -439,6 +466,9 @@ mod tests {
         }
         let all = vec![5u32; 1000];
         let preds = [TypedPred::eq(&all[..], 5u32), TypedPred::eq(&all[..], 5u32)];
-        assert_eq!(u32_w128::fused_scan(&preds, OutputMode::Count).count(), 1000);
+        assert_eq!(
+            u32_w128::fused_scan(&preds, OutputMode::Count).count(),
+            1000
+        );
     }
 }

@@ -100,37 +100,115 @@ macro_rules! def_int_cmp {
     };
 }
 
-def_int_cmp!(cmp_u32_128, mask_cmp_u32_128, __m128i, __mmask8,
-    _mm_cmpeq_epu32_mask, _mm_cmpneq_epu32_mask, _mm_cmplt_epu32_mask,
-    _mm_cmple_epu32_mask, _mm_cmpgt_epu32_mask, _mm_cmpge_epu32_mask,
-    _mm_mask_cmpeq_epu32_mask, _mm_mask_cmpneq_epu32_mask, _mm_mask_cmplt_epu32_mask,
-    _mm_mask_cmple_epu32_mask, _mm_mask_cmpgt_epu32_mask, _mm_mask_cmpge_epu32_mask);
-def_int_cmp!(cmp_u32_256, mask_cmp_u32_256, __m256i, __mmask8,
-    _mm256_cmpeq_epu32_mask, _mm256_cmpneq_epu32_mask, _mm256_cmplt_epu32_mask,
-    _mm256_cmple_epu32_mask, _mm256_cmpgt_epu32_mask, _mm256_cmpge_epu32_mask,
-    _mm256_mask_cmpeq_epu32_mask, _mm256_mask_cmpneq_epu32_mask, _mm256_mask_cmplt_epu32_mask,
-    _mm256_mask_cmple_epu32_mask, _mm256_mask_cmpgt_epu32_mask, _mm256_mask_cmpge_epu32_mask);
-def_int_cmp!(cmp_u32_512, mask_cmp_u32_512, __m512i, __mmask16,
-    _mm512_cmpeq_epu32_mask, _mm512_cmpneq_epu32_mask, _mm512_cmplt_epu32_mask,
-    _mm512_cmple_epu32_mask, _mm512_cmpgt_epu32_mask, _mm512_cmpge_epu32_mask,
-    _mm512_mask_cmpeq_epu32_mask, _mm512_mask_cmpneq_epu32_mask, _mm512_mask_cmplt_epu32_mask,
-    _mm512_mask_cmple_epu32_mask, _mm512_mask_cmpgt_epu32_mask, _mm512_mask_cmpge_epu32_mask);
+def_int_cmp!(
+    cmp_u32_128,
+    mask_cmp_u32_128,
+    __m128i,
+    __mmask8,
+    _mm_cmpeq_epu32_mask,
+    _mm_cmpneq_epu32_mask,
+    _mm_cmplt_epu32_mask,
+    _mm_cmple_epu32_mask,
+    _mm_cmpgt_epu32_mask,
+    _mm_cmpge_epu32_mask,
+    _mm_mask_cmpeq_epu32_mask,
+    _mm_mask_cmpneq_epu32_mask,
+    _mm_mask_cmplt_epu32_mask,
+    _mm_mask_cmple_epu32_mask,
+    _mm_mask_cmpgt_epu32_mask,
+    _mm_mask_cmpge_epu32_mask
+);
+def_int_cmp!(
+    cmp_u32_256,
+    mask_cmp_u32_256,
+    __m256i,
+    __mmask8,
+    _mm256_cmpeq_epu32_mask,
+    _mm256_cmpneq_epu32_mask,
+    _mm256_cmplt_epu32_mask,
+    _mm256_cmple_epu32_mask,
+    _mm256_cmpgt_epu32_mask,
+    _mm256_cmpge_epu32_mask,
+    _mm256_mask_cmpeq_epu32_mask,
+    _mm256_mask_cmpneq_epu32_mask,
+    _mm256_mask_cmplt_epu32_mask,
+    _mm256_mask_cmple_epu32_mask,
+    _mm256_mask_cmpgt_epu32_mask,
+    _mm256_mask_cmpge_epu32_mask
+);
+def_int_cmp!(
+    cmp_u32_512,
+    mask_cmp_u32_512,
+    __m512i,
+    __mmask16,
+    _mm512_cmpeq_epu32_mask,
+    _mm512_cmpneq_epu32_mask,
+    _mm512_cmplt_epu32_mask,
+    _mm512_cmple_epu32_mask,
+    _mm512_cmpgt_epu32_mask,
+    _mm512_cmpge_epu32_mask,
+    _mm512_mask_cmpeq_epu32_mask,
+    _mm512_mask_cmpneq_epu32_mask,
+    _mm512_mask_cmplt_epu32_mask,
+    _mm512_mask_cmple_epu32_mask,
+    _mm512_mask_cmpgt_epu32_mask,
+    _mm512_mask_cmpge_epu32_mask
+);
 
-def_int_cmp!(cmp_i32_128, mask_cmp_i32_128, __m128i, __mmask8,
-    _mm_cmpeq_epi32_mask, _mm_cmpneq_epi32_mask, _mm_cmplt_epi32_mask,
-    _mm_cmple_epi32_mask, _mm_cmpgt_epi32_mask, _mm_cmpge_epi32_mask,
-    _mm_mask_cmpeq_epi32_mask, _mm_mask_cmpneq_epi32_mask, _mm_mask_cmplt_epi32_mask,
-    _mm_mask_cmple_epi32_mask, _mm_mask_cmpgt_epi32_mask, _mm_mask_cmpge_epi32_mask);
-def_int_cmp!(cmp_i32_256, mask_cmp_i32_256, __m256i, __mmask8,
-    _mm256_cmpeq_epi32_mask, _mm256_cmpneq_epi32_mask, _mm256_cmplt_epi32_mask,
-    _mm256_cmple_epi32_mask, _mm256_cmpgt_epi32_mask, _mm256_cmpge_epi32_mask,
-    _mm256_mask_cmpeq_epi32_mask, _mm256_mask_cmpneq_epi32_mask, _mm256_mask_cmplt_epi32_mask,
-    _mm256_mask_cmple_epi32_mask, _mm256_mask_cmpgt_epi32_mask, _mm256_mask_cmpge_epi32_mask);
-def_int_cmp!(cmp_i32_512, mask_cmp_i32_512, __m512i, __mmask16,
-    _mm512_cmpeq_epi32_mask, _mm512_cmpneq_epi32_mask, _mm512_cmplt_epi32_mask,
-    _mm512_cmple_epi32_mask, _mm512_cmpgt_epi32_mask, _mm512_cmpge_epi32_mask,
-    _mm512_mask_cmpeq_epi32_mask, _mm512_mask_cmpneq_epi32_mask, _mm512_mask_cmplt_epi32_mask,
-    _mm512_mask_cmple_epi32_mask, _mm512_mask_cmpgt_epi32_mask, _mm512_mask_cmpge_epi32_mask);
+def_int_cmp!(
+    cmp_i32_128,
+    mask_cmp_i32_128,
+    __m128i,
+    __mmask8,
+    _mm_cmpeq_epi32_mask,
+    _mm_cmpneq_epi32_mask,
+    _mm_cmplt_epi32_mask,
+    _mm_cmple_epi32_mask,
+    _mm_cmpgt_epi32_mask,
+    _mm_cmpge_epi32_mask,
+    _mm_mask_cmpeq_epi32_mask,
+    _mm_mask_cmpneq_epi32_mask,
+    _mm_mask_cmplt_epi32_mask,
+    _mm_mask_cmple_epi32_mask,
+    _mm_mask_cmpgt_epi32_mask,
+    _mm_mask_cmpge_epi32_mask
+);
+def_int_cmp!(
+    cmp_i32_256,
+    mask_cmp_i32_256,
+    __m256i,
+    __mmask8,
+    _mm256_cmpeq_epi32_mask,
+    _mm256_cmpneq_epi32_mask,
+    _mm256_cmplt_epi32_mask,
+    _mm256_cmple_epi32_mask,
+    _mm256_cmpgt_epi32_mask,
+    _mm256_cmpge_epi32_mask,
+    _mm256_mask_cmpeq_epi32_mask,
+    _mm256_mask_cmpneq_epi32_mask,
+    _mm256_mask_cmplt_epi32_mask,
+    _mm256_mask_cmple_epi32_mask,
+    _mm256_mask_cmpgt_epi32_mask,
+    _mm256_mask_cmpge_epi32_mask
+);
+def_int_cmp!(
+    cmp_i32_512,
+    mask_cmp_i32_512,
+    __m512i,
+    __mmask16,
+    _mm512_cmpeq_epi32_mask,
+    _mm512_cmpneq_epi32_mask,
+    _mm512_cmplt_epi32_mask,
+    _mm512_cmple_epi32_mask,
+    _mm512_cmpgt_epi32_mask,
+    _mm512_cmpge_epi32_mask,
+    _mm512_mask_cmpeq_epi32_mask,
+    _mm512_mask_cmpneq_epi32_mask,
+    _mm512_mask_cmplt_epi32_mask,
+    _mm512_mask_cmple_epi32_mask,
+    _mm512_mask_cmpgt_epi32_mask,
+    _mm512_mask_cmpge_epi32_mask
+);
 
 macro_rules! def_f32_cmp {
     ($cmp:ident, $mask_cmp:ident, $vec:ty, $mask:ty, $cast:ident, $cmpfn:ident, $mask_cmpfn:ident) => {
@@ -165,12 +243,33 @@ macro_rules! def_f32_cmp {
     };
 }
 
-def_f32_cmp!(cmp_f32_128, mask_cmp_f32_128, __m128i, __mmask8,
-    _mm_castsi128_ps, _mm_cmp_ps_mask, _mm_mask_cmp_ps_mask);
-def_f32_cmp!(cmp_f32_256, mask_cmp_f32_256, __m256i, __mmask8,
-    _mm256_castsi256_ps, _mm256_cmp_ps_mask, _mm256_mask_cmp_ps_mask);
-def_f32_cmp!(cmp_f32_512, mask_cmp_f32_512, __m512i, __mmask16,
-    _mm512_castsi512_ps, _mm512_cmp_ps_mask, _mm512_mask_cmp_ps_mask);
+def_f32_cmp!(
+    cmp_f32_128,
+    mask_cmp_f32_128,
+    __m128i,
+    __mmask8,
+    _mm_castsi128_ps,
+    _mm_cmp_ps_mask,
+    _mm_mask_cmp_ps_mask
+);
+def_f32_cmp!(
+    cmp_f32_256,
+    mask_cmp_f32_256,
+    __m256i,
+    __mmask8,
+    _mm256_castsi256_ps,
+    _mm256_cmp_ps_mask,
+    _mm256_mask_cmp_ps_mask
+);
+def_f32_cmp!(
+    cmp_f32_512,
+    mask_cmp_f32_512,
+    __m512i,
+    __mmask16,
+    _mm512_castsi512_ps,
+    _mm512_cmp_ps_mask,
+    _mm512_mask_cmp_ps_mask
+);
 
 // --- the kernel skeleton ------------------------------------------------
 
@@ -332,17 +431,25 @@ macro_rules! avx512_kernel {
             /// chain (ragged columns, > [`MAX_PREDICATES`] predicates).
             pub fn fused_scan(preds: &[TypedPred<'_, $elem>], mode: OutputMode) -> ScanOutput {
                 assert!(has_avx512(), "AVX-512 not available on this host");
-                assert!(preds.len() <= MAX_PREDICATES, "chain too long for one fused kernel");
+                assert!(
+                    preds.len() <= MAX_PREDICATES,
+                    "chain too long for one fused kernel"
+                );
                 let empty = match mode {
                     OutputMode::Count => ScanOutput::Count(0),
                     OutputMode::Positions => ScanOutput::Positions(PosList::new()),
                 };
-                let Some(first) = preds.first() else { return empty };
+                let Some(first) = preds.first() else {
+                    return empty;
+                };
                 let rows = first.data.len();
                 for p in preds {
                     assert_eq!(p.data.len(), rows, "chain columns must have equal length");
                 }
-                assert!(rows <= i32::MAX as usize, "chunk exceeds 32-bit gather index range");
+                assert!(
+                    rows <= i32::MAX as usize,
+                    "chunk exceeds 32-bit gather index range"
+                );
 
                 let cols: Vec<&[$elem]> = preds.iter().map(|p| p.data).collect();
                 let ops: Vec<CmpOp> = preds.iter().map(|p| p.op).collect();
@@ -364,55 +471,190 @@ macro_rules! avx512_kernel {
 }
 
 // u32 kernels — the paper's 4-byte integers.
-avx512_kernel!(u32_w128, u32, 4, __m128i, __mmask8,
-    _mm_loadu_epi32, _mm_maskz_loadu_epi32, _mm_storeu_epi32, _mm_set1_epi32, _mm_setzero_si128,
-    _mm_maskz_compress_epi32, _mm_permutex2var_epi32, _mm_add_epi32,
-    IOTA4, MERGE4, cmp_u32_128, mask_cmp_u32_128,
-    |src, k, idx, base| _mm_mmask_i32gather_epi32::<4>(src, k, idx, base));
-avx512_kernel!(u32_w256, u32, 8, __m256i, __mmask8,
-    _mm256_loadu_epi32, _mm256_maskz_loadu_epi32, _mm256_storeu_epi32, _mm256_set1_epi32, _mm256_setzero_si256,
-    _mm256_maskz_compress_epi32, _mm256_permutex2var_epi32, _mm256_add_epi32,
-    IOTA8, MERGE8, cmp_u32_256, mask_cmp_u32_256,
-    |src, k, idx, base| _mm256_mmask_i32gather_epi32::<4>(src, k, idx, base));
-avx512_kernel!(u32_w512, u32, 16, __m512i, __mmask16,
-    _mm512_loadu_epi32, _mm512_maskz_loadu_epi32, _mm512_storeu_epi32, _mm512_set1_epi32, _mm512_setzero_si512,
-    _mm512_maskz_compress_epi32, _mm512_permutex2var_epi32, _mm512_add_epi32,
-    IOTA16, MERGE16, cmp_u32_512, mask_cmp_u32_512,
-    |src, k, idx, base| _mm512_mask_i32gather_epi32::<4>(src, k, idx, base));
+avx512_kernel!(
+    u32_w128,
+    u32,
+    4,
+    __m128i,
+    __mmask8,
+    _mm_loadu_epi32,
+    _mm_maskz_loadu_epi32,
+    _mm_storeu_epi32,
+    _mm_set1_epi32,
+    _mm_setzero_si128,
+    _mm_maskz_compress_epi32,
+    _mm_permutex2var_epi32,
+    _mm_add_epi32,
+    IOTA4,
+    MERGE4,
+    cmp_u32_128,
+    mask_cmp_u32_128,
+    |src, k, idx, base| _mm_mmask_i32gather_epi32::<4>(src, k, idx, base)
+);
+avx512_kernel!(
+    u32_w256,
+    u32,
+    8,
+    __m256i,
+    __mmask8,
+    _mm256_loadu_epi32,
+    _mm256_maskz_loadu_epi32,
+    _mm256_storeu_epi32,
+    _mm256_set1_epi32,
+    _mm256_setzero_si256,
+    _mm256_maskz_compress_epi32,
+    _mm256_permutex2var_epi32,
+    _mm256_add_epi32,
+    IOTA8,
+    MERGE8,
+    cmp_u32_256,
+    mask_cmp_u32_256,
+    |src, k, idx, base| _mm256_mmask_i32gather_epi32::<4>(src, k, idx, base)
+);
+avx512_kernel!(
+    u32_w512,
+    u32,
+    16,
+    __m512i,
+    __mmask16,
+    _mm512_loadu_epi32,
+    _mm512_maskz_loadu_epi32,
+    _mm512_storeu_epi32,
+    _mm512_set1_epi32,
+    _mm512_setzero_si512,
+    _mm512_maskz_compress_epi32,
+    _mm512_permutex2var_epi32,
+    _mm512_add_epi32,
+    IOTA16,
+    MERGE16,
+    cmp_u32_512,
+    mask_cmp_u32_512,
+    |src, k, idx, base| _mm512_mask_i32gather_epi32::<4>(src, k, idx, base)
+);
 
 // i32 kernels — signed compares.
-avx512_kernel!(i32_w128, i32, 4, __m128i, __mmask8,
-    _mm_loadu_epi32, _mm_maskz_loadu_epi32, _mm_storeu_epi32, _mm_set1_epi32, _mm_setzero_si128,
-    _mm_maskz_compress_epi32, _mm_permutex2var_epi32, _mm_add_epi32,
-    IOTA4, MERGE4, cmp_i32_128, mask_cmp_i32_128,
-    |src, k, idx, base| _mm_mmask_i32gather_epi32::<4>(src, k, idx, base));
-avx512_kernel!(i32_w256, i32, 8, __m256i, __mmask8,
-    _mm256_loadu_epi32, _mm256_maskz_loadu_epi32, _mm256_storeu_epi32, _mm256_set1_epi32, _mm256_setzero_si256,
-    _mm256_maskz_compress_epi32, _mm256_permutex2var_epi32, _mm256_add_epi32,
-    IOTA8, MERGE8, cmp_i32_256, mask_cmp_i32_256,
-    |src, k, idx, base| _mm256_mmask_i32gather_epi32::<4>(src, k, idx, base));
-avx512_kernel!(i32_w512, i32, 16, __m512i, __mmask16,
-    _mm512_loadu_epi32, _mm512_maskz_loadu_epi32, _mm512_storeu_epi32, _mm512_set1_epi32, _mm512_setzero_si512,
-    _mm512_maskz_compress_epi32, _mm512_permutex2var_epi32, _mm512_add_epi32,
-    IOTA16, MERGE16, cmp_i32_512, mask_cmp_i32_512,
-    |src, k, idx, base| _mm512_mask_i32gather_epi32::<4>(src, k, idx, base));
+avx512_kernel!(
+    i32_w128,
+    i32,
+    4,
+    __m128i,
+    __mmask8,
+    _mm_loadu_epi32,
+    _mm_maskz_loadu_epi32,
+    _mm_storeu_epi32,
+    _mm_set1_epi32,
+    _mm_setzero_si128,
+    _mm_maskz_compress_epi32,
+    _mm_permutex2var_epi32,
+    _mm_add_epi32,
+    IOTA4,
+    MERGE4,
+    cmp_i32_128,
+    mask_cmp_i32_128,
+    |src, k, idx, base| _mm_mmask_i32gather_epi32::<4>(src, k, idx, base)
+);
+avx512_kernel!(
+    i32_w256,
+    i32,
+    8,
+    __m256i,
+    __mmask8,
+    _mm256_loadu_epi32,
+    _mm256_maskz_loadu_epi32,
+    _mm256_storeu_epi32,
+    _mm256_set1_epi32,
+    _mm256_setzero_si256,
+    _mm256_maskz_compress_epi32,
+    _mm256_permutex2var_epi32,
+    _mm256_add_epi32,
+    IOTA8,
+    MERGE8,
+    cmp_i32_256,
+    mask_cmp_i32_256,
+    |src, k, idx, base| _mm256_mmask_i32gather_epi32::<4>(src, k, idx, base)
+);
+avx512_kernel!(
+    i32_w512,
+    i32,
+    16,
+    __m512i,
+    __mmask16,
+    _mm512_loadu_epi32,
+    _mm512_maskz_loadu_epi32,
+    _mm512_storeu_epi32,
+    _mm512_set1_epi32,
+    _mm512_setzero_si512,
+    _mm512_maskz_compress_epi32,
+    _mm512_permutex2var_epi32,
+    _mm512_add_epi32,
+    IOTA16,
+    MERGE16,
+    cmp_i32_512,
+    mask_cmp_i32_512,
+    |src, k, idx, base| _mm512_mask_i32gather_epi32::<4>(src, k, idx, base)
+);
 
 // f32 kernels — float compares on the same integer plumbing.
-avx512_kernel!(f32_w128, f32, 4, __m128i, __mmask8,
-    _mm_loadu_epi32, _mm_maskz_loadu_epi32, _mm_storeu_epi32, _mm_set1_epi32, _mm_setzero_si128,
-    _mm_maskz_compress_epi32, _mm_permutex2var_epi32, _mm_add_epi32,
-    IOTA4, MERGE4, cmp_f32_128, mask_cmp_f32_128,
-    |src, k, idx, base| _mm_mmask_i32gather_epi32::<4>(src, k, idx, base));
-avx512_kernel!(f32_w256, f32, 8, __m256i, __mmask8,
-    _mm256_loadu_epi32, _mm256_maskz_loadu_epi32, _mm256_storeu_epi32, _mm256_set1_epi32, _mm256_setzero_si256,
-    _mm256_maskz_compress_epi32, _mm256_permutex2var_epi32, _mm256_add_epi32,
-    IOTA8, MERGE8, cmp_f32_256, mask_cmp_f32_256,
-    |src, k, idx, base| _mm256_mmask_i32gather_epi32::<4>(src, k, idx, base));
-avx512_kernel!(f32_w512, f32, 16, __m512i, __mmask16,
-    _mm512_loadu_epi32, _mm512_maskz_loadu_epi32, _mm512_storeu_epi32, _mm512_set1_epi32, _mm512_setzero_si512,
-    _mm512_maskz_compress_epi32, _mm512_permutex2var_epi32, _mm512_add_epi32,
-    IOTA16, MERGE16, cmp_f32_512, mask_cmp_f32_512,
-    |src, k, idx, base| _mm512_mask_i32gather_epi32::<4>(src, k, idx, base));
+avx512_kernel!(
+    f32_w128,
+    f32,
+    4,
+    __m128i,
+    __mmask8,
+    _mm_loadu_epi32,
+    _mm_maskz_loadu_epi32,
+    _mm_storeu_epi32,
+    _mm_set1_epi32,
+    _mm_setzero_si128,
+    _mm_maskz_compress_epi32,
+    _mm_permutex2var_epi32,
+    _mm_add_epi32,
+    IOTA4,
+    MERGE4,
+    cmp_f32_128,
+    mask_cmp_f32_128,
+    |src, k, idx, base| _mm_mmask_i32gather_epi32::<4>(src, k, idx, base)
+);
+avx512_kernel!(
+    f32_w256,
+    f32,
+    8,
+    __m256i,
+    __mmask8,
+    _mm256_loadu_epi32,
+    _mm256_maskz_loadu_epi32,
+    _mm256_storeu_epi32,
+    _mm256_set1_epi32,
+    _mm256_setzero_si256,
+    _mm256_maskz_compress_epi32,
+    _mm256_permutex2var_epi32,
+    _mm256_add_epi32,
+    IOTA8,
+    MERGE8,
+    cmp_f32_256,
+    mask_cmp_f32_256,
+    |src, k, idx, base| _mm256_mmask_i32gather_epi32::<4>(src, k, idx, base)
+);
+avx512_kernel!(
+    f32_w512,
+    f32,
+    16,
+    __m512i,
+    __mmask16,
+    _mm512_loadu_epi32,
+    _mm512_maskz_loadu_epi32,
+    _mm512_storeu_epi32,
+    _mm512_set1_epi32,
+    _mm512_setzero_si512,
+    _mm512_maskz_compress_epi32,
+    _mm512_permutex2var_epi32,
+    _mm512_add_epi32,
+    IOTA16,
+    MERGE16,
+    cmp_f32_512,
+    mask_cmp_f32_512,
+    |src, k, idx, base| _mm512_mask_i32gather_epi32::<4>(src, k, idx, base)
+);
 
 #[cfg(test)]
 mod tests {
@@ -467,8 +709,10 @@ mod tests {
         let b: Vec<u32> = (0..400).map(|i| (i * 11) % 7).collect();
         for op0 in CmpOp::ALL {
             for op1 in CmpOp::ALL {
-                let preds =
-                    [TypedPred::new(&a[..], op0, 6u32), TypedPred::new(&b[..], op1, 3u32)];
+                let preds = [
+                    TypedPred::new(&a[..], op0, 6u32),
+                    TypedPred::new(&b[..], op1, 3u32),
+                ];
                 check_u32(&preds);
             }
         }
@@ -479,8 +723,9 @@ mod tests {
         if skip() {
             return;
         }
-        let cols: Vec<Vec<u32>> =
-            (0..5u32).map(|c| (0..900u32).map(|i| i.wrapping_mul(c + 7) % 3).collect()).collect();
+        let cols: Vec<Vec<u32>> = (0..5u32)
+            .map(|c| (0..900u32).map(|i| i.wrapping_mul(c + 7) % 3).collect())
+            .collect();
         for p in 1..=5 {
             let preds: Vec<TypedPred<'_, u32>> =
                 cols[..p].iter().map(|c| TypedPred::eq(&c[..], 1)).collect();
@@ -493,7 +738,9 @@ mod tests {
         if skip() {
             return;
         }
-        for rows in [0usize, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 32, 33, 63, 64, 65] {
+        for rows in [
+            0usize, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 32, 33, 63, 64, 65,
+        ] {
             let a: Vec<u32> = (0..rows as u32).map(|i| i % 3).collect();
             let b: Vec<u32> = (0..rows as u32).map(|i| i % 2).collect();
             let preds = [TypedPred::eq(&a[..], 0), TypedPred::eq(&b[..], 1)];
@@ -510,7 +757,13 @@ mod tests {
         let all: Vec<u32> = vec![5; rows];
         let none: Vec<u32> = vec![4; rows];
         let half: Vec<u32> = (0..rows as u32).map(|i| 4 + i % 2).collect();
-        for (a, b) in [(&all, &half), (&half, &all), (&all, &none), (&none, &all), (&all, &all)] {
+        for (a, b) in [
+            (&all, &half),
+            (&half, &all),
+            (&all, &none),
+            (&none, &all),
+            (&all, &all),
+        ] {
             let preds = [TypedPred::eq(&a[..], 5u32), TypedPred::eq(&b[..], 5u32)];
             check_u32(&preds);
         }
@@ -524,8 +777,10 @@ mod tests {
         let a: Vec<i32> = (0..500).map(|i| (i % 9) - 4).collect();
         let b: Vec<i32> = (0..500).map(|i| (i % 5) - 2).collect();
         for op in CmpOp::ALL {
-            let preds =
-                [TypedPred::new(&a[..], op, 0i32), TypedPred::new(&b[..], CmpOp::Ge, -1i32)];
+            let preds = [
+                TypedPred::new(&a[..], op, 0i32),
+                TypedPred::new(&b[..], CmpOp::Ge, -1i32),
+            ];
             let expected = reference::scan_positions(&preds);
             for out in [
                 i32_w128::fused_scan(&preds, OutputMode::Positions),
@@ -547,8 +802,10 @@ mod tests {
         a[250] = f32::NAN;
         let b: Vec<f32> = (0..300).map(|i| (i % 3) as f32 - 1.0).collect();
         for op in CmpOp::ALL {
-            let preds =
-                [TypedPred::new(&a[..], op, 3.0f32), TypedPred::new(&b[..], CmpOp::Lt, 1.0f32)];
+            let preds = [
+                TypedPred::new(&a[..], op, 3.0f32),
+                TypedPred::new(&b[..], CmpOp::Lt, 1.0f32),
+            ];
             let expected = reference::scan_positions(&preds);
             for out in [
                 f32_w128::fused_scan(&preds, OutputMode::Positions),

@@ -96,8 +96,7 @@ unsafe fn flush<const EMIT: bool>(st: &mut State<'_>) {
     let vals_lo = _mm512_mask_i32gather_epi64::<8>(_mm512_setzero_si512(), k_lo, idx_lo, base);
     let m_lo = mask_cmp_u64(k_lo, st.p1.op, vals_lo, st.needle1);
     let m_hi = if k_hi != 0 {
-        let vals_hi =
-            _mm512_mask_i32gather_epi64::<8>(_mm512_setzero_si512(), k_hi, idx_hi, base);
+        let vals_hi = _mm512_mask_i32gather_epi64::<8>(_mm512_setzero_si512(), k_hi, idx_hi, base);
         mask_cmp_u64(k_hi, st.p1.op, vals_hi, st.needle1)
     } else {
         0
@@ -187,8 +186,15 @@ pub fn fused_scan_u32_u64(
     mode: OutputMode,
 ) -> ScanOutput {
     assert!(has_avx512(), "AVX-512 not available on this host");
-    assert_eq!(p0.data.len(), p1.data.len(), "chain columns must have equal length");
-    assert!(p0.data.len() <= i32::MAX as usize, "chunk exceeds 32-bit gather index range");
+    assert_eq!(
+        p0.data.len(),
+        p1.data.len(),
+        "chain columns must have equal length"
+    );
+    assert!(
+        p0.data.len() <= i32::MAX as usize,
+        "chunk exceeds 32-bit gather index range"
+    );
     // SAFETY: AVX-512 presence asserted; columns validated.
     match mode {
         OutputMode::Count => {
@@ -234,7 +240,11 @@ mod tests {
                 let p1 = TypedPred::new(&b[..], op1, 4u64);
                 let expected = reference(&p0, &p1);
                 let got = fused_scan_u32_u64(&p0, &p1, OutputMode::Positions);
-                assert_eq!(got.positions().unwrap().as_slice(), &expected[..], "{op0} {op1}");
+                assert_eq!(
+                    got.positions().unwrap().as_slice(),
+                    &expected[..],
+                    "{op0} {op1}"
+                );
                 let got = fused_scan_u32_u64(&p0, &p1, OutputMode::Count);
                 assert_eq!(got.count(), expected.len() as u64, "{op0} {op1} count");
             }
@@ -248,7 +258,9 @@ mod tests {
         }
         let a: Vec<u32> = (0..500).map(|i| i % 2).collect();
         let big = u64::MAX - 3;
-        let b: Vec<u64> = (0..500).map(|i| if i % 3 == 0 { big } else { i as u64 }).collect();
+        let b: Vec<u64> = (0..500)
+            .map(|i| if i % 3 == 0 { big } else { i as u64 })
+            .collect();
         let p0 = TypedPred::eq(&a[..], 0u32);
         let p1 = TypedPred::eq(&b[..], big);
         let expected = reference(&p0, &p1);
@@ -286,7 +298,11 @@ mod tests {
             let p1 = TypedPred::eq(&b[..], 0u64);
             let expected = reference(&p0, &p1);
             let got = fused_scan_u32_u64(&p0, &p1, OutputMode::Positions);
-            assert_eq!(got.positions().unwrap().as_slice(), &expected[..], "rows={rows}");
+            assert_eq!(
+                got.positions().unwrap().as_slice(),
+                &expected[..],
+                "rows={rows}"
+            );
         }
     }
 }

@@ -44,7 +44,11 @@ pub const fn merge_index<const N: usize>(count: usize) -> [u32; N] {
     let mut idx = [0u32; N];
     let mut i = 0;
     while i < N {
-        idx[i] = if i < count { i as u32 } else { (N + i - count) as u32 };
+        idx[i] = if i < count {
+            i as u32
+        } else {
+            (N + i - count) as u32
+        };
         i += 1;
     }
     idx
@@ -104,11 +108,11 @@ mod tests {
 
     #[test]
     fn merge_tables_match_const_fn() {
-        for c in 0..=4 {
-            assert_eq!(MERGE4[c], merge_index::<4>(c));
+        for (c, row) in MERGE4.iter().enumerate() {
+            assert_eq!(*row, merge_index::<4>(c));
         }
-        for c in 0..=16 {
-            assert_eq!(MERGE16[c], merge_index::<16>(c));
+        for (c, row) in MERGE16.iter().enumerate() {
+            assert_eq!(*row, merge_index::<16>(c));
         }
     }
 }

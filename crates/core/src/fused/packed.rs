@@ -68,7 +68,9 @@ impl<'a> PackedPred<'a> {
 
 /// Trivially-correct reference scan for packed chains.
 pub fn scan_packed_reference(preds: &[PackedPred<'_>]) -> PosList {
-    let Some(first) = preds.first() else { return PosList::new() };
+    let Some(first) = preds.first() else {
+        return PosList::new();
+    };
     let rows = first.rows();
     for p in preds {
         assert_eq!(p.rows(), rows, "chain columns must have equal length");
@@ -115,7 +117,9 @@ unsafe fn mask_cmp_u32(k: __mmask16, op: CmpOp, a: __m512i, b: __m512i) -> __mma
     }
 }
 
-/// Per-column plumbing the kernel needs.
+/// Per-column plumbing the kernel needs. One short-lived value per column
+/// per scan, so the variant size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
 enum Source<'a> {
     Plain {
         data: &'a [u32],
@@ -147,7 +151,11 @@ fn unpack_ctl(bits: u32, align: u32) -> UnpackCtl {
         idx_hi[i as usize] = bit / 32 + 1;
         offs[i as usize] = bit % 32;
     }
-    UnpackCtl { idx_lo, idx_hi, offs }
+    UnpackCtl {
+        idx_lo,
+        idx_hi,
+        offs,
+    }
 }
 
 struct State<'a> {
@@ -295,18 +303,23 @@ unsafe fn kernel<const EMIT: bool>(
             Source::Plain { data } => {
                 _mm512_loadu_epi32(data.as_ptr().add(blk * LANES) as *const i32)
             }
-            Source::Packed { words, bits, unpack: Some(ctls) } => {
-                unpack_block(words, *bits, st.masks[0], ctls, blk)
-            }
+            Source::Packed {
+                words,
+                bits,
+                unpack: Some(ctls),
+            } => unpack_block(words, *bits, st.masks[0], ctls, blk),
             Source::Packed { bits, .. } => {
                 // Wide widths (> 16 bits): scalar unpack inside the fused
                 // loop. Reconstruct via the column's own accessor-equivalent.
-                let Source::Packed { words, .. } = &sources[0] else { unreachable!() };
+                let Source::Packed { words, .. } = &sources[0] else {
+                    unreachable!()
+                };
                 for (i, slot) in scalar_buf.iter_mut().enumerate() {
                     let bit = (blk * LANES + i) as u64 * *bits as u64;
                     let word = (bit / 32) as usize;
                     let off = (bit % 32) as u32;
-                    let w = words[word] as u64 | ((*words.get(word + 1).unwrap_or(&0) as u64) << 32);
+                    let w =
+                        words[word] as u64 | ((*words.get(word + 1).unwrap_or(&0) as u64) << 32);
                     *slot = (w >> off) as u32 & mask_of(*bits as u8);
                 }
                 _mm512_loadu_epi32(scalar_buf.as_ptr() as *const i32)
@@ -383,7 +396,9 @@ pub fn fused_scan_packed(
         OutputMode::Count => ScanOutput::Count(0),
         OutputMode::Positions => ScanOutput::Positions(PosList::new()),
     };
-    let Some(first) = preds.first() else { return Ok(empty) };
+    let Some(first) = preds.first() else {
+        return Ok(empty);
+    };
     let rows = first.rows();
     for p in preds {
         if p.rows() != rows {
@@ -416,9 +431,12 @@ pub fn fused_scan_packed(
                     return Err(PackedScanError::ColumnTooLarge);
                 }
                 let bits = col.bits() as u32;
-                let unpack = (bits <= 16)
-                    .then(|| [unpack_ctl(bits, 0), unpack_ctl(bits, 16)]);
-                sources.push(Source::Packed { words: col.words(), bits, unpack });
+                let unpack = (bits <= 16).then(|| [unpack_ctl(bits, 0), unpack_ctl(bits, 16)]);
+                sources.push(Source::Packed {
+                    words: col.words(),
+                    bits,
+                    unpack,
+                });
                 ops.push(*op);
                 needles.push(*needle);
             }
@@ -482,13 +500,18 @@ mod tests {
         }
         for bits in 1..=16u8 {
             let mask = mask_of(bits);
-            let values: Vec<u32> =
-                (0..997u32).map(|i| i.wrapping_mul(2654435761) & mask).collect();
+            let values: Vec<u32> = (0..997u32)
+                .map(|i| i.wrapping_mul(2654435761) & mask)
+                .collect();
             let col = PackedColumn::pack(&values, bits).unwrap();
             let plain: Vec<u32> = (0..997).map(|i| i % 3).collect();
             for op in CmpOp::ALL {
                 let preds = [
-                    PackedPred::Packed { col: &col, op, needle: mask / 2 },
+                    PackedPred::Packed {
+                        col: &col,
+                        op,
+                        needle: mask / 2,
+                    },
                     PackedPred::Plain(TypedPred::eq(&plain[..], 1)),
                 ];
                 check(&preds);
@@ -503,11 +526,13 @@ mod tests {
         }
         for bits in [17u8, 23, 30, 32] {
             let mask = mask_of(bits);
-            let values: Vec<u32> =
-                (0..500u32).map(|i| i.wrapping_mul(40503) & mask).collect();
+            let values: Vec<u32> = (0..500u32).map(|i| i.wrapping_mul(40503) & mask).collect();
             let col = PackedColumn::pack(&values, bits).unwrap();
-            let preds =
-                [PackedPred::Packed { col: &col, op: CmpOp::Gt, needle: mask / 3 }];
+            let preds = [PackedPred::Packed {
+                col: &col,
+                op: CmpOp::Gt,
+                needle: mask / 3,
+            }];
             check(&preds);
         }
     }
@@ -521,13 +546,18 @@ mod tests {
         for bits in [3u8, 7, 11, 16, 21, 29] {
             let mask = mask_of(bits);
             let a: Vec<u32> = (0..1203).map(|i| i % 5).collect();
-            let values: Vec<u32> =
-                (0..1203u32).map(|i| i.wrapping_mul(2246822519) & mask).collect();
+            let values: Vec<u32> = (0..1203u32)
+                .map(|i| i.wrapping_mul(2246822519) & mask)
+                .collect();
             let col = PackedColumn::pack(&values, bits).unwrap();
             for op in CmpOp::ALL {
                 let preds = [
                     PackedPred::Plain(TypedPred::eq(&a[..], 2)),
-                    PackedPred::Packed { col: &col, op, needle: mask / 2 },
+                    PackedPred::Packed {
+                        col: &col,
+                        op,
+                        needle: mask / 2,
+                    },
                 ];
                 check(&preds);
             }
@@ -543,8 +573,9 @@ mod tests {
             .iter()
             .map(|&bits| {
                 let mask = mask_of(bits);
-                let values: Vec<u32> =
-                    (0..800u32).map(|i| i.wrapping_mul(9973 + bits as u32) & mask).collect();
+                let values: Vec<u32> = (0..800u32)
+                    .map(|i| i.wrapping_mul(9973 + bits as u32) & mask)
+                    .collect();
                 PackedColumn::pack(&values, bits).unwrap()
             })
             .collect();
@@ -567,10 +598,28 @@ mod tests {
         let values: Vec<u32> = (0..100).map(|i| i % 8).collect();
         let col = PackedColumn::pack(&values, 3).unwrap();
         // needle 100 > 7: Eq never matches, Ne/Lt always match.
-        let never = [PackedPred::Packed { col: &col, op: CmpOp::Eq, needle: 100 }];
-        assert_eq!(fused_scan_packed(&never, OutputMode::Count).unwrap().count(), 0);
-        let always = [PackedPred::Packed { col: &col, op: CmpOp::Lt, needle: 100 }];
-        assert_eq!(fused_scan_packed(&always, OutputMode::Count).unwrap().count(), 100);
+        let never = [PackedPred::Packed {
+            col: &col,
+            op: CmpOp::Eq,
+            needle: 100,
+        }];
+        assert_eq!(
+            fused_scan_packed(&never, OutputMode::Count)
+                .unwrap()
+                .count(),
+            0
+        );
+        let always = [PackedPred::Packed {
+            col: &col,
+            op: CmpOp::Lt,
+            needle: 100,
+        }];
+        assert_eq!(
+            fused_scan_packed(&always, OutputMode::Count)
+                .unwrap()
+                .count(),
+            100
+        );
         let pos = fused_scan_packed(&always, OutputMode::Positions).unwrap();
         assert_eq!(pos.positions().unwrap().len(), 100);
         check(&never);
@@ -585,10 +634,17 @@ mod tests {
         for rows in [0usize, 1, 15, 16, 17, 100] {
             let values: Vec<u32> = (0..rows as u32).map(|i| i % 4).collect();
             let col = PackedColumn::pack(&values, 2).unwrap();
-            let preds = [PackedPred::Packed { col: &col, op: CmpOp::Eq, needle: 1 }];
+            let preds = [PackedPred::Packed {
+                col: &col,
+                op: CmpOp::Eq,
+                needle: 1,
+            }];
             check(&preds);
         }
-        assert_eq!(fused_scan_packed(&[], OutputMode::Count).unwrap().count(), 0);
+        assert_eq!(
+            fused_scan_packed(&[], OutputMode::Count).unwrap().count(),
+            0
+        );
     }
 
     #[test]
@@ -599,7 +655,11 @@ mod tests {
         let a = PackedColumn::pack(&[1, 2], 3).unwrap();
         let b: Vec<u32> = vec![0; 5];
         let preds = [
-            PackedPred::Packed { col: &a, op: CmpOp::Eq, needle: 1 },
+            PackedPred::Packed {
+                col: &a,
+                op: CmpOp::Eq,
+                needle: 1,
+            },
             PackedPred::Plain(TypedPred::eq(&b[..], 0)),
         ];
         assert_eq!(

@@ -15,6 +15,42 @@ use fts_storage::{NativeType, PosList};
 use crate::fused::{merge_index, MAX_PREDICATES};
 use crate::pred::{OutputMode, ScanOutput, TypedPred};
 
+/// Observer for the engine's per-block events, used by
+/// [`crate::telemetry`] to count flushes/gathers exactly. The default
+/// methods are empty, so the [`NoSink`] instantiation compiles to the
+/// uninstrumented engine — telemetry is zero-cost when disabled.
+pub trait FusedSink {
+    /// The driver compared one block; `matches` lanes passed predicate 0.
+    #[inline(always)]
+    fn driver_block(&mut self, matches: usize) {
+        let _ = matches;
+    }
+
+    /// Stage `stage` (1-based) flushed: `gathered` live lanes were
+    /// gathered and compared, `survivors` of them passed.
+    #[inline(always)]
+    fn stage_flush(&mut self, stage: usize, gathered: usize, survivors: usize) {
+        let _ = (stage, gathered, survivors);
+    }
+}
+
+/// The do-nothing sink behind [`fused_scan_model`].
+pub struct NoSink;
+
+impl FusedSink for NoSink {}
+
+impl<S: FusedSink> FusedSink for &mut S {
+    #[inline(always)]
+    fn driver_block(&mut self, matches: usize) {
+        (**self).driver_block(matches);
+    }
+
+    #[inline(always)]
+    fn stage_flush(&mut self, stage: usize, gathered: usize, survivors: usize) {
+        (**self).stage_flush(stage, gathered, survivors);
+    }
+}
+
 /// One follow-up predicate's state: the register-resident position list.
 #[derive(Clone, Copy)]
 struct Stage<const N: usize> {
@@ -26,21 +62,25 @@ struct Stage<const N: usize> {
 
 impl<const N: usize> Stage<N> {
     fn empty() -> Self {
-        Stage { plist: [0; N], count: 0 }
+        Stage {
+            plist: [0; N],
+            count: 0,
+        }
     }
 }
 
 /// Engine state for one scan: the stages for predicates `1..P` plus the
 /// output accumulator.
-struct Engine<'a, T, const N: usize> {
+struct Engine<'a, T, S, const N: usize> {
     preds: &'a [TypedPred<'a, T>],
     stages: Vec<Stage<N>>,
     positions: PosList,
     count: u64,
     emit_positions: bool,
+    sink: S,
 }
 
-impl<'a, T: NativeType, const N: usize> Engine<'a, T, N> {
+impl<'a, T: NativeType, S: FusedSink, const N: usize> Engine<'a, T, S, N> {
     /// Append a compressed batch (`fresh[..m]`, zero-padded) to stage `s`
     /// (1-based predicate index). Flushes per invariant 2 of
     /// [`crate::fused`].
@@ -82,6 +122,7 @@ impl<'a, T: NativeType, const N: usize> Engine<'a, T, N> {
         let vals = model::mask_gather([T::default(); N], kmask, plist, pred.data);
         let k2 = model::mask_cmp_mask(kmask, pred.op, vals, model::splat(pred.needle));
         let m2 = k2.count_ones() as usize;
+        self.sink.stage_flush(s, c, m2);
         if m2 == 0 {
             return;
         }
@@ -111,25 +152,44 @@ pub fn fused_scan_model<T: NativeType, const N: usize>(
     preds: &[TypedPred<'_, T>],
     mode: OutputMode,
 ) -> ScanOutput {
+    fused_scan_model_sink::<T, N, NoSink>(preds, mode, &mut NoSink)
+}
+
+/// [`fused_scan_model`] with an event sink observing every driver block
+/// and stage flush (how [`crate::telemetry`] counts exactly).
+pub fn fused_scan_model_sink<T: NativeType, const N: usize, S: FusedSink>(
+    preds: &[TypedPred<'_, T>],
+    mode: OutputMode,
+    sink: &mut S,
+) -> ScanOutput {
     assert!(N >= 2 && N <= 32, "lane count must be in 2..=32");
-    assert!(preds.len() <= MAX_PREDICATES, "chain too long for one fused kernel");
+    assert!(
+        preds.len() <= MAX_PREDICATES,
+        "chain too long for one fused kernel"
+    );
     let empty = match mode {
         OutputMode::Count => ScanOutput::Count(0),
         OutputMode::Positions => ScanOutput::Positions(PosList::new()),
     };
-    let Some(first) = preds.first() else { return empty };
+    let Some(first) = preds.first() else {
+        return empty;
+    };
     let rows = first.data.len();
     for p in preds {
         assert_eq!(p.data.len(), rows, "chain columns must have equal length");
     }
-    assert!(rows <= i32::MAX as usize, "chunk exceeds 32-bit gather index range");
+    assert!(
+        rows <= i32::MAX as usize,
+        "chunk exceeds 32-bit gather index range"
+    );
 
-    let mut eng: Engine<'_, T, N> = Engine {
+    let mut eng: Engine<'_, T, &mut S, N> = Engine {
         preds,
         stages: vec![Stage::empty(); preds.len().saturating_sub(1)],
         positions: PosList::new(),
         count: 0,
         emit_positions: mode == OutputMode::Positions,
+        sink,
     };
 
     let needle = model::splat::<T, N>(first.needle);
@@ -138,10 +198,16 @@ pub fn fused_scan_model<T: NativeType, const N: usize>(
         let tail = (rows - base).min(N);
         // Block load; the tail block is zero-filled beyond `tail` and its
         // compare is masked (mirrors `_mm512_maskz_loadu_epi32`).
-        let block: [T; N] =
-            std::array::from_fn(|i| if i < tail { first.data[base + i] } else { T::default() });
+        let block: [T; N] = std::array::from_fn(|i| {
+            if i < tail {
+                first.data[base + i]
+            } else {
+                T::default()
+            }
+        });
         let k = model::mask_cmp_mask(model::lane_mask(tail), first.op, block, needle);
         let m = k.count_ones() as usize;
+        eng.sink.driver_block(m);
         if m != 0 {
             let idx: [u32; N] = std::array::from_fn(|i| (base + i) as u32);
             let fresh = model::compress([0u32; N], k, idx);
@@ -205,8 +271,10 @@ mod tests {
         let b: Vec<u32> = (0..500).map(|i| (i * 11) % 7).collect();
         for op0 in CmpOp::ALL {
             for op1 in [CmpOp::Eq, CmpOp::Ge] {
-                let preds =
-                    [TypedPred::new(&a[..], op0, 6u32), TypedPred::new(&b[..], op1, 3u32)];
+                let preds = [
+                    TypedPred::new(&a[..], op0, 6u32),
+                    TypedPred::new(&b[..], op1, 3u32),
+                ];
                 check_all_widths(&preds);
             }
         }
@@ -214,8 +282,9 @@ mod tests {
 
     #[test]
     fn chains_up_to_five_predicates() {
-        let cols: Vec<Vec<u32>> =
-            (0..5u32).map(|c| (0..700u32).map(|i| i.wrapping_mul(c + 7) % 3).collect()).collect();
+        let cols: Vec<Vec<u32>> = (0..5u32)
+            .map(|c| (0..700u32).map(|i| i.wrapping_mul(c + 7) % 3).collect())
+            .collect();
         for p in 1..=5 {
             let preds: Vec<TypedPred<'_, u32>> =
                 cols[..p].iter().map(|c| TypedPred::eq(&c[..], 1)).collect();
@@ -240,7 +309,13 @@ mod tests {
         let all: Vec<u32> = vec![5; rows as usize];
         let none: Vec<u32> = vec![4; rows as usize];
         let half: Vec<u32> = (0..rows).map(|i| 4 + i % 2).collect();
-        for (a, b) in [(&all, &half), (&half, &all), (&all, &none), (&none, &all), (&all, &all)] {
+        for (a, b) in [
+            (&all, &half),
+            (&half, &all),
+            (&all, &none),
+            (&none, &all),
+            (&all, &all),
+        ] {
             let preds = [TypedPred::eq(&a[..], 5u32), TypedPred::eq(&b[..], 5u32)];
             check_all_widths(&preds);
         }
@@ -250,8 +325,10 @@ mod tests {
     fn other_native_types() {
         let a: Vec<i64> = (0..300).map(|i| (i % 9) - 4).collect();
         let b: Vec<i64> = (0..300).map(|i| (i % 5) - 2).collect();
-        let preds =
-            [TypedPred::new(&a[..], CmpOp::Lt, 0i64), TypedPred::new(&b[..], CmpOp::Ge, 0i64)];
+        let preds = [
+            TypedPred::new(&a[..], CmpOp::Lt, 0i64),
+            TypedPred::new(&b[..], CmpOp::Ge, 0i64),
+        ];
         check_all_widths(&preds);
 
         let a: Vec<f32> = (0..300).map(|i| (i % 7) as f32).collect();
@@ -260,8 +337,10 @@ mod tests {
 
         let a: Vec<u8> = (0..300).map(|i| (i % 11) as u8).collect();
         let b: Vec<u8> = (0..300).map(|i| (i % 4) as u8).collect();
-        let preds =
-            [TypedPred::new(&a[..], CmpOp::Gt, 5u8), TypedPred::new(&b[..], CmpOp::Ne, 2u8)];
+        let preds = [
+            TypedPred::new(&a[..], CmpOp::Gt, 5u8),
+            TypedPred::new(&b[..], CmpOp::Ne, 2u8),
+        ];
         check_all_widths(&preds);
     }
 
@@ -272,8 +351,10 @@ mod tests {
         a[13] = f64::NAN;
         let b: Vec<f64> = (0..64).map(|i| (i % 2) as f64).collect();
         for op in CmpOp::ALL {
-            let preds =
-                [TypedPred::new(&a[..], op, 2.0f64), TypedPred::new(&b[..], CmpOp::Eq, 1.0f64)];
+            let preds = [
+                TypedPred::new(&a[..], op, 2.0f64),
+                TypedPred::new(&b[..], CmpOp::Eq, 1.0f64),
+            ];
             check_all_widths(&preds);
         }
     }

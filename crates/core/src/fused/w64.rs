@@ -85,16 +85,38 @@ macro_rules! def_cmp64 {
     };
 }
 
-def_cmp64!(cmp_u64, mask_cmp_u64,
-    _mm512_cmpeq_epu64_mask, _mm512_cmpneq_epu64_mask, _mm512_cmplt_epu64_mask,
-    _mm512_cmple_epu64_mask, _mm512_cmpgt_epu64_mask, _mm512_cmpge_epu64_mask,
-    _mm512_mask_cmpeq_epu64_mask, _mm512_mask_cmpneq_epu64_mask, _mm512_mask_cmplt_epu64_mask,
-    _mm512_mask_cmple_epu64_mask, _mm512_mask_cmpgt_epu64_mask, _mm512_mask_cmpge_epu64_mask);
-def_cmp64!(cmp_i64, mask_cmp_i64,
-    _mm512_cmpeq_epi64_mask, _mm512_cmpneq_epi64_mask, _mm512_cmplt_epi64_mask,
-    _mm512_cmple_epi64_mask, _mm512_cmpgt_epi64_mask, _mm512_cmpge_epi64_mask,
-    _mm512_mask_cmpeq_epi64_mask, _mm512_mask_cmpneq_epi64_mask, _mm512_mask_cmplt_epi64_mask,
-    _mm512_mask_cmple_epi64_mask, _mm512_mask_cmpgt_epi64_mask, _mm512_mask_cmpge_epi64_mask);
+def_cmp64!(
+    cmp_u64,
+    mask_cmp_u64,
+    _mm512_cmpeq_epu64_mask,
+    _mm512_cmpneq_epu64_mask,
+    _mm512_cmplt_epu64_mask,
+    _mm512_cmple_epu64_mask,
+    _mm512_cmpgt_epu64_mask,
+    _mm512_cmpge_epu64_mask,
+    _mm512_mask_cmpeq_epu64_mask,
+    _mm512_mask_cmpneq_epu64_mask,
+    _mm512_mask_cmplt_epu64_mask,
+    _mm512_mask_cmple_epu64_mask,
+    _mm512_mask_cmpgt_epu64_mask,
+    _mm512_mask_cmpge_epu64_mask
+);
+def_cmp64!(
+    cmp_i64,
+    mask_cmp_i64,
+    _mm512_cmpeq_epi64_mask,
+    _mm512_cmpneq_epi64_mask,
+    _mm512_cmplt_epi64_mask,
+    _mm512_cmple_epi64_mask,
+    _mm512_cmpgt_epi64_mask,
+    _mm512_cmpge_epi64_mask,
+    _mm512_mask_cmpeq_epi64_mask,
+    _mm512_mask_cmpneq_epi64_mask,
+    _mm512_mask_cmplt_epi64_mask,
+    _mm512_mask_cmple_epi64_mask,
+    _mm512_mask_cmpgt_epi64_mask,
+    _mm512_mask_cmpge_epi64_mask
+);
 
 #[inline]
 #[target_feature(enable = "avx512f,avx512vl,avx512dq")]
@@ -143,7 +165,12 @@ macro_rules! w64_kernel {
             }
 
             #[target_feature(enable = "avx512f,avx512vl,avx512bw,avx512dq,avx2,popcnt")]
-            unsafe fn push<const EMIT: bool>(st: &mut State<'_>, s: usize, fresh: __m256i, m: usize) {
+            unsafe fn push<const EMIT: bool>(
+                st: &mut State<'_>,
+                s: usize,
+                fresh: __m256i,
+                m: usize,
+            ) {
                 if st.counts[s] + m > LANES {
                     flush::<EMIT>(st, s);
                     st.plists[s] = fresh;
@@ -270,17 +297,25 @@ macro_rules! w64_kernel {
             /// chain.
             pub fn fused_scan(preds: &[TypedPred<'_, $elem>], mode: OutputMode) -> ScanOutput {
                 assert!(has_avx512(), "AVX-512 not available on this host");
-                assert!(preds.len() <= MAX_PREDICATES, "chain too long for one fused kernel");
+                assert!(
+                    preds.len() <= MAX_PREDICATES,
+                    "chain too long for one fused kernel"
+                );
                 let empty = match mode {
                     OutputMode::Count => ScanOutput::Count(0),
                     OutputMode::Positions => ScanOutput::Positions(PosList::new()),
                 };
-                let Some(first) = preds.first() else { return empty };
+                let Some(first) = preds.first() else {
+                    return empty;
+                };
                 let rows = first.data.len();
                 for q in preds {
                     assert_eq!(q.data.len(), rows, "chain columns must have equal length");
                 }
-                assert!(rows <= i32::MAX as usize, "chunk exceeds 32-bit gather index range");
+                assert!(
+                    rows <= i32::MAX as usize,
+                    "chunk exceeds 32-bit gather index range"
+                );
 
                 let cols: Vec<&[$elem]> = preds.iter().map(|q| q.data).collect();
                 let ops: Vec<CmpOp> = preds.iter().map(|q| q.op).collect();
@@ -324,12 +359,16 @@ mod tests {
             return;
         }
         let big = u64::MAX - 7;
-        let a: Vec<u64> = (0..600u64).map(|i| if i % 5 == 0 { big } else { i % 13 }).collect();
+        let a: Vec<u64> = (0..600u64)
+            .map(|i| if i % 5 == 0 { big } else { i % 13 })
+            .collect();
         let b: Vec<u64> = (0..600u64).map(|i| (i * 11) % 7).collect();
         for op0 in CmpOp::ALL {
             for op1 in CmpOp::ALL {
-                let preds =
-                    [TypedPred::new(&a[..], op0, big), TypedPred::new(&b[..], op1, 3u64)];
+                let preds = [
+                    TypedPred::new(&a[..], op0, big),
+                    TypedPred::new(&b[..], op1, 3u64),
+                ];
                 let expected = reference::scan_positions(&preds);
                 let got = u64_w512::fused_scan(&preds, OutputMode::Positions);
                 assert_eq!(got.positions().unwrap(), &expected, "{op0} {op1}");
@@ -367,8 +406,10 @@ mod tests {
         a[350] = f64::NAN;
         let b: Vec<f64> = (0..400).map(|i| (i % 3) as f64 - 1.0).collect();
         for op in CmpOp::ALL {
-            let preds =
-                [TypedPred::new(&a[..], op, 1.5f64), TypedPred::new(&b[..], CmpOp::Lt, 1.0f64)];
+            let preds = [
+                TypedPred::new(&a[..], op, 1.5f64),
+                TypedPred::new(&b[..], CmpOp::Lt, 1.0f64),
+            ];
             let expected = reference::scan_positions(&preds);
             let got = f64_w512::fused_scan(&preds, OutputMode::Positions);
             assert_eq!(got.positions().unwrap(), &expected, "{op}");
@@ -382,7 +423,11 @@ mod tests {
         }
         for rows in [0usize, 1, 7, 8, 9, 15, 16, 17, 100] {
             let cols: Vec<Vec<u64>> = (0..4u64)
-                .map(|c| (0..rows as u64).map(|i| i.wrapping_mul(c + 3) % 3).collect())
+                .map(|c| {
+                    (0..rows as u64)
+                        .map(|i| i.wrapping_mul(c + 3) % 3)
+                        .collect()
+                })
                 .collect();
             for p in 1..=4 {
                 let preds: Vec<TypedPred<'_, u64>> =
@@ -403,7 +448,13 @@ mod tests {
         let all = vec![5u64; rows];
         let none = vec![4u64; rows];
         let half: Vec<u64> = (0..rows as u64).map(|i| 4 + i % 2).collect();
-        for (x, y) in [(&all, &half), (&half, &all), (&all, &none), (&none, &all), (&all, &all)] {
+        for (x, y) in [
+            (&all, &half),
+            (&half, &all),
+            (&all, &none),
+            (&none, &all),
+            (&all, &all),
+        ] {
             let preds = [TypedPred::eq(&x[..], 5u64), TypedPred::eq(&y[..], 5u64)];
             let expected = reference::scan_count(&preds);
             let got = u64_w512::fused_scan(&preds, OutputMode::Count);

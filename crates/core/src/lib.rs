@@ -21,13 +21,18 @@
 
 pub mod blockwise;
 pub mod engine;
-pub mod parallel;
 pub mod fused;
+pub mod parallel;
 pub mod pred;
 pub mod reference;
 pub mod sisd;
 pub mod stride;
+pub mod telemetry;
 
-pub use parallel::{run_scan_parallel, DEFAULT_MORSEL_ROWS};
-pub use engine::{best_fused_impl, run_fused_auto, run_scan, scan_columns_auto, EngineError, RegWidth, ScanElem, ScanImpl};
+pub use engine::{
+    best_fused_impl, run_fused_auto, run_scan, run_scan_telemetered, scan_columns_auto,
+    scan_columns_auto_telemetered, EngineError, RegWidth, ScanElem, ScanImpl,
+};
+pub use parallel::{run_scan_parallel, run_scan_parallel_telemetered, DEFAULT_MORSEL_ROWS};
 pub use pred::{ColumnPred, OutputMode, ScanOutput, TypedPred};
+pub use telemetry::{BoundVerdict, ScanTelemetry, StageTelemetry, TelemetryLevel};

@@ -2,17 +2,23 @@
 //!
 //! Paper footnote 1: the column-major table "can, however, be horizontally
 //! partitioned into chunks or morsels". This module exploits that: the row
-//! range is split into fixed-size morsels, a crossbeam-scoped worker pool
-//! pulls morsels from an atomic cursor (classic morsel-driven parallelism),
-//! each worker runs the single-threaded fused kernel on its sub-slices,
-//! and per-morsel outputs are stitched back together in row order.
+//! range is split into fixed-size morsels, a scoped worker pool pulls
+//! morsels from an atomic cursor (classic morsel-driven parallelism), each
+//! worker runs the single-threaded fused kernel on its sub-slices, and
+//! per-morsel outputs are stitched back together in row order.
+//!
+//! Failures never tear down the process: a worker that returns an engine
+//! error — or panics — surfaces as an [`EngineError`] from the stitcher,
+//! with the first failing morsel reported.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use fts_storage::PosList;
 
-use crate::engine::{run_scan, EngineError, ScanElem, ScanImpl};
+use crate::engine::{EngineError, ScanElem, ScanImpl};
 use crate::pred::{OutputMode, ScanOutput, TypedPred};
+use crate::telemetry::{ScanTelemetry, TelemetryLevel};
 
 /// Default morsel size: large enough to amortize dispatch, small enough to
 /// balance (64 K rows ≈ 256 KiB of u32 per column, L2-resident).
@@ -38,45 +44,82 @@ pub fn run_scan_parallel<T: ScanElem>(
     threads: usize,
     morsel_rows: usize,
 ) -> Result<ScanOutput, EngineError> {
+    run_scan_parallel_telemetered(imp, preds, mode, threads, morsel_rows, TelemetryLevel::Off)
+        .map(|(out, _)| out)
+}
+
+/// [`run_scan_parallel`] with per-morsel telemetry aggregation.
+///
+/// At [`TelemetryLevel::Off`] no telemetry is collected (the returned
+/// telemetry is empty) and the scan path is identical to
+/// [`run_scan_parallel`]. Otherwise each worker collects a
+/// [`ScanTelemetry`] for its morsels; the stitcher merges them (counter
+/// sums, `morsels` incremented per merge) and stamps the overall
+/// wall-clock time of the parallel region.
+pub fn run_scan_parallel_telemetered<T: ScanElem>(
+    imp: ScanImpl,
+    preds: &[TypedPred<'_, T>],
+    mode: OutputMode,
+    threads: usize,
+    morsel_rows: usize,
+    level: TelemetryLevel,
+) -> Result<(ScanOutput, ScanTelemetry), EngineError> {
     assert!(threads >= 1, "need at least one worker");
     assert!(morsel_rows >= 1, "morsels must be non-empty");
+    let run_single =
+        |preds: &[TypedPred<'_, T>]| crate::engine::run_scan_telemetered(imp, preds, mode, level);
     let Some(first) = preds.first() else {
-        return run_scan(imp, preds, mode);
+        return run_single(preds);
     };
     let rows = first.data.len();
     let morsels = rows.div_ceil(morsel_rows).max(1);
     if threads == 1 || morsels == 1 {
-        return run_scan(imp, preds, mode);
+        return run_single(preds);
     }
 
+    let started = std::time::Instant::now();
     let cursor = AtomicUsize::new(0);
-    let results: Vec<parking_lot_free::Slot> =
-        (0..morsels).map(|_| parking_lot_free::Slot::new()).collect();
+    type MorselResult = Result<(ScanOutput, ScanTelemetry), EngineError>;
+    let results: Vec<once_slot::Slot<MorselResult>> =
+        (0..morsels).map(|_| once_slot::Slot::new()).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(morsels) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let m = cursor.fetch_add(1, Ordering::Relaxed);
                 if m >= morsels {
                     break;
                 }
-                let base = m * morsel_rows;
-                let end = (base + morsel_rows).min(rows);
-                let sub: Vec<TypedPred<'_, T>> = preds
-                    .iter()
-                    .map(|p| TypedPred::new(&p.data[base..end], p.op, p.needle))
-                    .collect();
-                results[m].set(run_scan(imp, &sub, mode));
+                // A panicking morsel must not poison the scope join: catch
+                // it and report it as an engine error for this morsel.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let base = m * morsel_rows;
+                    let end = (base + morsel_rows).min(rows);
+                    let sub: Vec<TypedPred<'_, T>> = preds
+                        .iter()
+                        .map(|p| TypedPred::new(&p.data[base..end], p.op, p.needle))
+                        .collect();
+                    crate::engine::run_scan_telemetered(imp, &sub, mode, level)
+                }))
+                .unwrap_or_else(|panic| {
+                    Err(EngineError::WorkerPanicked {
+                        morsel: m,
+                        message: panic_text(&panic),
+                    })
+                });
+                results[m].set(result);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     // Stitch morsel outputs in order, rebasing positions.
     let mut total = 0u64;
     let mut positions = PosList::new();
+    let mut telemetry: Option<ScanTelemetry> = None;
     for (m, slot) in results.iter().enumerate() {
-        let out = slot.take().expect("every morsel was processed")?;
+        let (out, morsel_telemetry) = slot
+            .take()
+            .ok_or(EngineError::MorselMissing { morsel: m })??;
         match out {
             ScanOutput::Count(n) => total += n,
             ScanOutput::Positions(pl) => {
@@ -87,43 +130,65 @@ pub fn run_scan_parallel<T: ScanElem>(
                 }
             }
         }
+        match &mut telemetry {
+            None => telemetry = Some(morsel_telemetry),
+            Some(t) => t.merge(&morsel_telemetry),
+        }
     }
-    Ok(match mode {
+    let mut telemetry = telemetry.unwrap_or_else(|| ScanTelemetry::disabled(imp.name()));
+    if level != TelemetryLevel::Off {
+        // The parallel region's wall clock, not the sum of worker times.
+        telemetry.wall = started.elapsed();
+        telemetry.threads = threads.min(morsels);
+    }
+    let out = match mode {
         OutputMode::Count => ScanOutput::Count(total),
         OutputMode::Positions => ScanOutput::Positions(positions),
-    })
+    };
+    Ok((out, telemetry))
+}
+
+fn panic_text(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 /// Tiny once-settable cell so workers can publish results without locks
 /// (each slot is written by exactly one worker, then read after the scope
 /// joins).
-mod parking_lot_free {
+mod once_slot {
     use std::cell::UnsafeCell;
     use std::sync::atomic::{AtomicBool, Ordering};
 
-    use super::{EngineError, ScanOutput};
-
-    pub struct Slot {
+    pub struct Slot<T> {
         set: AtomicBool,
-        value: UnsafeCell<Option<Result<ScanOutput, EngineError>>>,
+        value: UnsafeCell<Option<T>>,
     }
 
     // SAFETY: one writer per slot (distinct morsel index per worker pull),
     // reads happen only after the thread scope joined.
-    unsafe impl Sync for Slot {}
+    unsafe impl<T: Send> Sync for Slot<T> {}
 
-    impl Slot {
-        pub fn new() -> Slot {
-            Slot { set: AtomicBool::new(false), value: UnsafeCell::new(None) }
+    impl<T> Slot<T> {
+        pub fn new() -> Slot<T> {
+            Slot {
+                set: AtomicBool::new(false),
+                value: UnsafeCell::new(None),
+            }
         }
 
-        pub fn set(&self, v: Result<ScanOutput, EngineError>) {
+        pub fn set(&self, v: T) {
             // SAFETY: exactly one worker owns this morsel index.
             unsafe { *self.value.get() = Some(v) };
             self.set.store(true, Ordering::Release);
         }
 
-        pub fn take(&self) -> Option<Result<ScanOutput, EngineError>> {
+        pub fn take(&self) -> Option<T> {
             if !self.set.load(Ordering::Acquire) {
                 return None;
             }
@@ -150,15 +215,16 @@ mod tests {
     #[test]
     fn parallel_equals_sequential() {
         let (a, b) = workload(300_000);
-        let preds =
-            [TypedPred::new(&a[..], CmpOp::Eq, 5u32), TypedPred::new(&b[..], CmpOp::Ne, 2u32)];
+        let preds = [
+            TypedPred::new(&a[..], CmpOp::Eq, 5u32),
+            TypedPred::new(&b[..], CmpOp::Ne, 2u32),
+        ];
         let expected = reference::scan_positions(&preds);
         let imp = crate::engine::best_fused_impl::<u32>();
         for threads in [1, 2, 4, 7] {
             for morsel in [1 << 10, 1 << 16, 999] {
                 let got =
-                    run_scan_parallel(imp, &preds, OutputMode::Positions, threads, morsel)
-                        .unwrap();
+                    run_scan_parallel(imp, &preds, OutputMode::Positions, threads, morsel).unwrap();
                 assert_eq!(
                     got.positions().unwrap(),
                     &expected,
@@ -174,8 +240,10 @@ mod tests {
     #[test]
     fn tiny_and_empty_inputs() {
         let (a, b) = workload(3);
-        let preds =
-            [TypedPred::new(&a[..], CmpOp::Lt, 9u32), TypedPred::new(&b[..], CmpOp::Le, 3u32)];
+        let preds = [
+            TypedPred::new(&a[..], CmpOp::Lt, 9u32),
+            TypedPred::new(&b[..], CmpOp::Le, 3u32),
+        ];
         let expected = reference::scan_count(&preds);
         let got = run_scan_parallel(
             ScanImpl::FusedScalar(RegWidth::W128),
@@ -204,9 +272,8 @@ mod tests {
         let a = [1u16, 2, 3, 4];
         let preds = [TypedPred::eq(&a[..], 2u16)];
         if ScanImpl::FusedAvx2.available() {
-            let err =
-                run_scan_parallel(ScanImpl::FusedAvx2, &preds, OutputMode::Count, 2, 2)
-                    .unwrap_err();
+            let err = run_scan_parallel(ScanImpl::FusedAvx2, &preds, OutputMode::Count, 2, 2)
+                .unwrap_err();
             assert!(matches!(err, EngineError::TypeUnsupported { .. }));
         }
     }
@@ -214,8 +281,10 @@ mod tests {
     #[test]
     fn many_threads_on_few_morsels() {
         let (a, b) = workload(5000);
-        let preds =
-            [TypedPred::new(&a[..], CmpOp::Eq, 5u32), TypedPred::new(&b[..], CmpOp::Eq, 1u32)];
+        let preds = [
+            TypedPred::new(&a[..], CmpOp::Eq, 5u32),
+            TypedPred::new(&b[..], CmpOp::Eq, 1u32),
+        ];
         let expected = reference::scan_count(&preds);
         let got = run_scan_parallel(
             crate::engine::best_fused_impl::<u32>(),
@@ -226,5 +295,88 @@ mod tests {
         )
         .unwrap();
         assert_eq!(got.count(), expected);
+    }
+
+    #[test]
+    fn parallel_telemetry_invariants() {
+        let rows = 100_000usize;
+        let (a, b) = workload(rows);
+        let preds = [
+            TypedPred::new(&a[..], CmpOp::Eq, 5u32),
+            TypedPred::new(&b[..], CmpOp::Ne, 2u32),
+        ];
+        let imp = crate::engine::best_fused_impl::<u32>();
+        let morsel_rows = 1 << 14;
+        let (out, t) = run_scan_parallel_telemetered(
+            imp,
+            &preds,
+            OutputMode::Count,
+            4,
+            morsel_rows,
+            TelemetryLevel::Full,
+        )
+        .unwrap();
+        assert!(t.enabled);
+        let morsels = rows.div_ceil(morsel_rows) as u64;
+        assert_eq!(t.morsels, morsels);
+        assert_eq!(t.rows, rows as u64, "per-morsel rows sum to the total");
+        // Sum of per-morsel block counts equals the aggregate: each morsel
+        // contributes ceil(morsel_rows / lanes) blocks.
+        let lanes = t.lanes as u64;
+        let full = (morsels - 1) * (morsel_rows as u64).div_ceil(lanes);
+        let tail = (rows as u64 - (morsels - 1) * morsel_rows as u64).div_ceil(lanes);
+        assert_eq!(t.blocks, full + tail, "block counts sum across morsels");
+        assert_eq!(*t.pred_survivors.last().unwrap(), out.count());
+        assert!(
+            t.selectivities().iter().all(|s| (0.0..=1.0).contains(s)),
+            "{t:?}"
+        );
+        assert!(t.threads >= 1 && t.threads <= 4);
+        assert!(t.wall > std::time::Duration::ZERO);
+
+        // Telemetry agrees with a sequential full-collection run.
+        let (_, seq) = crate::engine::run_scan_telemetered(
+            imp,
+            &preds,
+            OutputMode::Count,
+            TelemetryLevel::Full,
+        )
+        .unwrap();
+        assert_eq!(t.pred_survivors, seq.pred_survivors);
+
+        // Disabled telemetry changes nothing about the scan result.
+        let (off_out, off_t) = run_scan_parallel_telemetered(
+            imp,
+            &preds,
+            OutputMode::Count,
+            4,
+            morsel_rows,
+            TelemetryLevel::Off,
+        )
+        .unwrap();
+        assert_eq!(off_out.count(), out.count());
+        assert!(!off_t.enabled);
+    }
+
+    #[test]
+    fn worker_panic_becomes_engine_error() {
+        // Ragged chain: morsel slicing panics for predicates whose column
+        // is shorter than the driver's. The old stitcher tore down the
+        // process here; now it must surface an EngineError.
+        let a: Vec<u32> = (0..10_000).map(|i| i % 5).collect();
+        let b: Vec<u32> = (0..100).collect();
+        let preds = [TypedPred::eq(&a[..], 1u32), TypedPred::eq(&b[..], 1u32)];
+        let err = run_scan_parallel(
+            crate::engine::best_fused_impl::<u32>(),
+            &preds,
+            OutputMode::Count,
+            4,
+            1000,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, EngineError::WorkerPanicked { .. }),
+            "expected WorkerPanicked, got {err:?}"
+        );
     }
 }

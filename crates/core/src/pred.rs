@@ -21,7 +21,11 @@ impl<'a, T: NativeType> TypedPred<'a, T> {
 
     /// Equality predicate (the paper's running example).
     pub fn eq(data: &'a [T], needle: T) -> Self {
-        TypedPred { data, op: CmpOp::Eq, needle }
+        TypedPred {
+            data,
+            op: CmpOp::Eq,
+            needle,
+        }
     }
 
     /// Evaluate this predicate for one row.

@@ -87,8 +87,16 @@ mod tests {
         let a = Column::from_vec(vec![1u32, 5, 5, 5]);
         let b = Column::from_vec(vec![-1i64, 3, -1, 3]);
         let preds = [
-            ColumnPred { column: &a, op: CmpOp::Eq, needle: Value::U32(5) },
-            ColumnPred { column: &b, op: CmpOp::Gt, needle: Value::I64(0) },
+            ColumnPred {
+                column: &a,
+                op: CmpOp::Eq,
+                needle: Value::U32(5),
+            },
+            ColumnPred {
+                column: &b,
+                op: CmpOp::Gt,
+                needle: Value::I64(0),
+            },
         ];
         let out = scan_columns(&preds).unwrap();
         assert_eq!(out.positions().unwrap().as_slice(), &[1, 3]);
@@ -97,7 +105,11 @@ mod tests {
     #[test]
     fn dynamic_chain_type_mismatch_is_none() {
         let a = Column::from_vec(vec![1u32]);
-        let preds = [ColumnPred { column: &a, op: CmpOp::Eq, needle: Value::I32(1) }];
+        let preds = [ColumnPred {
+            column: &a,
+            op: CmpOp::Eq,
+            needle: Value::I32(1),
+        }];
         assert!(scan_columns(&preds).is_none());
     }
 

@@ -38,7 +38,9 @@ pub fn branching_count<T: NativeType>(preds: &[TypedPred<'_, T>]) -> u64 {
 
 /// Naïve short-circuit scan, position-list form.
 pub fn branching_positions<T: NativeType>(preds: &[TypedPred<'_, T>]) -> PosList {
-    let Some(first) = preds.first() else { return PosList::new() };
+    let Some(first) = preds.first() else {
+        return PosList::new();
+    };
     let rows = first.data.len();
     let mut out = PosList::new();
     for row in 0..rows {
@@ -94,7 +96,9 @@ pub fn branchfree_count<T: NativeType>(preds: &[TypedPred<'_, T>]) -> u64 {
 /// Branch-free position-list scan: unconditionally writes the row id and
 /// bumps the output cursor by the match bit.
 pub fn branchfree_positions<T: NativeType>(preds: &[TypedPred<'_, T>]) -> PosList {
-    let Some(first) = preds.first() else { return PosList::new() };
+    let Some(first) = preds.first() else {
+        return PosList::new();
+    };
     let rows = first.data.len();
     for p in preds {
         assert_eq!(p.data.len(), rows, "chain columns must have equal length");
@@ -129,8 +133,10 @@ mod tests {
     fn all_variants_agree_with_reference() {
         let (a, b) = chain_data();
         for op in CmpOp::ALL {
-            let preds =
-                [TypedPred::new(&a[..], op, 5u32), TypedPred::new(&b[..], CmpOp::Eq, 2u32)];
+            let preds = [
+                TypedPred::new(&a[..], op, 5u32),
+                TypedPred::new(&b[..], CmpOp::Eq, 2u32),
+            ];
             let expected = reference::scan_positions(&preds);
             assert_eq!(branching_count(&preds), expected.len() as u64, "{op}");
             assert_eq!(branching_positions(&preds), expected, "{op}");
@@ -141,9 +147,9 @@ mod tests {
 
     #[test]
     fn chain_lengths_one_to_five() {
-        let cols: Vec<Vec<u32>> = (0..5u32).map(|c| {
-            (0..500u32).map(|i| (i.wrapping_mul(c + 3)) % 4).collect()
-        }).collect();
+        let cols: Vec<Vec<u32>> = (0..5u32)
+            .map(|c| (0..500u32).map(|i| (i.wrapping_mul(c + 3)) % 4).collect())
+            .collect();
         for p in 1..=5 {
             let preds: Vec<TypedPred<'_, u32>> =
                 cols[..p].iter().map(|c| TypedPred::eq(&c[..], 1)).collect();

@@ -40,6 +40,33 @@ pub struct StrideMetrics {
     pub bytes_touched: u64,
 }
 
+/// Measured peak sequential read bandwidth of this machine in GB/s.
+///
+/// Streams a 32 MiB buffer (larger than typical LLC slices) three times
+/// and keeps the best run; the result is cached, so only the first call
+/// pays the ~milliseconds of probing. [`crate::telemetry`] verdicts
+/// compare a scan's achieved GB/s against this.
+pub fn peak_bandwidth_gbps() -> f64 {
+    static PEAK: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *PEAK.get_or_init(|| {
+        let data: Vec<u32> = (0..(1u32 << 23)).collect();
+        let bytes = std::mem::size_of_val(data.as_slice()) as f64;
+        let mut best = 0.0f64;
+        for _ in 0..3 {
+            let started = std::time::Instant::now();
+            // Wide unsigned sum — auto-vectorizes to full-width loads, so
+            // the loop is load-bound, which is the point.
+            let mut acc = 0u32;
+            for &v in &data {
+                acc = acc.wrapping_add(v);
+            }
+            std::hint::black_box(acc);
+            best = best.max(bytes / started.elapsed().as_secs_f64() / 1e9);
+        }
+        best
+    })
+}
+
 /// Compute the workload metrics for `rows` 4-byte values at `stride`.
 pub fn stride_metrics(rows: usize, stride: usize) -> StrideMetrics {
     assert!(stride >= 1);

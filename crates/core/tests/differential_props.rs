@@ -45,11 +45,19 @@ fn check_all<T: ScanElem + NativeType>(
         .map(|((c, &op), &n)| TypedPred::new(&c[..], op, n))
         .collect();
     let expected = reference::scan_positions(&preds);
-    prop_assert!(expected.is_valid(), "reference emits ascending unique positions");
+    prop_assert!(
+        expected.is_valid(),
+        "reference emits ascending unique positions"
+    );
 
     for &imp in impls {
         let got = run_scan(imp, &preds, OutputMode::Positions).unwrap();
-        prop_assert_eq!(got.positions().unwrap(), &expected, "{} positions", imp.name());
+        prop_assert_eq!(
+            got.positions().unwrap(),
+            &expected,
+            "{} positions",
+            imp.name()
+        );
         let got = run_scan(imp, &preds, OutputMode::Count).unwrap();
         prop_assert_eq!(got.count(), expected.len() as u64, "{} count", imp.name());
     }
@@ -230,9 +238,16 @@ proptest! {
 #[test]
 fn position_list_is_sorted_unique_and_complete() {
     let rows = 10_000usize;
-    let a: Vec<u32> = (0..rows as u32).map(|i| i.wrapping_mul(2654435761) % 16).collect();
-    let b: Vec<u32> = (0..rows as u32).map(|i| i.wrapping_mul(40503) % 16).collect();
-    let preds = [TypedPred::eq(&a[..], 3u32), TypedPred::new(&b[..], CmpOp::Ge, 8u32)];
+    let a: Vec<u32> = (0..rows as u32)
+        .map(|i| i.wrapping_mul(2654435761) % 16)
+        .collect();
+    let b: Vec<u32> = (0..rows as u32)
+        .map(|i| i.wrapping_mul(40503) % 16)
+        .collect();
+    let preds = [
+        TypedPred::eq(&a[..], 3u32),
+        TypedPred::new(&b[..], CmpOp::Ge, 8u32),
+    ];
     let out = fts_core::run_fused_auto(&preds, OutputMode::Positions);
     let pl = out.positions().unwrap();
     assert!(pl.is_valid());

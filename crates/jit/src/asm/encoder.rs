@@ -128,7 +128,7 @@ impl Asm {
     fn modrm_mem(&mut self, reg3: u8, mem: Mem) {
         let base3 = mem.base.low3();
         let need_sib = mem.index.is_some() || base3 == 4; // rsp/r12 demand SIB
-        // rbp/r13 as base cannot use mod=00.
+                                                          // rbp/r13 as base cannot use mod=00.
         let (modbits, disp): (u8, Option<i32>) = if mem.disp == 0 && base3 != 5 {
             (0b00, None)
         } else if (-128..=127).contains(&mem.disp) {
@@ -375,7 +375,10 @@ impl Asm {
     /// `jmp label` (rel32).
     pub fn jmp(&mut self, label: Label) {
         self.u8(0xE9);
-        self.fixups.push(Fixup { at: self.code.len(), label });
+        self.fixups.push(Fixup {
+            at: self.code.len(),
+            label,
+        });
         self.u32(0);
     }
 
@@ -383,20 +386,28 @@ impl Asm {
     pub fn jcc(&mut self, cond: Cond, label: Label) {
         self.u8(0x0F);
         self.u8(0x80 + cond as u8);
-        self.fixups.push(Fixup { at: self.code.len(), label });
+        self.fixups.push(Fixup {
+            at: self.code.len(),
+            label,
+        });
         self.u32(0);
     }
 
     /// `call label` (rel32, intra-buffer).
     pub fn call(&mut self, label: Label) {
         self.u8(0xE8);
-        self.fixups.push(Fixup { at: self.code.len(), label });
+        self.fixups.push(Fixup {
+            at: self.code.len(),
+            label,
+        });
         self.u32(0);
     }
 
     // --- VEX-encoded opmask instructions ----------------------------------
 
-    /// VEX prefix (2-byte when possible).
+    /// VEX prefix (2-byte when possible). One parameter per prefix field,
+    /// in encoding order.
+    #[allow(clippy::too_many_arguments)]
     fn vex(&mut self, r: u8, x: u8, b: u8, map: Map, w: bool, vvvv: u8, l: u8, pp: Pp) {
         debug_assert!(vvvv < 16);
         if x == 0 && b == 0 && map == Map::M0F && !w {
@@ -456,9 +467,7 @@ impl Asm {
     ) {
         debug_assert!(vvvv < 16 && aaa < 8 && ll < 3);
         self.u8(0x62);
-        self.u8(
-            ((1 - r) << 7) | ((1 - x) << 6) | ((1 - b) << 5) | ((1 - rp) << 4) | map as u8,
-        );
+        self.u8(((1 - r) << 7) | ((1 - x) << 6) | ((1 - b) << 5) | ((1 - rp) << 4) | map as u8);
         self.u8((u8::from(w) << 7) | ((!vvvv & 0xF) << 3) | 0b100 | pp as u8);
         self.u8((u8::from(z) << 7) | (ll << 5) | ((1 - vp) << 3) | aaa);
     }
@@ -705,7 +714,10 @@ impl Asm {
     pub fn vpgatherdd(&mut self, dst: Zmm, base: Gpr, index: Zmm, scale: u8, mask: KReg) {
         assert!(matches!(scale, 1 | 2 | 4 | 8));
         assert!(mask.num() != 0, "gather requires a non-k0 mask");
-        assert!(dst.0 != index.0, "gather destination must differ from index");
+        assert!(
+            dst.0 != index.0,
+            "gather destination must differ from index"
+        );
         self.evex512(
             dst.ext3(),
             index.ext3(),
@@ -762,8 +774,17 @@ impl Asm {
     /// 32 bits (`_mm512_shrdv_epi32(a, b, count)`; `a` is the destination).
     pub fn vpshrdvd(&mut self, dst_a: Zmm, b: Zmm, count: Zmm) {
         self.evex512(
-            dst_a.ext3(), count.ext4(), count.ext3(), dst_a.ext4(), Map::M0F38, false,
-            b.0 & 0xF, b.ext4(), Pp::P66, 0, false,
+            dst_a.ext3(),
+            count.ext4(),
+            count.ext3(),
+            dst_a.ext4(),
+            Map::M0F38,
+            false,
+            b.0 & 0xF,
+            b.ext4(),
+            Pp::P66,
+            0,
+            false,
         );
         self.u8(0x73);
         self.modrm_reg(dst_a.low3(), count.low3());
@@ -772,8 +793,17 @@ impl Asm {
     /// `vpermd zmm, zmm_idx, zmm_src` (`_mm512_permutexvar_epi32(idx, src)`).
     pub fn vpermd(&mut self, dst: Zmm, idx: Zmm, src: Zmm) {
         self.evex512(
-            dst.ext3(), src.ext4(), src.ext3(), dst.ext4(), Map::M0F38, false,
-            idx.0 & 0xF, idx.ext4(), Pp::P66, 0, false,
+            dst.ext3(),
+            src.ext4(),
+            src.ext3(),
+            dst.ext4(),
+            Map::M0F38,
+            false,
+            idx.0 & 0xF,
+            idx.ext4(),
+            Pp::P66,
+            0,
+            false,
         );
         self.u8(0x36);
         self.modrm_reg(dst.low3(), src.low3());
@@ -782,8 +812,17 @@ impl Asm {
     /// `vpmulld zmm, zmm, zmm` (low 32-bit product per lane).
     pub fn vpmulld(&mut self, dst: Zmm, a: Zmm, b: Zmm) {
         self.evex512(
-            dst.ext3(), b.ext4(), b.ext3(), dst.ext4(), Map::M0F38, false,
-            a.0 & 0xF, a.ext4(), Pp::P66, 0, false,
+            dst.ext3(),
+            b.ext4(),
+            b.ext3(),
+            dst.ext4(),
+            Map::M0F38,
+            false,
+            a.0 & 0xF,
+            a.ext4(),
+            Pp::P66,
+            0,
+            false,
         );
         self.u8(0x40);
         self.modrm_reg(dst.low3(), b.low3());
@@ -792,7 +831,17 @@ impl Asm {
     /// `vpsrld zmm, zmm, imm8` (logical right shift; destination in vvvv).
     pub fn vpsrld_imm(&mut self, dst: Zmm, src: Zmm, imm: u8) {
         self.evex512(
-            0, src.ext4(), src.ext3(), 0, Map::M0F, false, dst.0 & 0xF, dst.ext4(), Pp::P66, 0, false,
+            0,
+            src.ext4(),
+            src.ext3(),
+            0,
+            Map::M0F,
+            false,
+            dst.0 & 0xF,
+            dst.ext4(),
+            Pp::P66,
+            0,
+            false,
         );
         self.u8(0x72);
         self.modrm_reg(2, src.low3());
@@ -802,8 +851,17 @@ impl Asm {
     /// `vpandd zmm, zmm, zmm`.
     pub fn vpandd(&mut self, dst: Zmm, a: Zmm, b: Zmm) {
         self.evex512(
-            dst.ext3(), b.ext4(), b.ext3(), dst.ext4(), Map::M0F, false, a.0 & 0xF, a.ext4(),
-            Pp::P66, 0, false,
+            dst.ext3(),
+            b.ext4(),
+            b.ext3(),
+            dst.ext4(),
+            Map::M0F,
+            false,
+            a.0 & 0xF,
+            a.ext4(),
+            Pp::P66,
+            0,
+            false,
         );
         self.u8(0xDB);
         self.modrm_reg(dst.low3(), b.low3());
@@ -855,8 +913,17 @@ impl Asm {
     /// `vpcmpuq k {mask}, zmm, zmm, imm` — unsigned qword compare.
     pub fn vpcmpuq(&mut self, dst: KReg, a: Zmm, b: Zmm, pred: u8, mask: Option<KReg>) {
         self.evex512(
-            0, b.ext4(), b.ext3(), 0, Map::M0F3A, true, a.0 & 0xF, a.ext4(), Pp::P66,
-            mask.map_or(0, KReg::num), false,
+            0,
+            b.ext4(),
+            b.ext3(),
+            0,
+            Map::M0F3A,
+            true,
+            a.0 & 0xF,
+            a.ext4(),
+            Pp::P66,
+            mask.map_or(0, KReg::num),
+            false,
         );
         self.u8(0x1E);
         self.modrm_reg(dst.num(), b.low3());
@@ -866,8 +933,17 @@ impl Asm {
     /// `vpcmpq k {mask}, zmm, zmm, imm` — signed qword compare.
     pub fn vpcmpq(&mut self, dst: KReg, a: Zmm, b: Zmm, pred: u8, mask: Option<KReg>) {
         self.evex512(
-            0, b.ext4(), b.ext3(), 0, Map::M0F3A, true, a.0 & 0xF, a.ext4(), Pp::P66,
-            mask.map_or(0, KReg::num), false,
+            0,
+            b.ext4(),
+            b.ext3(),
+            0,
+            Map::M0F3A,
+            true,
+            a.0 & 0xF,
+            a.ext4(),
+            Pp::P66,
+            mask.map_or(0, KReg::num),
+            false,
         );
         self.u8(0x1F);
         self.modrm_reg(dst.num(), b.low3());
@@ -877,8 +953,17 @@ impl Asm {
     /// `vcmppd k {mask}, zmm, zmm, imm` — packed double compare.
     pub fn vcmppd(&mut self, dst: KReg, a: Zmm, b: Zmm, pred: u8, mask: Option<KReg>) {
         self.evex512(
-            0, b.ext4(), b.ext3(), 0, Map::M0F, true, a.0 & 0xF, a.ext4(), Pp::P66,
-            mask.map_or(0, KReg::num), false,
+            0,
+            b.ext4(),
+            b.ext3(),
+            0,
+            Map::M0F,
+            true,
+            a.0 & 0xF,
+            a.ext4(),
+            Pp::P66,
+            mask.map_or(0, KReg::num),
+            false,
         );
         self.u8(0xC2);
         self.modrm_reg(dst.num(), b.low3());
@@ -889,8 +974,18 @@ impl Asm {
     pub fn vmovdqu32_load_y(&mut self, dst: Zmm, mem: Mem, mask: Option<KReg>, zero: bool) {
         let x = mem.index.map_or(0, |(i, _)| i.ext());
         self.evex(
-            0b01, dst.ext3(), x, mem.base.ext(), dst.ext4(), Map::M0F, false, 0, 0,
-            Pp::PF3, mask.map_or(0, KReg::num), zero,
+            0b01,
+            dst.ext3(),
+            x,
+            mem.base.ext(),
+            dst.ext4(),
+            Map::M0F,
+            false,
+            0,
+            0,
+            Pp::PF3,
+            mask.map_or(0, KReg::num),
+            zero,
         );
         self.u8(0x6F);
         self.modrm_mem_evex(dst.low3(), mem);
@@ -900,8 +995,18 @@ impl Asm {
     pub fn vmovdqu32_store_y(&mut self, mem: Mem, src: Zmm, mask: Option<KReg>) {
         let x = mem.index.map_or(0, |(i, _)| i.ext());
         self.evex(
-            0b01, src.ext3(), x, mem.base.ext(), src.ext4(), Map::M0F, false, 0, 0,
-            Pp::PF3, mask.map_or(0, KReg::num), false,
+            0b01,
+            src.ext3(),
+            x,
+            mem.base.ext(),
+            src.ext4(),
+            Map::M0F,
+            false,
+            0,
+            0,
+            Pp::PF3,
+            mask.map_or(0, KReg::num),
+            false,
         );
         self.u8(0x7F);
         self.modrm_mem_evex(src.low3(), mem);
@@ -910,7 +1015,17 @@ impl Asm {
     /// `vmovdqa32 ymm, ymm`.
     pub fn vmovdqa32_rr_y(&mut self, dst: Zmm, src: Zmm) {
         self.evex(
-            0b01, dst.ext3(), src.ext4(), src.ext3(), dst.ext4(), Map::M0F, false, 0, 0, Pp::P66, 0,
+            0b01,
+            dst.ext3(),
+            src.ext4(),
+            src.ext3(),
+            dst.ext4(),
+            Map::M0F,
+            false,
+            0,
+            0,
+            Pp::P66,
+            0,
             false,
         );
         self.u8(0x6F);
@@ -920,8 +1035,18 @@ impl Asm {
     /// `vpxord ymm, ymm, ymm`.
     pub fn vpxord_y(&mut self, dst: Zmm, a: Zmm, b: Zmm) {
         self.evex(
-            0b01, dst.ext3(), b.ext4(), b.ext3(), dst.ext4(), Map::M0F, false, a.0 & 0xF, a.ext4(),
-            Pp::P66, 0, false,
+            0b01,
+            dst.ext3(),
+            b.ext4(),
+            b.ext3(),
+            dst.ext4(),
+            Map::M0F,
+            false,
+            a.0 & 0xF,
+            a.ext4(),
+            Pp::P66,
+            0,
+            false,
         );
         self.u8(0xEF);
         self.modrm_reg(dst.low3(), b.low3());
@@ -930,8 +1055,18 @@ impl Asm {
     /// `vpaddd ymm, ymm, ymm`.
     pub fn vpaddd_y(&mut self, dst: Zmm, a: Zmm, b: Zmm) {
         self.evex(
-            0b01, dst.ext3(), b.ext4(), b.ext3(), dst.ext4(), Map::M0F, false, a.0 & 0xF, a.ext4(),
-            Pp::P66, 0, false,
+            0b01,
+            dst.ext3(),
+            b.ext4(),
+            b.ext3(),
+            dst.ext4(),
+            Map::M0F,
+            false,
+            a.0 & 0xF,
+            a.ext4(),
+            Pp::P66,
+            0,
+            false,
         );
         self.u8(0xFE);
         self.modrm_reg(dst.low3(), b.low3());
@@ -940,7 +1075,17 @@ impl Asm {
     /// `vpbroadcastd ymm, r32`.
     pub fn vpbroadcastd_r32_y(&mut self, dst: Zmm, src: Gpr) {
         self.evex(
-            0b01, dst.ext3(), 0, src.ext(), dst.ext4(), Map::M0F38, false, 0, 0, Pp::P66, 0,
+            0b01,
+            dst.ext3(),
+            0,
+            src.ext(),
+            dst.ext4(),
+            Map::M0F38,
+            false,
+            0,
+            0,
+            Pp::P66,
+            0,
             false,
         );
         self.u8(0x7C);
@@ -950,8 +1095,18 @@ impl Asm {
     /// `vpcompressd ymm {k}{z}, ymm` (destination in ModRM.rm).
     pub fn vpcompressd_y(&mut self, dst: Zmm, src: Zmm, mask: KReg, zero: bool) {
         self.evex(
-            0b01, src.ext3(), dst.ext4(), dst.ext3(), src.ext4(), Map::M0F38, false, 0, 0, Pp::P66,
-            mask.num(), zero,
+            0b01,
+            src.ext3(),
+            dst.ext4(),
+            dst.ext3(),
+            src.ext4(),
+            Map::M0F38,
+            false,
+            0,
+            0,
+            Pp::P66,
+            mask.num(),
+            zero,
         );
         self.u8(0x8B);
         self.modrm_reg(src.low3(), dst.low3());
@@ -960,8 +1115,18 @@ impl Asm {
     /// `vpermt2d ymm, ymm, ymm`.
     pub fn vpermt2d_y(&mut self, dst: Zmm, idx: Zmm, table2: Zmm) {
         self.evex(
-            0b01, dst.ext3(), table2.ext4(), table2.ext3(), dst.ext4(), Map::M0F38, false, idx.0 & 0xF,
-            idx.ext4(), Pp::P66, 0, false,
+            0b01,
+            dst.ext3(),
+            table2.ext4(),
+            table2.ext3(),
+            dst.ext4(),
+            Map::M0F38,
+            false,
+            idx.0 & 0xF,
+            idx.ext4(),
+            Pp::P66,
+            0,
+            false,
         );
         self.u8(0x7E);
         self.modrm_reg(dst.low3(), table2.low3());

@@ -94,19 +94,31 @@ pub struct Mem {
 impl Mem {
     /// `[base]`.
     pub fn base(base: Gpr) -> Mem {
-        Mem { base, index: None, disp: 0 }
+        Mem {
+            base,
+            index: None,
+            disp: 0,
+        }
     }
 
     /// `[base + disp]`.
     pub fn base_disp(base: Gpr, disp: i32) -> Mem {
-        Mem { base, index: None, disp }
+        Mem {
+            base,
+            index: None,
+            disp,
+        }
     }
 
     /// `[base + index * scale]` with `scale ∈ {1, 2, 4, 8}`.
     pub fn base_index_scale(base: Gpr, index: Gpr, scale: u8) -> Mem {
         assert!(matches!(scale, 1 | 2 | 4 | 8), "scale must be 1/2/4/8");
         assert!(index != Gpr::Rsp, "rsp cannot be an index register");
-        Mem { base, index: Some((index, scale.trailing_zeros() as u8)), disp: 0 }
+        Mem {
+            base,
+            index: Some((index, scale.trailing_zeros() as u8)),
+            disp: 0,
+        }
     }
 }
 
@@ -190,7 +202,16 @@ mod tests {
 
     #[test]
     fn cond_negation_is_involution() {
-        for c in [Cond::B, Cond::Ae, Cond::E, Cond::Ne, Cond::Le, Cond::G, Cond::L, Cond::Ge] {
+        for c in [
+            Cond::B,
+            Cond::Ae,
+            Cond::E,
+            Cond::Ne,
+            Cond::Le,
+            Cond::G,
+            Cond::L,
+            Cond::Ge,
+        ] {
             assert_eq!(c.negate().negate(), c);
         }
     }

@@ -5,61 +5,143 @@
 //! bottleneck."* The cache maps a [`ScanSig`] to its [`CompiledKernel`]
 //! and tracks hit/miss statistics plus the total time spent compiling, so
 //! the `ablation_jit` benchmark can report exactly that amortization.
+//!
+//! Concurrency: compilation happens outside the lock, so two threads may
+//! race to compile the same signature. The first insert wins; the loser
+//! adopts the winner's kernel and is charged a *hit* — its wasted compile
+//! work is not a cache miss and must not inflate `misses`/`compile_time`
+//! (each signature contributes at most one miss).
+//!
+//! Capacity: the cache holds at most [`KernelCache::capacity`] kernels;
+//! inserting past the bound evicts the least-recently-used entry (mapped
+//! code pages are freed when the last `Arc` drops, so in-flight scans
+//! keep working).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
-
-use parking_lot::Mutex;
 
 use crate::ir::{JitError, ScanSig};
 use crate::kernel::{CompiledKernel, JitBackend};
 
+/// Default capacity: generous for any realistic query mix, small enough
+/// to bound executable memory.
+pub const DEFAULT_CACHE_CAPACITY: usize = 128;
+
 /// Cache statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
+    /// Lookups served from the cache (including compile races lost to
+    /// another thread — the signature was cached by the time we looked
+    /// again).
     pub hits: u64,
-    /// Lookups that had to compile.
+    /// Lookups whose compile result entered the cache.
     pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
     /// Total code-generation + mapping time across all misses.
     pub compile_time: Duration,
+}
+
+struct Entry {
+    kernel: Arc<CompiledKernel>,
+    /// Logical timestamp of the last lookup, for LRU eviction.
+    last_used: u64,
+}
+
+/// Everything under one lock: the map, the LRU clock and the statistics.
+/// A single mutex makes hit/miss accounting atomic with the map lookup —
+/// the split-lock design double-counted racing compiles.
+struct State {
+    map: HashMap<ScanSig, Entry>,
+    tick: u64,
+    stats: CacheStats,
 }
 
 /// A signature-keyed cache of compiled kernels for one backend.
 pub struct KernelCache {
     backend: JitBackend,
-    map: Mutex<HashMap<ScanSig, Arc<CompiledKernel>>>,
-    stats: Mutex<CacheStats>,
+    capacity: usize,
+    state: Mutex<State>,
 }
 
 impl KernelCache {
-    /// Empty cache for the given backend.
+    /// Empty cache for the given backend with [`DEFAULT_CACHE_CAPACITY`].
     pub fn new(backend: JitBackend) -> KernelCache {
-        KernelCache { backend, map: Mutex::new(HashMap::new()), stats: Mutex::new(CacheStats::default()) }
+        KernelCache::with_capacity(backend, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Empty cache holding at most `capacity` kernels (min 1).
+    pub fn with_capacity(backend: JitBackend, capacity: usize) -> KernelCache {
+        KernelCache {
+            backend,
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                map: HashMap::new(),
+                tick: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A panic while holding the lock leaves plain counters, not an
+        // invariant violation — keep serving.
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Fetch the kernel for `sig`, compiling it on first use.
     pub fn get_or_compile(&self, sig: &ScanSig) -> Result<Arc<CompiledKernel>, JitError> {
-        if let Some(k) = self.map.lock().get(sig) {
-            self.stats.lock().hits += 1;
-            return Ok(Arc::clone(k));
+        {
+            let mut guard = self.lock();
+            let State { map, tick, stats } = &mut *guard;
+            *tick += 1;
+            if let Some(entry) = map.get_mut(sig) {
+                entry.last_used = *tick;
+                stats.hits += 1;
+                return Ok(Arc::clone(&entry.kernel));
+            }
         }
-        // Compile outside the map lock; a racing thread may compile the
-        // same signature — the first insert wins, both results are valid.
+        // Compile outside the lock; a racing thread may compile the same
+        // signature — the first insert wins, both results are valid.
         let kernel = Arc::new(CompiledKernel::compile(sig.clone(), self.backend)?);
-        let mut stats = self.stats.lock();
+        let mut guard = self.lock();
+        let State { map, tick, stats } = &mut *guard;
+        *tick += 1;
+        if let Some(entry) = map.get_mut(sig) {
+            // Lost the race: the signature is already cached, so this
+            // lookup is a hit; drop our duplicate kernel uncounted.
+            entry.last_used = *tick;
+            stats.hits += 1;
+            return Ok(Arc::clone(&entry.kernel));
+        }
         stats.misses += 1;
         stats.compile_time += kernel.compile_time();
-        drop(stats);
-        let mut map = self.map.lock();
-        let entry = map.entry(sig.clone()).or_insert(kernel);
-        Ok(Arc::clone(entry))
+        if map.len() >= self.capacity {
+            if let Some(lru) = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(sig, _)| sig.clone())
+            {
+                map.remove(&lru);
+                stats.evictions += 1;
+            }
+        }
+        map.insert(
+            sig.clone(),
+            Entry {
+                kernel: Arc::clone(&kernel),
+                last_used: *tick,
+            },
+        );
+        Ok(kernel)
     }
 
     /// Number of cached kernels.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.lock().map.len()
     }
 
     /// Whether the cache is empty.
@@ -67,9 +149,14 @@ impl KernelCache {
         self.len() == 0
     }
 
+    /// Maximum number of kernels kept.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> CacheStats {
-        *self.stats.lock()
+        self.lock().stats
     }
 
     /// The backend this cache compiles with.
@@ -83,11 +170,13 @@ impl std::fmt::Debug for KernelCache {
         let s = self.stats();
         write!(
             f,
-            "KernelCache({:?}, {} kernels, {} hits / {} misses, {:?} compiling)",
+            "KernelCache({:?}, {}/{} kernels, {} hits / {} misses / {} evictions, {:?} compiling)",
             self.backend,
             self.len(),
+            self.capacity,
             s.hits,
             s.misses,
+            s.evictions,
             s.compile_time
         )
     }
@@ -107,13 +196,17 @@ mod tests {
         let k1a = cache.get_or_compile(&s1).unwrap();
         let k1b = cache.get_or_compile(&s1).unwrap();
         let k2 = cache.get_or_compile(&s2).unwrap();
-        assert!(Arc::ptr_eq(&k1a, &k1b), "same signature must reuse the kernel");
+        assert!(
+            Arc::ptr_eq(&k1a, &k1b),
+            "same signature must reuse the kernel"
+        );
         assert!(!Arc::ptr_eq(&k1a, &k2));
         assert_eq!(cache.len(), 2);
 
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 0);
         assert!(stats.compile_time > Duration::ZERO);
     }
 
@@ -149,7 +242,81 @@ mod tests {
         }
         assert_eq!(cache.len(), 1);
         let s = cache.stats();
+        // One signature ⇒ exactly one miss, no matter how the threads
+        // raced; every other lookup is a hit (racing losers included).
+        assert_eq!(s.misses, 1);
         assert_eq!(s.hits + s.misses, 8);
+    }
+
+    #[test]
+    fn racing_compiles_charge_one_miss() {
+        // Force the race deterministically: many threads, a barrier so
+        // they all pass the initial not-found check before any insert.
+        let cache = Arc::new(KernelCache::new(JitBackend::Scalar));
+        let sig = ScanSig::u32_chain(&[(CmpOp::Le, 7)], false);
+        let barrier = Arc::new(std::sync::Barrier::new(6));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let sig = sig.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_compile(&sig).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "racing losers must not double-count misses");
+        assert_eq!(s.hits, 5);
+        // compile_time reflects the single charged compile, not the sum
+        // of all racers' wasted work.
+        let single = cache.get_or_compile(&sig).unwrap().compile_time();
+        assert!(
+            s.compile_time <= single * 3,
+            "{:?} vs {:?}",
+            s.compile_time,
+            single
+        );
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru() {
+        let cache = KernelCache::with_capacity(JitBackend::Scalar, 2);
+        let sigs: Vec<ScanSig> = (0..4)
+            .map(|i| ScanSig::u32_chain(&[(CmpOp::Eq, i)], false))
+            .collect();
+        cache.get_or_compile(&sigs[0]).unwrap();
+        cache.get_or_compile(&sigs[1]).unwrap();
+        // Touch 0 so 1 is the LRU when 2 arrives.
+        cache.get_or_compile(&sigs[0]).unwrap();
+        cache.get_or_compile(&sigs[2]).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // 0 survived (recently used), 1 was evicted and recompiles.
+        let before = cache.stats().misses;
+        cache.get_or_compile(&sigs[0]).unwrap();
+        assert_eq!(cache.stats().misses, before);
+        cache.get_or_compile(&sigs[1]).unwrap();
+        assert_eq!(cache.stats().misses, before + 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.len() <= cache.capacity());
+    }
+
+    #[test]
+    fn evicted_kernel_keeps_running() {
+        let cache = KernelCache::with_capacity(JitBackend::Scalar, 1);
+        let s1 = ScanSig::u32_chain(&[(CmpOp::Eq, 1)], false);
+        let s2 = ScanSig::u32_chain(&[(CmpOp::Eq, 2)], false);
+        let k1 = cache.get_or_compile(&s1).unwrap();
+        cache.get_or_compile(&s2).unwrap();
+        assert_eq!(cache.len(), 1);
+        // k1's Arc keeps its code pages mapped after eviction.
+        let a = [1u32, 2, 1];
+        assert_eq!(k1.run(&[&a[..]]).unwrap().count(), 2);
     }
 
     #[test]

@@ -96,7 +96,15 @@ fn cmp_imm(elem: JitElem, op: CmpOp) -> u8 {
     }
 }
 
-fn emit_cmp(a: &mut Asm, elem: JitElem, dst: KReg, vals: Zmm, needle: Zmm, op: CmpOp, mask: Option<KReg>) {
+fn emit_cmp(
+    a: &mut Asm,
+    elem: JitElem,
+    dst: KReg,
+    vals: Zmm,
+    needle: Zmm,
+    op: CmpOp,
+    mask: Option<KReg>,
+) {
     let imm = cmp_imm(elem, op);
     match elem {
         JitElem::U32 => a.vpcmpud(dst, vals, needle, imm, mask),
@@ -142,7 +150,12 @@ fn emit_push(a: &mut Asm, s: usize, flush: &[Label]) {
     // Append: ctl = MERGE16[count]; plist = vpermt2d(plist, ctl, fresh).
     a.mov_r64_r64(Gpr::R9, Gpr::Rsi);
     a.shl_r64_imm8(Gpr::R9, 6);
-    a.vmovdqu32_load(Zmm(13), Mem::base_index_scale(Gpr::R12, Gpr::R9, 1), None, false);
+    a.vmovdqu32_load(
+        Zmm(13),
+        Mem::base_index_scale(Gpr::R12, Gpr::R9, 1),
+        None,
+        false,
+    );
     a.vpermt2d(plist_reg(s), Zmm(13), Zmm(7));
     a.add_r64_r64(Gpr::Rsi, Gpr::Rax);
     a.mov_mem_r64(Mem::base_disp(Gpr::Rbp, count_off(s)), Gpr::Rsi);
@@ -178,7 +191,15 @@ fn emit_flush_body(a: &mut Asm, s: usize, sig: &ScanSig, flush: &[Label]) {
     a.vpgatherdd(Zmm(0), Gpr::R10, plist_reg(s), 4, KReg(2));
     a.kmovw_k_r32(KReg(2), Gpr::Rax);
     // Masked compare against the embedded needle.
-    emit_cmp(a, sig.elem, KReg(2), Zmm(0), needle_reg(s), sig.preds[s].op, Some(KReg(2)));
+    emit_cmp(
+        a,
+        sig.elem,
+        KReg(2),
+        Zmm(0),
+        needle_reg(s),
+        sig.preds[s].op,
+        Some(KReg(2)),
+    );
     a.kortestw(KReg(2), KReg(2));
     a.jcc(Cond::E, done);
     a.kmovw_r32_k(Gpr::Rax, KReg(2));
@@ -246,8 +267,21 @@ pub fn compile_avx512(sig: &ScanSig) -> Result<Vec<u8>, JitError> {
     a.bind(top);
     a.cmp_r64_r64(Gpr::Rdx, Gpr::Rcx);
     a.jcc(Cond::Ae, loop_end);
-    a.vmovdqu32_load(Zmm(0), Mem::base_index_scale(Gpr::R8, Gpr::Rdx, 4), None, false);
-    emit_cmp(&mut a, sig.elem, KReg(1), Zmm(0), needle_reg(0), sig.preds[0].op, None);
+    a.vmovdqu32_load(
+        Zmm(0),
+        Mem::base_index_scale(Gpr::R8, Gpr::Rdx, 4),
+        None,
+        false,
+    );
+    emit_cmp(
+        &mut a,
+        sig.elem,
+        KReg(1),
+        Zmm(0),
+        needle_reg(0),
+        sig.preds[0].op,
+        None,
+    );
     a.kortestw(KReg(1), KReg(1));
     a.jcc(Cond::E, next_block);
     a.kmovw_r32_k(Gpr::Rax, KReg(1));
@@ -267,8 +301,8 @@ pub fn compile_avx512(sig: &ScanSig) -> Result<Vec<u8>, JitError> {
 
     // Drain stages ascending, return the total.
     a.bind(loop_end);
-    for s in 1..p {
-        a.call(flush[s]);
+    for &stage in &flush[1..p] {
+        a.call(stage);
     }
     a.mov_r64_r64(Gpr::Rax, Gpr::R11);
     a.add_r64_imm32(Gpr::Rsp, FRAME);
@@ -291,7 +325,15 @@ static MASK_LUT8: [u16; 9] = [0, 1, 3, 7, 15, 31, 63, 127, 255];
 /// Block-offset base vector for 8-lane blocks.
 static IOTA8: [u32; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
 
-fn emit_cmp64(a: &mut Asm, elem: JitElem, dst: KReg, vals: Zmm, needle: Zmm, op: CmpOp, mask: Option<KReg>) {
+fn emit_cmp64(
+    a: &mut Asm,
+    elem: JitElem,
+    dst: KReg,
+    vals: Zmm,
+    needle: Zmm,
+    op: CmpOp,
+    mask: Option<KReg>,
+) {
     let imm = cmp_imm(elem, op);
     match elem {
         JitElem::U64 => a.vpcmpuq(dst, vals, needle, imm, mask),
@@ -334,7 +376,12 @@ fn emit_push64(a: &mut Asm, s: usize, flush: &[Label]) {
     // ctl = MERGE8[count] (32 bytes per entry); merge behind the list.
     a.mov_r64_r64(Gpr::R9, Gpr::Rsi);
     a.shl_r64_imm8(Gpr::R9, 5);
-    a.vmovdqu32_load_y(Zmm(13), Mem::base_index_scale(Gpr::R12, Gpr::R9, 1), None, false);
+    a.vmovdqu32_load_y(
+        Zmm(13),
+        Mem::base_index_scale(Gpr::R12, Gpr::R9, 1),
+        None,
+        false,
+    );
     a.vpermt2d_y(plist_reg(s), Zmm(13), Zmm(7));
     a.add_r64_r64(Gpr::Rsi, Gpr::Rax);
     a.mov_mem_r64(Mem::base_disp(Gpr::Rbp, count_off(s)), Gpr::Rsi);
@@ -363,7 +410,15 @@ fn emit_flush_body64(a: &mut Asm, s: usize, sig: &ScanSig, flush: &[Label]) {
     a.vpxord(Zmm(0), Zmm(0), Zmm(0));
     a.vpgatherdq(Zmm(0), Gpr::R10, plist_reg(s), 8, KReg(2));
     a.kmovw_k_r32(KReg(2), Gpr::Rax);
-    emit_cmp64(a, sig.elem, KReg(2), Zmm(0), needle_reg(s), sig.preds[s].op, Some(KReg(2)));
+    emit_cmp64(
+        a,
+        sig.elem,
+        KReg(2),
+        Zmm(0),
+        needle_reg(s),
+        sig.preds[s].op,
+        Some(KReg(2)),
+    );
     a.kortestw(KReg(2), KReg(2));
     a.jcc(Cond::E, done);
     a.kmovw_r32_k(Gpr::Rax, KReg(2));
@@ -423,8 +478,21 @@ fn compile_avx512_w64(sig: &ScanSig) -> Result<Vec<u8>, JitError> {
     a.bind(top);
     a.cmp_r64_r64(Gpr::Rdx, Gpr::Rcx);
     a.jcc(Cond::Ae, loop_end);
-    a.vmovdqu64_load(Zmm(0), Mem::base_index_scale(Gpr::R8, Gpr::Rdx, 8), None, false);
-    emit_cmp64(&mut a, sig.elem, KReg(1), Zmm(0), needle_reg(0), sig.preds[0].op, None);
+    a.vmovdqu64_load(
+        Zmm(0),
+        Mem::base_index_scale(Gpr::R8, Gpr::Rdx, 8),
+        None,
+        false,
+    );
+    emit_cmp64(
+        &mut a,
+        sig.elem,
+        KReg(1),
+        Zmm(0),
+        needle_reg(0),
+        sig.preds[0].op,
+        None,
+    );
     a.kortestw(KReg(1), KReg(1));
     a.jcc(Cond::E, next_block);
     a.kmovw_r32_k(Gpr::Rax, KReg(1));
@@ -442,8 +510,8 @@ fn compile_avx512_w64(sig: &ScanSig) -> Result<Vec<u8>, JitError> {
     a.jmp(top);
 
     a.bind(loop_end);
-    for s in 1..p {
-        a.call(flush[s]);
+    for &stage in &flush[1..p] {
+        a.call(stage);
     }
     a.mov_r64_r64(Gpr::Rax, Gpr::R11);
     a.add_r64_imm32(Gpr::Rsp, FRAME);
@@ -485,7 +553,11 @@ mod tests {
         let mut args = KernelArgs {
             cols: [std::ptr::null(); 8],
             rows: rows_full as u64,
-            out: if sig.emit_positions { out.as_mut_ptr() } else { std::ptr::null_mut() },
+            out: if sig.emit_positions {
+                out.as_mut_ptr()
+            } else {
+                std::ptr::null_mut()
+            },
         };
         for (i, c) in cols.iter().enumerate() {
             args.cols[i] = c.as_ptr() as *const u8;
@@ -502,7 +574,10 @@ mod tests {
         use fts_storage::NativeType;
         (0..rows as u32)
             .filter(|&r| {
-                preds.iter().zip(cols).all(|(&(op, n), c)| c[r as usize].cmp_op(op, n))
+                preds
+                    .iter()
+                    .zip(cols)
+                    .all(|(&(op, n), c)| c[r as usize].cmp_op(op, n))
             })
             .collect()
     }
@@ -544,8 +619,9 @@ mod tests {
         if skip() {
             return;
         }
-        let cols: Vec<Vec<u32>> =
-            (0..5u32).map(|c| (0..1600u32).map(|i| i.wrapping_mul(c + 7) % 3).collect()).collect();
+        let cols: Vec<Vec<u32>> = (0..5u32)
+            .map(|c| (0..1600u32).map(|i| i.wrapping_mul(c + 7) % 3).collect())
+            .collect();
         for p in 1..=5 {
             let refs: Vec<&[u32]> = cols[..p].iter().map(|c| &c[..]).collect();
             let preds: Vec<(CmpOp, u32)> = vec![(CmpOp::Eq, 1); p];
@@ -570,7 +646,13 @@ mod tests {
         let all = vec![5u32; rows];
         let none = vec![4u32; rows];
         let half: Vec<u32> = (0..rows as u32).map(|i| 4 + i % 2).collect();
-        for (x, y) in [(&all, &half), (&half, &all), (&all, &none), (&none, &all), (&all, &all)] {
+        for (x, y) in [
+            (&all, &half),
+            (&half, &all),
+            (&all, &none),
+            (&none, &all),
+            (&all, &all),
+        ] {
             let preds = [(CmpOp::Eq, 5u32), (CmpOp::Eq, 5u32)];
             let sig = ScanSig::u32_chain(&preds, true);
             let (count, pos) = run(&sig, &[&x[..], &y[..]]);
@@ -639,7 +721,10 @@ mod tests {
     ) -> Vec<u32> {
         (0..rows as u32)
             .filter(|&r| {
-                preds.iter().zip(cols).all(|(&(op, n), c)| cmp(c[r as usize], op, n))
+                preds
+                    .iter()
+                    .zip(cols)
+                    .all(|(&(op, n), c)| cmp(c[r as usize], op, n))
             })
             .collect()
     }
@@ -651,7 +736,9 @@ mod tests {
         }
         use fts_storage::NativeType;
         let big = u64::MAX - 9;
-        let a: Vec<u64> = (0..400u64).map(|i| if i % 5 == 0 { big } else { i % 13 }).collect();
+        let a: Vec<u64> = (0..400u64)
+            .map(|i| if i % 5 == 0 { big } else { i % 13 })
+            .collect();
         let b: Vec<u64> = (0..400u64).map(|i| (i * 11) % 7).collect();
         for op0 in CmpOp::ALL {
             for op1 in CmpOp::ALL {
@@ -662,12 +749,8 @@ mod tests {
                 // 32-bit kernels; the 64-bit kernel consumes 8-value blocks,
                 // so recompute the harness cut to 8.
                 let rows_full = 400 / 8 * 8;
-                let expected = expected_typed(
-                    &[&a, &b],
-                    &preds,
-                    rows_full,
-                    |v, op, n| v.cmp_op(op, n),
-                );
+                let expected =
+                    expected_typed(&[&a, &b], &preds, rows_full, |v, op, n| v.cmp_op(op, n));
                 assert_eq!(pos, expected, "{op0} {op1}");
                 assert_eq!(count, expected.len() as u64);
             }
@@ -680,14 +763,15 @@ mod tests {
             return;
         }
         use fts_storage::NativeType;
-        let a: Vec<i64> = (0..800).map(|i| (i % 9) - 4 + if i % 7 == 0 { i64::MIN / 2 } else { 0 }).collect();
+        let a: Vec<i64> = (0..800)
+            .map(|i| (i % 9) - 4 + if i % 7 == 0 { i64::MIN / 2 } else { 0 })
+            .collect();
         let b: Vec<i64> = (0..800).map(|i| (i % 5) - 2).collect();
         for op in CmpOp::ALL {
             let preds = [(op, -1i64), (CmpOp::Ge, 0i64)];
             let sig = ScanSig::i64_chain(&preds, true);
             let (_, pos) = run(&sig, &[&a[..], &b[..]]);
-            let expected =
-                expected_typed(&[&a, &b], &preds, 800, |v, op, n| v.cmp_op(op, n));
+            let expected = expected_typed(&[&a, &b], &preds, 800, |v, op, n| v.cmp_op(op, n));
             assert_eq!(pos, expected, "i64 {op}");
         }
 
@@ -699,8 +783,7 @@ mod tests {
             let preds = [(op, 1.5f64), (CmpOp::Lt, 1.0f64)];
             let sig = ScanSig::f64_chain(&preds, true);
             let (_, pos) = run(&sig, &[&f[..], &g[..]]);
-            let expected =
-                expected_typed(&[&f, &g], &preds, 800, |v, op, n| v.cmp_op(op, n));
+            let expected = expected_typed(&[&f, &g], &preds, 800, |v, op, n| v.cmp_op(op, n));
             assert_eq!(pos, expected, "f64 {op}");
         }
     }
@@ -710,16 +793,16 @@ mod tests {
         if skip() {
             return;
         }
-        let cols: Vec<Vec<u64>> =
-            (0..5u64).map(|c| (0..960u64).map(|i| i.wrapping_mul(c + 7) % 3).collect()).collect();
+        let cols: Vec<Vec<u64>> = (0..5u64)
+            .map(|c| (0..960u64).map(|i| i.wrapping_mul(c + 7) % 3).collect())
+            .collect();
         for p in 1..=5 {
             let refs: Vec<&[u64]> = cols[..p].iter().map(|c| &c[..]).collect();
             let preds: Vec<(CmpOp, u64)> = vec![(CmpOp::Eq, 1); p];
             let sig = ScanSig::u64_chain(&preds, true);
             let (count, pos) = run(&sig, &refs);
             use fts_storage::NativeType;
-            let expected =
-                expected_typed(&refs, &preds, 960, |v, op, n| v.cmp_op(op, n));
+            let expected = expected_typed(&refs, &preds, 960, |v, op, n| v.cmp_op(op, n));
             assert_eq!(count, expected.len() as u64, "P={p}");
             assert_eq!(pos, expected, "P={p}");
         }
@@ -734,6 +817,10 @@ mod tests {
     fn emitted_code_is_reasonably_sized() {
         let sig = ScanSig::u32_chain(&[(CmpOp::Eq, 5), (CmpOp::Eq, 2)], true);
         let code = compile_avx512(&sig).unwrap();
-        assert!(code.len() > 100 && code.len() < 4096, "{} bytes", code.len());
+        assert!(
+            code.len() > 100 && code.len() < 4096,
+            "{} bytes",
+            code.len()
+        );
     }
 }

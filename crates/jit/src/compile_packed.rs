@@ -104,10 +104,10 @@ pub struct PackedScanSig {
 /// code's ABI.
 #[repr(C, align(64))]
 struct AlignCtl {
-    idx_lo: [u32; 16],  // +0
-    idx_hi: [u32; 16],  // +64
-    offs: [u32; 16],    // +128
-    wmask: u32,         // +192
+    idx_lo: [u32; 16], // +0
+    idx_hi: [u32; 16], // +64
+    offs: [u32; 16],   // +128
+    wmask: u32,        // +192
     _pad: [u32; 15],
 }
 
@@ -129,9 +129,17 @@ fn driver_tables(bits: u32) -> Box<DriverTables> {
             offs[i as usize] = bit % 32;
         }
         let wcnt = ((align + 16 * bits).div_ceil(32) + 1).min(16);
-        AlignCtl { idx_lo, idx_hi, offs, wmask: (1u32 << wcnt) - 1, _pad: [0; 15] }
+        AlignCtl {
+            idx_lo,
+            idx_hi,
+            offs,
+            wmask: (1u32 << wcnt) - 1,
+            _pad: [0; 15],
+        }
     };
-    Box::new(DriverTables { variants: [make(0), make(16)] })
+    Box::new(DriverTables {
+        variants: [make(0), make(16)],
+    })
 }
 
 fn mask_cmp_imm(op: CmpOp) -> u8 {
@@ -177,7 +185,12 @@ fn emit_push(a: &mut Asm, s: usize, flush: &[Label]) {
     a.bind(fits);
     a.mov_r64_r64(Gpr::R9, Gpr::Rsi);
     a.shl_r64_imm8(Gpr::R9, 6);
-    a.vmovdqu32_load(Zmm(13), Mem::base_index_scale(Gpr::R12, Gpr::R9, 1), None, false);
+    a.vmovdqu32_load(
+        Zmm(13),
+        Mem::base_index_scale(Gpr::R12, Gpr::R9, 1),
+        None,
+        false,
+    );
     a.vpermt2d(plist_reg(s), Zmm(13), Zmm(7));
     a.add_r64_r64(Gpr::Rsi, Gpr::Rax);
     a.mov_mem_r64(Mem::base_disp(Gpr::Rbp, count_off(s)), Gpr::Rsi);
@@ -219,7 +232,7 @@ fn emit_flush_body(a: &mut Asm, s: usize, sig: &PackedScanSig, flush: &[Label]) 
             a.vpmulld(Zmm(14), plist_reg(s), Zmm(13));
             a.vpsrld_imm(Zmm(13), Zmm(14), 5);
             a.vpandd(Zmm(14), Zmm(14), Zmm(15)); // & 31
-            // lo = words[widx] (masked gather consumes k2 → rebuild).
+                                                 // lo = words[widx] (masked gather consumes k2 → rebuild).
             a.vpxord(Zmm(0), Zmm(0), Zmm(0));
             a.vpgatherdd(Zmm(0), Gpr::R10, Zmm(13), 4, KReg(2));
             a.kmovw_k_r32(KReg(2), Gpr::Rax);
@@ -235,7 +248,13 @@ fn emit_flush_body(a: &mut Asm, s: usize, sig: &PackedScanSig, flush: &[Label]) 
             a.vpandd(Zmm(0), Zmm(0), Zmm(13));
         }
     }
-    a.vpcmpud(KReg(2), Zmm(0), needle_reg(s), mask_cmp_imm(sig.preds[s].op()), Some(KReg(2)));
+    a.vpcmpud(
+        KReg(2),
+        Zmm(0),
+        needle_reg(s),
+        mask_cmp_imm(sig.preds[s].op()),
+        Some(KReg(2)),
+    );
     a.kortestw(KReg(2), KReg(2));
     a.jcc(Cond::E, done);
     a.kmovw_r32_k(Gpr::Rax, KReg(2));
@@ -306,7 +325,12 @@ fn compile(sig: &PackedScanSig, tables: Option<&DriverTables>) -> Result<Vec<u8>
     a.jcc(Cond::Ae, loop_end);
     match driver_bits {
         None => {
-            a.vmovdqu32_load(Zmm(0), Mem::base_index_scale(Gpr::R8, Gpr::Rdx, 4), None, false);
+            a.vmovdqu32_load(
+                Zmm(0),
+                Mem::base_index_scale(Gpr::R8, Gpr::Rdx, 4),
+                None,
+                false,
+            );
         }
         Some(bits) => {
             let t = tables.expect("driver tables prepared");
@@ -338,7 +362,13 @@ fn compile(sig: &PackedScanSig, tables: Option<&DriverTables>) -> Result<Vec<u8>
             a.vmovdqa32_rr(Zmm(0), Zmm(14)); // values where the cmp expects them
         }
     }
-    a.vpcmpud(KReg(1), Zmm(0), needle_reg(0), mask_cmp_imm(sig.preds[0].op()), None);
+    a.vpcmpud(
+        KReg(1),
+        Zmm(0),
+        needle_reg(0),
+        mask_cmp_imm(sig.preds[0].op()),
+        None,
+    );
     a.kortestw(KReg(1), KReg(1));
     a.jcc(Cond::E, next_block);
     a.kmovw_r32_k(Gpr::Rax, KReg(1));
@@ -356,8 +386,8 @@ fn compile(sig: &PackedScanSig, tables: Option<&DriverTables>) -> Result<Vec<u8>
     a.jmp(top);
 
     a.bind(loop_end);
-    for s in 1..p {
-        a.call(flush[s]);
+    for &stage in &flush[1..p] {
+        a.call(stage);
     }
     a.mov_r64_r64(Gpr::Rax, Gpr::R11);
     a.add_r64_imm32(Gpr::Rsp, FRAME);
@@ -442,7 +472,12 @@ impl CompiledPackedKernel {
         };
         let code = compile(&sig, tables.as_deref())?;
         let buf = ExecBuf::new(&code)?;
-        Ok(CompiledPackedKernel { sig, buf, _tables: tables, compile_time: start.elapsed() })
+        Ok(CompiledPackedKernel {
+            sig,
+            buf,
+            _tables: tables,
+            compile_time: start.elapsed(),
+        })
     }
 
     /// The machine code.
@@ -486,12 +521,19 @@ impl CompiledPackedKernel {
         }
 
         let rows_kernel = rows / 16 * 16;
-        let mut out: Vec<u32> =
-            if self.sig.emit_positions { vec![0; rows_kernel + 16] } else { Vec::new() };
+        let mut out: Vec<u32> = if self.sig.emit_positions {
+            vec![0; rows_kernel + 16]
+        } else {
+            Vec::new()
+        };
         let mut args = KernelArgs {
             cols: [std::ptr::null(); 8],
             rows: rows_kernel as u64,
-            out: if self.sig.emit_positions { out.as_mut_ptr() } else { std::ptr::null_mut() },
+            out: if self.sig.emit_positions {
+                out.as_mut_ptr()
+            } else {
+                std::ptr::null_mut()
+            },
         };
         for (i, col) in cols.iter().enumerate() {
             args.cols[i] = match col {
@@ -547,7 +589,9 @@ impl CompiledPackedKernel {
 /// A signature-keyed cache of compiled packed kernels (the packed-chain
 /// sibling of [`crate::KernelCache`]).
 pub struct PackedKernelCache {
-    map: parking_lot::Mutex<std::collections::HashMap<PackedScanSig, std::sync::Arc<CompiledPackedKernel>>>,
+    map: std::sync::Mutex<
+        std::collections::HashMap<PackedScanSig, std::sync::Arc<CompiledPackedKernel>>,
+    >,
 }
 
 impl Default for PackedKernelCache {
@@ -559,7 +603,20 @@ impl Default for PackedKernelCache {
 impl PackedKernelCache {
     /// Empty cache.
     pub fn new() -> PackedKernelCache {
-        PackedKernelCache { map: parking_lot::Mutex::new(std::collections::HashMap::new()) }
+        PackedKernelCache {
+            map: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    fn lock(
+        &self,
+    ) -> std::sync::MutexGuard<
+        '_,
+        std::collections::HashMap<PackedScanSig, std::sync::Arc<CompiledPackedKernel>>,
+    > {
+        self.map
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Fetch the kernel for `sig`, compiling on first use.
@@ -567,18 +624,18 @@ impl PackedKernelCache {
         &self,
         sig: &PackedScanSig,
     ) -> Result<std::sync::Arc<CompiledPackedKernel>, JitError> {
-        if let Some(k) = self.map.lock().get(sig) {
+        if let Some(k) = self.lock().get(sig) {
             return Ok(std::sync::Arc::clone(k));
         }
         let kernel = std::sync::Arc::new(CompiledPackedKernel::compile(sig.clone())?);
-        let mut map = self.map.lock();
+        let mut map = self.lock();
         let entry = map.entry(sig.clone()).or_insert(kernel);
         Ok(std::sync::Arc::clone(entry))
     }
 
     /// Number of cached kernels.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.lock().len()
     }
 
     /// Whether the cache is empty.
@@ -615,15 +672,23 @@ mod tests {
         }
         for bits in 1..=16u8 {
             let mask = mask_of(bits);
-            let values: Vec<u32> =
-                (0..1003u32).map(|i| i.wrapping_mul(2654435761) & mask).collect();
+            let values: Vec<u32> = (0..1003u32)
+                .map(|i| i.wrapping_mul(2654435761) & mask)
+                .collect();
             let col = PackedColumn::pack(&values, bits).unwrap();
             let plain: Vec<u32> = (0..1003).map(|i| i % 3).collect();
             for op in CmpOp::ALL {
                 let sig = PackedScanSig {
                     preds: vec![
-                        PackedColSig::Packed { bits, op, needle: mask / 2 },
-                        PackedColSig::Plain { op: CmpOp::Eq, needle: 1 },
+                        PackedColSig::Packed {
+                            bits,
+                            op,
+                            needle: mask / 2,
+                        },
+                        PackedColSig::Plain {
+                            op: CmpOp::Eq,
+                            needle: 1,
+                        },
                     ],
                     emit_positions: true,
                 };
@@ -631,7 +696,11 @@ mod tests {
                     sig,
                     &[PackedColRef::Packed(&col), PackedColRef::Plain(&plain)],
                     &[
-                        PackedPred::Packed { col: &col, op, needle: mask / 2 },
+                        PackedPred::Packed {
+                            col: &col,
+                            op,
+                            needle: mask / 2,
+                        },
                         PackedPred::Plain(TypedPred::eq(&plain[..], 1)),
                     ],
                 );
@@ -647,14 +716,22 @@ mod tests {
         for bits in [3u8, 7, 11, 16, 21, 29, 32] {
             let mask = mask_of(bits);
             let a: Vec<u32> = (0..900).map(|i| i % 5).collect();
-            let values: Vec<u32> =
-                (0..900u32).map(|i| i.wrapping_mul(2246822519) & mask).collect();
+            let values: Vec<u32> = (0..900u32)
+                .map(|i| i.wrapping_mul(2246822519) & mask)
+                .collect();
             let col = PackedColumn::pack(&values, bits).unwrap();
             for op in CmpOp::ALL {
                 let sig = PackedScanSig {
                     preds: vec![
-                        PackedColSig::Plain { op: CmpOp::Eq, needle: 2 },
-                        PackedColSig::Packed { bits, op, needle: mask / 2 },
+                        PackedColSig::Plain {
+                            op: CmpOp::Eq,
+                            needle: 2,
+                        },
+                        PackedColSig::Packed {
+                            bits,
+                            op,
+                            needle: mask / 2,
+                        },
                     ],
                     emit_positions: true,
                 };
@@ -663,7 +740,11 @@ mod tests {
                     &[PackedColRef::Plain(&a), PackedColRef::Packed(&col)],
                     &[
                         PackedPred::Plain(TypedPred::eq(&a[..], 2)),
-                        PackedPred::Packed { col: &col, op, needle: mask / 2 },
+                        PackedPred::Packed {
+                            col: &col,
+                            op,
+                            needle: mask / 2,
+                        },
                     ],
                 );
             }
@@ -679,8 +760,9 @@ mod tests {
             .iter()
             .map(|&bits| {
                 let mask = mask_of(bits);
-                let values: Vec<u32> =
-                    (0..1600u32).map(|i| i.wrapping_mul(9973 + bits as u32) & mask).collect();
+                let values: Vec<u32> = (0..1600u32)
+                    .map(|i| i.wrapping_mul(9973 + bits as u32) & mask)
+                    .collect();
                 PackedColumn::pack(&values, bits).unwrap()
             })
             .collect();
@@ -710,8 +792,11 @@ mod tests {
         .unwrap();
         assert_eq!(k.run(&refs).unwrap().positions().unwrap(), &expected);
 
-        let k = CompiledPackedKernel::compile(PackedScanSig { preds, emit_positions: false })
-            .unwrap();
+        let k = CompiledPackedKernel::compile(PackedScanSig {
+            preds,
+            emit_positions: false,
+        })
+        .unwrap();
         assert_eq!(k.run(&refs).unwrap().count(), expected.len() as u64);
         assert!(k.compile_time().as_millis() < 100);
     }
@@ -723,13 +808,21 @@ mod tests {
         }
         // Wide driver rejected at compile time.
         let err = CompiledPackedKernel::compile(PackedScanSig {
-            preds: vec![PackedColSig::Packed { bits: 20, op: CmpOp::Eq, needle: 1 }],
+            preds: vec![PackedColSig::Packed {
+                bits: 20,
+                op: CmpOp::Eq,
+                needle: 1,
+            }],
             emit_positions: false,
         });
         assert!(err.is_err());
         // Width mismatch rejected at run time.
         let sig = PackedScanSig {
-            preds: vec![PackedColSig::Packed { bits: 4, op: CmpOp::Eq, needle: 1 }],
+            preds: vec![PackedColSig::Packed {
+                bits: 4,
+                op: CmpOp::Eq,
+                needle: 1,
+            }],
             emit_positions: false,
         };
         let k = CompiledPackedKernel::compile(sig).unwrap();
@@ -749,14 +842,23 @@ mod tests {
             let values: Vec<u32> = (0..rows as u32).map(|i| i % 4).collect();
             let col = PackedColumn::pack(&values, 2).unwrap();
             let sig = PackedScanSig {
-                preds: vec![PackedColSig::Packed { bits: 2, op: CmpOp::Eq, needle: 1 }],
+                preds: vec![PackedColSig::Packed {
+                    bits: 2,
+                    op: CmpOp::Eq,
+                    needle: 1,
+                }],
                 emit_positions: true,
             };
             let k = CompiledPackedKernel::compile(sig).unwrap();
             let out = k.run(&[PackedColRef::Packed(&col)]).unwrap();
-            let expected: Vec<u32> =
-                (0..rows as u32).filter(|&i| values[i as usize] == 1).collect();
-            assert_eq!(out.positions().unwrap().as_slice(), &expected[..], "rows={rows}");
+            let expected: Vec<u32> = (0..rows as u32)
+                .filter(|&i| values[i as usize] == 1)
+                .collect();
+            assert_eq!(
+                out.positions().unwrap().as_slice(),
+                &expected[..],
+                "rows={rows}"
+            );
         }
     }
 }

@@ -108,7 +108,11 @@ mod tests {
         let mut args = KernelArgs {
             cols: [std::ptr::null(); 8],
             rows: rows as u64,
-            out: if sig.emit_positions { out.as_mut_ptr() } else { std::ptr::null_mut() },
+            out: if sig.emit_positions {
+                out.as_mut_ptr()
+            } else {
+                std::ptr::null_mut()
+            },
         };
         for (i, c) in cols.iter().enumerate() {
             args.cols[i] = c.as_ptr() as *const u8;
@@ -185,14 +189,15 @@ mod tests {
 
     #[test]
     fn five_predicates_uses_memory_operands() {
-        let cols: Vec<Vec<u32>> =
-            (0..5u32).map(|c| (0..300u32).map(|i| (i * (c + 3)) % 3).collect()).collect();
+        let cols: Vec<Vec<u32>> = (0..5u32)
+            .map(|c| (0..300u32).map(|i| (i * (c + 3)) % 3).collect())
+            .collect();
         let refs: Vec<&[u32]> = cols.iter().map(|c| &c[..]).collect();
-        let sig =
-            ScanSig::u32_chain(&vec![(CmpOp::Eq, 0); 5], true);
+        let sig = ScanSig::u32_chain(&[(CmpOp::Eq, 0); 5], true);
         let (count, pos) = run_u32(&sig, &refs);
-        let expected: Vec<u32> =
-            (0..300u32).filter(|&i| cols.iter().all(|c| c[i as usize] == 0)).collect();
+        let expected: Vec<u32> = (0..300u32)
+            .filter(|&i| cols.iter().all(|c| c[i as usize] == 0))
+            .collect();
         assert_eq!(count, expected.len() as u64);
         assert_eq!(pos, expected);
     }

@@ -83,7 +83,13 @@ impl ScanSig {
     pub fn u32_chain(preds: &[(CmpOp, u32)], emit_positions: bool) -> ScanSig {
         ScanSig {
             elem: JitElem::U32,
-            preds: preds.iter().map(|&(op, n)| JitPred { op, needle_bits: n as u64 }).collect(),
+            preds: preds
+                .iter()
+                .map(|&(op, n)| JitPred {
+                    op,
+                    needle_bits: n as u64,
+                })
+                .collect(),
             emit_positions,
         }
     }
@@ -94,7 +100,10 @@ impl ScanSig {
             elem: JitElem::I32,
             preds: preds
                 .iter()
-                .map(|&(op, n)| JitPred { op, needle_bits: n as u32 as u64 })
+                .map(|&(op, n)| JitPred {
+                    op,
+                    needle_bits: n as u32 as u64,
+                })
                 .collect(),
             emit_positions,
         }
@@ -106,7 +115,10 @@ impl ScanSig {
             elem: JitElem::F32,
             preds: preds
                 .iter()
-                .map(|&(op, n)| JitPred { op, needle_bits: n.to_bits() as u64 })
+                .map(|&(op, n)| JitPred {
+                    op,
+                    needle_bits: n.to_bits() as u64,
+                })
                 .collect(),
             emit_positions,
         }
@@ -116,7 +128,10 @@ impl ScanSig {
     pub fn u64_chain(preds: &[(CmpOp, u64)], emit_positions: bool) -> ScanSig {
         ScanSig {
             elem: JitElem::U64,
-            preds: preds.iter().map(|&(op, n)| JitPred { op, needle_bits: n }).collect(),
+            preds: preds
+                .iter()
+                .map(|&(op, n)| JitPred { op, needle_bits: n })
+                .collect(),
             emit_positions,
         }
     }
@@ -125,7 +140,13 @@ impl ScanSig {
     pub fn i64_chain(preds: &[(CmpOp, i64)], emit_positions: bool) -> ScanSig {
         ScanSig {
             elem: JitElem::I64,
-            preds: preds.iter().map(|&(op, n)| JitPred { op, needle_bits: n as u64 }).collect(),
+            preds: preds
+                .iter()
+                .map(|&(op, n)| JitPred {
+                    op,
+                    needle_bits: n as u64,
+                })
+                .collect(),
             emit_positions,
         }
     }
@@ -134,7 +155,13 @@ impl ScanSig {
     pub fn f64_chain(preds: &[(CmpOp, f64)], emit_positions: bool) -> ScanSig {
         ScanSig {
             elem: JitElem::F64,
-            preds: preds.iter().map(|&(op, n)| JitPred { op, needle_bits: n.to_bits() }).collect(),
+            preds: preds
+                .iter()
+                .map(|&(op, n)| JitPred {
+                    op,
+                    needle_bits: n.to_bits(),
+                })
+                .collect(),
             emit_positions,
         }
     }

@@ -153,7 +153,12 @@ impl CompiledKernel {
             }
         };
         let buf = ExecBuf::new(&code)?;
-        Ok(CompiledKernel { sig, backend, buf, compile_time: start.elapsed() })
+        Ok(CompiledKernel {
+            sig,
+            backend,
+            buf,
+            compile_time: start.elapsed(),
+        })
     }
 
     /// The signature the kernel was specialized for.
@@ -180,8 +185,11 @@ impl CompiledKernel {
     /// Returns Intel-syntax assembly, one instruction per line.
     pub fn disassemble(&self) -> Option<String> {
         use std::io::Write as _;
-        let path = std::env::temp_dir()
-            .join(format!("fts-jit-disasm-{}-{:p}.bin", std::process::id(), self.buf.code()));
+        let path = std::env::temp_dir().join(format!(
+            "fts-jit-disasm-{}-{:p}.bin",
+            std::process::id(),
+            self.buf.code()
+        ));
         let mut f = std::fs::File::create(&path).ok()?;
         f.write_all(self.buf.code()).ok()?;
         drop(f);
@@ -242,7 +250,11 @@ impl CompiledKernel {
         let mut args = KernelArgs {
             cols: [std::ptr::null(); 8],
             rows: rows_kernel as u64,
-            out: if self.sig.emit_positions { out.as_mut_ptr() } else { std::ptr::null_mut() },
+            out: if self.sig.emit_positions {
+                out.as_mut_ptr()
+            } else {
+                std::ptr::null_mut()
+            },
         };
         for (i, c) in cols.iter().enumerate() {
             args.cols[i] = c.as_ptr() as *const u8;
@@ -258,9 +270,12 @@ impl CompiledKernel {
         // Tail rows (AVX-512 backend only): evaluated after the kernel's
         // drain, so appended positions remain ascending.
         for row in rows_kernel..rows {
-            let hit = self.sig.preds.iter().zip(cols).all(|(p, c)| {
-                c[row].cmp_op(p.op, T::from_bits(p.needle_bits))
-            });
+            let hit = self
+                .sig
+                .preds
+                .iter()
+                .zip(cols)
+                .all(|(p, c)| c[row].cmp_op(p.op, T::from_bits(p.needle_bits)));
             if hit {
                 count += 1;
                 if self.sig.emit_positions {
@@ -317,8 +332,9 @@ mod tests {
         let sig = ScanSig::u32_chain(&[(CmpOp::Eq, 5), (CmpOp::Eq, 2)], true);
         let k = CompiledKernel::compile(sig, JitBackend::Scalar).unwrap();
         let out = k.run(&[&a[..], &b[..]]).unwrap();
-        let expected: Vec<u32> =
-            (0..1003u32).filter(|&i| a[i as usize] == 5 && b[i as usize] == 2).collect();
+        let expected: Vec<u32> = (0..1003u32)
+            .filter(|&i| a[i as usize] == 5 && b[i as usize] == 2)
+            .collect();
         assert_eq!(out.positions().unwrap().as_slice(), &expected[..]);
         assert!(k.compile_time() < Duration::from_secs(1));
         assert!(!k.machine_code().is_empty());
@@ -339,7 +355,11 @@ mod tests {
             let expected: Vec<u32> = (0..rows as u32)
                 .filter(|&i| a[i as usize] == 0 && b[i as usize] == 1)
                 .collect();
-            assert_eq!(out.positions().unwrap().as_slice(), &expected[..], "rows={rows}");
+            assert_eq!(
+                out.positions().unwrap().as_slice(),
+                &expected[..],
+                "rows={rows}"
+            );
         }
     }
 
@@ -355,9 +375,12 @@ mod tests {
             let sig = ScanSig::u64_chain(&[(CmpOp::Eq, 0)], true);
             let k = CompiledKernel::compile(sig, JitBackend::Avx512).unwrap();
             let out = k.run(&[&a[..]]).unwrap();
-            let expected: Vec<u32> =
-                (0..rows as u32).filter(|&i| a[i as usize] == 0).collect();
-            assert_eq!(out.positions().unwrap().as_slice(), &expected[..], "rows={rows}");
+            let expected: Vec<u32> = (0..rows as u32).filter(|&i| a[i as usize] == 0).collect();
+            assert_eq!(
+                out.positions().unwrap().as_slice(),
+                &expected[..],
+                "rows={rows}"
+            );
 
             let sig = ScanSig::f64_chain(&[(CmpOp::Eq, 1.0)], false);
             let k = CompiledKernel::compile(sig, JitBackend::Avx512).unwrap();
@@ -374,17 +397,27 @@ mod tests {
         let b = [1u32];
         assert_eq!(
             k.run(&[&a[..]]).unwrap_err(),
-            RunError::ColumnCountMismatch { expected: 2, got: 1 }
+            RunError::ColumnCountMismatch {
+                expected: 2,
+                got: 1
+            }
         );
-        assert_eq!(k.run(&[&a[..], &b[..]]).unwrap_err(), RunError::LengthMismatch);
+        assert_eq!(
+            k.run(&[&a[..], &b[..]]).unwrap_err(),
+            RunError::LengthMismatch
+        );
         let ai = [1i32, 2];
-        assert_eq!(k.run(&[&ai[..], &ai[..]]).unwrap_err(), RunError::ElemMismatch);
+        assert_eq!(
+            k.run(&[&ai[..], &ai[..]]).unwrap_err(),
+            RunError::ElemMismatch
+        );
 
         // Count-mode kernel cannot serve position queries.
         let out = k.run(&[&a[..], &a[..]]).unwrap();
         assert!(matches!(out, ScanOutput::Count(_)));
         assert_eq!(
-            k.run_mode(&[&a[..], &a[..]], OutputMode::Positions).unwrap_err(),
+            k.run_mode(&[&a[..], &a[..]], OutputMode::Positions)
+                .unwrap_err(),
             RunError::ModeMismatch
         );
     }
@@ -422,6 +455,9 @@ mod tests {
         let p = kp.run(&[&a[..]]).unwrap();
         assert_eq!(c, p.count());
         // A positions kernel can serve count queries.
-        assert_eq!(kp.run_mode(&[&a[..]], OutputMode::Count).unwrap().count(), c);
+        assert_eq!(
+            kp.run_mode(&[&a[..]], OutputMode::Count).unwrap().count(),
+            c
+        );
     }
 }

@@ -36,7 +36,9 @@ pub mod mem;
 pub mod source_gen;
 
 pub use cache::{CacheStats, KernelCache};
-pub use compile_packed::{CompiledPackedKernel, PackedColRef, PackedColSig, PackedKernelCache, PackedScanSig};
+pub use compile_packed::{
+    CompiledPackedKernel, PackedColRef, PackedColSig, PackedKernelCache, PackedScanSig,
+};
 pub use ir::{JitElem, JitError, JitPred, KernelArgs, KernelFn, ScanSig, MAX_JIT_PREDICATES};
 pub use kernel::{CompiledKernel, JitBackend};
 pub use mem::{ExecBuf, ExecError};

@@ -128,7 +128,7 @@ impl ExecBuf {
         let len = code.len().div_ceil(PAGE) * PAGE;
         // SAFETY: fresh anonymous private mapping, no file descriptor.
         let ret = unsafe { sys_mmap(len, PROT_READ | PROT_WRITE) };
-        if !(0..isize::MAX).contains(&ret) || ret as usize % PAGE != 0 {
+        if !(0..isize::MAX).contains(&ret) || !(ret as usize).is_multiple_of(PAGE) {
             return Err(ExecError::MapFailed(-(ret as i32)));
         }
         let ptr = ret as *mut u8;
@@ -141,7 +141,11 @@ impl ExecBuf {
             unsafe { sys_munmap(ptr, len) };
             return Err(ExecError::ProtectFailed(-(ret as i32)));
         }
-        Ok(ExecBuf { ptr, len, code_len: code.len() })
+        Ok(ExecBuf {
+            ptr,
+            len,
+            code_len: code.len(),
+        })
     }
 
     /// Entry point of the mapped code.

@@ -53,7 +53,11 @@ fn check(build: impl FnOnce(&mut Asm), expect: &str) {
         return;
     };
     // Multi-line disassembly means objdump mis-parsed our single insn.
-    assert_eq!(lines.len(), 1, "expected one instruction, got {lines:?} for {code:02x?}");
+    assert_eq!(
+        lines.len(),
+        1,
+        "expected one instruction, got {lines:?} for {code:02x?}"
+    );
     // objdump annotates "{evex}" when a VEX form would also encode the
     // instruction; the bytes are still a valid EVEX encoding.
     let got = lines[0].strip_prefix("{evex} ").unwrap_or(&lines[0]);
@@ -65,10 +69,16 @@ fn check(build: impl FnOnce(&mut Asm), expect: &str) {
 
 #[test]
 fn scalar_instructions() {
-    check(|a| a.mov_r64_imm64(Gpr::R15, 0x1122_3344_5566_7788), "movabs r15,0x1122334455667788");
+    check(
+        |a| a.mov_r64_imm64(Gpr::R15, 0x1122_3344_5566_7788),
+        "movabs r15,0x1122334455667788",
+    );
     check(|a| a.mov_r32_imm32(Gpr::Rax, 42), "mov eax,0x2a");
     check(|a| a.mov_r64_r64(Gpr::Rbx, Gpr::Rdi), "mov rbx,rdi");
-    check(|a| a.mov_r64_mem(Gpr::R8, Mem::base_disp(Gpr::Rdi, 64)), "mov r8,QWORD PTR [rdi+0x40]");
+    check(
+        |a| a.mov_r64_mem(Gpr::R8, Mem::base_disp(Gpr::Rdi, 64)),
+        "mov r8,QWORD PTR [rdi+0x40]",
+    );
     check(
         |a| a.mov_r32_mem(Gpr::Rsi, Mem::base_index_scale(Gpr::R8, Gpr::Rdx, 4)),
         "mov esi,DWORD PTR [r8+rdx*4]",
@@ -77,7 +87,10 @@ fn scalar_instructions() {
         |a| a.mov_mem_r32(Mem::base_index_scale(Gpr::Rbx, Gpr::Rax, 4), Gpr::Rdx),
         "mov DWORD PTR [rbx+rax*4],edx",
     );
-    check(|a| a.mov_mem_r64(Mem::base_disp(Gpr::Rsp, 8), Gpr::Rcx), "mov QWORD PTR [rsp+0x8],rcx");
+    check(
+        |a| a.mov_mem_r64(Mem::base_disp(Gpr::Rsp, 8), Gpr::Rcx),
+        "mov QWORD PTR [rsp+0x8],rcx",
+    );
     check(|a| a.xor_r32_r32(Gpr::Rax, Gpr::Rax), "xor eax,eax");
     check(|a| a.add_r64_r64(Gpr::Rax, Gpr::Rsi), "add rax,rsi");
     check(|a| a.add_r64_imm8(Gpr::Rdx, 16), "add rdx,0x10");
@@ -135,7 +148,14 @@ fn opmask_instructions() {
 #[test]
 fn evex_instructions() {
     check(
-        |a| a.vmovdqu32_load(Zmm(0), Mem::base_index_scale(Gpr::R8, Gpr::Rdx, 4), None, false),
+        |a| {
+            a.vmovdqu32_load(
+                Zmm(0),
+                Mem::base_index_scale(Gpr::R8, Gpr::Rdx, 4),
+                None,
+                false,
+            )
+        },
         "vmovdqu32 zmm0,ZMMWORD PTR [r8+rdx*4]",
     );
     check(
@@ -146,10 +166,20 @@ fn evex_instructions() {
         |a| a.vmovdqu32_store(Mem::base_index_scale(Gpr::Rbx, Gpr::Rax, 4), Zmm(7), None),
         "vmovdqu32 ZMMWORD PTR [rbx+rax*4],zmm7",
     );
-    check(|a| a.vpbroadcastd_r32(Zmm(1), Gpr::Rax), "vpbroadcastd zmm1,eax");
+    check(
+        |a| a.vpbroadcastd_r32(Zmm(1), Gpr::Rax),
+        "vpbroadcastd zmm1,eax",
+    );
     check(|a| a.vmovdqa32_rr(Zmm(9), Zmm(7)), "vmovdqa32 zmm9,zmm7");
     check(
-        |a| a.vmovdqu32_load(Zmm(13), Mem::base_index_scale(Gpr::R12, Gpr::R9, 1), None, false),
+        |a| {
+            a.vmovdqu32_load(
+                Zmm(13),
+                Mem::base_index_scale(Gpr::R12, Gpr::R9, 1),
+                None,
+                false,
+            )
+        },
         "vmovdqu32 zmm13,ZMMWORD PTR [r12+r9*1]",
     );
     check(
@@ -160,19 +190,46 @@ fn evex_instructions() {
         |a| a.vmovdqu32_load(Zmm(7), Mem::base_disp(Gpr::Rbp, -192), None, false),
         "vmovdqu32 zmm7,ZMMWORD PTR [rbp-0xc0]",
     );
-    check(|a| a.vpbroadcastd_r32(Zmm(14), Gpr::R9), "vpbroadcastd zmm14,r9d");
-    check(|a| a.vpxord(Zmm(11), Zmm(11), Zmm(11)), "vpxord zmm11,zmm11,zmm11");
-    check(|a| a.vpaddd(Zmm(6), Zmm(5), Zmm(14)), "vpaddd zmm6,zmm5,zmm14");
-    check(|a| a.vpcmpud(KReg(1), Zmm(0), Zmm(1), 0, None), "vpcmpequd k1,zmm0,zmm1");
-    check(|a| a.vpcmpud(KReg(1), Zmm(0), Zmm(1), 6, None), "vpcmpnleud k1,zmm0,zmm1");
+    check(
+        |a| a.vpbroadcastd_r32(Zmm(14), Gpr::R9),
+        "vpbroadcastd zmm14,r9d",
+    );
+    check(
+        |a| a.vpxord(Zmm(11), Zmm(11), Zmm(11)),
+        "vpxord zmm11,zmm11,zmm11",
+    );
+    check(
+        |a| a.vpaddd(Zmm(6), Zmm(5), Zmm(14)),
+        "vpaddd zmm6,zmm5,zmm14",
+    );
+    check(
+        |a| a.vpcmpud(KReg(1), Zmm(0), Zmm(1), 0, None),
+        "vpcmpequd k1,zmm0,zmm1",
+    );
+    check(
+        |a| a.vpcmpud(KReg(1), Zmm(0), Zmm(1), 6, None),
+        "vpcmpnleud k1,zmm0,zmm1",
+    );
     check(
         |a| a.vpcmpud(KReg(2), Zmm(12), Zmm(2), 1, Some(KReg(1))),
         "vpcmpltud k2{k1},zmm12,zmm2",
     );
-    check(|a| a.vpcmpd(KReg(1), Zmm(0), Zmm(1), 4, None), "vpcmpneqd k1,zmm0,zmm1");
-    check(|a| a.vcmpps(KReg(1), Zmm(0), Zmm(1), 0, None), "vcmpeqps k1,zmm0,zmm1");
-    check(|a| a.vpcompressd(Zmm(7), Zmm(6), KReg(1), true), "vpcompressd zmm7{k1}{z},zmm6");
-    check(|a| a.vpermt2d(Zmm(8), Zmm(13), Zmm(7)), "vpermt2d zmm8,zmm13,zmm7");
+    check(
+        |a| a.vpcmpd(KReg(1), Zmm(0), Zmm(1), 4, None),
+        "vpcmpneqd k1,zmm0,zmm1",
+    );
+    check(
+        |a| a.vcmpps(KReg(1), Zmm(0), Zmm(1), 0, None),
+        "vcmpeqps k1,zmm0,zmm1",
+    );
+    check(
+        |a| a.vpcompressd(Zmm(7), Zmm(6), KReg(1), true),
+        "vpcompressd zmm7{k1}{z},zmm6",
+    );
+    check(
+        |a| a.vpermt2d(Zmm(8), Zmm(13), Zmm(7)),
+        "vpermt2d zmm8,zmm13,zmm7",
+    );
     check(
         |a| a.vpgatherdd(Zmm(12), Gpr::R9, Zmm(8), 4, KReg(2)),
         "vpgatherdd zmm12{k2},DWORD PTR [r9+zmm8*4]",
@@ -185,38 +242,97 @@ fn evex_instructions() {
 
 #[test]
 fn packed_scan_instructions() {
-    check(|a| a.imul_r64_r64_imm8(Gpr::Rax, Gpr::Rdx, 13), "imul rax,rdx,0xd");
+    check(
+        |a| a.imul_r64_r64_imm8(Gpr::Rax, Gpr::Rdx, 13),
+        "imul rax,rdx,0xd",
+    );
     check(|a| a.shr_r64_imm8(Gpr::R9, 5), "shr r9,0x5");
     check(|a| a.and_r64_imm8(Gpr::Rax, 31), "and rax,0x1f");
-    check(|a| a.vpshrdvd(Zmm(4), Zmm(5), Zmm(6)), "vpshrdvd zmm4,zmm5,zmm6");
-    check(|a| a.vpermd(Zmm(3), Zmm(13), Zmm(2)), "vpermd zmm3,zmm13,zmm2");
-    check(|a| a.vpmulld(Zmm(14), Zmm(9), Zmm(13)), "vpmulld zmm14,zmm9,zmm13");
-    check(|a| a.vpsrld_imm(Zmm(15), Zmm(14), 5), "vpsrld zmm15,zmm14,0x5");
-    check(|a| a.vpandd(Zmm(14), Zmm(14), Zmm(13)), "vpandd zmm14,zmm14,zmm13");
+    check(
+        |a| a.vpshrdvd(Zmm(4), Zmm(5), Zmm(6)),
+        "vpshrdvd zmm4,zmm5,zmm6",
+    );
+    check(
+        |a| a.vpermd(Zmm(3), Zmm(13), Zmm(2)),
+        "vpermd zmm3,zmm13,zmm2",
+    );
+    check(
+        |a| a.vpmulld(Zmm(14), Zmm(9), Zmm(13)),
+        "vpmulld zmm14,zmm9,zmm13",
+    );
+    check(
+        |a| a.vpsrld_imm(Zmm(15), Zmm(14), 5),
+        "vpsrld zmm15,zmm14,0x5",
+    );
+    check(
+        |a| a.vpandd(Zmm(14), Zmm(14), Zmm(13)),
+        "vpandd zmm14,zmm14,zmm13",
+    );
     // High registers (zmm16+) exercise the EVEX R'/V' extension bits.
-    check(|a| a.vpbroadcastd_r32(Zmm(17), Gpr::Rax), "vpbroadcastd zmm17,eax");
-    check(|a| a.vpandd(Zmm(0), Zmm(0), Zmm(16)), "vpandd zmm0,zmm0,zmm16");
-    check(|a| a.vpaddd(Zmm(13), Zmm(13), Zmm(17)), "vpaddd zmm13,zmm13,zmm17");
-    check(|a| a.vpshrdvd(Zmm(0), Zmm(7), Zmm(16)), "vpshrdvd zmm0,zmm7,zmm16");
-    check(|a| a.vpermd(Zmm(20), Zmm(21), Zmm(22)), "vpermd zmm20,zmm21,zmm22");
+    check(
+        |a| a.vpbroadcastd_r32(Zmm(17), Gpr::Rax),
+        "vpbroadcastd zmm17,eax",
+    );
+    check(
+        |a| a.vpandd(Zmm(0), Zmm(0), Zmm(16)),
+        "vpandd zmm0,zmm0,zmm16",
+    );
+    check(
+        |a| a.vpaddd(Zmm(13), Zmm(13), Zmm(17)),
+        "vpaddd zmm13,zmm13,zmm17",
+    );
+    check(
+        |a| a.vpshrdvd(Zmm(0), Zmm(7), Zmm(16)),
+        "vpshrdvd zmm0,zmm7,zmm16",
+    );
+    check(
+        |a| a.vpermd(Zmm(20), Zmm(21), Zmm(22)),
+        "vpermd zmm20,zmm21,zmm22",
+    );
 }
 
 #[test]
 fn evex_64bit_and_ymm_instructions() {
     check(
-        |a| a.vmovdqu64_load(Zmm(0), Mem::base_index_scale(Gpr::R8, Gpr::Rdx, 8), None, false),
+        |a| {
+            a.vmovdqu64_load(
+                Zmm(0),
+                Mem::base_index_scale(Gpr::R8, Gpr::Rdx, 8),
+                None,
+                false,
+            )
+        },
         "vmovdqu64 zmm0,ZMMWORD PTR [r8+rdx*8]",
     );
     check(
         |a| a.vmovdqu64_load(Zmm(2), Mem::base(Gpr::Rdi), Some(KReg(1)), true),
         "vmovdqu64 zmm2{k1}{z},ZMMWORD PTR [rdi]",
     );
-    check(|a| a.vpbroadcastq_r64(Zmm(3), Gpr::Rax), "vpbroadcastq zmm3,rax");
-    check(|a| a.vpcmpuq(KReg(1), Zmm(0), Zmm(1), 1, None), "vpcmpltuq k1,zmm0,zmm1");
-    check(|a| a.vpcmpq(KReg(2), Zmm(0), Zmm(1), 4, Some(KReg(1))), "vpcmpneqq k2{k1},zmm0,zmm1");
-    check(|a| a.vcmppd(KReg(1), Zmm(0), Zmm(5), 0, None), "vcmpeqpd k1,zmm0,zmm5");
     check(
-        |a| a.vmovdqu32_load_y(Zmm(13), Mem::base_index_scale(Gpr::R12, Gpr::R9, 1), None, false),
+        |a| a.vpbroadcastq_r64(Zmm(3), Gpr::Rax),
+        "vpbroadcastq zmm3,rax",
+    );
+    check(
+        |a| a.vpcmpuq(KReg(1), Zmm(0), Zmm(1), 1, None),
+        "vpcmpltuq k1,zmm0,zmm1",
+    );
+    check(
+        |a| a.vpcmpq(KReg(2), Zmm(0), Zmm(1), 4, Some(KReg(1))),
+        "vpcmpneqq k2{k1},zmm0,zmm1",
+    );
+    check(
+        |a| a.vcmppd(KReg(1), Zmm(0), Zmm(5), 0, None),
+        "vcmpeqpd k1,zmm0,zmm5",
+    );
+    check(
+        |a| {
+            a.vmovdqu32_load_y(
+                Zmm(13),
+                Mem::base_index_scale(Gpr::R12, Gpr::R9, 1),
+                None,
+                false,
+            )
+        },
         "vmovdqu32 ymm13,YMMWORD PTR [r12+r9*1]",
     );
     check(
@@ -224,11 +340,26 @@ fn evex_64bit_and_ymm_instructions() {
         "vmovdqu32 YMMWORD PTR [rbx+r11*4],ymm7",
     );
     check(|a| a.vmovdqa32_rr_y(Zmm(9), Zmm(7)), "vmovdqa32 ymm9,ymm7");
-    check(|a| a.vpxord_y(Zmm(8), Zmm(8), Zmm(8)), "vpxord ymm8,ymm8,ymm8");
-    check(|a| a.vpaddd_y(Zmm(6), Zmm(5), Zmm(14)), "vpaddd ymm6,ymm5,ymm14");
-    check(|a| a.vpbroadcastd_r32_y(Zmm(14), Gpr::Rdx), "vpbroadcastd ymm14,edx");
-    check(|a| a.vpcompressd_y(Zmm(7), Zmm(14), KReg(1), true), "vpcompressd ymm7{k1}{z},ymm14");
-    check(|a| a.vpermt2d_y(Zmm(9), Zmm(13), Zmm(7)), "vpermt2d ymm9,ymm13,ymm7");
+    check(
+        |a| a.vpxord_y(Zmm(8), Zmm(8), Zmm(8)),
+        "vpxord ymm8,ymm8,ymm8",
+    );
+    check(
+        |a| a.vpaddd_y(Zmm(6), Zmm(5), Zmm(14)),
+        "vpaddd ymm6,ymm5,ymm14",
+    );
+    check(
+        |a| a.vpbroadcastd_r32_y(Zmm(14), Gpr::Rdx),
+        "vpbroadcastd ymm14,edx",
+    );
+    check(
+        |a| a.vpcompressd_y(Zmm(7), Zmm(14), KReg(1), true),
+        "vpcompressd ymm7{k1}{z},ymm14",
+    );
+    check(
+        |a| a.vpermt2d_y(Zmm(9), Zmm(13), Zmm(7)),
+        "vpermt2d ymm9,ymm13,ymm7",
+    );
     check(
         |a| a.vpgatherdq(Zmm(0), Gpr::R10, Zmm(9), 8, KReg(2)),
         "vpgatherdq zmm0{k2},QWORD PTR [r10+ymm9*8]",

@@ -92,7 +92,10 @@ pub struct Bimodal {
 impl Bimodal {
     /// Predictor with `sites` distinct branch sites (no aliasing).
     pub fn new(sites: usize) -> Bimodal {
-        Bimodal { table: vec![1; sites.max(1)], stats: BranchStats::default() }
+        Bimodal {
+            table: vec![1; sites.max(1)],
+            stats: BranchStats::default(),
+        }
     }
 }
 
@@ -130,7 +133,7 @@ impl GShare {
     /// Predictor with `2^index_bits` counters and `history_bits` of global
     /// history (history is truncated to `index_bits`).
     pub fn new(index_bits: u32, history_bits: u32) -> GShare {
-        assert!(index_bits >= 1 && index_bits <= 24);
+        assert!((1..=24).contains(&index_bits));
         GShare {
             table: vec![1; 1 << index_bits],
             history: 0,
@@ -180,7 +183,13 @@ mod tests {
         let mut p = AlwaysTaken::default();
         assert!(!p.record(0, true));
         assert!(p.record(0, false));
-        assert_eq!(p.stats(), BranchStats { branches: 2, mispredictions: 1 });
+        assert_eq!(
+            p.stats(),
+            BranchStats {
+                branches: 2,
+                mispredictions: 1
+            }
+        );
         p.reset();
         assert_eq!(p.stats().branches, 0);
     }
@@ -205,8 +214,16 @@ mod tests {
             g.record(7, taken);
             b.record(7, taken);
         }
-        assert!(g.stats().miss_rate() < 0.02, "gshare rate {}", g.stats().miss_rate());
-        assert!(b.stats().miss_rate() > 0.45, "bimodal rate {}", b.stats().miss_rate());
+        assert!(
+            g.stats().miss_rate() < 0.02,
+            "gshare rate {}",
+            g.stats().miss_rate()
+        );
+        assert!(
+            b.stats().miss_rate() > 0.45,
+            "bimodal rate {}",
+            b.stats().miss_rate()
+        );
     }
 
     #[test]
@@ -223,7 +240,10 @@ mod tests {
             rates.push(g.stats().miss_rate());
         }
         assert!(rates[0] < 0.01);
-        assert!(rates[2] > rates[1] && rates[2] > rates[3], "peak at 0.5: {rates:?}");
+        assert!(
+            rates[2] > rates[1] && rates[2] > rates[3],
+            "peak at 0.5: {rates:?}"
+        );
         assert!(rates[2] > 0.35);
         assert!(rates[4] < 0.01);
     }

@@ -109,14 +109,25 @@ impl Level {
             return Evicted::None;
         }
         let evicted = if ways.len() == self.ways {
-            let (victim_idx, _) =
-                ways.iter().enumerate().min_by_key(|(_, w)| w.stamp).expect("non-empty set");
+            let (victim_idx, _) = ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .expect("non-empty set");
             let victim = ways.swap_remove(victim_idx);
-            if victim.prefetched { Evicted::UnusedPrefetch } else { Evicted::Demanded }
+            if victim.prefetched {
+                Evicted::UnusedPrefetch
+            } else {
+                Evicted::Demanded
+            }
         } else {
             Evicted::None
         };
-        ways.push(Way { line, stamp: tick, prefetched });
+        ways.push(Way {
+            line,
+            stamp: tick,
+            prefetched,
+        });
         evicted
     }
 
@@ -138,7 +149,11 @@ pub struct PrefetcherConfig {
 
 impl Default for PrefetcherConfig {
     fn default() -> Self {
-        PrefetcherConfig { trigger_run: 2, distance: 8, enabled: true }
+        PrefetcherConfig {
+            trigger_run: 2,
+            distance: 8,
+            enabled: true,
+        }
     }
 }
 
@@ -163,7 +178,10 @@ const LINES_PER_PAGE: u64 = 64; // 4 KiB / 64 B
 impl StreamPrefetcher {
     /// New prefetcher with the given configuration.
     pub fn new(config: PrefetcherConfig) -> StreamPrefetcher {
-        StreamPrefetcher { config, pages: vec![(u64::MAX, PageState::default()); PAGE_TABLE] }
+        StreamPrefetcher {
+            config,
+            pages: vec![(u64::MAX, PageState::default()); PAGE_TABLE],
+        }
     }
 
     /// Observe a demand access; returns the lines to prefetch.
@@ -178,7 +196,11 @@ impl StreamPrefetcher {
         let (tag, st) = &mut self.pages[slot];
         if *tag != page {
             *tag = page;
-            *st = PageState { last_line: line, run: 1, next_prefetch: line + 1 };
+            *st = PageState {
+                last_line: line,
+                run: 1,
+                next_prefetch: line + 1,
+            };
             return;
         }
         if line == st.last_line {
@@ -310,7 +332,10 @@ mod tests {
     use super::*;
 
     fn no_prefetch() -> PrefetcherConfig {
-        PrefetcherConfig { enabled: false, ..Default::default() }
+        PrefetcherConfig {
+            enabled: false,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -343,7 +368,10 @@ mod tests {
             c.load(i * 64, 4);
         }
         let s = c.stats();
-        assert!(s.prefetches_issued > 0, "streamer must trigger on a sequential scan");
+        assert!(
+            s.prefetches_issued > 0,
+            "streamer must trigger on a sequential scan"
+        );
         // Sequential use makes prefetches useful: demand hits in L2.
         assert!(s.l2_hits > 0);
     }
@@ -393,7 +421,11 @@ mod tests {
 
     #[test]
     fn bus_lines_accounting() {
-        let s = MemStats { memory_loads: 10, prefetches_issued: 5, ..Default::default() };
+        let s = MemStats {
+            memory_loads: 10,
+            prefetches_issued: 5,
+            ..Default::default()
+        };
         assert_eq!(s.bus_lines(), 15);
     }
 }

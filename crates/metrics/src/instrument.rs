@@ -83,8 +83,7 @@ pub fn block_bitmap<T: NativeType>(preds: &[TypedPred<'_, T>], probe: &mut impl 
             }
         }
     }
-    acc.iter().map(|w| w.count_ones() as u64).sum::<u64>()
-        - (acc.len() as u64 * 64 - rows as u64)
+    acc.iter().map(|w| w.count_ones() as u64).sum::<u64>() - (acc.len() as u64 * 64 - rows as u64)
 }
 
 /// One stage's register-resident position list.
@@ -105,7 +104,13 @@ pub fn fused<T: NativeType, const N: usize>(
     let rows = first.data.len();
     let width = std::mem::size_of::<T>();
     let p = preds.len();
-    let mut stages = vec![Stage::<N> { plist: [0; N], count: 0 }; p.saturating_sub(1)];
+    let mut stages = vec![
+        Stage::<N> {
+            plist: [0; N],
+            count: 0
+        };
+        p.saturating_sub(1)
+    ];
     let mut total = 0u64;
 
     // Mutual recursion unrolled into an explicit worklist would obscure the
@@ -122,7 +127,10 @@ pub fn fused<T: NativeType, const N: usize>(
             return;
         }
         let plist = stages[s - 1].plist;
-        stages[s - 1] = Stage { plist: [0; N], count: 0 };
+        stages[s - 1] = Stage {
+            plist: [0; N],
+            count: 0,
+        };
 
         let width = std::mem::size_of::<T>();
         let pred = &preds[s];
@@ -164,7 +172,8 @@ pub fn fused<T: NativeType, const N: usize>(
             stages[s - 1].count = m;
         } else {
             let st = &mut stages[s - 1];
-            st.plist = model::permutex2var(st.plist, fts_core::fused::merge_index::<N>(st.count), fresh);
+            st.plist =
+                model::permutex2var(st.plist, fts_core::fused::merge_index::<N>(st.count), fresh);
             st.count += m;
         }
         let full = stages[s - 1].count == N;
@@ -180,8 +189,13 @@ pub fn fused<T: NativeType, const N: usize>(
         let tail = (rows - base).min(N);
         // One vector load covering the block.
         probe.load(column_base(0) + (base * width) as u64, tail * width);
-        let block: [T; N] =
-            std::array::from_fn(|i| if i < tail { first.data[base + i] } else { T::default() });
+        let block: [T; N] = std::array::from_fn(|i| {
+            if i < tail {
+                first.data[base + i]
+            } else {
+                T::default()
+            }
+        });
         let k = model::mask_cmp_mask(model::lane_mask(tail), first.op, block, needle);
         let m = k.count_ones() as usize;
         probe.branch(site::BLOCK_ANY_MATCH, m != 0);
@@ -211,14 +225,21 @@ mod tests {
     use fts_storage::CmpOp;
 
     fn preds_from<'a>(cols: &'a [Vec<u32>], needles: &[u32]) -> Vec<TypedPred<'a, u32>> {
-        cols.iter().zip(needles).map(|(c, &n)| TypedPred::eq(&c[..], n)).collect()
+        cols.iter()
+            .zip(needles)
+            .map(|(c, &n)| TypedPred::eq(&c[..], n))
+            .collect()
     }
 
     #[test]
     fn instrumented_counts_match_reference() {
         let chain = generate_chain(
             20_000,
-            &[PredSpec::eq(5u32, 0.2), PredSpec::eq(2u32, 0.5), PredSpec::eq(9u32, 0.3)],
+            &[
+                PredSpec::eq(5u32, 0.2),
+                PredSpec::eq(2u32, 0.5),
+                PredSpec::eq(9u32, 0.3),
+            ],
             31,
         )
         .unwrap();
@@ -238,8 +259,10 @@ mod tests {
         let a: Vec<u32> = (0..5000).map(|i| i % 10).collect();
         let b: Vec<u32> = (0..5000).map(|i| i % 4).collect();
         for op in CmpOp::ALL {
-            let preds =
-                [TypedPred::new(&a[..], op, 5u32), TypedPred::new(&b[..], CmpOp::Ne, 1u32)];
+            let preds = [
+                TypedPred::new(&a[..], op, 5u32),
+                TypedPred::new(&b[..], CmpOp::Ne, 1u32),
+            ];
             let expected = reference::scan_count(&preds);
             let mut p = NullProbe;
             assert_eq!(fused::<u32, 16>(&preds, &mut p), expected, "{op}");
@@ -252,9 +275,12 @@ mod tests {
     /// selectivity.
     #[test]
     fn fused_mispredicts_an_order_of_magnitude_less() {
-        let chain =
-            generate_chain(200_000, &[PredSpec::eq(5u32, 0.5), PredSpec::eq(2u32, 0.5)], 7)
-                .unwrap();
+        let chain = generate_chain(
+            200_000,
+            &[PredSpec::eq(5u32, 0.5), PredSpec::eq(2u32, 0.5)],
+            7,
+        )
+        .unwrap();
         let preds = preds_from(&chain.columns, &[5, 2]);
 
         let mut sisd_model = HwModel::skylake();
@@ -321,9 +347,12 @@ mod tests {
 
     #[test]
     fn fused_loads_fewer_second_column_lines_at_low_selectivity() {
-        let chain =
-            generate_chain(100_000, &[PredSpec::eq(5u32, 0.01), PredSpec::eq(2u32, 0.5)], 3)
-                .unwrap();
+        let chain = generate_chain(
+            100_000,
+            &[PredSpec::eq(5u32, 0.01), PredSpec::eq(2u32, 0.5)],
+            3,
+        )
+        .unwrap();
         let preds = preds_from(&chain.columns, &[5, 2]);
 
         let mut bf = HwModel::skylake();
@@ -335,6 +364,9 @@ mod tests {
 
         // Branch-free touches both columns fully; fused only gathers 1 % of
         // column 2's lines.
-        assert!(fu.mem.bus_lines() < bf.mem.bus_lines(), "fused={fu:?} bf={bf:?}");
+        assert!(
+            fu.mem.bus_lines() < bf.mem.bus_lines(),
+            "fused={fu:?} bf={bf:?}"
+        );
     }
 }

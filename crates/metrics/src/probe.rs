@@ -99,7 +99,10 @@ impl<P: BranchPredictor> HwModel<P> {
     /// Finish the run: account still-resident unused prefetches and return
     /// the counters.
     pub fn finish(self) -> HwCounters {
-        HwCounters { branch: self.predictor.stats(), mem: self.cache.finish() }
+        HwCounters {
+            branch: self.predictor.stats(),
+            mem: self.cache.finish(),
+        }
     }
 }
 

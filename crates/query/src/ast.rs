@@ -93,6 +93,9 @@ pub struct Select {
     pub limit: Option<u64>,
     /// Whether the statement was prefixed with EXPLAIN.
     pub explain: bool,
+    /// Whether the statement was prefixed with EXPLAIN ANALYZE (execute
+    /// and report scan telemetry alongside the plan).
+    pub analyze: bool,
 }
 
 #[cfg(test)]
@@ -101,7 +104,11 @@ mod tests {
 
     #[test]
     fn ast_shapes() {
-        let p = AstPredicate { column: "a".into(), op: CmpOp::Eq, literal: Literal::Int(5) };
+        let p = AstPredicate {
+            column: "a".into(),
+            op: CmpOp::Eq,
+            literal: Literal::Int(5),
+        };
         let s = Select {
             projection: Projection::Aggregates(vec![AggExpr {
                 func: AggFunc::Count,
@@ -111,6 +118,7 @@ mod tests {
             predicates: vec![p.clone()],
             limit: None,
             explain: false,
+            analyze: false,
         };
         assert_eq!(s.predicates[0], p);
         assert_ne!(s.projection, Projection::Star);

@@ -41,7 +41,11 @@ impl Catalog {
         let chunk_ranges = Arc::new(compute_chunk_ranges(&table));
         self.tables.insert(
             name.into(),
-            CatalogEntry { table: Arc::clone(&table), stats, chunk_ranges },
+            CatalogEntry {
+                table: Arc::clone(&table),
+                stats,
+                chunk_ranges,
+            },
         );
         table
     }
@@ -73,7 +77,12 @@ fn compute_stats(table: &Table) -> Vec<ColumnStats> {
             Some(Segment::Packed(p)) => {
                 ColumnStats::from_column(&fts_storage::Column::from_vec(p.unpack()))
             }
-            None => ColumnStats { rows: 0, min: None, max: None, distinct: 1 },
+            None => ColumnStats {
+                rows: 0,
+                min: None,
+                max: None,
+                distinct: 1,
+            },
         })
         .collect()
 }
@@ -128,7 +137,10 @@ mod tests {
 
     fn sample_table() -> Table {
         Table::from_columns(
-            vec![ColumnDef::new("a", DataType::U32), ColumnDef::new("b", DataType::U32)],
+            vec![
+                ColumnDef::new("a", DataType::U32),
+                ColumnDef::new("b", DataType::U32),
+            ],
             vec![
                 Column::from_fn(100, |i| (i % 10) as u32),
                 Column::from_fn(100, |i| (i % 4) as u32),

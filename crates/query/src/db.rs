@@ -3,7 +3,9 @@
 use fts_storage::{Table, TableError};
 
 use crate::catalog::Catalog;
-use crate::executor::{execute, ExecContext, ExecError, JitMode, QueryResult};
+use crate::executor::{
+    execute, execute_analyzed, AnalyzeReport, ExecContext, ExecError, JitMode, QueryResult,
+};
 use crate::lqp::{plan, PlanError};
 use crate::optimizer::optimize;
 use crate::parser::{parse, ParseError};
@@ -87,12 +89,21 @@ impl Database {
     /// Database with the default execution context (JIT on where AVX-512
     /// is available).
     pub fn new() -> Database {
-        Database { catalog: Catalog::new(), ctx: ExecContext::default() }
+        Database {
+            catalog: Catalog::new(),
+            ctx: ExecContext::default(),
+        }
     }
 
     /// Database with an explicit JIT policy.
     pub fn with_jit(jit: JitMode) -> Database {
-        Database { catalog: Catalog::new(), ctx: ExecContext { jit, ..Default::default() } }
+        Database {
+            catalog: Catalog::new(),
+            ctx: ExecContext {
+                jit,
+                ..Default::default()
+            },
+        }
     }
 
     /// Register a table.
@@ -111,10 +122,21 @@ impl Database {
     }
 
     /// Parse, plan, optimize and execute one SQL statement. `EXPLAIN`
-    /// statements return the optimized plan as a one-column result.
+    /// statements return the optimized plan as a one-column result;
+    /// `EXPLAIN ANALYZE` statements execute the plan and append the scan
+    /// telemetry block (see [`AnalyzeReport::render`]).
     pub fn query(&self, sql: &str) -> Result<QueryResult, QueryError> {
         let ast = parse(sql)?;
         let logical = optimize(plan(&ast, &self.catalog)?);
+        if ast.analyze {
+            let (_, report) = execute_analyzed(&logical, &self.ctx)?;
+            let peak = fts_core::stride::peak_bandwidth_gbps();
+            return Ok(QueryResult::Explain(format!(
+                "{}\n{}",
+                logical.explain(),
+                report.render(peak)
+            )));
+        }
         if ast.explain {
             return Ok(QueryResult::Explain(logical.explain()));
         }
@@ -126,6 +148,14 @@ impl Database {
         let ast = parse(sql)?;
         let logical = optimize(plan(&ast, &self.catalog)?);
         Ok(logical.explain())
+    }
+
+    /// Execute a statement and return the full [`AnalyzeReport`] —
+    /// the programmatic face of `EXPLAIN ANALYZE`.
+    pub fn query_analyzed(&self, sql: &str) -> Result<(QueryResult, AnalyzeReport), QueryError> {
+        let ast = parse(sql)?;
+        let logical = optimize(plan(&ast, &self.catalog)?);
+        Ok(execute_analyzed(&logical, &self.ctx)?)
     }
 }
 
@@ -139,7 +169,10 @@ mod tests {
         db.register(
             "tbl",
             Table::from_columns(
-                vec![ColumnDef::new("a", DataType::U32), ColumnDef::new("b", DataType::U32)],
+                vec![
+                    ColumnDef::new("a", DataType::U32),
+                    ColumnDef::new("b", DataType::U32),
+                ],
                 vec![
                     Column::from_fn(400, |i| (i % 10) as u32),
                     Column::from_fn(400, |i| (i % 4) as u32),
@@ -153,7 +186,9 @@ mod tests {
     #[test]
     fn end_to_end_count() {
         let db = db();
-        let r = db.query("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2").unwrap();
+        let r = db
+            .query("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2")
+            .unwrap();
         let expected = (0..400).filter(|i| i % 10 == 5 && i % 4 == 2).count() as u64;
         assert_eq!(r, crate::executor::QueryResult::Count(expected));
     }
@@ -162,7 +197,9 @@ mod tests {
     fn end_to_end_rows() {
         let db = db();
         let r = db.query("SELECT b FROM tbl WHERE a = 3 LIMIT 2").unwrap();
-        let crate::executor::QueryResult::Rows { columns, rows } = r else { panic!() };
+        let crate::executor::QueryResult::Rows { columns, rows } = r else {
+            panic!()
+        };
         assert_eq!(columns, vec!["b"]);
         assert_eq!(rows, vec![vec![Value::U32(3)], vec![Value::U32(1)]]);
     }
@@ -170,9 +207,39 @@ mod tests {
     #[test]
     fn explain_pipeline() {
         let db = db();
-        let text = db.explain("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2").unwrap();
+        let text = db
+            .explain("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2")
+            .unwrap();
         assert!(text.contains("FusedTableScan"), "{text}");
         assert!(text.contains("StoredTable tbl"));
+    }
+
+    #[test]
+    fn explain_analyze_renders_telemetry() {
+        let db = db();
+        let r = db
+            .query("EXPLAIN ANALYZE SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2")
+            .unwrap();
+        let QueryResult::Explain(text) = r else {
+            panic!("{r:?}")
+        };
+        assert!(text.contains("FusedTableScan"), "{text}");
+        assert!(text.contains("Scan ["), "{text}");
+        assert!(text.contains("values/µs"), "{text}");
+        assert!(text.contains("-bound"), "{text}");
+    }
+
+    #[test]
+    fn query_analyzed_returns_result_and_report() {
+        let db = db();
+        let (result, report) = db
+            .query_analyzed("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2")
+            .unwrap();
+        let expected = (0..400).filter(|i| i % 10 == 5 && i % 4 == 2).count() as u64;
+        assert_eq!(result, QueryResult::Count(expected));
+        assert!(report.scan.enabled);
+        assert_eq!(report.scan.rows, 400);
+        assert_eq!(*report.scan.pred_survivors.last().unwrap(), expected);
     }
 
     #[test]

@@ -18,14 +18,16 @@
 //! filters the resulting position list row by row.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use fts_core::fused::packed::{fused_scan_packed, packed_kernel_available, PackedPred};
 use fts_core::{
-    run_fused_auto, scan_columns_auto, ColumnPred, OutputMode, ScanOutput, TypedPred,
+    best_fused_impl, run_fused_auto, run_scan_telemetered, scan_columns_auto_telemetered,
+    ColumnPred, OutputMode, RegWidth, ScanImpl, ScanOutput, ScanTelemetry, TelemetryLevel,
+    TypedPred,
 };
 use fts_jit::{
-    JitBackend, KernelCache, PackedColRef, PackedColSig, PackedKernelCache, PackedScanSig,
-    ScanSig,
+    JitBackend, KernelCache, PackedColRef, PackedColSig, PackedKernelCache, PackedScanSig, ScanSig,
 };
 use fts_simd::has_avx512;
 use fts_storage::{Chunk, CmpOp, DataType, IdPredicate, PosList, Segment, Value};
@@ -64,7 +66,11 @@ pub struct ExecContext {
 impl Default for ExecContext {
     fn default() -> Self {
         ExecContext {
-            jit: if has_avx512() { JitMode::On } else { JitMode::Off },
+            jit: if has_avx512() {
+                JitMode::On
+            } else {
+                JitMode::Off
+            },
             kernels: Arc::new(KernelCache::new(JitBackend::Avx512)),
             packed_kernels: Arc::new(PackedKernelCache::new()),
             chunks_pruned: AtomicU64::new(0),
@@ -81,7 +87,9 @@ fn range_can_match(range: Option<(f64, f64)>, op: CmpOp, literal: Value) -> bool
         // Empty chunk or no orderable values: nothing to find.
         return false;
     };
-    let Some(lit) = literal.as_f64() else { return true };
+    let Some(lit) = literal.as_f64() else {
+        return true;
+    };
     match op {
         CmpOp::Eq => lit >= min && lit <= max,
         CmpOp::Ne => true,
@@ -125,6 +133,87 @@ impl QueryResult {
     }
 }
 
+/// Everything an `EXPLAIN ANALYZE` statement observed while executing:
+/// merged phase-1 scan telemetry, chunk pruning, phase-2 row-wise filter
+/// traffic and JIT kernel-cache activity.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeReport {
+    /// Phase-1 scan telemetry merged across all scanned chunks (`morsels`
+    /// counts the chunks that contributed).
+    pub scan: ScanTelemetry,
+    /// Chunks skipped by min/max pruning.
+    pub chunks_pruned: u64,
+    /// Chunks actually scanned.
+    pub chunks_scanned: u64,
+    /// Positions entering the row-wise phase-2 filter.
+    pub phase2_rows_in: u64,
+    /// Positions surviving phase 2.
+    pub phase2_rows_out: u64,
+    /// JIT kernel-cache hits during the statement.
+    pub jit_hits: u64,
+    /// JIT kernel-cache misses (fresh compilations) during the statement.
+    pub jit_misses: u64,
+    /// JIT kernel-cache evictions during the statement.
+    pub jit_evictions: u64,
+    /// Time spent compiling machine-code kernels during the statement.
+    pub jit_compile_time: Duration,
+    /// Packed kernels resident after the statement.
+    pub packed_kernels: usize,
+    /// End-to-end execution wall time (planning excluded).
+    pub wall: Duration,
+}
+
+impl AnalyzeReport {
+    /// Fold one chunk's scan telemetry into the report.
+    fn note_scan(&mut self, t: &ScanTelemetry) {
+        if self.scan.morsels == 0 {
+            self.scan = t.clone();
+        } else {
+            self.scan.merge(t);
+        }
+    }
+
+    /// Render the `EXPLAIN ANALYZE` block. `peak_gb_per_sec` is the
+    /// machine's peak sequential read bandwidth (e.g.
+    /// `fts_core::stride::peak_bandwidth_gbps()`); it anchors the
+    /// bandwidth-bound-vs-compute-bound verdict.
+    pub fn render(&self, peak_gb_per_sec: f64) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "wall={:.3?}  chunks: scanned={}  pruned={}",
+            self.wall, self.chunks_scanned, self.chunks_pruned
+        );
+        out.push_str(&self.scan.render());
+        if self.phase2_rows_in > 0 {
+            let _ = writeln!(
+                out,
+                "phase 2 (row-wise): rows_in={}  rows_out={}",
+                self.phase2_rows_in, self.phase2_rows_out
+            );
+        }
+        if self.jit_hits + self.jit_misses > 0 || self.packed_kernels > 0 {
+            let _ = writeln!(
+                out,
+                "jit: hits={}  misses={}  evictions={}  compile={:.3?}  packed_kernels={}",
+                self.jit_hits,
+                self.jit_misses,
+                self.jit_evictions,
+                self.jit_compile_time,
+                self.packed_kernels
+            );
+        }
+        let _ = writeln!(
+            out,
+            "peak read bandwidth={:.2} GB/s -> {}",
+            peak_gb_per_sec,
+            self.scan.verdict(peak_gb_per_sec)
+        );
+        out
+    }
+}
+
 /// Execution errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
@@ -153,7 +242,13 @@ fn scan_chunk(
     preds: &[BoundPred],
     ctx: &ExecContext,
     mode: OutputMode,
+    mut analyze: Option<&mut AnalyzeReport>,
 ) -> Result<ScanOutput, ExecError> {
+    let level = if analyze.is_some() {
+        TelemetryLevel::Full
+    } else {
+        TelemetryLevel::Off
+    };
     // 1. Rewrite into effective predicates.
     let mut u32_preds: Vec<(&[u32], CmpOp, u32)> = Vec::new();
     let mut packed_preds: Vec<(&fts_storage::PackedColumn, CmpOp, u32)> = Vec::new();
@@ -164,7 +259,9 @@ fn scan_chunk(
         let seg = chunk.segment(p.column);
         match seg {
             Segment::Dict(d) => {
-                let ip = d.translate(p.op, p.value).ok_or(ExecError::PredicateTypeError)?;
+                let ip = d
+                    .translate(p.op, p.value)
+                    .ok_or(ExecError::PredicateTypeError)?;
                 match ip {
                     IdPredicate::MatchNone => {
                         return Ok(match mode {
@@ -195,12 +292,12 @@ fn scan_chunk(
                     };
                     u32_preds.push((data, p.op, needle));
                 }
-                DataType::I32
-                | DataType::F32
-                | DataType::U64
-                | DataType::I64
-                | DataType::F64 => {
-                    typed.push(ColumnPred { column: col, op: p.op, needle: p.value });
+                DataType::I32 | DataType::F32 | DataType::U64 | DataType::I64 | DataType::F64 => {
+                    typed.push(ColumnPred {
+                        column: col,
+                        op: p.op,
+                        needle: p.value,
+                    });
                 }
                 _ => dynp.push((seg, p.op, p.value)),
             },
@@ -209,15 +306,26 @@ fn scan_chunk(
 
     // Homogeneous typed chain with nothing else: one fused typed scan.
     if u32_preds.is_empty() && packed_preds.is_empty() && dynp.is_empty() && !typed.is_empty() {
-        let same = typed.windows(2).all(|w| w[0].column.data_type() == w[1].column.data_type());
+        let same = typed
+            .windows(2)
+            .all(|w| w[0].column.data_type() == w[1].column.data_type());
         if same {
-            return scan_columns_auto(&typed, mode).ok_or(ExecError::PredicateTypeError);
+            let (out, t) = scan_columns_auto_telemetered(&typed, mode, level)
+                .ok_or(ExecError::PredicateTypeError)?;
+            if let Some(r) = analyze {
+                r.note_scan(&t);
+            }
+            return Ok(out);
         }
     }
     // Mixed chains: typed predicates degrade to the row-wise phase.
     for t in typed {
         dynp.push((
-            chunk.segments().iter().find(|s| s.as_plain() == Some(t.column)).expect("segment"),
+            chunk
+                .segments()
+                .iter()
+                .find(|s| s.as_plain() == Some(t.column))
+                .expect("segment"),
             t.op,
             t.needle,
         ));
@@ -225,19 +333,28 @@ fn scan_chunk(
 
     // 2. Phase 1 — the fused scan over u32 and packed predicates.
     let rows = chunk.rows() as u32;
-    let phase1_mode =
-        if dynp.is_empty() { mode } else { OutputMode::Positions };
+    let phase1_mode = if dynp.is_empty() {
+        mode
+    } else {
+        OutputMode::Positions
+    };
     let phase1: ScanOutput = if !packed_preds.is_empty() {
         // Mixed packed + plain-u32 chain runs as one packed fused scan —
         // JIT-compiled when enabled and the chain fits one kernel.
-        run_packed_chain(&u32_preds, &packed_preds, ctx, phase1_mode)?
+        run_packed_chain(
+            &u32_preds,
+            &packed_preds,
+            ctx,
+            phase1_mode,
+            analyze.as_deref_mut(),
+        )?
     } else if u32_preds.is_empty() {
         match phase1_mode {
             OutputMode::Count if dynp.is_empty() => ScanOutput::Count(rows as u64),
             _ => ScanOutput::Positions((0..rows).collect()),
         }
     } else {
-        run_u32_chain(&u32_preds, ctx, phase1_mode)
+        run_u32_chain(&u32_preds, ctx, phase1_mode, analyze.as_deref_mut())
     };
 
     if dynp.is_empty() {
@@ -249,6 +366,7 @@ fn scan_chunk(
 
     // 3. Phase 2 — row-wise dynamic filtering of the position list.
     let positions = phase1.positions().expect("phase 1 produced positions");
+    let rows_in = positions.len() as u64;
     let mut out = PosList::new();
     'rows: for pos in positions {
         for (seg, op, needle) in &dynp {
@@ -259,6 +377,10 @@ fn scan_chunk(
             }
         }
         out.push(pos);
+    }
+    if let Some(r) = analyze {
+        r.phase2_rows_in += rows_in;
+        r.phase2_rows_out += out.len() as u64;
     }
     Ok(match mode {
         OutputMode::Count => ScanOutput::Count(out.len() as u64),
@@ -291,49 +413,96 @@ fn run_packed_chain(
     packed_preds: &[(&fts_storage::PackedColumn, CmpOp, u32)],
     ctx: &ExecContext,
     mode: OutputMode,
+    analyze: Option<&mut AnalyzeReport>,
 ) -> Result<ScanOutput, ExecError> {
     let total = u32_preds.len() + packed_preds.len();
-    // JIT path: driver must be a plain column or a ≤16-bit packed column;
-    // ordering puts the plain predicates first, which satisfies that when
-    // any plain predicate exists.
-    if ctx.jit == JitMode::On && total <= fts_jit::MAX_JIT_PREDICATES {
-        let driver_ok = !u32_preds.is_empty() || packed_preds[0].0.bits() <= 16;
-        let in_domain = packed_preds
-            .iter()
-            .all(|&(pc, _, n)| n <= fts_storage::mask_of(pc.bits()));
-        if driver_ok && in_domain {
-            let sig = PackedScanSig {
-                preds: u32_preds
-                    .iter()
-                    .map(|&(_, op, n)| PackedColSig::Plain { op, needle: n })
-                    .chain(packed_preds.iter().map(|&(pc, op, n)| PackedColSig::Packed {
-                        bits: pc.bits(),
-                        op,
-                        needle: n,
-                    }))
-                    .collect(),
-                emit_positions: mode == OutputMode::Positions,
-            };
-            if let Ok(kernel) = ctx.packed_kernels.get_or_compile(&sig) {
-                let cols: Vec<PackedColRef<'_>> = u32_preds
-                    .iter()
-                    .map(|&(d, _, _)| PackedColRef::Plain(d))
-                    .chain(packed_preds.iter().map(|&(pc, _, _)| PackedColRef::Packed(pc)))
-                    .collect();
-                if let Ok(out) = kernel.run(&cols) {
-                    return Ok(out);
+    let started = analyze.is_some().then(Instant::now);
+    let (out, impl_name): (ScanOutput, &'static str) = 'run: {
+        // JIT path: driver must be a plain column or a ≤16-bit packed
+        // column; ordering puts the plain predicates first, which satisfies
+        // that when any plain predicate exists.
+        if ctx.jit == JitMode::On && total <= fts_jit::MAX_JIT_PREDICATES {
+            let driver_ok = !u32_preds.is_empty() || packed_preds[0].0.bits() <= 16;
+            let in_domain = packed_preds
+                .iter()
+                .all(|&(pc, _, n)| n <= fts_storage::mask_of(pc.bits()));
+            if driver_ok && in_domain {
+                let sig = PackedScanSig {
+                    preds: u32_preds
+                        .iter()
+                        .map(|&(_, op, n)| PackedColSig::Plain { op, needle: n })
+                        .chain(
+                            packed_preds
+                                .iter()
+                                .map(|&(pc, op, n)| PackedColSig::Packed {
+                                    bits: pc.bits(),
+                                    op,
+                                    needle: n,
+                                }),
+                        )
+                        .collect(),
+                    emit_positions: mode == OutputMode::Positions,
+                };
+                if let Ok(kernel) = ctx.packed_kernels.get_or_compile(&sig) {
+                    let cols: Vec<PackedColRef<'_>> = u32_preds
+                        .iter()
+                        .map(|&(d, _, _)| PackedColRef::Plain(d))
+                        .chain(
+                            packed_preds
+                                .iter()
+                                .map(|&(pc, _, _)| PackedColRef::Packed(pc)),
+                        )
+                        .collect();
+                    if let Ok(out) = kernel.run(&cols) {
+                        break 'run (out, "jit-packed");
+                    }
                 }
             }
         }
-    }
-    let chain: Vec<PackedPred<'_>> = u32_preds
-        .iter()
-        .map(|&(d, op, n)| PackedPred::Plain(TypedPred::new(d, op, n)))
-        .chain(
-            packed_preds.iter().map(|&(pc, op, n)| PackedPred::Packed { col: pc, op, needle: n }),
+        let chain: Vec<PackedPred<'_>> = u32_preds
+            .iter()
+            .map(|&(d, op, n)| PackedPred::Plain(TypedPred::new(d, op, n)))
+            .chain(packed_preds.iter().map(|&(pc, op, n)| PackedPred::Packed {
+                col: pc,
+                op,
+                needle: n,
+            }))
+            .collect();
+        (
+            fused_scan_packed(&chain, mode)
+                .map_err(|e| ExecError::UnsupportedPlan(e.to_string()))?,
+            "fused-packed",
         )
-        .collect();
-    fused_scan_packed(&chain, mode).map_err(|e| ExecError::UnsupportedPlan(e.to_string()))
+    };
+    if let (Some(r), Some(started)) = (analyze, started) {
+        // Stage statistics are not replayable for bit-packed chains, so
+        // this path reports a Timing-grade record: rows, a bytes model
+        // (plain columns at 4 B/row, packed columns at bits/8 B/row) and
+        // the measured wall time.
+        let rows = u32_preds
+            .first()
+            .map(|&(d, _, _)| d.len())
+            .unwrap_or_else(|| packed_preds[0].0.len()) as u64;
+        let bytes = u32_preds.len() as u64 * rows * 4
+            + packed_preds
+                .iter()
+                .map(|&(pc, _, _)| (rows * pc.bits() as u64).div_ceil(8))
+                .sum::<u64>();
+        r.note_scan(&ScanTelemetry {
+            enabled: true,
+            impl_name,
+            rows,
+            predicates: total,
+            lanes: 16,
+            blocks: rows.div_ceil(16),
+            bytes_touched: bytes,
+            wall: started.elapsed(),
+            morsels: 1,
+            threads: 1,
+            ..ScanTelemetry::default()
+        });
+    }
+    Ok(out)
 }
 
 /// Run a homogeneous `u32` chain through the best available engine.
@@ -343,12 +512,13 @@ fn run_u32_chain(
     preds: &[(&[u32], CmpOp, u32)],
     ctx: &ExecContext,
     mode: OutputMode,
+    mut analyze: Option<&mut AnalyzeReport>,
 ) -> ScanOutput {
     let max = fts_core::fused::MAX_PREDICATES;
     if preds.len() > max {
         let mut acc: Option<PosList> = None;
         for group in preds.chunks(max) {
-            let out = run_u32_chain(group, ctx, OutputMode::Positions);
+            let out = run_u32_chain(group, ctx, OutputMode::Positions, analyze.as_deref_mut());
             let pl = match out {
                 ScanOutput::Positions(pl) => pl,
                 ScanOutput::Count(_) => unreachable!("positions requested"),
@@ -364,30 +534,93 @@ fn run_u32_chain(
             OutputMode::Positions => ScanOutput::Positions(pl),
         };
     }
-    if ctx.jit == JitMode::On
-        && has_avx512()
-        && preds.len() <= fts_jit::MAX_JIT_PREDICATES
-    {
+    if ctx.jit == JitMode::On && has_avx512() && preds.len() <= fts_jit::MAX_JIT_PREDICATES {
         let sig = ScanSig::u32_chain(
             &preds.iter().map(|&(_, op, n)| (op, n)).collect::<Vec<_>>(),
             mode == OutputMode::Positions,
         );
         if let Ok(kernel) = ctx.kernels.get_or_compile(&sig) {
             let cols: Vec<&[u32]> = preds.iter().map(|&(d, _, _)| d).collect();
+            let started = analyze.is_some().then(Instant::now);
             if let Ok(out) = kernel.run(&cols) {
+                if let (Some(r), Some(started)) = (analyze, started) {
+                    let wall = started.elapsed();
+                    // The JIT kernel implements the same per-block fused
+                    // algorithm as the 512-bit AVX-512 engine, so the
+                    // scalar-model replay yields its exact stage counters;
+                    // only the wall time comes from the machine-code run.
+                    let typed: Vec<TypedPred<'_, u32>> = preds
+                        .iter()
+                        .map(|&(d, op, n)| TypedPred::new(d, op, n))
+                        .collect();
+                    let mut t = fts_core::telemetry::collect(
+                        ScanImpl::FusedAvx512(RegWidth::W512),
+                        &typed,
+                        TelemetryLevel::Full,
+                    );
+                    t.impl_name = "jit-avx512(w512)";
+                    t.wall = wall;
+                    r.note_scan(&t);
+                }
                 return out;
             }
         }
     }
-    let typed: Vec<TypedPred<'_, u32>> =
-        preds.iter().map(|&(d, op, n)| TypedPred::new(d, op, n)).collect();
+    let typed: Vec<TypedPred<'_, u32>> = preds
+        .iter()
+        .map(|&(d, op, n)| TypedPred::new(d, op, n))
+        .collect();
+    if let Some(r) = analyze {
+        let (out, t) =
+            run_scan_telemetered(best_fused_impl::<u32>(), &typed, mode, TelemetryLevel::Full)
+                .expect("auto impl is always available");
+        r.note_scan(&t);
+        return out;
+    }
     run_fused_auto(&typed, mode)
 }
 
-
-
 /// Execute an optimized logical plan.
 pub fn execute(plan: &Lqp, ctx: &ExecContext) -> Result<QueryResult, ExecError> {
+    execute_with(plan, ctx, None)
+}
+
+/// Execute a plan and collect an [`AnalyzeReport`] — the `EXPLAIN ANALYZE`
+/// path. Scans run at [`TelemetryLevel::Full`], so this costs one extra
+/// instrumented pass per chunk; plain [`execute`] stays uninstrumented.
+pub fn execute_analyzed(
+    plan: &Lqp,
+    ctx: &ExecContext,
+) -> Result<(QueryResult, AnalyzeReport), ExecError> {
+    let mut report = AnalyzeReport::default();
+    let jit0 = ctx.kernels.stats();
+    let pruned0 = ctx.chunks_pruned.load(Ordering::Relaxed);
+    let scanned0 = ctx.chunks_scanned.load(Ordering::Relaxed);
+    let started = Instant::now();
+    let result = execute_with(plan, ctx, Some(&mut report))?;
+    report.wall = started.elapsed();
+    let jit1 = ctx.kernels.stats();
+    report.jit_hits = jit1.hits.saturating_sub(jit0.hits);
+    report.jit_misses = jit1.misses.saturating_sub(jit0.misses);
+    report.jit_evictions = jit1.evictions.saturating_sub(jit0.evictions);
+    report.jit_compile_time = jit1.compile_time.saturating_sub(jit0.compile_time);
+    report.packed_kernels = ctx.packed_kernels.len();
+    report.chunks_pruned = ctx
+        .chunks_pruned
+        .load(Ordering::Relaxed)
+        .saturating_sub(pruned0);
+    report.chunks_scanned = ctx
+        .chunks_scanned
+        .load(Ordering::Relaxed)
+        .saturating_sub(scanned0);
+    Ok((result, report))
+}
+
+fn execute_with(
+    plan: &Lqp,
+    ctx: &ExecContext,
+    mut analyze: Option<&mut AnalyzeReport>,
+) -> Result<QueryResult, ExecError> {
     match plan {
         Lqp::Aggregate { input, aggs } => {
             let (entry, preds) = scan_root(input)?;
@@ -400,7 +633,9 @@ pub fn execute(plan: &Lqp, ctx: &ExecContext) -> Result<QueryResult, ExecError> 
                         continue;
                     }
                     ctx.chunks_scanned.fetch_add(1, Ordering::Relaxed);
-                    total += scan_chunk(chunk, preds, ctx, OutputMode::Count)?.count();
+                    total +=
+                        scan_chunk(chunk, preds, ctx, OutputMode::Count, analyze.as_deref_mut())?
+                            .count();
                 }
                 return Ok(QueryResult::Count(total));
             }
@@ -411,7 +646,13 @@ pub fn execute(plan: &Lqp, ctx: &ExecContext) -> Result<QueryResult, ExecError> 
                     continue;
                 }
                 ctx.chunks_scanned.fetch_add(1, Ordering::Relaxed);
-                let out = scan_chunk(chunk, preds, ctx, OutputMode::Positions)?;
+                let out = scan_chunk(
+                    chunk,
+                    preds,
+                    ctx,
+                    OutputMode::Positions,
+                    analyze.as_deref_mut(),
+                )?;
                 let positions = out.positions().expect("positions requested");
                 for pos in positions {
                     for (state, agg) in states.iter_mut().zip(aggs) {
@@ -429,7 +670,7 @@ pub fn execute(plan: &Lqp, ctx: &ExecContext) -> Result<QueryResult, ExecError> 
             })
         }
         Lqp::Limit { input, n } => {
-            let inner = execute(input, ctx)?;
+            let inner = execute_with(input, ctx, analyze)?;
             Ok(match inner {
                 QueryResult::Rows { columns, mut rows } => {
                     rows.truncate(*n as usize);
@@ -438,7 +679,11 @@ pub fn execute(plan: &Lqp, ctx: &ExecContext) -> Result<QueryResult, ExecError> 
                 other => other,
             })
         }
-        Lqp::Project { input, columns, names } => {
+        Lqp::Project {
+            input,
+            columns,
+            names,
+        } => {
             let (entry, preds) = scan_root(input)?;
             let mut rows: Vec<Vec<Value>> = Vec::new();
             for (ci, chunk) in entry.table.chunks().iter().enumerate() {
@@ -447,7 +692,13 @@ pub fn execute(plan: &Lqp, ctx: &ExecContext) -> Result<QueryResult, ExecError> 
                     continue;
                 }
                 ctx.chunks_scanned.fetch_add(1, Ordering::Relaxed);
-                let out = scan_chunk(chunk, preds, ctx, OutputMode::Positions)?;
+                let out = scan_chunk(
+                    chunk,
+                    preds,
+                    ctx,
+                    OutputMode::Positions,
+                    analyze.as_deref_mut(),
+                )?;
                 let positions = out.positions().expect("positions requested");
                 for pos in positions {
                     rows.push(
@@ -458,7 +709,10 @@ pub fn execute(plan: &Lqp, ctx: &ExecContext) -> Result<QueryResult, ExecError> 
                     );
                 }
             }
-            Ok(QueryResult::Rows { columns: names.clone(), rows })
+            Ok(QueryResult::Rows {
+                columns: names.clone(),
+                rows,
+            })
         }
         other => Err(ExecError::UnsupportedPlan(format!("{other:?}"))),
     }
@@ -468,27 +722,51 @@ pub fn execute(plan: &Lqp, ctx: &ExecContext) -> Result<QueryResult, ExecError> 
 enum AggState {
     Count(u64),
     /// Integer SUM/AVG accumulate exactly in i128; floats in f64.
-    Sum { ints: i128, floats: f64, n: u64, is_float: bool },
-    MinMax { best: Option<Value>, want_max: bool },
+    Sum {
+        ints: i128,
+        floats: f64,
+        n: u64,
+        is_float: bool,
+    },
+    MinMax {
+        best: Option<Value>,
+        want_max: bool,
+    },
 }
 
 impl AggState {
     fn new(agg: &BoundAgg) -> AggState {
         match agg.func {
             AggFunc::Count => AggState::Count(0),
-            AggFunc::Sum | AggFunc::Avg => {
-                AggState::Sum { ints: 0, floats: 0.0, n: 0, is_float: false }
-            }
-            AggFunc::Min => AggState::MinMax { best: None, want_max: false },
-            AggFunc::Max => AggState::MinMax { best: None, want_max: true },
+            AggFunc::Sum | AggFunc::Avg => AggState::Sum {
+                ints: 0,
+                floats: 0.0,
+                n: 0,
+                is_float: false,
+            },
+            AggFunc::Min => AggState::MinMax {
+                best: None,
+                want_max: false,
+            },
+            AggFunc::Max => AggState::MinMax {
+                best: None,
+                want_max: true,
+            },
         }
     }
 
     fn accumulate(&mut self, agg: &BoundAgg, chunk: &Chunk, row: usize) {
         match self {
             AggState::Count(n) => *n += 1,
-            AggState::Sum { ints, floats, n, is_float } => {
-                let v = chunk.segment(agg.column.expect("SUM/AVG bind a column")).value_at(row);
+            AggState::Sum {
+                ints,
+                floats,
+                n,
+                is_float,
+            } => {
+                let v = chunk
+                    .segment(agg.column.expect("SUM/AVG bind a column"))
+                    .value_at(row);
                 match value_num(v) {
                     Num::Int(i) => *ints += i,
                     Num::Float(f) => {
@@ -499,12 +777,18 @@ impl AggState {
                 *n += 1;
             }
             AggState::MinMax { best, want_max } => {
-                let v = chunk.segment(agg.column.expect("MIN/MAX bind a column")).value_at(row);
+                let v = chunk
+                    .segment(agg.column.expect("MIN/MAX bind a column"))
+                    .value_at(row);
                 let better = match best {
                     None => true,
                     Some(b) => {
                         let ord = num_cmp(value_num(v), value_num(*b));
-                        if *want_max { ord == std::cmp::Ordering::Greater } else { ord == std::cmp::Ordering::Less }
+                        if *want_max {
+                            ord == std::cmp::Ordering::Greater
+                        } else {
+                            ord == std::cmp::Ordering::Less
+                        }
                     }
                 };
                 if better {
@@ -517,7 +801,12 @@ impl AggState {
     fn finish(self, agg: &BoundAgg) -> Value {
         match self {
             AggState::Count(n) => Value::U64(n),
-            AggState::Sum { ints, floats, n, is_float } => {
+            AggState::Sum {
+                ints,
+                floats,
+                n,
+                is_float,
+            } => {
                 if agg.func == AggFunc::Avg {
                     let total = floats + ints as f64;
                     return Value::F64(if n == 0 { 0.0 } else { total / n as f64 });
@@ -557,8 +846,14 @@ fn num_cmp(a: Num, b: Num) -> std::cmp::Ordering {
     match (a, b) {
         (Num::Int(x), Num::Int(y)) => x.cmp(&y),
         (x, y) => {
-            let fx = match x { Num::Int(i) => i as f64, Num::Float(f) => f };
-            let fy = match y { Num::Int(i) => i as f64, Num::Float(f) => f };
+            let fx = match x {
+                Num::Int(i) => i as f64,
+                Num::Float(f) => f,
+            };
+            let fy = match y {
+                Num::Int(i) => i as f64,
+                Num::Float(f) => f,
+            };
             fx.partial_cmp(&fy).unwrap_or(std::cmp::Ordering::Equal)
         }
     }
@@ -583,9 +878,9 @@ fn scan_root(plan: &Lqp) -> Result<(&CatalogEntry, &[BoundPred]), ExecError> {
 /// Whether min/max pruning proves this chunk cannot produce matches.
 fn prune_chunk(entry: &CatalogEntry, chunk_idx: usize, preds: &[BoundPred]) -> bool {
     !preds.is_empty()
-        && preds.iter().any(|p| {
-            !range_can_match(entry.chunk_ranges[chunk_idx][p.column], p.op, p.value)
-        })
+        && preds
+            .iter()
+            .any(|p| !range_can_match(entry.chunk_ranges[chunk_idx][p.column], p.op, p.value))
 }
 
 #[cfg(test)]
@@ -598,7 +893,10 @@ mod tests {
     use fts_storage::{Column, ColumnDef, Table};
 
     fn make_ctx(jit: JitMode) -> ExecContext {
-        ExecContext { jit, ..Default::default() }
+        ExecContext {
+            jit,
+            ..Default::default()
+        }
     }
 
     fn catalog() -> Catalog {
@@ -647,14 +945,20 @@ mod tests {
 
     #[test]
     fn count_without_where() {
-        assert_eq!(run("SELECT COUNT(*) FROM t", JitMode::Off), QueryResult::Count(1000));
+        assert_eq!(
+            run("SELECT COUNT(*) FROM t", JitMode::Off),
+            QueryResult::Count(1000)
+        );
     }
 
     #[test]
     fn dictionary_segments_scan_as_value_ids() {
         // Column `a` and `big` are dictionary-encoded in t_dict.
         let expected = expected_count(|i| i % 10 == 5 && i % 4 == 1);
-        let r = run("SELECT COUNT(*) FROM t_dict WHERE a = 5 AND b = 1", JitMode::On);
+        let r = run(
+            "SELECT COUNT(*) FROM t_dict WHERE a = 5 AND b = 1",
+            JitMode::On,
+        );
         assert_eq!(r, QueryResult::Count(expected));
 
         // Range predicate over a dict-encoded i64 column → u32 id range.
@@ -663,7 +967,10 @@ mod tests {
         assert_eq!(r, QueryResult::Count(expected));
 
         // Literal not in the dictionary: Ne matches everything.
-        let r = run("SELECT COUNT(*) FROM t_dict WHERE big <> 123456", JitMode::Off);
+        let r = run(
+            "SELECT COUNT(*) FROM t_dict WHERE big <> 123456",
+            JitMode::Off,
+        );
         assert_eq!(r, QueryResult::Count(1000));
     }
 
@@ -677,16 +984,22 @@ mod tests {
         let expected = expected_count(|i| i % 10 == 5 && i % 4 == 1);
         let ctx = make_ctx(JitMode::Off);
         let p = optimize(
-            plan(&parse("SELECT COUNT(*) FROM tp WHERE a = 5 AND b = 1").unwrap(), &cat2)
-                .unwrap(),
+            plan(
+                &parse("SELECT COUNT(*) FROM tp WHERE a = 5 AND b = 1").unwrap(),
+                &cat2,
+            )
+            .unwrap(),
         );
         assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(expected));
 
         // Mixed: packed driver + plain follow-up + dynamic i64 predicate.
         let expected = expected_count(|i| i % 10 == 5 && (i as i64 - 500) < 0);
         let p = optimize(
-            plan(&parse("SELECT COUNT(*) FROM tp WHERE a = 5 AND big < 0").unwrap(), &cat2)
-                .unwrap(),
+            plan(
+                &parse("SELECT COUNT(*) FROM tp WHERE a = 5 AND big < 0").unwrap(),
+                &cat2,
+            )
+            .unwrap(),
         );
         assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(expected));
     }
@@ -704,12 +1017,18 @@ mod tests {
         cat2.register("tp", packed);
         let ctx = make_ctx(JitMode::On);
         let p = optimize(
-            plan(&parse("SELECT COUNT(*) FROM tp WHERE a = 5 AND b = 1").unwrap(), &cat2)
-                .unwrap(),
+            plan(
+                &parse("SELECT COUNT(*) FROM tp WHERE a = 5 AND b = 1").unwrap(),
+                &cat2,
+            )
+            .unwrap(),
         );
         let expected = expected_count(|i| i % 10 == 5 && i % 4 == 1);
         assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(expected));
-        assert!(!ctx.packed_kernels.is_empty(), "packed JIT kernel must be compiled");
+        assert!(
+            !ctx.packed_kernels.is_empty(),
+            "packed JIT kernel must be compiled"
+        );
         // Re-running hits the cache, same result.
         assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(expected));
         assert_eq!(ctx.packed_kernels.len(), 1);
@@ -718,28 +1037,42 @@ mod tests {
     #[test]
     fn mixed_u32_and_dynamic_chain() {
         let expected = expected_count(|i| i % 10 == 5 && (i as i64 - 500) < 0);
-        let r = run("SELECT COUNT(*) FROM t WHERE a = 5 AND big < 0", JitMode::On);
+        let r = run(
+            "SELECT COUNT(*) FROM t WHERE a = 5 AND big < 0",
+            JitMode::On,
+        );
         assert_eq!(r, QueryResult::Count(expected));
     }
 
     #[test]
     fn homogeneous_i64_chain_uses_typed_kernel() {
         let expected = expected_count(|i| (i as i64 - 500) >= -100 && (i as i64 - 500) < 100);
-        let r = run("SELECT COUNT(*) FROM t WHERE big >= -100 AND big < 100", JitMode::Off);
+        let r = run(
+            "SELECT COUNT(*) FROM t WHERE big >= -100 AND big < 100",
+            JitMode::Off,
+        );
         assert_eq!(r, QueryResult::Count(expected));
     }
 
     #[test]
     fn homogeneous_f32_chain_uses_typed_kernel() {
         let expected = expected_count(|i| (i % 8) as f32 >= 2.0 && ((i % 8) as f32) < 6.0);
-        let r = run("SELECT COUNT(*) FROM t WHERE f >= 2.0 AND f < 6.0", JitMode::Off);
+        let r = run(
+            "SELECT COUNT(*) FROM t WHERE f >= 2.0 AND f < 6.0",
+            JitMode::Off,
+        );
         assert_eq!(r, QueryResult::Count(expected));
     }
 
     #[test]
     fn projection_and_limit() {
-        let r = run("SELECT a, big FROM t WHERE a = 5 AND b = 1 LIMIT 3", JitMode::On);
-        let QueryResult::Rows { columns, rows } = r else { panic!("{r:?}") };
+        let r = run(
+            "SELECT a, big FROM t WHERE a = 5 AND b = 1 LIMIT 3",
+            JitMode::On,
+        );
+        let QueryResult::Rows { columns, rows } = r else {
+            panic!("{r:?}")
+        };
         assert_eq!(columns, vec!["a", "big"]);
         assert_eq!(rows.len(), 3);
         for row in &rows {
@@ -753,8 +1086,13 @@ mod tests {
 
     #[test]
     fn select_star() {
-        let r = run("SELECT * FROM t WHERE a = 5 AND b = 1 LIMIT 2", JitMode::Off);
-        let QueryResult::Rows { columns, rows } = r else { panic!() };
+        let r = run(
+            "SELECT * FROM t WHERE a = 5 AND b = 1 LIMIT 2",
+            JitMode::Off,
+        );
+        let QueryResult::Rows { columns, rows } = r else {
+            panic!()
+        };
         assert_eq!(columns, vec!["a", "b", "big", "f"]);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].len(), 4);
@@ -773,14 +1111,21 @@ mod tests {
     #[test]
     fn aggregate_functions() {
         // SUM/MIN/MAX/AVG over the rows matching a = 5 (big = i - 500).
-        let matching: Vec<i64> =
-            (0..1000).filter(|i| i % 10 == 5).map(|i| i as i64 - 500).collect();
+        let matching: Vec<i64> = (0..1000)
+            .filter(|i| i % 10 == 5)
+            .map(|i| i as i64 - 500)
+            .collect();
         let r = run(
             "SELECT COUNT(*), SUM(big), MIN(big), MAX(big), AVG(big) FROM t WHERE a = 5",
             JitMode::On,
         );
-        let QueryResult::Rows { columns, rows } = r else { panic!("{r:?}") };
-        assert_eq!(columns, vec!["count(*)", "sum(big)", "min(big)", "max(big)", "avg(big)"]);
+        let QueryResult::Rows { columns, rows } = r else {
+            panic!("{r:?}")
+        };
+        assert_eq!(
+            columns,
+            vec!["count(*)", "sum(big)", "min(big)", "max(big)", "avg(big)"]
+        );
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][0], Value::U64(matching.len() as u64));
         assert_eq!(rows[0][1], Value::I64(matching.iter().sum()));
@@ -792,8 +1137,13 @@ mod tests {
 
     #[test]
     fn float_aggregates_and_empty_input() {
-        let r = run("SELECT SUM(f), AVG(f) FROM t WHERE a = 5 AND b = 1", JitMode::Off);
-        let QueryResult::Rows { rows, .. } = r else { panic!() };
+        let r = run(
+            "SELECT SUM(f), AVG(f) FROM t WHERE a = 5 AND b = 1",
+            JitMode::Off,
+        );
+        let QueryResult::Rows { rows, .. } = r else {
+            panic!()
+        };
         let expected_sum: f64 = (0..1000)
             .filter(|i| i % 10 == 5 && i % 4 == 1)
             .map(|i| (i % 8) as f64)
@@ -801,8 +1151,13 @@ mod tests {
         assert_eq!(rows[0][0], Value::F64(expected_sum));
 
         // Nothing matches: SUM = 0, AVG = 0, MIN/MAX fall back to 0.
-        let r = run("SELECT SUM(big), AVG(big), MIN(big) FROM t WHERE a = 5 AND a = 6", JitMode::Off);
-        let QueryResult::Rows { rows, .. } = r else { panic!() };
+        let r = run(
+            "SELECT SUM(big), AVG(big), MIN(big) FROM t WHERE a = 5 AND a = 6",
+            JitMode::Off,
+        );
+        let QueryResult::Rows { rows, .. } = r else {
+            panic!()
+        };
         assert_eq!(rows[0][0], Value::I64(0));
         assert_eq!(rows[0][1], Value::F64(0.0));
         assert_eq!(rows[0][2], Value::I64(0));
@@ -812,24 +1167,31 @@ mod tests {
     fn chains_longer_than_one_kernel_split_and_intersect() {
         // 10 predicates exceed MAX_PREDICATES (8): the executor must split.
         let mut cat = Catalog::new();
-        let cols: Vec<Column> = (0..10).map(|c| {
-            Column::from_fn(500, move |i| ((i as u32).wrapping_mul(c + 3)) % 3)
-        }).collect();
-        let schema = (0..10).map(|c| ColumnDef::new(format!("c{c}"), DataType::U32)).collect();
+        let cols: Vec<Column> = (0..10)
+            .map(|c| Column::from_fn(500, move |i| ((i as u32).wrapping_mul(c + 3)) % 3))
+            .collect();
+        let schema = (0..10)
+            .map(|c| ColumnDef::new(format!("c{c}"), DataType::U32))
+            .collect();
         cat.register("wide", Table::from_columns(schema, cols.clone()).unwrap());
         let sql = format!(
             "SELECT COUNT(*) FROM wide WHERE {}",
-            (0..10).map(|c| format!("c{c} = 0")).collect::<Vec<_>>().join(" AND ")
+            (0..10)
+                .map(|c| format!("c{c} = 0"))
+                .collect::<Vec<_>>()
+                .join(" AND ")
         );
         let expected = (0..500usize)
-            .filter(|&i| {
-                (0..10u32).all(|c| ((i as u32).wrapping_mul(c + 3)) % 3 == 0)
-            })
+            .filter(|&i| (0..10u32).all(|c| (i as u32).wrapping_mul(c + 3).is_multiple_of(3)))
             .count() as u64;
         for jit in [JitMode::Off, JitMode::On] {
             let ctx = make_ctx(jit);
             let p = optimize(plan(&parse(&sql).unwrap(), &cat).unwrap());
-            assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(expected), "{jit:?}");
+            assert_eq!(
+                execute(&p, &ctx).unwrap(),
+                QueryResult::Count(expected),
+                "{jit:?}"
+            );
         }
     }
 
@@ -841,25 +1203,42 @@ mod tests {
         cat.register(
             "sorted",
             Table::from_chunked_columns(
-                vec![ColumnDef::new("k", DataType::U32), ColumnDef::new("v", DataType::U32)],
-                vec![Column::from_fn(1000, |i| i as u32), Column::from_fn(1000, |i| (i % 7) as u32)],
+                vec![
+                    ColumnDef::new("k", DataType::U32),
+                    ColumnDef::new("v", DataType::U32),
+                ],
+                vec![
+                    Column::from_fn(1000, |i| i as u32),
+                    Column::from_fn(1000, |i| (i % 7) as u32),
+                ],
                 250,
             )
             .unwrap(),
         );
         let ctx = make_ctx(JitMode::Off);
         let p = optimize(
-            plan(&parse("SELECT COUNT(*) FROM sorted WHERE k = 600 AND v < 7").unwrap(), &cat)
-                .unwrap(),
+            plan(
+                &parse("SELECT COUNT(*) FROM sorted WHERE k = 600 AND v < 7").unwrap(),
+                &cat,
+            )
+            .unwrap(),
         );
         assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(1));
-        assert_eq!(ctx.chunks_pruned.load(Ordering::Relaxed), 3, "3 of 4 chunks pruned");
+        assert_eq!(
+            ctx.chunks_pruned.load(Ordering::Relaxed),
+            3,
+            "3 of 4 chunks pruned"
+        );
         assert_eq!(ctx.chunks_scanned.load(Ordering::Relaxed), 1);
 
         // Range predicate prunes the low chunks only.
         let ctx = make_ctx(JitMode::Off);
         let p = optimize(
-            plan(&parse("SELECT COUNT(*) FROM sorted WHERE k >= 750").unwrap(), &cat).unwrap(),
+            plan(
+                &parse("SELECT COUNT(*) FROM sorted WHERE k >= 750").unwrap(),
+                &cat,
+            )
+            .unwrap(),
         );
         assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(250));
         assert_eq!(ctx.chunks_pruned.load(Ordering::Relaxed), 3);
@@ -867,7 +1246,11 @@ mod tests {
         // Ne never prunes (f64-rounding conservatism).
         let ctx = make_ctx(JitMode::Off);
         let p = optimize(
-            plan(&parse("SELECT COUNT(*) FROM sorted WHERE k <> 5").unwrap(), &cat).unwrap(),
+            plan(
+                &parse("SELECT COUNT(*) FROM sorted WHERE k <> 5").unwrap(),
+                &cat,
+            )
+            .unwrap(),
         );
         assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(999));
         assert_eq!(ctx.chunks_pruned.load(Ordering::Relaxed), 0);
@@ -888,8 +1271,104 @@ mod tests {
         assert!(range_can_match(r, CmpOp::Gt, Value::U32(20)));
         assert!(!range_can_match(r, CmpOp::Gt, Value::U32(21)));
         assert!(range_can_match(r, CmpOp::Ge, Value::U32(20)));
-        assert!(range_can_match(r, CmpOp::Ne, Value::U32(15)), "Ne never prunes");
-        assert!(!range_can_match(None, CmpOp::Eq, Value::U32(1)), "empty chunk");
+        assert!(
+            range_can_match(r, CmpOp::Ne, Value::U32(15)),
+            "Ne never prunes"
+        );
+        assert!(
+            !range_can_match(None, CmpOp::Eq, Value::U32(1)),
+            "empty chunk"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_reports_full_scan_telemetry() {
+        let cat = catalog();
+        let expected = expected_count(|i| i % 10 == 5 && i % 4 == 1);
+        for jit in [JitMode::Off, JitMode::On] {
+            let ctx = make_ctx(jit);
+            let p = optimize(
+                plan(
+                    &parse("SELECT COUNT(*) FROM t WHERE a = 5 AND b = 1").unwrap(),
+                    &cat,
+                )
+                .unwrap(),
+            );
+            let (result, report) = execute_analyzed(&p, &ctx).unwrap();
+            assert_eq!(result, QueryResult::Count(expected), "{jit:?}");
+            assert!(report.scan.enabled, "{jit:?}");
+            assert_eq!(report.scan.rows, 1000, "{jit:?}: all 4 chunks scanned");
+            assert_eq!(report.chunks_scanned, 4, "{jit:?}");
+            assert_eq!(report.chunks_pruned, 0, "{jit:?}");
+            assert_eq!(report.scan.predicates, 2, "{jit:?}");
+            // Chain survivors across all chunks equal the query's count.
+            assert_eq!(
+                *report.scan.pred_survivors.last().unwrap(),
+                expected,
+                "{jit:?}"
+            );
+            assert!(report
+                .scan
+                .selectivities()
+                .iter()
+                .all(|s| (0.0..=1.0).contains(s)));
+            let text = report.render(10.0);
+            assert!(text.contains("Scan ["), "{text}");
+            assert!(text.contains("chunks: scanned=4"), "{text}");
+            assert!(text.contains("-bound"), "{text}");
+            if jit == JitMode::On && has_avx512() {
+                assert!(
+                    report.jit_hits + report.jit_misses > 0,
+                    "JIT cache was exercised"
+                );
+                assert!(text.contains("jit:"), "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn explain_analyze_counts_phase2_rows() {
+        let cat = catalog();
+        let ctx = make_ctx(JitMode::Off);
+        let p = optimize(
+            plan(
+                &parse("SELECT COUNT(*) FROM t WHERE a = 5 AND big < 0").unwrap(),
+                &cat,
+            )
+            .unwrap(),
+        );
+        let (result, report) = execute_analyzed(&p, &ctx).unwrap();
+        let expected = expected_count(|i| i % 10 == 5 && (i as i64 - 500) < 0);
+        assert_eq!(result, QueryResult::Count(expected));
+        // Phase 1 (a = 5) passes 100 positions to the row-wise phase.
+        assert_eq!(report.phase2_rows_in, expected_count(|i| i % 10 == 5));
+        assert_eq!(report.phase2_rows_out, expected);
+        let text = report.render(10.0);
+        assert!(text.contains("phase 2"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_covers_typed_and_untracked_paths() {
+        // Homogeneous i64 chain: telemetry comes from the typed fused scan.
+        let cat = catalog();
+        let ctx = make_ctx(JitMode::Off);
+        let p = optimize(
+            plan(
+                &parse("SELECT COUNT(*) FROM t WHERE big >= -100 AND big < 100").unwrap(),
+                &cat,
+            )
+            .unwrap(),
+        );
+        let (result, report) = execute_analyzed(&p, &ctx).unwrap();
+        let expected = expected_count(|i| (i as i64 - 500) >= -100 && (i as i64 - 500) < 100);
+        assert_eq!(result, QueryResult::Count(expected));
+        assert!(report.scan.enabled);
+        assert_eq!(report.scan.rows, 1000);
+        assert_eq!(*report.scan.pred_survivors.last().unwrap(), expected);
+
+        // Analyzed and plain execution agree on results.
+        let plain = execute(&p, &ctx).unwrap();
+        assert_eq!(plain, result);
     }
 
     #[test]
@@ -897,7 +1376,10 @@ mod tests {
         let r = QueryResult::Count(5);
         assert_eq!(r.count(), Some(5));
         assert_eq!(r.num_rows(), 1);
-        let r = QueryResult::Rows { columns: vec![], rows: vec![vec![], vec![]] };
+        let r = QueryResult::Rows {
+            columns: vec![],
+            rows: vec![vec![], vec![]],
+        };
         assert_eq!(r.count(), None);
         assert_eq!(r.num_rows(), 2);
     }

@@ -42,8 +42,10 @@ impl std::fmt::Display for LexError {
 
 impl std::error::Error for LexError {}
 
-const KEYWORDS: &[&str] =
-    &["SELECT", "FROM", "WHERE", "AND", "COUNT", "SUM", "MIN", "MAX", "AVG", "AS", "EXPLAIN", "LIMIT", "BETWEEN"];
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "COUNT", "SUM", "MIN", "MAX", "AVG", "AS", "EXPLAIN",
+    "LIMIT", "BETWEEN",
+];
 
 /// Tokenize a SQL string.
 pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
@@ -104,7 +106,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     out.push(Token::Op("<>".into()));
                     i += 2;
                 } else {
-                    return Err(LexError { at: i, message: "expected '=' after '!'".into() });
+                    return Err(LexError {
+                        at: i,
+                        message: "expected '=' after '!'".into(),
+                    });
                 }
             }
             '0'..='9' | '-' | '+' => {
@@ -112,7 +117,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 if c == '-' || c == '+' {
                     i += 1;
                     if !bytes.get(i).is_some_and(|b| b.is_ascii_digit()) {
-                        return Err(LexError { at: start, message: "dangling sign".into() });
+                        return Err(LexError {
+                            at: start,
+                            message: "dangling sign".into(),
+                        });
                     }
                 }
                 let mut is_float = false;
@@ -146,9 +154,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let text = &input[start..i];
@@ -160,7 +166,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             _ => {
-                return Err(LexError { at: i, message: format!("unexpected character '{c}'") });
+                return Err(LexError {
+                    at: i,
+                    message: format!("unexpected character '{c}'"),
+                });
             }
         }
     }
@@ -203,7 +212,12 @@ mod tests {
         assert!(toks.contains(&Token::Int(-3)));
         assert!(toks.contains(&Token::Float(150.0)));
         // != normalizes to <>
-        assert_eq!(toks.iter().filter(|t| **t == Token::Op("<>".into())).count(), 2);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| **t == Token::Op("<>".into()))
+                .count(),
+            2
+        );
     }
 
     #[test]

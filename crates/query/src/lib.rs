@@ -23,6 +23,6 @@ pub mod stats;
 
 pub use catalog::Catalog;
 pub use db::{Database, QueryError};
-pub use executor::{ExecContext, JitMode, QueryResult};
+pub use executor::{AnalyzeReport, ExecContext, JitMode, QueryResult};
 pub use lqp::{BoundPred, Lqp};
 pub use stats::ColumnStats;

@@ -200,10 +200,12 @@ pub fn plan(select: &Select, catalog: &Catalog) -> Result<Lqp, PlanError> {
     };
 
     for p in &select.predicates {
-        let column = table.column_index(&p.column).ok_or_else(|| PlanError::UnknownColumn {
-            column: p.column.clone(),
-            table: select.table.clone(),
-        })?;
+        let column = table
+            .column_index(&p.column)
+            .ok_or_else(|| PlanError::UnknownColumn {
+                column: p.column.clone(),
+                table: select.table.clone(),
+            })?;
         let raw = match p.literal {
             Literal::Int(v) => {
                 // Widen through i64/u64 then cast precisely.
@@ -221,10 +223,12 @@ pub fn plan(select: &Select, catalog: &Catalog) -> Result<Lqp, PlanError> {
             Literal::Float(v) => Value::F64(v),
         };
         let ty = table.schema()[column].data_type;
-        let value = raw.cast_to(ty).ok_or_else(|| PlanError::LiteralOutOfRange {
-            column: p.column.clone(),
-            literal: format!("{raw}"),
-        })?;
+        let value = raw
+            .cast_to(ty)
+            .ok_or_else(|| PlanError::LiteralOutOfRange {
+                column: p.column.clone(),
+                literal: format!("{raw}"),
+            })?;
         let selectivity = entry.stats[column].selectivity(p.op, value);
         node = Lqp::Filter {
             input: Box::new(node),
@@ -238,46 +242,68 @@ pub fn plan(select: &Select, catalog: &Catalog) -> Result<Lqp, PlanError> {
         };
     }
 
-    node = match &select.projection {
-        Projection::Aggregates(aggs) => {
-            let mut bound = Vec::with_capacity(aggs.len());
-            for a in aggs {
-                let column = match &a.column {
-                    Some(c) => {
-                        Some(table.column_index(c).ok_or_else(|| PlanError::UnknownColumn {
+    node =
+        match &select.projection {
+            Projection::Aggregates(aggs) => {
+                let mut bound = Vec::with_capacity(aggs.len());
+                for a in aggs {
+                    let column =
+                        match &a.column {
+                            Some(c) => Some(table.column_index(c).ok_or_else(|| {
+                                PlanError::UnknownColumn {
+                                    column: c.clone(),
+                                    table: select.table.clone(),
+                                }
+                            })?),
+                            None => None,
+                        };
+                    let label = match &a.column {
+                        Some(c) => format!("{}({c})", a.func.name()),
+                        None => format!("{}(*)", a.func.name()),
+                    };
+                    bound.push(BoundAgg {
+                        func: a.func,
+                        column,
+                        label,
+                    });
+                }
+                Lqp::Aggregate {
+                    input: Box::new(node),
+                    aggs: bound,
+                }
+            }
+            Projection::Star => {
+                let columns: Vec<usize> = (0..table.columns()).collect();
+                let names = table.schema().iter().map(|c| c.name.clone()).collect();
+                Lqp::Project {
+                    input: Box::new(node),
+                    columns,
+                    names,
+                }
+            }
+            Projection::Columns(cols) => {
+                let mut columns = Vec::with_capacity(cols.len());
+                for c in cols {
+                    columns.push(table.column_index(c).ok_or_else(|| {
+                        PlanError::UnknownColumn {
                             column: c.clone(),
                             table: select.table.clone(),
-                        })?)
-                    }
-                    None => None,
-                };
-                let label = match &a.column {
-                    Some(c) => format!("{}({c})", a.func.name()),
-                    None => format!("{}(*)", a.func.name()),
-                };
-                bound.push(BoundAgg { func: a.func, column, label });
+                        }
+                    })?);
+                }
+                Lqp::Project {
+                    input: Box::new(node),
+                    columns,
+                    names: cols.clone(),
+                }
             }
-            Lqp::Aggregate { input: Box::new(node), aggs: bound }
-        }
-        Projection::Star => {
-            let columns: Vec<usize> = (0..table.columns()).collect();
-            let names = table.schema().iter().map(|c| c.name.clone()).collect();
-            Lqp::Project { input: Box::new(node), columns, names }
-        }
-        Projection::Columns(cols) => {
-            let mut columns = Vec::with_capacity(cols.len());
-            for c in cols {
-                columns.push(table.column_index(c).ok_or_else(|| PlanError::UnknownColumn {
-                    column: c.clone(),
-                    table: select.table.clone(),
-                })?);
-            }
-            Lqp::Project { input: Box::new(node), columns, names: cols.clone() }
-        }
-    };
+        };
 
     if let Some(n) = select.limit {
-        node = Lqp::Limit { input: Box::new(node), n };
+        node = Lqp::Limit {
+            input: Box::new(node),
+            n,
+        };
     }
     Ok(node)
 }
@@ -314,13 +340,27 @@ mod tests {
         let cat = catalog();
         let ast = parse("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2").unwrap();
         let plan = plan(&ast, &cat).unwrap();
-        let Lqp::Aggregate { input, aggs } = &plan else { panic!("expected Aggregate root") };
+        let Lqp::Aggregate { input, aggs } = &plan else {
+            panic!("expected Aggregate root")
+        };
         assert_eq!(aggs[0].label, "count(*)");
-        let Lqp::Filter { input: f2, pred: p2 } = input.as_ref() else { panic!() };
+        let Lqp::Filter {
+            input: f2,
+            pred: p2,
+        } = input.as_ref()
+        else {
+            panic!()
+        };
         assert_eq!(p2.column_name, "b");
         assert_eq!(p2.value, Value::U32(2));
         assert!((p2.selectivity - 0.25).abs() < 1e-9);
-        let Lqp::Filter { input: f1, pred: p1 } = f2.as_ref() else { panic!() };
+        let Lqp::Filter {
+            input: f1,
+            pred: p1,
+        } = f2.as_ref()
+        else {
+            panic!()
+        };
         assert_eq!(p1.column_name, "a");
         assert!((p1.selectivity - 0.1).abs() < 1e-9);
         assert!(matches!(f1.as_ref(), Lqp::StoredTable { .. }));
@@ -332,17 +372,27 @@ mod tests {
         // Integer literal against a float column becomes F32.
         let ast = parse("SELECT COUNT(*) FROM tbl WHERE f < 50").unwrap();
         let p = plan(&ast, &cat).unwrap();
-        let Lqp::Aggregate { input, .. } = &p else { panic!() };
-        let Lqp::Filter { pred, .. } = input.as_ref() else { panic!() };
+        let Lqp::Aggregate { input, .. } = &p else {
+            panic!()
+        };
+        let Lqp::Filter { pred, .. } = input.as_ref() else {
+            panic!()
+        };
         assert_eq!(pred.value, Value::F32(50.0));
 
         // Negative literal against unsigned column is rejected.
         let ast = parse("SELECT COUNT(*) FROM tbl WHERE a = -1").unwrap();
-        assert!(matches!(plan(&ast, &cat), Err(PlanError::LiteralOutOfRange { .. })));
+        assert!(matches!(
+            plan(&ast, &cat),
+            Err(PlanError::LiteralOutOfRange { .. })
+        ));
 
         // Float literal against integer column is rejected.
         let ast = parse("SELECT COUNT(*) FROM tbl WHERE a = 1.5").unwrap();
-        assert!(matches!(plan(&ast, &cat), Err(PlanError::LiteralOutOfRange { .. })));
+        assert!(matches!(
+            plan(&ast, &cat),
+            Err(PlanError::LiteralOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -351,9 +401,15 @@ mod tests {
         let ast = parse("SELECT COUNT(*) FROM nope").unwrap();
         assert!(matches!(plan(&ast, &cat), Err(PlanError::UnknownTable(t)) if t == "nope"));
         let ast = parse("SELECT COUNT(*) FROM tbl WHERE zz = 1").unwrap();
-        assert!(matches!(plan(&ast, &cat), Err(PlanError::UnknownColumn { .. })));
+        assert!(matches!(
+            plan(&ast, &cat),
+            Err(PlanError::UnknownColumn { .. })
+        ));
         let ast = parse("SELECT zz FROM tbl").unwrap();
-        assert!(matches!(plan(&ast, &cat), Err(PlanError::UnknownColumn { .. })));
+        assert!(matches!(
+            plan(&ast, &cat),
+            Err(PlanError::UnknownColumn { .. })
+        ));
     }
 
     #[test]
@@ -361,8 +417,12 @@ mod tests {
         let cat = catalog();
         let ast = parse("SELECT a, f FROM tbl WHERE b = 1 LIMIT 5").unwrap();
         let p = plan(&ast, &cat).unwrap();
-        let Lqp::Limit { input, n: 5 } = &p else { panic!("{p:?}") };
-        let Lqp::Project { columns, names, .. } = input.as_ref() else { panic!() };
+        let Lqp::Limit { input, n: 5 } = &p else {
+            panic!("{p:?}")
+        };
+        let Lqp::Project { columns, names, .. } = input.as_ref() else {
+            panic!()
+        };
         assert_eq!(columns, &vec![0, 2]);
         assert_eq!(names, &vec!["a".to_string(), "f".to_string()]);
     }

@@ -29,11 +29,22 @@ pub fn pushdown(plan: Lqp) -> Lqp {
         Lqp::Filter { input, pred } => {
             let input = pushdown(*input);
             match input {
-                Lqp::Project { input: pin, columns, names } => {
+                Lqp::Project {
+                    input: pin,
+                    columns,
+                    names,
+                } => {
                     let pushed = pushdown(Lqp::Filter { input: pin, pred });
-                    Lqp::Project { input: Box::new(pushed), columns, names }
+                    Lqp::Project {
+                        input: Box::new(pushed),
+                        columns,
+                        names,
+                    }
                 }
-                other => Lqp::Filter { input: Box::new(other), pred },
+                other => Lqp::Filter {
+                    input: Box::new(other),
+                    pred,
+                },
             }
         }
         other => map_input(other, pushdown),
@@ -47,7 +58,9 @@ pub fn reorder_predicates(plan: Lqp) -> Lqp {
             let (mut preds, below) = collect_chain(plan);
             // Stable sort keeps the written order for equal estimates.
             preds.sort_by(|a, b| {
-                a.selectivity.partial_cmp(&b.selectivity).unwrap_or(std::cmp::Ordering::Equal)
+                a.selectivity
+                    .partial_cmp(&b.selectivity)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             rebuild_chain(preds, reorder_predicates(below))
         }
@@ -62,7 +75,10 @@ pub fn fuse_chains(plan: Lqp) -> Lqp {
             let (preds, below) = collect_chain(plan);
             let below = fuse_chains(below);
             if preds.len() >= 2 {
-                Lqp::FusedFilterChain { input: Box::new(below), preds }
+                Lqp::FusedFilterChain {
+                    input: Box::new(below),
+                    preds,
+                }
             } else {
                 rebuild_chain(preds, below)
             }
@@ -93,24 +109,41 @@ fn collect_chain(plan: Lqp) -> (Vec<BoundPred>, Lqp) {
 
 /// Rebuild a σ chain from evaluation-ordered predicates.
 fn rebuild_chain(preds: Vec<BoundPred>, below: Lqp) -> Lqp {
-    preds
-        .into_iter()
-        .fold(below, |input, pred| Lqp::Filter { input: Box::new(input), pred })
+    preds.into_iter().fold(below, |input, pred| Lqp::Filter {
+        input: Box::new(input),
+        pred,
+    })
 }
 
 /// Recurse into the (single) input of a non-Filter node.
 fn map_input(plan: Lqp, f: impl Fn(Lqp) -> Lqp) -> Lqp {
     match plan {
         Lqp::StoredTable { .. } => plan,
-        Lqp::Filter { input, pred } => Lqp::Filter { input: Box::new(f(*input)), pred },
-        Lqp::FusedFilterChain { input, preds } => {
-            Lqp::FusedFilterChain { input: Box::new(f(*input)), preds }
-        }
-        Lqp::Aggregate { input, aggs } => Lqp::Aggregate { input: Box::new(f(*input)), aggs },
-        Lqp::Project { input, columns, names } => {
-            Lqp::Project { input: Box::new(f(*input)), columns, names }
-        }
-        Lqp::Limit { input, n } => Lqp::Limit { input: Box::new(f(*input)), n },
+        Lqp::Filter { input, pred } => Lqp::Filter {
+            input: Box::new(f(*input)),
+            pred,
+        },
+        Lqp::FusedFilterChain { input, preds } => Lqp::FusedFilterChain {
+            input: Box::new(f(*input)),
+            preds,
+        },
+        Lqp::Aggregate { input, aggs } => Lqp::Aggregate {
+            input: Box::new(f(*input)),
+            aggs,
+        },
+        Lqp::Project {
+            input,
+            columns,
+            names,
+        } => Lqp::Project {
+            input: Box::new(f(*input)),
+            columns,
+            names,
+        },
+        Lqp::Limit { input, n } => Lqp::Limit {
+            input: Box::new(f(*input)),
+            n,
+        },
     }
 }
 
@@ -151,8 +184,12 @@ mod tests {
     #[test]
     fn chains_are_fused_and_reordered() {
         let p = optimized("SELECT COUNT(*) FROM t WHERE wide = 1 AND narrow = 7 AND mid = 3");
-        let Lqp::Aggregate { input, .. } = &p else { panic!("{p:?}") };
-        let Lqp::FusedFilterChain { preds, input } = input.as_ref() else { panic!("{p:?}") };
+        let Lqp::Aggregate { input, .. } = &p else {
+            panic!("{p:?}")
+        };
+        let Lqp::FusedFilterChain { preds, input } = input.as_ref() else {
+            panic!("{p:?}")
+        };
         // Most selective first: narrow (0.01), mid (0.1), wide (0.5).
         let names: Vec<&str> = preds.iter().map(|q| q.column_name.as_str()).collect();
         assert_eq!(names, vec!["narrow", "mid", "wide"]);
@@ -162,36 +199,51 @@ mod tests {
     #[test]
     fn single_predicate_stays_a_filter() {
         let p = optimized("SELECT COUNT(*) FROM t WHERE mid = 3");
-        let Lqp::Aggregate { input, .. } = &p else { panic!() };
+        let Lqp::Aggregate { input, .. } = &p else {
+            panic!()
+        };
         assert!(matches!(input.as_ref(), Lqp::Filter { .. }));
     }
 
     #[test]
     fn no_where_clause() {
         let p = optimized("SELECT COUNT(*) FROM t");
-        let Lqp::Aggregate { input, .. } = &p else { panic!() };
+        let Lqp::Aggregate { input, .. } = &p else {
+            panic!()
+        };
         assert!(matches!(input.as_ref(), Lqp::StoredTable { .. }));
     }
 
     #[test]
     fn explain_shows_fused_tag() {
         let text = optimized("SELECT COUNT(*) FROM t WHERE wide = 1 AND mid = 3").explain();
-        assert!(text.contains("FusedTableScan ꔖ[mid = 3 AND wide = 1]"), "{text}");
+        assert!(
+            text.contains("FusedTableScan ꔖ[mid = 3 AND wide = 1]"),
+            "{text}"
+        );
     }
 
     #[test]
     fn projection_queries_fuse_below_project() {
         let p = optimized("SELECT narrow FROM t WHERE wide = 0 AND mid = 2 LIMIT 3");
-        let Lqp::Limit { input, .. } = &p else { panic!("{p:?}") };
-        let Lqp::Project { input, .. } = input.as_ref() else { panic!("{p:?}") };
+        let Lqp::Limit { input, .. } = &p else {
+            panic!("{p:?}")
+        };
+        let Lqp::Project { input, .. } = input.as_ref() else {
+            panic!("{p:?}")
+        };
         assert!(matches!(input.as_ref(), Lqp::FusedFilterChain { .. }));
     }
 
     #[test]
     fn reorder_is_stable_for_equal_selectivities() {
         let p = optimized("SELECT COUNT(*) FROM t WHERE mid = 1 AND mid = 2");
-        let Lqp::Aggregate { input, .. } = &p else { panic!() };
-        let Lqp::FusedFilterChain { preds, .. } = input.as_ref() else { panic!() };
+        let Lqp::Aggregate { input, .. } = &p else {
+            panic!()
+        };
+        let Lqp::FusedFilterChain { preds, .. } = input.as_ref() else {
+            panic!()
+        };
         assert_eq!(preds[0].value, fts_storage::Value::U32(1));
         assert_eq!(preds[1].value, fts_storage::Value::U32(2));
     }

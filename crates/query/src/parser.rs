@@ -25,10 +25,16 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { got: Some(t), expected } => {
+            ParseError::Unexpected {
+                got: Some(t),
+                expected,
+            } => {
                 write!(f, "unexpected token {t:?}, expected {expected}")
             }
-            ParseError::Unexpected { got: None, expected } => {
+            ParseError::Unexpected {
+                got: None,
+                expected,
+            } => {
                 write!(f, "unexpected end of input, expected {expected}")
             }
             ParseError::TrailingTokens => write!(f, "trailing tokens after statement"),
@@ -63,7 +69,10 @@ impl Parser {
     fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
         match self.next() {
             Some(Token::Keyword(k)) if k == kw => Ok(()),
-            got => Err(ParseError::Unexpected { got, expected: kw.to_string() }),
+            got => Err(ParseError::Unexpected {
+                got,
+                expected: kw.to_string(),
+            }),
         }
     }
 
@@ -79,7 +88,10 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            got => Err(ParseError::Unexpected { got, expected: "identifier".into() }),
+            got => Err(ParseError::Unexpected {
+                got,
+                expected: "identifier".into(),
+            }),
         }
     }
 
@@ -102,21 +114,35 @@ impl Parser {
         self.pos += 1;
         match self.next() {
             Some(Token::LParen) => {}
-            got => return Err(ParseError::Unexpected { got, expected: "(".into() }),
+            got => {
+                return Err(ParseError::Unexpected {
+                    got,
+                    expected: "(".into(),
+                })
+            }
         }
         let column = match (func, self.next()) {
             (AggFunc::Count, Some(Token::Star)) => None,
             (AggFunc::Count, got) => {
-                return Err(ParseError::Unexpected { got, expected: "* (only COUNT(*))".into() })
+                return Err(ParseError::Unexpected {
+                    got,
+                    expected: "* (only COUNT(*))".into(),
+                })
             }
             (_, Some(Token::Ident(c))) => Some(c),
             (_, got) => {
-                return Err(ParseError::Unexpected { got, expected: "column name".into() })
+                return Err(ParseError::Unexpected {
+                    got,
+                    expected: "column name".into(),
+                })
             }
         };
         match self.next() {
             Some(Token::RParen) => Ok(AggExpr { func, column }),
-            got => Err(ParseError::Unexpected { got, expected: ")".into() }),
+            got => Err(ParseError::Unexpected {
+                got,
+                expected: ")".into(),
+            }),
         }
     }
 
@@ -158,7 +184,10 @@ impl Parser {
                 ">=" => CmpOp::Ge,
                 _ => unreachable!("lexer emits only the six operators"),
             }),
-            got => Err(ParseError::Unexpected { got, expected: "comparison operator".into() }),
+            got => Err(ParseError::Unexpected {
+                got,
+                expected: "comparison operator".into(),
+            }),
         }
     }
 
@@ -166,7 +195,10 @@ impl Parser {
         match self.next() {
             Some(Token::Int(v)) => Ok(Literal::Int(v)),
             Some(Token::Float(v)) => Ok(Literal::Float(v)),
-            got => Err(ParseError::Unexpected { got, expected: "literal".into() }),
+            got => Err(ParseError::Unexpected {
+                got,
+                expected: "literal".into(),
+            }),
         }
     }
 
@@ -181,12 +213,24 @@ impl Parser {
                     let lo = self.parse_literal()?;
                     self.expect_keyword("AND")?;
                     let hi = self.parse_literal()?;
-                    out.push(AstPredicate { column: column.clone(), op: CmpOp::Ge, literal: lo });
-                    out.push(AstPredicate { column, op: CmpOp::Le, literal: hi });
+                    out.push(AstPredicate {
+                        column: column.clone(),
+                        op: CmpOp::Ge,
+                        literal: lo,
+                    });
+                    out.push(AstPredicate {
+                        column,
+                        op: CmpOp::Le,
+                        literal: hi,
+                    });
                 } else {
                     let op = self.parse_op()?;
                     let literal = self.parse_literal()?;
-                    out.push(AstPredicate { column, op, literal });
+                    out.push(AstPredicate {
+                        column,
+                        op,
+                        literal,
+                    });
                 }
                 Ok(())
             }
@@ -194,18 +238,35 @@ impl Parser {
                 let literal = self.parse_literal()?;
                 let op = self.parse_op()?;
                 let column = self.expect_ident()?;
-                out.push(AstPredicate { column, op: op.flip(), literal });
+                out.push(AstPredicate {
+                    column,
+                    op: op.flip(),
+                    literal,
+                });
                 Ok(())
             }
-            got => Err(ParseError::Unexpected { got, expected: "predicate".into() }),
+            got => Err(ParseError::Unexpected {
+                got,
+                expected: "predicate".into(),
+            }),
         }
     }
 }
 
 /// Parse one SELECT statement.
 pub fn parse(sql: &str) -> Result<Select, ParseError> {
-    let mut p = Parser { tokens: lex(sql)?, pos: 0 };
+    let mut p = Parser {
+        tokens: lex(sql)?,
+        pos: 0,
+    };
     let explain = p.eat_keyword("EXPLAIN");
+    // ANALYZE is context-sensitive: only a modifier right after EXPLAIN, so
+    // it lexes as a plain identifier and stays usable as a column name.
+    let analyze =
+        explain && matches!(p.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("ANALYZE"));
+    if analyze {
+        p.pos += 1;
+    }
     p.expect_keyword("SELECT")?;
     let projection = p.parse_projection()?;
     p.expect_keyword("FROM")?;
@@ -222,7 +283,12 @@ pub fn parse(sql: &str) -> Result<Select, ParseError> {
     if p.eat_keyword("LIMIT") {
         match p.next() {
             Some(Token::Int(n)) if n >= 0 => limit = Some(n as u64),
-            got => return Err(ParseError::Unexpected { got, expected: "limit count".into() }),
+            got => {
+                return Err(ParseError::Unexpected {
+                    got,
+                    expected: "limit count".into(),
+                })
+            }
         }
     }
     if matches!(p.peek(), Some(Token::Semicolon)) {
@@ -231,7 +297,14 @@ pub fn parse(sql: &str) -> Result<Select, ParseError> {
     if p.peek().is_some() {
         return Err(ParseError::TrailingTokens);
     }
-    Ok(Select { projection, table, predicates, limit, explain })
+    Ok(Select {
+        projection,
+        table,
+        predicates,
+        limit,
+        explain,
+        analyze,
+    })
 }
 
 #[cfg(test)]
@@ -243,7 +316,10 @@ mod tests {
         let s = parse("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2").unwrap();
         assert_eq!(
             s.projection,
-            Projection::Aggregates(vec![AggExpr { func: AggFunc::Count, column: None }])
+            Projection::Aggregates(vec![AggExpr {
+                func: AggFunc::Count,
+                column: None
+            }])
         );
         assert_eq!(s.table, "tbl");
         assert_eq!(s.predicates.len(), 2);
@@ -281,7 +357,20 @@ mod tests {
         )
         .unwrap();
         assert!(s.explain);
+        assert!(!s.analyze);
         assert_eq!(s.predicates.len(), 5);
+    }
+
+    #[test]
+    fn explain_analyze_prefix() {
+        let s = parse("EXPLAIN ANALYZE SELECT COUNT(*) FROM t WHERE a = 1").unwrap();
+        assert!(s.explain);
+        assert!(s.analyze);
+        // ANALYZE alone is not a statement prefix.
+        assert!(parse("ANALYZE SELECT COUNT(*) FROM t").is_err());
+        // An identifier named analyze still parses as a column.
+        let s = parse("SELECT analyze FROM t").unwrap();
+        assert!(!s.analyze);
     }
 
     #[test]
@@ -303,9 +392,17 @@ mod tests {
     #[test]
     fn aggregate_projections() {
         let s = parse("SELECT COUNT(*), SUM(a), MIN(b), MAX(b), AVG(a) FROM t").unwrap();
-        let Projection::Aggregates(aggs) = &s.projection else { panic!("{s:?}") };
+        let Projection::Aggregates(aggs) = &s.projection else {
+            panic!("{s:?}")
+        };
         assert_eq!(aggs.len(), 5);
-        assert_eq!(aggs[1], AggExpr { func: AggFunc::Sum, column: Some("a".into()) });
+        assert_eq!(
+            aggs[1],
+            AggExpr {
+                func: AggFunc::Sum,
+                column: Some("a".into())
+            }
+        );
         assert_eq!(aggs[4].func, AggFunc::Avg);
         // COUNT(col) is not supported; mixing aggs and columns is not.
         assert!(parse("SELECT COUNT(a) FROM t").is_err());

@@ -33,12 +33,19 @@ impl ColumnStats {
             None => (None, None),
         };
         let distinct = estimate_distinct(col, min, max);
-        ColumnStats { rows, min, max, distinct }
+        ColumnStats {
+            rows,
+            min,
+            max,
+            distinct,
+        }
     }
 
     /// Estimated fraction of rows satisfying `col OP literal`, in `[0, 1]`.
     pub fn selectivity(&self, op: CmpOp, literal: Value) -> f64 {
-        let Some(lit) = literal.as_f64() else { return 0.5 };
+        let Some(lit) = literal.as_f64() else {
+            return 0.5;
+        };
         let (Some(min), Some(max)) = (self.min, self.max) else {
             return 0.0; // empty column: nothing matches
         };

@@ -139,7 +139,10 @@ macro_rules! hw_width {
                 assert!(has_avx512());
                 for lane in 0..$n {
                     if k & (1 << lane) != 0 {
-                        assert!((idx[lane] as usize) < base.len(), "gather index out of bounds");
+                        assert!(
+                            (idx[lane] as usize) < base.len(),
+                            "gather index out of bounds"
+                        );
                     }
                 }
                 // SAFETY: features checked; every *active* lane verified.
@@ -168,31 +171,64 @@ macro_rules! hw_width {
 }
 
 hw_width!(
-    w128, 4, __mmask8, __m128i,
-    _mm_loadu_si128, _mm_storeu_si128, _mm_set1_epi32,
-    _mm_cmpeq_epu32_mask, _mm_cmpneq_epu32_mask, _mm_cmplt_epu32_mask,
-    _mm_cmple_epu32_mask, _mm_cmpgt_epu32_mask, _mm_cmpge_epu32_mask,
-    _mm_mask_cmpeq_epu32_mask, _mm_mask_compress_epi32, _mm_permutex2var_epi32,
+    w128,
+    4,
+    __mmask8,
+    __m128i,
+    _mm_loadu_si128,
+    _mm_storeu_si128,
+    _mm_set1_epi32,
+    _mm_cmpeq_epu32_mask,
+    _mm_cmpneq_epu32_mask,
+    _mm_cmplt_epu32_mask,
+    _mm_cmple_epu32_mask,
+    _mm_cmpgt_epu32_mask,
+    _mm_cmpge_epu32_mask,
+    _mm_mask_cmpeq_epu32_mask,
+    _mm_mask_compress_epi32,
+    _mm_permutex2var_epi32,
     |base, idx| _mm_i32gather_epi32::<4>(base, idx),
     |src, k, idx, base| _mm_mmask_i32gather_epi32::<4>(src, k, idx, base)
 );
 
 hw_width!(
-    w256, 8, __mmask8, __m256i,
-    _mm256_loadu_si256, _mm256_storeu_si256, _mm256_set1_epi32,
-    _mm256_cmpeq_epu32_mask, _mm256_cmpneq_epu32_mask, _mm256_cmplt_epu32_mask,
-    _mm256_cmple_epu32_mask, _mm256_cmpgt_epu32_mask, _mm256_cmpge_epu32_mask,
-    _mm256_mask_cmpeq_epu32_mask, _mm256_mask_compress_epi32, _mm256_permutex2var_epi32,
+    w256,
+    8,
+    __mmask8,
+    __m256i,
+    _mm256_loadu_si256,
+    _mm256_storeu_si256,
+    _mm256_set1_epi32,
+    _mm256_cmpeq_epu32_mask,
+    _mm256_cmpneq_epu32_mask,
+    _mm256_cmplt_epu32_mask,
+    _mm256_cmple_epu32_mask,
+    _mm256_cmpgt_epu32_mask,
+    _mm256_cmpge_epu32_mask,
+    _mm256_mask_cmpeq_epu32_mask,
+    _mm256_mask_compress_epi32,
+    _mm256_permutex2var_epi32,
     |base, idx| _mm256_i32gather_epi32::<4>(base, idx),
     |src, k, idx, base| _mm256_mmask_i32gather_epi32::<4>(src, k, idx, base)
 );
 
 hw_width!(
-    w512, 16, __mmask16, __m512i,
-    _mm512_loadu_si512, _mm512_storeu_si512, _mm512_set1_epi32,
-    _mm512_cmpeq_epu32_mask, _mm512_cmpneq_epu32_mask, _mm512_cmplt_epu32_mask,
-    _mm512_cmple_epu32_mask, _mm512_cmpgt_epu32_mask, _mm512_cmpge_epu32_mask,
-    _mm512_mask_cmpeq_epu32_mask, _mm512_mask_compress_epi32, _mm512_permutex2var_epi32,
+    w512,
+    16,
+    __mmask16,
+    __m512i,
+    _mm512_loadu_si512,
+    _mm512_storeu_si512,
+    _mm512_set1_epi32,
+    _mm512_cmpeq_epu32_mask,
+    _mm512_cmpneq_epu32_mask,
+    _mm512_cmplt_epu32_mask,
+    _mm512_cmple_epu32_mask,
+    _mm512_cmpgt_epu32_mask,
+    _mm512_cmpge_epu32_mask,
+    _mm512_mask_cmpeq_epu32_mask,
+    _mm512_mask_compress_epi32,
+    _mm512_permutex2var_epi32,
     |base, idx| _mm512_i32gather_epi32::<4>(idx, base),
     |src, k, idx, base| _mm512_mask_i32gather_epi32::<4>(src, k, idx, base)
 );
@@ -230,7 +266,11 @@ mod tests {
         let src = [100u32, 101, 102, 103];
         let a = [10u32, 11, 12, 13];
         for k in 0..16u32 {
-            assert_eq!(w128::compress(src, k, a), model::compress(src, k, a), "k={k:04b}");
+            assert_eq!(
+                w128::compress(src, k, a),
+                model::compress(src, k, a),
+                "k={k:04b}"
+            );
         }
     }
 
@@ -259,7 +299,11 @@ mod tests {
         let a: [u32; 16] = std::array::from_fn(|i| (i as u32) % 7);
         let b = [3u32; 16];
         for op in CmpOp::ALL {
-            assert_eq!(w512::cmp_epu32_mask(op, a, b), model::cmp_mask(op, a, b), "{op}");
+            assert_eq!(
+                w512::cmp_epu32_mask(op, a, b),
+                model::cmp_mask(op, a, b),
+                "{op}"
+            );
         }
     }
 

@@ -19,7 +19,11 @@
 #[inline]
 pub fn lane_mask(n: usize) -> u32 {
     debug_assert!(n <= 32);
-    if n == 32 { u32::MAX } else { (1u32 << n) - 1 }
+    if n == 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
 }
 
 /// Semantics of `_mm*_mask_compress_epi32(src, k, a)` (and the other lane
@@ -45,7 +49,11 @@ pub fn compress<T: Copy, const N: usize>(src: [T; N], k: u32, a: [T; N]) -> [T; 
 pub fn permutex2var<T: Copy, const N: usize>(a: [T; N], idx: [u32; N], b: [T; N]) -> [T; N] {
     std::array::from_fn(|i| {
         let sel = (idx[i] as usize) % (2 * N);
-        if sel < N { a[sel] } else { b[sel - N] }
+        if sel < N {
+            a[sel]
+        } else {
+            b[sel - N]
+        }
     })
 }
 
@@ -98,7 +106,13 @@ pub fn mask_gather<T: Copy, const N: usize>(
     idx: [u32; N],
     base: &[T],
 ) -> [T; N] {
-    std::array::from_fn(|i| if k & (1 << i) != 0 { base[idx[i] as usize] } else { src[i] })
+    std::array::from_fn(|i| {
+        if k & (1 << i) != 0 {
+            base[idx[i] as usize]
+        } else {
+            src[i]
+        }
+    })
 }
 
 /// Semantics of `_mm*_set1_epi32` etc.: broadcast one value to all lanes.
@@ -156,8 +170,13 @@ mod tests {
         assert_eq!(fresh[0], 6);
         // Step 2: merge — lane i keeps plist[i] for i < count and takes
         // fresh[i - count] (table index N + i - count) beyond.
-        let merge_idx: [u32; 4] =
-            std::array::from_fn(|i| if i < count { i as u32 } else { (4 + i - count) as u32 });
+        let merge_idx: [u32; 4] = std::array::from_fn(|i| {
+            if i < count {
+                i as u32
+            } else {
+                (4 + i - count) as u32
+            }
+        });
         assert_eq!(merge_idx, [0, 1, 4, 5]);
         let appended = permutex2var(plist, merge_idx, fresh);
         assert_eq!(appended[..3], [1, 3, 6]);
@@ -218,7 +237,10 @@ mod tests {
         let base = [10u32, 11, 12, 13, 14, 15, 16, 17];
         assert_eq!(gather(&base, [7, 0, 3, 3]), [17, 10, 13, 13]);
         let src = [0u32, 1, 2, 3];
-        assert_eq!(mask_gather(src, 0b0110, [99, 0, 3, 99], &base), [0, 10, 13, 3]);
+        assert_eq!(
+            mask_gather(src, 0b0110, [99, 0, 3, 99], &base),
+            [0, 10, 13, 3]
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@ unsafe impl<T: NativeType> Sync for AlignedBuf<T> {}
 
 impl<T: NativeType> AlignedBuf<T> {
     fn layout(len: usize) -> Layout {
-        let bytes = len.checked_mul(std::mem::size_of::<T>()).expect("buffer too large");
+        let bytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .expect("buffer too large");
         Layout::from_size_align(bytes.max(1), CACHE_LINE).expect("invalid layout")
     }
 
@@ -48,7 +50,11 @@ impl<T: NativeType> AlignedBuf<T> {
         unsafe {
             std::ptr::copy_nonoverlapping(values.as_ptr(), ptr.as_ptr(), values.len());
         }
-        Self { ptr, len: values.len(), _marker: PhantomData }
+        Self {
+            ptr,
+            len: values.len(),
+            _marker: PhantomData,
+        }
     }
 
     /// Build a buffer by filling `len` slots from `f(index)`.
@@ -63,7 +69,11 @@ impl<T: NativeType> AlignedBuf<T> {
             // SAFETY: i < len <= allocation size.
             unsafe { ptr.as_ptr().add(i).write(f(i)) };
         }
-        Self { ptr, len, _marker: PhantomData }
+        Self {
+            ptr,
+            len,
+            _marker: PhantomData,
+        }
     }
 
     /// Number of elements.

@@ -77,7 +77,11 @@ impl PackedColumn {
         let mut words = vec![0u32; words_len];
         for (row, &v) in values.iter().enumerate() {
             if v & !mask != 0 {
-                return Err(PackError::ValueTooWide { row, value: v, bits });
+                return Err(PackError::ValueTooWide {
+                    row,
+                    value: v,
+                    bits,
+                });
             }
             let bit = row as u64 * bits as u64;
             let word = (bit / 32) as usize;
@@ -88,7 +92,11 @@ impl PackedColumn {
                 words[word + 1] |= v >> (32 - off);
             }
         }
-        Ok(PackedColumn { words: AlignedBuf::from_slice(&words), bits, len: values.len() })
+        Ok(PackedColumn {
+            words: AlignedBuf::from_slice(&words),
+            bits,
+            len: values.len(),
+        })
     }
 
     /// Pack with the minimal width that fits every value.
@@ -216,7 +224,11 @@ mod tests {
         assert_eq!(PackedColumn::pack(&[1], 33), Err(PackError::BadWidth(33)));
         assert_eq!(
             PackedColumn::pack(&[8], 3),
-            Err(PackError::ValueTooWide { row: 0, value: 8, bits: 3 })
+            Err(PackError::ValueTooWide {
+                row: 0,
+                value: 8,
+                bits: 3
+            })
         );
     }
 

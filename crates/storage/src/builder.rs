@@ -136,7 +136,12 @@ impl TableBuilder {
     pub fn with_chunk_rows(schema: Vec<ColumnDef>, chunk_rows: usize) -> TableBuilder {
         assert!(chunk_rows > 0, "chunk size must be positive");
         let bufs = schema.iter().map(|c| ColBuf::new(c.data_type)).collect();
-        TableBuilder { schema, bufs, chunk_rows, rows: 0 }
+        TableBuilder {
+            schema,
+            bufs,
+            chunk_rows,
+            rows: 0,
+        }
     }
 
     /// Rows buffered so far.
@@ -149,16 +154,22 @@ impl TableBuilder {
     /// they are in range for.
     pub fn push_row(&mut self, row: &[Value]) -> Result<(), BuildError> {
         if row.len() != self.schema.len() {
-            return Err(BuildError::RowArity { expected: self.schema.len(), got: row.len() });
+            return Err(BuildError::RowArity {
+                expected: self.schema.len(),
+                got: row.len(),
+            });
         }
         // Validate the whole row before mutating any buffer, so a failed
         // push never leaves ragged columns behind.
         let mut cast = Vec::with_capacity(row.len());
         for (i, (v, def)) in row.iter().zip(&self.schema).enumerate() {
-            cast.push(v.cast_to(def.data_type).ok_or_else(|| BuildError::ValueType {
-                column: i,
-                value: v.to_string(),
-            })?);
+            cast.push(
+                v.cast_to(def.data_type)
+                    .ok_or_else(|| BuildError::ValueType {
+                        column: i,
+                        value: v.to_string(),
+                    })?,
+            );
         }
         for (buf, v) in self.bufs.iter_mut().zip(cast) {
             let ok = buf.push(v);
@@ -171,7 +182,11 @@ impl TableBuilder {
     /// Finish into an immutable chunked [`Table`].
     pub fn finish(self) -> Result<Table, BuildError> {
         let columns: Vec<Column> = self.bufs.iter().map(ColBuf::freeze).collect();
-        Ok(Table::from_chunked_columns(self.schema, columns, self.chunk_rows)?)
+        Ok(Table::from_chunked_columns(
+            self.schema,
+            columns,
+            self.chunk_rows,
+        )?)
     }
 }
 
@@ -191,8 +206,12 @@ mod tests {
     fn builds_chunked_table_from_rows() {
         let mut b = TableBuilder::with_chunk_rows(schema(), 4);
         for i in 0..10i64 {
-            b.push_row(&[Value::I64(i), Value::I64(i * 100), Value::F64(i as f64 / 2.0)])
-                .unwrap();
+            b.push_row(&[
+                Value::I64(i),
+                Value::I64(i * 100),
+                Value::F64(i as f64 / 2.0),
+            ])
+            .unwrap();
         }
         assert_eq!(b.rows(), 10);
         let t = b.finish().unwrap();
@@ -206,15 +225,21 @@ mod tests {
     #[test]
     fn rejects_bad_rows_without_corruption() {
         let mut b = TableBuilder::new(schema());
-        b.push_row(&[Value::I64(1), Value::I64(2), Value::F64(0.5)]).unwrap();
+        b.push_row(&[Value::I64(1), Value::I64(2), Value::F64(0.5)])
+            .unwrap();
         // Wrong arity.
         assert_eq!(
             b.push_row(&[Value::I64(1)]),
-            Err(BuildError::RowArity { expected: 3, got: 1 })
+            Err(BuildError::RowArity {
+                expected: 3,
+                got: 1
+            })
         );
         // Out-of-range cast (negative into u32) — first column fails, and
         // no column may have grown.
-        let err = b.push_row(&[Value::I64(-1), Value::I64(2), Value::F64(0.5)]).unwrap_err();
+        let err = b
+            .push_row(&[Value::I64(-1), Value::I64(2), Value::F64(0.5)])
+            .unwrap_err();
         assert!(matches!(err, BuildError::ValueType { column: 0, .. }));
         assert_eq!(b.rows(), 1);
         let t = b.finish().unwrap();

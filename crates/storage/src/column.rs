@@ -47,21 +47,49 @@ pub enum Column {
 macro_rules! with_native {
     ($col:expr, $slice:ident => $body:expr) => {
         match $col {
-            $crate::Column::I8(buf) => { let $slice = buf.as_slice(); $body }
-            $crate::Column::I16(buf) => { let $slice = buf.as_slice(); $body }
-            $crate::Column::I32(buf) => { let $slice = buf.as_slice(); $body }
-            $crate::Column::I64(buf) => { let $slice = buf.as_slice(); $body }
-            $crate::Column::U8(buf) => { let $slice = buf.as_slice(); $body }
-            $crate::Column::U16(buf) => { let $slice = buf.as_slice(); $body }
-            $crate::Column::U32(buf) => { let $slice = buf.as_slice(); $body }
-            $crate::Column::U64(buf) => { let $slice = buf.as_slice(); $body }
-            $crate::Column::F32(buf) => { let $slice = buf.as_slice(); $body }
-            $crate::Column::F64(buf) => { let $slice = buf.as_slice(); $body }
+            $crate::Column::I8(buf) => {
+                let $slice = buf.as_slice();
+                $body
+            }
+            $crate::Column::I16(buf) => {
+                let $slice = buf.as_slice();
+                $body
+            }
+            $crate::Column::I32(buf) => {
+                let $slice = buf.as_slice();
+                $body
+            }
+            $crate::Column::I64(buf) => {
+                let $slice = buf.as_slice();
+                $body
+            }
+            $crate::Column::U8(buf) => {
+                let $slice = buf.as_slice();
+                $body
+            }
+            $crate::Column::U16(buf) => {
+                let $slice = buf.as_slice();
+                $body
+            }
+            $crate::Column::U32(buf) => {
+                let $slice = buf.as_slice();
+                $body
+            }
+            $crate::Column::U64(buf) => {
+                let $slice = buf.as_slice();
+                $body
+            }
+            $crate::Column::F32(buf) => {
+                let $slice = buf.as_slice();
+                $body
+            }
+            $crate::Column::F64(buf) => {
+                let $slice = buf.as_slice();
+                $body
+            }
         }
     };
 }
-
-
 
 impl Column {
     /// Build a column from a plain vector (copies into aligned storage).

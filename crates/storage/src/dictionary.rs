@@ -74,8 +74,7 @@ impl DictColumn {
         let ids: Vec<u32> = values
             .iter()
             .map(|v| {
-                distinct
-                    .partition_point(|d| d.partial_cmp(v) == Some(std::cmp::Ordering::Less))
+                distinct.partition_point(|d| d.partial_cmp(v) == Some(std::cmp::Ordering::Less))
                     as u32
             })
             .collect();
@@ -222,28 +221,80 @@ mod tests {
     #[test]
     fn translate_eq_ne() {
         let d = sample();
-        assert_eq!(d.translate(CmpOp::Eq, Value::U32(20)), Some(IdPredicate::Cmp(CmpOp::Eq, 1)));
-        assert_eq!(d.translate(CmpOp::Eq, Value::U32(15)), Some(IdPredicate::MatchNone));
-        assert_eq!(d.translate(CmpOp::Ne, Value::U32(30)), Some(IdPredicate::Cmp(CmpOp::Ne, 2)));
-        assert_eq!(d.translate(CmpOp::Ne, Value::U32(15)), Some(IdPredicate::MatchAll));
-        assert_eq!(d.translate(CmpOp::Eq, Value::I32(20)), None, "type mismatch");
+        assert_eq!(
+            d.translate(CmpOp::Eq, Value::U32(20)),
+            Some(IdPredicate::Cmp(CmpOp::Eq, 1))
+        );
+        assert_eq!(
+            d.translate(CmpOp::Eq, Value::U32(15)),
+            Some(IdPredicate::MatchNone)
+        );
+        assert_eq!(
+            d.translate(CmpOp::Ne, Value::U32(30)),
+            Some(IdPredicate::Cmp(CmpOp::Ne, 2))
+        );
+        assert_eq!(
+            d.translate(CmpOp::Ne, Value::U32(15)),
+            Some(IdPredicate::MatchAll)
+        );
+        assert_eq!(
+            d.translate(CmpOp::Eq, Value::I32(20)),
+            None,
+            "type mismatch"
+        );
     }
 
     #[test]
     fn translate_ranges() {
         let d = sample(); // dict [10,20,30]
-        assert_eq!(d.translate(CmpOp::Lt, Value::U32(10)), Some(IdPredicate::MatchNone));
-        assert_eq!(d.translate(CmpOp::Lt, Value::U32(25)), Some(IdPredicate::Cmp(CmpOp::Lt, 2)));
-        assert_eq!(d.translate(CmpOp::Lt, Value::U32(99)), Some(IdPredicate::MatchAll));
-        assert_eq!(d.translate(CmpOp::Le, Value::U32(20)), Some(IdPredicate::Cmp(CmpOp::Lt, 2)));
-        assert_eq!(d.translate(CmpOp::Le, Value::U32(30)), Some(IdPredicate::MatchAll));
-        assert_eq!(d.translate(CmpOp::Le, Value::U32(9)), Some(IdPredicate::MatchNone));
-        assert_eq!(d.translate(CmpOp::Gt, Value::U32(10)), Some(IdPredicate::Cmp(CmpOp::Ge, 1)));
-        assert_eq!(d.translate(CmpOp::Gt, Value::U32(30)), Some(IdPredicate::MatchNone));
-        assert_eq!(d.translate(CmpOp::Gt, Value::U32(5)), Some(IdPredicate::MatchAll));
-        assert_eq!(d.translate(CmpOp::Ge, Value::U32(30)), Some(IdPredicate::Cmp(CmpOp::Ge, 2)));
-        assert_eq!(d.translate(CmpOp::Ge, Value::U32(31)), Some(IdPredicate::MatchNone));
-        assert_eq!(d.translate(CmpOp::Ge, Value::U32(1)), Some(IdPredicate::MatchAll));
+        assert_eq!(
+            d.translate(CmpOp::Lt, Value::U32(10)),
+            Some(IdPredicate::MatchNone)
+        );
+        assert_eq!(
+            d.translate(CmpOp::Lt, Value::U32(25)),
+            Some(IdPredicate::Cmp(CmpOp::Lt, 2))
+        );
+        assert_eq!(
+            d.translate(CmpOp::Lt, Value::U32(99)),
+            Some(IdPredicate::MatchAll)
+        );
+        assert_eq!(
+            d.translate(CmpOp::Le, Value::U32(20)),
+            Some(IdPredicate::Cmp(CmpOp::Lt, 2))
+        );
+        assert_eq!(
+            d.translate(CmpOp::Le, Value::U32(30)),
+            Some(IdPredicate::MatchAll)
+        );
+        assert_eq!(
+            d.translate(CmpOp::Le, Value::U32(9)),
+            Some(IdPredicate::MatchNone)
+        );
+        assert_eq!(
+            d.translate(CmpOp::Gt, Value::U32(10)),
+            Some(IdPredicate::Cmp(CmpOp::Ge, 1))
+        );
+        assert_eq!(
+            d.translate(CmpOp::Gt, Value::U32(30)),
+            Some(IdPredicate::MatchNone)
+        );
+        assert_eq!(
+            d.translate(CmpOp::Gt, Value::U32(5)),
+            Some(IdPredicate::MatchAll)
+        );
+        assert_eq!(
+            d.translate(CmpOp::Ge, Value::U32(30)),
+            Some(IdPredicate::Cmp(CmpOp::Ge, 2))
+        );
+        assert_eq!(
+            d.translate(CmpOp::Ge, Value::U32(31)),
+            Some(IdPredicate::MatchNone)
+        );
+        assert_eq!(
+            d.translate(CmpOp::Ge, Value::U32(1)),
+            Some(IdPredicate::MatchAll)
+        );
     }
 
     /// The translated id predicate must select exactly the same rows as the
@@ -273,7 +324,10 @@ mod tests {
     fn nan_literal_matches_nothing() {
         let d = DictColumn::encode_native(&[1.0f64, 2.0]).unwrap();
         for op in CmpOp::ALL {
-            assert_eq!(d.translate(op, Value::F64(f64::NAN)), Some(IdPredicate::MatchNone));
+            assert_eq!(
+                d.translate(op, Value::F64(f64::NAN)),
+                Some(IdPredicate::MatchNone)
+            );
         }
     }
 
@@ -282,7 +336,13 @@ mod tests {
         let d = DictColumn::encode_native::<u16>(&[]).unwrap();
         assert!(d.is_empty());
         assert_eq!(d.dict_size(), 0);
-        assert_eq!(d.translate(CmpOp::Eq, Value::U16(1)), Some(IdPredicate::MatchNone));
-        assert_eq!(d.translate(CmpOp::Ne, Value::U16(1)), Some(IdPredicate::MatchAll));
+        assert_eq!(
+            d.translate(CmpOp::Eq, Value::U16(1)),
+            Some(IdPredicate::MatchNone)
+        );
+        assert_eq!(
+            d.translate(CmpOp::Ne, Value::U16(1)),
+            Some(IdPredicate::MatchAll)
+        );
     }
 }

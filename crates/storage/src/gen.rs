@@ -105,7 +105,11 @@ struct Interval {
 
 impl Interval {
     fn size(&self) -> u128 {
-        if self.lo > self.hi { 0 } else { (self.hi - self.lo) as u128 + 1 }
+        if self.lo > self.hi {
+            0
+        } else {
+            (self.hi - self.lo) as u128 + 1
+        }
     }
 }
 
@@ -137,7 +141,10 @@ impl std::fmt::Display for GenError {
         match self {
             GenError::NeedleOffLattice => write!(f, "needle not representable on lattice"),
             GenError::ImpossibleSelectivity { predicate } => {
-                write!(f, "predicate {predicate}: requested selectivity unsatisfiable")
+                write!(
+                    f,
+                    "predicate {predicate}: requested selectivity unsatisfiable"
+                )
             }
             GenError::InvalidSelectivity(s) => write!(f, "selectivity {s} outside [0,1]"),
         }
@@ -153,8 +160,19 @@ impl<T: GenValue> ValueSampler<T> {
         let max = T::DOMAIN_MAX;
         const EMPTY: Interval = Interval { lo: 1, hi: 0 };
         let at = Interval { lo: ni, hi: ni };
-        let below = if ni == 0 { EMPTY } else { Interval { lo: 0, hi: ni - 1 } };
-        let above = if ni == max { EMPTY } else { Interval { lo: ni + 1, hi: max } };
+        let below = if ni == 0 {
+            EMPTY
+        } else {
+            Interval { lo: 0, hi: ni - 1 }
+        };
+        let above = if ni == max {
+            EMPTY
+        } else {
+            Interval {
+                lo: ni + 1,
+                hi: max,
+            }
+        };
         let le = Interval { lo: 0, hi: ni };
         let ge = Interval { lo: ni, hi: max };
         let (matching, non_matching) = match op {
@@ -165,7 +183,11 @@ impl<T: GenValue> ValueSampler<T> {
             CmpOp::Gt => (vec![above], vec![le]),
             CmpOp::Ge => (vec![ge], vec![below]),
         };
-        Ok(ValueSampler { matching, non_matching, _marker: std::marker::PhantomData })
+        Ok(ValueSampler {
+            matching,
+            non_matching,
+            _marker: std::marker::PhantomData,
+        })
     }
 
     fn sample_from(intervals: &[Interval], rng: &mut impl Rng) -> Option<u64> {
@@ -210,7 +232,11 @@ pub struct PredSpec<T> {
 impl<T> PredSpec<T> {
     /// Equality predicate, the paper's default.
     pub fn eq(needle: T, selectivity: f64) -> PredSpec<T> {
-        PredSpec { op: CmpOp::Eq, needle, selectivity }
+        PredSpec {
+            op: CmpOp::Eq,
+            needle,
+            selectivity,
+        }
     }
 }
 
@@ -283,7 +309,11 @@ pub fn generate_chain<T: GenValue>(
                     // Non-surviving row wanted a non-match but every value
                     // matches (e.g. `Ge domain-min`): emit a matching value,
                     // it cannot change any result.
-                    col.push(sampler.sample_matching(&mut rng).expect("some value exists"));
+                    col.push(
+                        sampler
+                            .sample_matching(&mut rng)
+                            .expect("some value exists"),
+                    );
                 }
             }
         }
@@ -293,7 +323,11 @@ pub fn generate_chain<T: GenValue>(
         columns.push(col);
     }
 
-    Ok(GeneratedChain { columns, matching_rows: survivors, survivors_per_pred })
+    Ok(GeneratedChain {
+        columns,
+        matching_rows: survivors,
+        survivors_per_pred,
+    })
 }
 
 /// Build a [`Table`] (columns `c0..cN-1`) directly from a generated chain.
@@ -301,7 +335,11 @@ pub fn chain_table<T: GenValue>(chain: &GeneratedChain<T>) -> Result<Table, Tabl
     let schema = (0..chain.columns.len())
         .map(|i| ColumnDef::new(format!("c{i}"), T::DATA_TYPE))
         .collect();
-    let columns = chain.columns.iter().map(|c| Column::from_slice(c)).collect();
+    let columns = chain
+        .columns
+        .iter()
+        .map(|c| Column::from_slice(c))
+        .collect();
     Table::from_columns(schema, columns)
 }
 
@@ -319,16 +357,27 @@ mod tests {
     use super::*;
 
     fn count_matches<T: GenValue>(col: &[T], spec: &PredSpec<T>) -> usize {
-        col.iter().filter(|v| v.cmp_op(spec.op, spec.needle)).count()
+        col.iter()
+            .filter(|v| v.cmp_op(spec.op, spec.needle))
+            .count()
     }
 
     #[test]
     fn single_predicate_exact_selectivity() {
-        for (rows, sel) in [(10_000usize, 0.1), (10_000, 0.5), (10_000, 0.0), (10_000, 1.0)] {
+        for (rows, sel) in [
+            (10_000usize, 0.1),
+            (10_000, 0.5),
+            (10_000, 0.0),
+            (10_000, 1.0),
+        ] {
             let spec = PredSpec::eq(5u32, sel);
             let chain = generate_chain(rows, &[spec], 42).unwrap();
             let expected = (rows as f64 * sel).round() as usize;
-            assert_eq!(count_matches(&chain.columns[0], &spec), expected, "sel={sel}");
+            assert_eq!(
+                count_matches(&chain.columns[0], &spec),
+                expected,
+                "sel={sel}"
+            );
             assert_eq!(chain.matching_rows.len(), expected);
             assert_eq!(chain.survivors_per_pred, vec![expected]);
         }
@@ -345,7 +394,10 @@ mod tests {
             }
         }
         assert_eq!(chain.matching_rows, expected);
-        assert!(chain.matching_rows.windows(2).all(|w| w[0] < w[1]), "ascending");
+        assert!(
+            chain.matching_rows.windows(2).all(|w| w[0] < w[1]),
+            "ascending"
+        );
     }
 
     #[test]
@@ -366,7 +418,11 @@ mod tests {
     #[test]
     fn all_operators_generate_exact_counts() {
         for op in CmpOp::ALL {
-            let spec = PredSpec { op, needle: 1000u32, selectivity: 0.25 };
+            let spec = PredSpec {
+                op,
+                needle: 1000u32,
+                selectivity: 0.25,
+            };
             let chain = generate_chain(4000, &[spec], 3).unwrap();
             assert_eq!(count_matches(&chain.columns[0], &spec), 1000, "op={op}");
         }
@@ -374,11 +430,19 @@ mod tests {
 
     #[test]
     fn signed_and_float_types() {
-        let spec = PredSpec { op: CmpOp::Lt, needle: 0i32, selectivity: 0.5 };
+        let spec = PredSpec {
+            op: CmpOp::Lt,
+            needle: 0i32,
+            selectivity: 0.5,
+        };
         let chain = generate_chain(2000, &[spec], 11).unwrap();
         assert_eq!(count_matches(&chain.columns[0], &spec), 1000);
 
-        let spec = PredSpec { op: CmpOp::Ge, needle: 100.0f64, selectivity: 0.125 };
+        let spec = PredSpec {
+            op: CmpOp::Ge,
+            needle: 100.0f64,
+            selectivity: 0.125,
+        };
         let chain = generate_chain(800, &[spec], 11).unwrap();
         assert_eq!(count_matches(&chain.columns[0], &spec), 100);
     }
@@ -396,13 +460,21 @@ mod tests {
     #[test]
     fn impossible_selectivity_rejected() {
         // x < 0 can never match for u32 lattice index 0.
-        let spec = [PredSpec { op: CmpOp::Lt, needle: 0u32, selectivity: 0.5 }];
+        let spec = [PredSpec {
+            op: CmpOp::Lt,
+            needle: 0u32,
+            selectivity: 0.5,
+        }];
         assert_eq!(
             generate_chain(100, &spec, 1),
             Err(GenError::ImpossibleSelectivity { predicate: 0 })
         );
         // Selectivity 0 with the same impossible predicate is fine.
-        let spec = [PredSpec { op: CmpOp::Lt, needle: 0u32, selectivity: 0.0 }];
+        let spec = [PredSpec {
+            op: CmpOp::Lt,
+            needle: 0u32,
+            selectivity: 0.0,
+        }];
         let chain = generate_chain(100, &spec, 1).unwrap();
         assert!(chain.matching_rows.is_empty());
     }
@@ -410,15 +482,24 @@ mod tests {
     #[test]
     fn invalid_selectivity_rejected() {
         let spec = [PredSpec::eq(5u32, 1.5)];
-        assert!(matches!(generate_chain(10, &spec, 1), Err(GenError::InvalidSelectivity(_))));
+        assert!(matches!(
+            generate_chain(10, &spec, 1),
+            Err(GenError::InvalidSelectivity(_))
+        ));
         let spec = [PredSpec::eq(5u32, f64::NAN)];
-        assert!(matches!(generate_chain(10, &spec, 1), Err(GenError::InvalidSelectivity(_))));
+        assert!(matches!(
+            generate_chain(10, &spec, 1),
+            Err(GenError::InvalidSelectivity(_))
+        ));
     }
 
     #[test]
     fn needle_off_lattice_rejected() {
         let spec = [PredSpec::eq(1.5f32, 0.5)];
-        assert_eq!(generate_chain(10, &spec, 1), Err(GenError::NeedleOffLattice));
+        assert_eq!(
+            generate_chain(10, &spec, 1),
+            Err(GenError::NeedleOffLattice)
+        );
     }
 
     #[test]
@@ -430,7 +511,12 @@ mod tests {
         assert_eq!(table.rows(), 100);
         assert_eq!(table.schema()[0].name, "c0");
         assert_eq!(
-            table.chunks()[0].segment(1).as_plain().unwrap().as_native::<u32>().unwrap(),
+            table.chunks()[0]
+                .segment(1)
+                .as_plain()
+                .unwrap()
+                .as_native::<u32>()
+                .unwrap(),
             &chain.columns[1][..]
         );
     }
@@ -453,6 +539,9 @@ mod tests {
         let col: Vec<u8> = uniform_column(10_000, 13);
         assert_eq!(col.len(), 10_000);
         let distinct: std::collections::HashSet<u8> = col.iter().copied().collect();
-        assert!(distinct.len() > 200, "u8 uniform column should hit most values");
+        assert!(
+            distinct.len() > 200,
+            "u8 uniform column should hit most values"
+        );
     }
 }

@@ -132,7 +132,10 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, data_type: DataType) -> ColumnDef {
-        ColumnDef { name: name.into(), data_type }
+        ColumnDef {
+            name: name.into(),
+            data_type,
+        }
     }
 }
 
@@ -174,14 +177,21 @@ impl std::fmt::Display for TableError {
             TableError::ColumnCountMismatch { expected, got } => {
                 write!(f, "expected {expected} columns, got {got}")
             }
-            TableError::TypeMismatch { column, expected, got } => {
+            TableError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
                 write!(f, "column {column}: expected type {expected}, got {got}")
             }
             TableError::LengthMismatch => write!(f, "columns have differing lengths"),
             TableError::Dict(e) => write!(f, "dictionary encoding failed: {e}"),
             TableError::Pack(e) => write!(f, "bit-packing failed: {e}"),
             TableError::PackNeedsU32 { column } => {
-                write!(f, "column {column} is not uint; bit-packing covers u32 columns")
+                write!(
+                    f,
+                    "column {column} is not uint; bit-packing covers u32 columns"
+                )
             }
         }
     }
@@ -211,10 +221,7 @@ pub struct Table {
 
 impl Table {
     /// Build a single-chunk table from whole columns.
-    pub fn from_columns(
-        schema: Vec<ColumnDef>,
-        columns: Vec<Column>,
-    ) -> Result<Table, TableError> {
+    pub fn from_columns(schema: Vec<ColumnDef>, columns: Vec<Column>) -> Result<Table, TableError> {
         Self::from_chunked_columns(schema, columns, usize::MAX)
     }
 
@@ -263,7 +270,11 @@ impl Table {
                 start = end;
             }
         }
-        Ok(Table { schema, chunks, rows })
+        Ok(Table {
+            schema,
+            chunks,
+            rows,
+        })
     }
 
     /// Return a copy of this table with the given columns dictionary-encoded
@@ -280,9 +291,9 @@ impl Table {
                         match seg {
                             Segment::Plain(c) => Ok(Segment::Dict(DictColumn::encode(c)?)),
                             d @ Segment::Dict(_) => Ok(d.clone()),
-                            Segment::Packed(p) => Ok(Segment::Dict(
-                                DictColumn::encode_native(&p.unpack())?,
-                            )),
+                            Segment::Packed(p) => {
+                                Ok(Segment::Dict(DictColumn::encode_native(&p.unpack())?))
+                            }
                         }
                     } else {
                         Ok(seg.clone())
@@ -291,7 +302,11 @@ impl Table {
                 .collect::<Result<Vec<_>, DictError>>()?;
             chunks.push(Arc::new(Chunk::new(segments)));
         }
-        Ok(Table { schema: self.schema.clone(), chunks, rows: self.rows })
+        Ok(Table {
+            schema: self.schema.clone(),
+            chunks,
+            rows: self.rows,
+        })
     }
 
     /// Return a copy with the given `u32` columns bit-packed at the minimal
@@ -321,7 +336,11 @@ impl Table {
                 .collect::<Result<Vec<_>, TableError>>()?;
             chunks.push(Arc::new(Chunk::new(segments)));
         }
-        Ok(Table { schema: self.schema.clone(), chunks, rows: self.rows })
+        Ok(Table {
+            schema: self.schema.clone(),
+            chunks,
+            rows: self.rows,
+        })
     }
 
     /// The schema.
@@ -376,7 +395,10 @@ mod tests {
         let a = Column::from_fn(rows, |i| (i % 10) as u32);
         let b = Column::from_fn(rows, |i| (i % 7) as u32);
         Table::from_chunked_columns(
-            vec![ColumnDef::new("a", DataType::U32), ColumnDef::new("b", DataType::U32)],
+            vec![
+                ColumnDef::new("a", DataType::U32),
+                ColumnDef::new("b", DataType::U32),
+            ],
             vec![a, b],
             chunk_rows,
         )
@@ -412,10 +434,16 @@ mod tests {
     fn schema_validation() {
         let schema = vec![ColumnDef::new("a", DataType::U32)];
         let err = Table::from_columns(schema.clone(), vec![]).unwrap_err();
-        assert_eq!(err, TableError::ColumnCountMismatch { expected: 1, got: 0 });
+        assert_eq!(
+            err,
+            TableError::ColumnCountMismatch {
+                expected: 1,
+                got: 0
+            }
+        );
 
-        let err = Table::from_columns(schema.clone(), vec![Column::from_vec(vec![1i32])])
-            .unwrap_err();
+        let err =
+            Table::from_columns(schema.clone(), vec![Column::from_vec(vec![1i32])]).unwrap_err();
         assert!(matches!(err, TableError::TypeMismatch { column: 0, .. }));
 
         let schema2 = vec![
@@ -424,7 +452,10 @@ mod tests {
         ];
         let err = Table::from_columns(
             schema2,
-            vec![Column::from_vec(vec![1u32, 2]), Column::from_vec(vec![1u32])],
+            vec![
+                Column::from_vec(vec![1u32, 2]),
+                Column::from_vec(vec![1u32]),
+            ],
         )
         .unwrap_err();
         assert_eq!(err, TableError::LengthMismatch);
@@ -444,7 +475,9 @@ mod tests {
 
     #[test]
     fn dictionary_encoding_per_chunk() {
-        let t = two_col_table(100, 32).with_dictionary_encoding(&[0]).unwrap();
+        let t = two_col_table(100, 32)
+            .with_dictionary_encoding(&[0])
+            .unwrap();
         for chunk in t.chunks() {
             assert!(chunk.segment(0).as_dict().is_some());
             assert!(chunk.segment(1).as_plain().is_some());

@@ -289,7 +289,16 @@ mod sealed {
 /// the vectorized kernels use (`_CMP_NEQ_OQ` etc.), so scalar and SIMD paths
 /// agree bit-for-bit.
 pub trait NativeType:
-    Copy + Send + Sync + PartialOrd + PartialEq + Default + fmt::Debug + fmt::Display + sealed::Sealed + 'static
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + PartialEq
+    + Default
+    + fmt::Debug
+    + fmt::Display
+    + sealed::Sealed
+    + 'static
 {
     /// The dynamic tag for this type.
     const DATA_TYPE: DataType;
@@ -430,7 +439,10 @@ mod tests {
         assert_eq!(Value::I32(-5).cast_to(DataType::U32), None);
         assert_eq!(Value::I32(300).cast_to(DataType::U8), None);
         assert_eq!(Value::U64(7).cast_to(DataType::F64), Some(Value::F64(7.0)));
-        assert_eq!(Value::F64(1.5).cast_to(DataType::F32), Some(Value::F32(1.5)));
+        assert_eq!(
+            Value::F64(1.5).cast_to(DataType::F32),
+            Some(Value::F32(1.5))
+        );
         assert_eq!(Value::F64(1.5).cast_to(DataType::I32), None);
     }
 

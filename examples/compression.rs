@@ -54,8 +54,7 @@ fn main() {
         TypedPred::eq(&status[..], 3u32),
         TypedPred::new(&code[..], CmpOp::Lt, 100u32),
     ];
-    let (plain_ms, expected) =
-        median_ms(7, || run_fused_auto(&preds, OutputMode::Count).count());
+    let (plain_ms, expected) = median_ms(7, || run_fused_auto(&preds, OutputMode::Count).count());
     let plain_bytes = rows * 4 * 2;
     println!(
         "plain u32:        {plain_ms:>7.2} ms   {:>6.1} MB scanned   count={expected}",
@@ -90,15 +89,24 @@ fn main() {
         let p_status = PackedColumn::pack_min_bits(&status);
         let p_code = PackedColumn::pack_min_bits(&code);
         let packed_preds = [
-            PackedPred::Packed { col: &p_status, op: CmpOp::Eq, needle: 3 },
-            PackedPred::Packed { col: &p_code, op: CmpOp::Lt, needle: 100 },
+            PackedPred::Packed {
+                col: &p_status,
+                op: CmpOp::Eq,
+                needle: 3,
+            },
+            PackedPred::Packed {
+                col: &p_code,
+                op: CmpOp::Lt,
+                needle: 100,
+            },
         ];
         let (packed_ms, packed_count) = median_ms(7, || {
-            fused_scan_packed(&packed_preds, OutputMode::Count).expect("packed scan").count()
+            fused_scan_packed(&packed_preds, OutputMode::Count)
+                .expect("packed scan")
+                .count()
         });
         assert_eq!(packed_count, expected);
-        let packed_bytes =
-            (p_status.words().len() + p_code.words().len()) * 4;
+        let packed_bytes = (p_status.words().len() + p_code.words().len()) * 4;
         println!(
             "bit-packed:       {packed_ms:>7.2} ms   {:>6.1} MB scanned   ({}+{} bits/value, {:.1}x smaller)",
             packed_bytes as f64 / 1e6,

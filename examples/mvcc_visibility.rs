@@ -42,7 +42,11 @@ fn build(rows: usize) -> VersionedTable {
             }
         })
         .collect();
-    VersionedTable { value, begin_ts, end_ts }
+    VersionedTable {
+        value,
+        begin_ts,
+        end_ts,
+    }
 }
 
 fn main() {
@@ -66,15 +70,12 @@ fn main() {
     // Ground truth + traditional two-phase plan: scan, then validate.
     let t0 = Instant::now();
     let user_only = [TypedPred::eq(&t.value[..], 42u32)];
-    let phase1 = run_scan(ScanImpl::SisdBranching, &user_only, OutputMode::Positions)
-        .unwrap();
+    let phase1 = run_scan(ScanImpl::SisdBranching, &user_only, OutputMode::Positions).unwrap();
     let visible: Vec<u32> = phase1
         .positions()
         .unwrap()
         .into_iter()
-        .filter(|&p| {
-            t.begin_ts[p as usize] <= snapshot_ts && t.end_ts[p as usize] > snapshot_ts
-        })
+        .filter(|&p| t.begin_ts[p as usize] <= snapshot_ts && t.end_ts[p as usize] > snapshot_ts)
         .collect();
     let two_phase_ms = t0.elapsed().as_secs_f64() * 1e3;
     println!(

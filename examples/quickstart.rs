@@ -45,7 +45,10 @@ fn main() {
     ];
 
     let mut baseline_ms = None;
-    println!("{:<24} {:>10}  {:>8}", "implementation", "median ms", "speedup");
+    println!(
+        "{:<24} {:>10}  {:>8}",
+        "implementation", "median ms", "speedup"
+    );
     for imp in impls {
         if !imp.available() {
             println!("{:<24} {:>10}", imp.name(), "n/a (ISA)");
@@ -55,14 +58,24 @@ fn main() {
             .map(|_| {
                 let t = Instant::now();
                 let out = run_scan(imp, &preds, OutputMode::Count).expect("scan");
-                assert_eq!(out.count(), expected, "{} returned a wrong count", imp.name());
+                assert_eq!(
+                    out.count(),
+                    expected,
+                    "{} returned a wrong count",
+                    imp.name()
+                );
                 t.elapsed().as_secs_f64() * 1e3
             })
             .collect();
         times.sort_by(f64::total_cmp);
         let median = times[times.len() / 2];
         let baseline = *baseline_ms.get_or_insert(median);
-        println!("{:<24} {:>10.2}  {:>7.2}x", imp.name(), median, baseline / median);
+        println!(
+            "{:<24} {:>10.2}  {:>7.2}x",
+            imp.name(),
+            median,
+            baseline / median
+        );
     }
     println!("\nall implementations agree: COUNT(*) = {expected}");
 }

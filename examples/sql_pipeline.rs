@@ -58,7 +58,10 @@ fn show(db: &Database, sql: &str) {
 }
 
 fn indent(text: &str, prefix: &str) -> String {
-    text.lines().map(|l| format!("{prefix}{l}")).collect::<Vec<_>>().join("\n")
+    text.lines()
+        .map(|l| format!("{prefix}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn main() {
@@ -79,13 +82,22 @@ fn main() {
     );
 
     // The paper's two-equality query.
-    show(&db, "SELECT COUNT(*) FROM orders WHERE quantity = 5 AND discount = 2");
+    show(
+        &db,
+        "SELECT COUNT(*) FROM orders WHERE quantity = 5 AND discount = 2",
+    );
 
     // Predicate on the dictionary-encoded 8-byte column fuses via value ids.
-    show(&db, "SELECT COUNT(*) FROM orders WHERE price >= 100000 AND discount = 0");
+    show(
+        &db,
+        "SELECT COUNT(*) FROM orders WHERE price >= 100000 AND discount = 0",
+    );
 
     // Projection with limit.
-    show(&db, "SELECT quantity, price FROM orders WHERE quantity = 50 AND discount = 10 LIMIT 5");
+    show(
+        &db,
+        "SELECT quantity, price FROM orders WHERE quantity = 50 AND discount = 10 LIMIT 5",
+    );
 
     let stats = db.context().kernels.stats();
     println!(

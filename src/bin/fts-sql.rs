@@ -69,8 +69,14 @@ fn main() {
     let mut db = Database::new();
     eprintln!("loading demo tables ({rows} rows each)…");
     let orders = build_demo(rows);
-    db.register("orders_dict", orders.with_dictionary_encoding(&[3]).expect("dict"));
-    db.register("orders_packed", orders.with_bitpacking(&[0, 1]).expect("pack"));
+    db.register(
+        "orders_dict",
+        orders.with_dictionary_encoding(&[3]).expect("dict"),
+    );
+    db.register(
+        "orders_packed",
+        orders.with_bitpacking(&[0, 1]).expect("pack"),
+    );
     db.register("orders", orders);
     eprintln!(
         "tables: {} | SIMD: {} | try:\n  SELECT COUNT(*) FROM orders WHERE quantity = 5 AND discount = 2\n  EXPLAIN SELECT SUM(price) FROM orders WHERE discount >= 5 AND quantity < 24\n  \\help",

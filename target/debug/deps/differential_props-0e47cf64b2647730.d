@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_props-0e47cf64b2647730.d: crates/core/tests/differential_props.rs
+
+/root/repo/target/debug/deps/differential_props-0e47cf64b2647730: crates/core/tests/differential_props.rs
+
+crates/core/tests/differential_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential_props-fffcf63024b60bf4.d: crates/core/tests/differential_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential_props-fffcf63024b60bf4.rmeta: crates/core/tests/differential_props.rs Cargo.toml
+
+crates/core/tests/differential_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

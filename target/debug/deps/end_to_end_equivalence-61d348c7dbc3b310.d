@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_equivalence-61d348c7dbc3b310.d: tests/end_to_end_equivalence.rs
+
+/root/repo/target/debug/deps/end_to_end_equivalence-61d348c7dbc3b310: tests/end_to_end_equivalence.rs
+
+tests/end_to_end_equivalence.rs:

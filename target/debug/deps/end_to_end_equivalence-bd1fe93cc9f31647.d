@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_equivalence-bd1fe93cc9f31647.d: tests/end_to_end_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_equivalence-bd1fe93cc9f31647.rmeta: tests/end_to_end_equivalence.rs Cargo.toml
+
+tests/end_to_end_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

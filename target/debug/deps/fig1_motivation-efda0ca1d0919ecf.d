@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_motivation-efda0ca1d0919ecf.d: crates/bench/benches/fig1_motivation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_motivation-efda0ca1d0919ecf.rmeta: crates/bench/benches/fig1_motivation.rs Cargo.toml
+
+crates/bench/benches/fig1_motivation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

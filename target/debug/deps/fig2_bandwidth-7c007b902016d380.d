@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_bandwidth-7c007b902016d380.d: crates/bench/benches/fig2_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_bandwidth-7c007b902016d380.rmeta: crates/bench/benches/fig2_bandwidth.rs Cargo.toml
+
+crates/bench/benches/fig2_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_speedup-d039788ef7e3b0c8.d: crates/bench/benches/fig4_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_speedup-d039788ef7e3b0c8.rmeta: crates/bench/benches/fig4_speedup.rs Cargo.toml
+
+crates/bench/benches/fig4_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

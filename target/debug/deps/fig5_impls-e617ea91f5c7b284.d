@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_impls-e617ea91f5c7b284.d: crates/bench/benches/fig5_impls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_impls-e617ea91f5c7b284.rmeta: crates/bench/benches/fig5_impls.rs Cargo.toml
+
+crates/bench/benches/fig5_impls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

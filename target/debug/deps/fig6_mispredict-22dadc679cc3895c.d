@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_mispredict-22dadc679cc3895c.d: crates/bench/benches/fig6_mispredict.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_mispredict-22dadc679cc3895c.rmeta: crates/bench/benches/fig6_mispredict.rs Cargo.toml
+
+crates/bench/benches/fig6_mispredict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_predicates-37a71643900c33be.d: crates/bench/benches/fig7_predicates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_predicates-37a71643900c33be.rmeta: crates/bench/benches/fig7_predicates.rs Cargo.toml
+
+crates/bench/benches/fig7_predicates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-56d291534ee37e78.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-56d291534ee37e78: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-a7347b7f6faf5262.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-a7347b7f6faf5262: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fts_bench-028c531bed5fa9af.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/tpch.rs crates/bench/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfts_bench-028c531bed5fa9af.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/tpch.rs crates/bench/src/workload.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/json.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tpch.rs:
+crates/bench/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fts_bench-333b79396461ef7e.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/tpch.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/fts_bench-333b79396461ef7e: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/tpch.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/json.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tpch.rs:
+crates/bench/src/workload.rs:

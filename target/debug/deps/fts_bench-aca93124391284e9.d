@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fts_bench-aca93124391284e9.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/tpch.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libfts_bench-aca93124391284e9.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/tpch.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libfts_bench-aca93124391284e9.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/tpch.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/json.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tpch.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/fts_core-02b6d7f2133d87cf.d: crates/core/src/lib.rs crates/core/src/blockwise.rs crates/core/src/engine.rs crates/core/src/fused/mod.rs crates/core/src/fused/avx2.rs crates/core/src/fused/avx512.rs crates/core/src/fused/mixed.rs crates/core/src/fused/packed.rs crates/core/src/fused/scalar.rs crates/core/src/fused/w64.rs crates/core/src/parallel.rs crates/core/src/pred.rs crates/core/src/reference.rs crates/core/src/sisd.rs crates/core/src/stride.rs crates/core/src/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfts_core-02b6d7f2133d87cf.rmeta: crates/core/src/lib.rs crates/core/src/blockwise.rs crates/core/src/engine.rs crates/core/src/fused/mod.rs crates/core/src/fused/avx2.rs crates/core/src/fused/avx512.rs crates/core/src/fused/mixed.rs crates/core/src/fused/packed.rs crates/core/src/fused/scalar.rs crates/core/src/fused/w64.rs crates/core/src/parallel.rs crates/core/src/pred.rs crates/core/src/reference.rs crates/core/src/sisd.rs crates/core/src/stride.rs crates/core/src/telemetry.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/blockwise.rs:
+crates/core/src/engine.rs:
+crates/core/src/fused/mod.rs:
+crates/core/src/fused/avx2.rs:
+crates/core/src/fused/avx512.rs:
+crates/core/src/fused/mixed.rs:
+crates/core/src/fused/packed.rs:
+crates/core/src/fused/scalar.rs:
+crates/core/src/fused/w64.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pred.rs:
+crates/core/src/reference.rs:
+crates/core/src/sisd.rs:
+crates/core/src/stride.rs:
+crates/core/src/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

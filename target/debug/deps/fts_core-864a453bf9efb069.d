@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fts_core-864a453bf9efb069.d: crates/core/src/lib.rs crates/core/src/blockwise.rs crates/core/src/engine.rs crates/core/src/fused/mod.rs crates/core/src/fused/avx2.rs crates/core/src/fused/avx512.rs crates/core/src/fused/mixed.rs crates/core/src/fused/packed.rs crates/core/src/fused/scalar.rs crates/core/src/fused/w64.rs crates/core/src/parallel.rs crates/core/src/pred.rs crates/core/src/reference.rs crates/core/src/sisd.rs crates/core/src/stride.rs crates/core/src/telemetry.rs
+
+/root/repo/target/debug/deps/fts_core-864a453bf9efb069: crates/core/src/lib.rs crates/core/src/blockwise.rs crates/core/src/engine.rs crates/core/src/fused/mod.rs crates/core/src/fused/avx2.rs crates/core/src/fused/avx512.rs crates/core/src/fused/mixed.rs crates/core/src/fused/packed.rs crates/core/src/fused/scalar.rs crates/core/src/fused/w64.rs crates/core/src/parallel.rs crates/core/src/pred.rs crates/core/src/reference.rs crates/core/src/sisd.rs crates/core/src/stride.rs crates/core/src/telemetry.rs
+
+crates/core/src/lib.rs:
+crates/core/src/blockwise.rs:
+crates/core/src/engine.rs:
+crates/core/src/fused/mod.rs:
+crates/core/src/fused/avx2.rs:
+crates/core/src/fused/avx512.rs:
+crates/core/src/fused/mixed.rs:
+crates/core/src/fused/packed.rs:
+crates/core/src/fused/scalar.rs:
+crates/core/src/fused/w64.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pred.rs:
+crates/core/src/reference.rs:
+crates/core/src/sisd.rs:
+crates/core/src/stride.rs:
+crates/core/src/telemetry.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fts_jit-027716ff64070642.d: crates/jit/src/lib.rs crates/jit/src/asm/mod.rs crates/jit/src/asm/encoder.rs crates/jit/src/asm/reg.rs crates/jit/src/cache.rs crates/jit/src/compile_avx512.rs crates/jit/src/compile_packed.rs crates/jit/src/compile_scalar.rs crates/jit/src/ir.rs crates/jit/src/kernel.rs crates/jit/src/mem.rs crates/jit/src/source_gen.rs
+
+/root/repo/target/debug/deps/libfts_jit-027716ff64070642.rlib: crates/jit/src/lib.rs crates/jit/src/asm/mod.rs crates/jit/src/asm/encoder.rs crates/jit/src/asm/reg.rs crates/jit/src/cache.rs crates/jit/src/compile_avx512.rs crates/jit/src/compile_packed.rs crates/jit/src/compile_scalar.rs crates/jit/src/ir.rs crates/jit/src/kernel.rs crates/jit/src/mem.rs crates/jit/src/source_gen.rs
+
+/root/repo/target/debug/deps/libfts_jit-027716ff64070642.rmeta: crates/jit/src/lib.rs crates/jit/src/asm/mod.rs crates/jit/src/asm/encoder.rs crates/jit/src/asm/reg.rs crates/jit/src/cache.rs crates/jit/src/compile_avx512.rs crates/jit/src/compile_packed.rs crates/jit/src/compile_scalar.rs crates/jit/src/ir.rs crates/jit/src/kernel.rs crates/jit/src/mem.rs crates/jit/src/source_gen.rs
+
+crates/jit/src/lib.rs:
+crates/jit/src/asm/mod.rs:
+crates/jit/src/asm/encoder.rs:
+crates/jit/src/asm/reg.rs:
+crates/jit/src/cache.rs:
+crates/jit/src/compile_avx512.rs:
+crates/jit/src/compile_packed.rs:
+crates/jit/src/compile_scalar.rs:
+crates/jit/src/ir.rs:
+crates/jit/src/kernel.rs:
+crates/jit/src/mem.rs:
+crates/jit/src/source_gen.rs:

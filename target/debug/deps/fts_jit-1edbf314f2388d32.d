@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fts_jit-1edbf314f2388d32.d: crates/jit/src/lib.rs crates/jit/src/asm/mod.rs crates/jit/src/asm/encoder.rs crates/jit/src/asm/reg.rs crates/jit/src/cache.rs crates/jit/src/compile_avx512.rs crates/jit/src/compile_packed.rs crates/jit/src/compile_scalar.rs crates/jit/src/ir.rs crates/jit/src/kernel.rs crates/jit/src/mem.rs crates/jit/src/source_gen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfts_jit-1edbf314f2388d32.rmeta: crates/jit/src/lib.rs crates/jit/src/asm/mod.rs crates/jit/src/asm/encoder.rs crates/jit/src/asm/reg.rs crates/jit/src/cache.rs crates/jit/src/compile_avx512.rs crates/jit/src/compile_packed.rs crates/jit/src/compile_scalar.rs crates/jit/src/ir.rs crates/jit/src/kernel.rs crates/jit/src/mem.rs crates/jit/src/source_gen.rs Cargo.toml
+
+crates/jit/src/lib.rs:
+crates/jit/src/asm/mod.rs:
+crates/jit/src/asm/encoder.rs:
+crates/jit/src/asm/reg.rs:
+crates/jit/src/cache.rs:
+crates/jit/src/compile_avx512.rs:
+crates/jit/src/compile_packed.rs:
+crates/jit/src/compile_scalar.rs:
+crates/jit/src/ir.rs:
+crates/jit/src/kernel.rs:
+crates/jit/src/mem.rs:
+crates/jit/src/source_gen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

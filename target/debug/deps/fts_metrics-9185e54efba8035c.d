@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fts_metrics-9185e54efba8035c.d: crates/metrics/src/lib.rs crates/metrics/src/branch.rs crates/metrics/src/cache.rs crates/metrics/src/instrument.rs crates/metrics/src/probe.rs crates/metrics/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfts_metrics-9185e54efba8035c.rmeta: crates/metrics/src/lib.rs crates/metrics/src/branch.rs crates/metrics/src/cache.rs crates/metrics/src/instrument.rs crates/metrics/src/probe.rs crates/metrics/src/timing.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/branch.rs:
+crates/metrics/src/cache.rs:
+crates/metrics/src/instrument.rs:
+crates/metrics/src/probe.rs:
+crates/metrics/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

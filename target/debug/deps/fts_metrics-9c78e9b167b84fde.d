@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fts_metrics-9c78e9b167b84fde.d: crates/metrics/src/lib.rs crates/metrics/src/branch.rs crates/metrics/src/cache.rs crates/metrics/src/instrument.rs crates/metrics/src/probe.rs crates/metrics/src/timing.rs
+
+/root/repo/target/debug/deps/fts_metrics-9c78e9b167b84fde: crates/metrics/src/lib.rs crates/metrics/src/branch.rs crates/metrics/src/cache.rs crates/metrics/src/instrument.rs crates/metrics/src/probe.rs crates/metrics/src/timing.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/branch.rs:
+crates/metrics/src/cache.rs:
+crates/metrics/src/instrument.rs:
+crates/metrics/src/probe.rs:
+crates/metrics/src/timing.rs:

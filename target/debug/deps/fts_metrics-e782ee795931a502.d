@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fts_metrics-e782ee795931a502.d: crates/metrics/src/lib.rs crates/metrics/src/branch.rs crates/metrics/src/cache.rs crates/metrics/src/instrument.rs crates/metrics/src/probe.rs crates/metrics/src/timing.rs
+
+/root/repo/target/debug/deps/libfts_metrics-e782ee795931a502.rlib: crates/metrics/src/lib.rs crates/metrics/src/branch.rs crates/metrics/src/cache.rs crates/metrics/src/instrument.rs crates/metrics/src/probe.rs crates/metrics/src/timing.rs
+
+/root/repo/target/debug/deps/libfts_metrics-e782ee795931a502.rmeta: crates/metrics/src/lib.rs crates/metrics/src/branch.rs crates/metrics/src/cache.rs crates/metrics/src/instrument.rs crates/metrics/src/probe.rs crates/metrics/src/timing.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/branch.rs:
+crates/metrics/src/cache.rs:
+crates/metrics/src/instrument.rs:
+crates/metrics/src/probe.rs:
+crates/metrics/src/timing.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fts_query-3a6f7afb2253e457.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/catalog.rs crates/query/src/db.rs crates/query/src/executor.rs crates/query/src/lexer.rs crates/query/src/lqp.rs crates/query/src/optimizer.rs crates/query/src/parser.rs crates/query/src/stats.rs
+
+/root/repo/target/debug/deps/libfts_query-3a6f7afb2253e457.rlib: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/catalog.rs crates/query/src/db.rs crates/query/src/executor.rs crates/query/src/lexer.rs crates/query/src/lqp.rs crates/query/src/optimizer.rs crates/query/src/parser.rs crates/query/src/stats.rs
+
+/root/repo/target/debug/deps/libfts_query-3a6f7afb2253e457.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/catalog.rs crates/query/src/db.rs crates/query/src/executor.rs crates/query/src/lexer.rs crates/query/src/lqp.rs crates/query/src/optimizer.rs crates/query/src/parser.rs crates/query/src/stats.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/catalog.rs:
+crates/query/src/db.rs:
+crates/query/src/executor.rs:
+crates/query/src/lexer.rs:
+crates/query/src/lqp.rs:
+crates/query/src/optimizer.rs:
+crates/query/src/parser.rs:
+crates/query/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fts_query-5265067a53213885.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/catalog.rs crates/query/src/db.rs crates/query/src/executor.rs crates/query/src/lexer.rs crates/query/src/lqp.rs crates/query/src/optimizer.rs crates/query/src/parser.rs crates/query/src/stats.rs
+
+/root/repo/target/debug/deps/fts_query-5265067a53213885: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/catalog.rs crates/query/src/db.rs crates/query/src/executor.rs crates/query/src/lexer.rs crates/query/src/lqp.rs crates/query/src/optimizer.rs crates/query/src/parser.rs crates/query/src/stats.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/catalog.rs:
+crates/query/src/db.rs:
+crates/query/src/executor.rs:
+crates/query/src/lexer.rs:
+crates/query/src/lqp.rs:
+crates/query/src/optimizer.rs:
+crates/query/src/parser.rs:
+crates/query/src/stats.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fts_query-d58bd3ed00241dc4.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/catalog.rs crates/query/src/db.rs crates/query/src/executor.rs crates/query/src/lexer.rs crates/query/src/lqp.rs crates/query/src/optimizer.rs crates/query/src/parser.rs crates/query/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfts_query-d58bd3ed00241dc4.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/catalog.rs crates/query/src/db.rs crates/query/src/executor.rs crates/query/src/lexer.rs crates/query/src/lqp.rs crates/query/src/optimizer.rs crates/query/src/parser.rs crates/query/src/stats.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/catalog.rs:
+crates/query/src/db.rs:
+crates/query/src/executor.rs:
+crates/query/src/lexer.rs:
+crates/query/src/lqp.rs:
+crates/query/src/optimizer.rs:
+crates/query/src/parser.rs:
+crates/query/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

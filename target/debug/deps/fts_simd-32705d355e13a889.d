@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fts_simd-32705d355e13a889.d: crates/simd/src/lib.rs crates/simd/src/detect.rs crates/simd/src/hw.rs crates/simd/src/model.rs
+
+/root/repo/target/debug/deps/fts_simd-32705d355e13a889: crates/simd/src/lib.rs crates/simd/src/detect.rs crates/simd/src/hw.rs crates/simd/src/model.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/detect.rs:
+crates/simd/src/hw.rs:
+crates/simd/src/model.rs:

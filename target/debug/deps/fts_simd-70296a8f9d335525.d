@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fts_simd-70296a8f9d335525.d: crates/simd/src/lib.rs crates/simd/src/detect.rs crates/simd/src/hw.rs crates/simd/src/model.rs
+
+/root/repo/target/debug/deps/libfts_simd-70296a8f9d335525.rlib: crates/simd/src/lib.rs crates/simd/src/detect.rs crates/simd/src/hw.rs crates/simd/src/model.rs
+
+/root/repo/target/debug/deps/libfts_simd-70296a8f9d335525.rmeta: crates/simd/src/lib.rs crates/simd/src/detect.rs crates/simd/src/hw.rs crates/simd/src/model.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/detect.rs:
+crates/simd/src/hw.rs:
+crates/simd/src/model.rs:

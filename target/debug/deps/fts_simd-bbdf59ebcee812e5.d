@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fts_simd-bbdf59ebcee812e5.d: crates/simd/src/lib.rs crates/simd/src/detect.rs crates/simd/src/hw.rs crates/simd/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfts_simd-bbdf59ebcee812e5.rmeta: crates/simd/src/lib.rs crates/simd/src/detect.rs crates/simd/src/hw.rs crates/simd/src/model.rs Cargo.toml
+
+crates/simd/src/lib.rs:
+crates/simd/src/detect.rs:
+crates/simd/src/hw.rs:
+crates/simd/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fts_sql-83d5b6dfcfdb286c.d: src/bin/fts-sql.rs
+
+/root/repo/target/debug/deps/fts_sql-83d5b6dfcfdb286c: src/bin/fts-sql.rs
+
+src/bin/fts-sql.rs:

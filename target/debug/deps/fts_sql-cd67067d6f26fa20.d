@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fts_sql-cd67067d6f26fa20.d: src/bin/fts-sql.rs
+
+/root/repo/target/debug/deps/fts_sql-cd67067d6f26fa20: src/bin/fts-sql.rs
+
+src/bin/fts-sql.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fts_sql-ec5595f86e2245d0.d: src/bin/fts-sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfts_sql-ec5595f86e2245d0.rmeta: src/bin/fts-sql.rs Cargo.toml
+
+src/bin/fts-sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fts_storage-6621acaab99a5f7f.d: crates/storage/src/lib.rs crates/storage/src/aligned.rs crates/storage/src/bitpack.rs crates/storage/src/builder.rs crates/storage/src/column.rs crates/storage/src/dictionary.rs crates/storage/src/gen.rs crates/storage/src/poslist.rs crates/storage/src/table.rs crates/storage/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfts_storage-6621acaab99a5f7f.rmeta: crates/storage/src/lib.rs crates/storage/src/aligned.rs crates/storage/src/bitpack.rs crates/storage/src/builder.rs crates/storage/src/column.rs crates/storage/src/dictionary.rs crates/storage/src/gen.rs crates/storage/src/poslist.rs crates/storage/src/table.rs crates/storage/src/types.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/aligned.rs:
+crates/storage/src/bitpack.rs:
+crates/storage/src/builder.rs:
+crates/storage/src/column.rs:
+crates/storage/src/dictionary.rs:
+crates/storage/src/gen.rs:
+crates/storage/src/poslist.rs:
+crates/storage/src/table.rs:
+crates/storage/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fts_storage-9413d7e79698d065.d: crates/storage/src/lib.rs crates/storage/src/aligned.rs crates/storage/src/bitpack.rs crates/storage/src/builder.rs crates/storage/src/column.rs crates/storage/src/dictionary.rs crates/storage/src/gen.rs crates/storage/src/poslist.rs crates/storage/src/table.rs crates/storage/src/types.rs
+
+/root/repo/target/debug/deps/libfts_storage-9413d7e79698d065.rlib: crates/storage/src/lib.rs crates/storage/src/aligned.rs crates/storage/src/bitpack.rs crates/storage/src/builder.rs crates/storage/src/column.rs crates/storage/src/dictionary.rs crates/storage/src/gen.rs crates/storage/src/poslist.rs crates/storage/src/table.rs crates/storage/src/types.rs
+
+/root/repo/target/debug/deps/libfts_storage-9413d7e79698d065.rmeta: crates/storage/src/lib.rs crates/storage/src/aligned.rs crates/storage/src/bitpack.rs crates/storage/src/builder.rs crates/storage/src/column.rs crates/storage/src/dictionary.rs crates/storage/src/gen.rs crates/storage/src/poslist.rs crates/storage/src/table.rs crates/storage/src/types.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/aligned.rs:
+crates/storage/src/bitpack.rs:
+crates/storage/src/builder.rs:
+crates/storage/src/column.rs:
+crates/storage/src/dictionary.rs:
+crates/storage/src/gen.rs:
+crates/storage/src/poslist.rs:
+crates/storage/src/table.rs:
+crates/storage/src/types.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fts_storage-c3726273e655f51d.d: crates/storage/src/lib.rs crates/storage/src/aligned.rs crates/storage/src/bitpack.rs crates/storage/src/builder.rs crates/storage/src/column.rs crates/storage/src/dictionary.rs crates/storage/src/gen.rs crates/storage/src/poslist.rs crates/storage/src/table.rs crates/storage/src/types.rs
+
+/root/repo/target/debug/deps/fts_storage-c3726273e655f51d: crates/storage/src/lib.rs crates/storage/src/aligned.rs crates/storage/src/bitpack.rs crates/storage/src/builder.rs crates/storage/src/column.rs crates/storage/src/dictionary.rs crates/storage/src/gen.rs crates/storage/src/poslist.rs crates/storage/src/table.rs crates/storage/src/types.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/aligned.rs:
+crates/storage/src/bitpack.rs:
+crates/storage/src/builder.rs:
+crates/storage/src/column.rs:
+crates/storage/src/dictionary.rs:
+crates/storage/src/gen.rs:
+crates/storage/src/poslist.rs:
+crates/storage/src/table.rs:
+crates/storage/src/types.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fused_table_scan-27df52ac7940f810.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfused_table_scan-27df52ac7940f810.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfused_table_scan-27df52ac7940f810.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fused_table_scan-84173a60f3313eb6.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfused_table_scan-84173a60f3313eb6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fused_table_scan-a04ee8e7f78021f4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfused_table_scan-a04ee8e7f78021f4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fused_table_scan-d74e4384c3c60ca5.d: src/lib.rs
+
+/root/repo/target/debug/deps/fused_table_scan-d74e4384c3c60ca5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_hw_equivalence-2c8b6751acf94236.d: crates/simd/tests/model_hw_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_hw_equivalence-2c8b6751acf94236.rmeta: crates/simd/tests/model_hw_equivalence.rs Cargo.toml
+
+crates/simd/tests/model_hw_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_hw_equivalence-6566d7aa9e13190c.d: crates/simd/tests/model_hw_equivalence.rs
+
+/root/repo/target/debug/deps/model_hw_equivalence-6566d7aa9e13190c: crates/simd/tests/model_hw_equivalence.rs
+
+crates/simd/tests/model_hw_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/objdump_crosscheck-0d4bdde5e5e24886.d: crates/jit/tests/objdump_crosscheck.rs
+
+/root/repo/target/debug/deps/objdump_crosscheck-0d4bdde5e5e24886: crates/jit/tests/objdump_crosscheck.rs
+
+crates/jit/tests/objdump_crosscheck.rs:

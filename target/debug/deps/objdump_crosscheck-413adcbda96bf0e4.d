@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/objdump_crosscheck-413adcbda96bf0e4.d: crates/jit/tests/objdump_crosscheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobjdump_crosscheck-413adcbda96bf0e4.rmeta: crates/jit/tests/objdump_crosscheck.rs Cargo.toml
+
+crates/jit/tests/objdump_crosscheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/packed_jit_props-422831943b226304.d: crates/jit/tests/packed_jit_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpacked_jit_props-422831943b226304.rmeta: crates/jit/tests/packed_jit_props.rs Cargo.toml
+
+crates/jit/tests/packed_jit_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/packed_jit_props-e551275942a085a7.d: crates/jit/tests/packed_jit_props.rs
+
+/root/repo/target/debug/deps/packed_jit_props-e551275942a085a7: crates/jit/tests/packed_jit_props.rs
+
+crates/jit/tests/packed_jit_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-31fe9730dbc60d02.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-31fe9730dbc60d02: tests/paper_claims.rs
+
+tests/paper_claims.rs:

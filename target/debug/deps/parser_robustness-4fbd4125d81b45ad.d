@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parser_robustness-4fbd4125d81b45ad.d: crates/query/tests/parser_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparser_robustness-4fbd4125d81b45ad.rmeta: crates/query/tests/parser_robustness.rs Cargo.toml
+
+crates/query/tests/parser_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_robustness-6beec355a253bc71.d: crates/query/tests/parser_robustness.rs
+
+/root/repo/target/debug/deps/parser_robustness-6beec355a253bc71: crates/query/tests/parser_robustness.rs
+
+crates/query/tests/parser_robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-1a5bcfcd8d0618cc.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-1a5bcfcd8d0618cc.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

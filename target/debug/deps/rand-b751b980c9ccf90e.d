@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-b751b980c9ccf90e.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-b751b980c9ccf90e: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-bb337b6e1158eb73.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bb337b6e1158eb73.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bb337b6e1158eb73.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sql_pipeline-b49abab001ea48a9.d: crates/bench/benches/sql_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsql_pipeline-b49abab001ea48a9.rmeta: crates/bench/benches/sql_pipeline.rs Cargo.toml
+
+crates/bench/benches/sql_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

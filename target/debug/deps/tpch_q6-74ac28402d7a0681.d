@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpch_q6-74ac28402d7a0681.d: crates/bench/benches/tpch_q6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpch_q6-74ac28402d7a0681.rmeta: crates/bench/benches/tpch_q6.rs Cargo.toml
+
+crates/bench/benches/tpch_q6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

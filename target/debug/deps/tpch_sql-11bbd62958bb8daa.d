@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tpch_sql-11bbd62958bb8daa.d: tests/tpch_sql.rs
+
+/root/repo/target/debug/deps/tpch_sql-11bbd62958bb8daa: tests/tpch_sql.rs
+
+tests/tpch_sql.rs:

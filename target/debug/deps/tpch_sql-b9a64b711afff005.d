@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpch_sql-b9a64b711afff005.d: tests/tpch_sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpch_sql-b9a64b711afff005.rmeta: tests/tpch_sql.rs Cargo.toml
+
+tests/tpch_sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compression-768d6d885acd7cd1.d: examples/compression.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompression-768d6d885acd7cd1.rmeta: examples/compression.rs Cargo.toml
+
+examples/compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

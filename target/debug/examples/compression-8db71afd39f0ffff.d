@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compression-8db71afd39f0ffff.d: examples/compression.rs
+
+/root/repo/target/debug/examples/compression-8db71afd39f0ffff: examples/compression.rs
+
+examples/compression.rs:

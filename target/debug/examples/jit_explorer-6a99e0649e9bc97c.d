@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/jit_explorer-6a99e0649e9bc97c.d: examples/jit_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libjit_explorer-6a99e0649e9bc97c.rmeta: examples/jit_explorer.rs Cargo.toml
+
+examples/jit_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

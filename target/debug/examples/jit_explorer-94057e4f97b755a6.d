@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/jit_explorer-94057e4f97b755a6.d: examples/jit_explorer.rs
+
+/root/repo/target/debug/examples/jit_explorer-94057e4f97b755a6: examples/jit_explorer.rs
+
+examples/jit_explorer.rs:

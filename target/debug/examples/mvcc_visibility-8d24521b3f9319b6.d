@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mvcc_visibility-8d24521b3f9319b6.d: examples/mvcc_visibility.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmvcc_visibility-8d24521b3f9319b6.rmeta: examples/mvcc_visibility.rs Cargo.toml
+
+examples/mvcc_visibility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

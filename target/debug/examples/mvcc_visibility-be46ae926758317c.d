@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mvcc_visibility-be46ae926758317c.d: examples/mvcc_visibility.rs
+
+/root/repo/target/debug/examples/mvcc_visibility-be46ae926758317c: examples/mvcc_visibility.rs
+
+examples/mvcc_visibility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7d81f6fbe942ea48.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7d81f6fbe942ea48: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-dd6a2f4e1f70ed4b.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-dd6a2f4e1f70ed4b.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

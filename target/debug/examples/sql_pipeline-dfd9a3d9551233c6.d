@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sql_pipeline-dfd9a3d9551233c6.d: examples/sql_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsql_pipeline-dfd9a3d9551233c6.rmeta: examples/sql_pipeline.rs Cargo.toml
+
+examples/sql_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sql_pipeline-f67a06a8a4aff1d8.d: examples/sql_pipeline.rs
+
+/root/repo/target/debug/examples/sql_pipeline-f67a06a8a4aff1d8: examples/sql_pipeline.rs
+
+examples/sql_pipeline.rs:

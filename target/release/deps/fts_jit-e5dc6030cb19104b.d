@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/fts_jit-e5dc6030cb19104b.d: crates/jit/src/lib.rs crates/jit/src/asm/mod.rs crates/jit/src/asm/encoder.rs crates/jit/src/asm/reg.rs crates/jit/src/cache.rs crates/jit/src/compile_avx512.rs crates/jit/src/compile_packed.rs crates/jit/src/compile_scalar.rs crates/jit/src/ir.rs crates/jit/src/kernel.rs crates/jit/src/mem.rs crates/jit/src/source_gen.rs
+
+/root/repo/target/release/deps/libfts_jit-e5dc6030cb19104b.rlib: crates/jit/src/lib.rs crates/jit/src/asm/mod.rs crates/jit/src/asm/encoder.rs crates/jit/src/asm/reg.rs crates/jit/src/cache.rs crates/jit/src/compile_avx512.rs crates/jit/src/compile_packed.rs crates/jit/src/compile_scalar.rs crates/jit/src/ir.rs crates/jit/src/kernel.rs crates/jit/src/mem.rs crates/jit/src/source_gen.rs
+
+/root/repo/target/release/deps/libfts_jit-e5dc6030cb19104b.rmeta: crates/jit/src/lib.rs crates/jit/src/asm/mod.rs crates/jit/src/asm/encoder.rs crates/jit/src/asm/reg.rs crates/jit/src/cache.rs crates/jit/src/compile_avx512.rs crates/jit/src/compile_packed.rs crates/jit/src/compile_scalar.rs crates/jit/src/ir.rs crates/jit/src/kernel.rs crates/jit/src/mem.rs crates/jit/src/source_gen.rs
+
+crates/jit/src/lib.rs:
+crates/jit/src/asm/mod.rs:
+crates/jit/src/asm/encoder.rs:
+crates/jit/src/asm/reg.rs:
+crates/jit/src/cache.rs:
+crates/jit/src/compile_avx512.rs:
+crates/jit/src/compile_packed.rs:
+crates/jit/src/compile_scalar.rs:
+crates/jit/src/ir.rs:
+crates/jit/src/kernel.rs:
+crates/jit/src/mem.rs:
+crates/jit/src/source_gen.rs:

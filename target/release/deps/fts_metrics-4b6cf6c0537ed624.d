@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fts_metrics-4b6cf6c0537ed624.d: crates/metrics/src/lib.rs crates/metrics/src/branch.rs crates/metrics/src/cache.rs crates/metrics/src/instrument.rs crates/metrics/src/probe.rs crates/metrics/src/timing.rs
+
+/root/repo/target/release/deps/libfts_metrics-4b6cf6c0537ed624.rlib: crates/metrics/src/lib.rs crates/metrics/src/branch.rs crates/metrics/src/cache.rs crates/metrics/src/instrument.rs crates/metrics/src/probe.rs crates/metrics/src/timing.rs
+
+/root/repo/target/release/deps/libfts_metrics-4b6cf6c0537ed624.rmeta: crates/metrics/src/lib.rs crates/metrics/src/branch.rs crates/metrics/src/cache.rs crates/metrics/src/instrument.rs crates/metrics/src/probe.rs crates/metrics/src/timing.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/branch.rs:
+crates/metrics/src/cache.rs:
+crates/metrics/src/instrument.rs:
+crates/metrics/src/probe.rs:
+crates/metrics/src/timing.rs:

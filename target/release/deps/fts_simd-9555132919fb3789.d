@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fts_simd-9555132919fb3789.d: crates/simd/src/lib.rs crates/simd/src/detect.rs crates/simd/src/hw.rs crates/simd/src/model.rs
+
+/root/repo/target/release/deps/libfts_simd-9555132919fb3789.rlib: crates/simd/src/lib.rs crates/simd/src/detect.rs crates/simd/src/hw.rs crates/simd/src/model.rs
+
+/root/repo/target/release/deps/libfts_simd-9555132919fb3789.rmeta: crates/simd/src/lib.rs crates/simd/src/detect.rs crates/simd/src/hw.rs crates/simd/src/model.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/detect.rs:
+crates/simd/src/hw.rs:
+crates/simd/src/model.rs:

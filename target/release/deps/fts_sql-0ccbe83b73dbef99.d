@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fts_sql-0ccbe83b73dbef99.d: src/bin/fts-sql.rs
+
+/root/repo/target/release/deps/fts_sql-0ccbe83b73dbef99: src/bin/fts-sql.rs
+
+src/bin/fts-sql.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fts_storage-7df7ac3f35fafa03.d: crates/storage/src/lib.rs crates/storage/src/aligned.rs crates/storage/src/bitpack.rs crates/storage/src/builder.rs crates/storage/src/column.rs crates/storage/src/dictionary.rs crates/storage/src/gen.rs crates/storage/src/poslist.rs crates/storage/src/table.rs crates/storage/src/types.rs
+
+/root/repo/target/release/deps/libfts_storage-7df7ac3f35fafa03.rlib: crates/storage/src/lib.rs crates/storage/src/aligned.rs crates/storage/src/bitpack.rs crates/storage/src/builder.rs crates/storage/src/column.rs crates/storage/src/dictionary.rs crates/storage/src/gen.rs crates/storage/src/poslist.rs crates/storage/src/table.rs crates/storage/src/types.rs
+
+/root/repo/target/release/deps/libfts_storage-7df7ac3f35fafa03.rmeta: crates/storage/src/lib.rs crates/storage/src/aligned.rs crates/storage/src/bitpack.rs crates/storage/src/builder.rs crates/storage/src/column.rs crates/storage/src/dictionary.rs crates/storage/src/gen.rs crates/storage/src/poslist.rs crates/storage/src/table.rs crates/storage/src/types.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/aligned.rs:
+crates/storage/src/bitpack.rs:
+crates/storage/src/builder.rs:
+crates/storage/src/column.rs:
+crates/storage/src/dictionary.rs:
+crates/storage/src/gen.rs:
+crates/storage/src/poslist.rs:
+crates/storage/src/table.rs:
+crates/storage/src/types.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fused_table_scan-753427e657ca8e7c.d: src/lib.rs
+
+/root/repo/target/release/deps/libfused_table_scan-753427e657ca8e7c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfused_table_scan-753427e657ca8e7c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e0687ff75f62ae58.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e0687ff75f62ae58.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e0687ff75f62ae58.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

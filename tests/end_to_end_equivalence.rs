@@ -4,9 +4,7 @@
 //! JIT-compiled kernels, and the SQL pipeline — must produce identical
 //! results.
 
-use fused_table_scan::core::{
-    reference, run_scan, OutputMode, RegWidth, ScanImpl, TypedPred,
-};
+use fused_table_scan::core::{reference, run_scan, OutputMode, RegWidth, ScanImpl, TypedPred};
 use fused_table_scan::jit::{CompiledKernel, JitBackend, ScanSig};
 use fused_table_scan::query::{Database, JitMode, QueryResult};
 use fused_table_scan::simd::has_avx512;
@@ -52,7 +50,12 @@ fn check_chain(chain: &GeneratedChain<u32>, needles: &[(CmpOp, u32)]) {
 
     for imp in available_impls() {
         let got = run_scan(imp, &preds, OutputMode::Positions).unwrap();
-        assert_eq!(got.positions().unwrap(), &expected, "{} positions", imp.name());
+        assert_eq!(
+            got.positions().unwrap(),
+            &expected,
+            "{} positions",
+            imp.name()
+        );
         let got = run_scan(imp, &preds, OutputMode::Count).unwrap();
         assert_eq!(got.count(), expected.len() as u64, "{} count", imp.name());
     }
@@ -124,7 +127,10 @@ fn sql_pipeline_matches_kernels() {
     let expected = chain.matching_rows.len() as u64;
 
     let table = Table::from_chunked_columns(
-        vec![ColumnDef::new("a", DataType::U32), ColumnDef::new("b", DataType::U32)],
+        vec![
+            ColumnDef::new("a", DataType::U32),
+            ColumnDef::new("b", DataType::U32),
+        ],
         vec![
             Column::from_slice(&chain.columns[0]),
             Column::from_slice(&chain.columns[1]),
@@ -135,10 +141,16 @@ fn sql_pipeline_matches_kernels() {
 
     for jit in [JitMode::Off, JitMode::On] {
         for dict in [false, true] {
-            let t = if dict { table.with_dictionary_encoding(&[0, 1]).unwrap() } else { table.clone() };
+            let t = if dict {
+                table.with_dictionary_encoding(&[0, 1]).unwrap()
+            } else {
+                table.clone()
+            };
             let mut db = Database::with_jit(jit);
             db.register("t", t);
-            let r = db.query("SELECT COUNT(*) FROM t WHERE a = 5 AND b = 2").unwrap();
+            let r = db
+                .query("SELECT COUNT(*) FROM t WHERE a = 5 AND b = 2")
+                .unwrap();
             assert_eq!(r, QueryResult::Count(expected), "jit={jit:?} dict={dict}");
         }
     }
@@ -154,7 +166,9 @@ fn mixed_width_kernel_agrees() {
     }
     use fused_table_scan::core::fused::mixed::fused_scan_u32_u64;
     let a: Vec<u32> = (0..10_000).map(|i| i % 7).collect();
-    let b: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E37) % 11).collect();
+    let b: Vec<u64> = (0..10_000u64)
+        .map(|i| i.wrapping_mul(0x9E37) % 11)
+        .collect();
     for op in CmpOp::ALL {
         let p0 = TypedPred::new(&a[..], op, 3u32);
         let p1 = TypedPred::new(&b[..], CmpOp::Ge, 5u64);

@@ -50,8 +50,12 @@ fn fused_scan_beats_sisd() {
         assert_eq!(out.count(), chain.matching_rows.len() as u64);
     });
     let fused = median_ms(5, || {
-        let out =
-            run_scan(ScanImpl::FusedAvx512(RegWidth::W512), &preds, OutputMode::Count).unwrap();
+        let out = run_scan(
+            ScanImpl::FusedAvx512(RegWidth::W512),
+            &preds,
+            OutputMode::Count,
+        )
+        .unwrap();
         assert_eq!(out.count(), chain.matching_rows.len() as u64);
     });
     assert!(
@@ -78,12 +82,25 @@ fn wider_registers_win() {
         TypedPred::eq(&chain.columns[1][..], 2u32),
     ];
     let w128 = median_ms(5, || {
-        run_scan(ScanImpl::FusedAvx512(RegWidth::W128), &preds, OutputMode::Count).unwrap();
+        run_scan(
+            ScanImpl::FusedAvx512(RegWidth::W128),
+            &preds,
+            OutputMode::Count,
+        )
+        .unwrap();
     });
     let w512 = median_ms(5, || {
-        run_scan(ScanImpl::FusedAvx512(RegWidth::W512), &preds, OutputMode::Count).unwrap();
+        run_scan(
+            ScanImpl::FusedAvx512(RegWidth::W512),
+            &preds,
+            OutputMode::Count,
+        )
+        .unwrap();
     });
-    assert!(w512 * 1.3 < w128, "512-bit must beat 128-bit: w512={w512:.2} w128={w128:.2}");
+    assert!(
+        w512 * 1.3 < w128,
+        "512-bit must beat 128-bit: w512={w512:.2} w128={w128:.2}"
+    );
 }
 
 /// §IV Fig. 6 / §VII: the fused scan mispredicts roughly an order of
@@ -138,7 +155,12 @@ fn advantage_grows_with_predicate_count() {
             run_scan(ScanImpl::SisdAutoVec, &preds, OutputMode::Count).unwrap();
         });
         let fused = median_ms(3, || {
-            run_scan(ScanImpl::FusedAvx512(RegWidth::W512), &preds, OutputMode::Count).unwrap();
+            run_scan(
+                ScanImpl::FusedAvx512(RegWidth::W512),
+                &preds,
+                OutputMode::Count,
+            )
+            .unwrap();
         });
         ratios.push(sisd / fused);
     }
@@ -167,14 +189,22 @@ fn jit_compile_cost_is_negligible() {
         k.compile_time()
     );
     // One 8M-row scan dwarfs the compile time.
-    let chain =
-        generate_chain(8_000_000, &[PredSpec::eq(5u32, 0.1), PredSpec::eq(2u32, 0.5)], 5).unwrap();
+    let chain = generate_chain(
+        8_000_000,
+        &[PredSpec::eq(5u32, 0.1), PredSpec::eq(2u32, 0.5)],
+        5,
+    )
+    .unwrap();
     let cols: Vec<&[u32]> = chain.columns.iter().map(|c| &c[..]).collect();
     let t = Instant::now();
     let n = k.run(&cols).unwrap().count();
     let scan = t.elapsed();
     assert_eq!(n, chain.matching_rows.len() as u64);
-    assert!(scan > 20 * k.compile_time(), "scan {scan:?} vs compile {:?}", k.compile_time());
+    assert!(
+        scan > 20 * k.compile_time(),
+        "scan {scan:?} vs compile {:?}",
+        k.compile_time()
+    );
 }
 
 /// §V / Fig. 8: the optimizer identifies σ chains, orders them most
@@ -196,7 +226,9 @@ fn optimizer_tags_and_reorders_chains() {
         )
         .unwrap(),
     );
-    let plan = db.explain("SELECT COUNT(*) FROM t WHERE coarse = 1 AND fine = 7").unwrap();
+    let plan = db
+        .explain("SELECT COUNT(*) FROM t WHERE coarse = 1 AND fine = 7")
+        .unwrap();
     assert!(plan.contains("FusedTableScan"), "{plan}");
     let fine_pos = plan.find("fine").unwrap();
     let coarse_pos = plan.find("coarse").unwrap();

@@ -57,10 +57,18 @@ fn reference(table: &Table) -> (u64, i64, i64, i64) {
     let mut min = i64::MAX;
     let mut max = i64::MIN;
     for row in 0..table.rows() {
-        let Value::U32(d) = table.value_at(0, row) else { panic!() };
-        let Value::U32(disc) = table.value_at(1, row) else { panic!() };
-        let Value::U32(q) = table.value_at(2, row) else { panic!() };
-        let Value::I64(p) = table.value_at(3, row) else { panic!() };
+        let Value::U32(d) = table.value_at(0, row) else {
+            panic!()
+        };
+        let Value::U32(disc) = table.value_at(1, row) else {
+            panic!()
+        };
+        let Value::U32(q) = table.value_at(2, row) else {
+            panic!()
+        };
+        let Value::I64(p) = table.value_at(3, row) else {
+            panic!()
+        };
         if (19_940_101..19_950_101).contains(&d) && (5..=7).contains(&disc) && q < 24 {
             count += 1;
             sum += p;
@@ -79,7 +87,10 @@ fn q6_through_every_storage_encoding() {
 
     let variants: Vec<(&str, Table)> = vec![
         ("plain", base.clone()),
-        ("dictionary", base.with_dictionary_encoding(&[0, 3]).unwrap()),
+        (
+            "dictionary",
+            base.with_dictionary_encoding(&[0, 3]).unwrap(),
+        ),
         ("bitpacked", base.with_bitpacking(&[1, 2]).unwrap()),
     ];
 
@@ -92,7 +103,9 @@ fn q6_through_every_storage_encoding() {
             assert_eq!(r, QueryResult::Count(count), "{name} {jit:?} count");
 
             let r = db.query(Q6_AGGS).unwrap();
-            let QueryResult::Rows { rows, .. } = r else { panic!("{name}: {r:?}") };
+            let QueryResult::Rows { rows, .. } = r else {
+                panic!("{name}: {r:?}")
+            };
             assert_eq!(rows[0][0], Value::U64(count), "{name} {jit:?} count agg");
             assert_eq!(rows[0][1], Value::I64(sum), "{name} {jit:?} sum");
             assert_eq!(rows[0][2], Value::I64(min), "{name} {jit:?} min");
@@ -112,10 +125,18 @@ fn q6_chunk_pruning_on_sorted_dates() {
     let base = lineitem();
     let mut rows: Vec<(u32, u32, u32, i64)> = (0..base.rows())
         .map(|r| {
-            let Value::U32(d) = base.value_at(0, r) else { panic!() };
-            let Value::U32(disc) = base.value_at(1, r) else { panic!() };
-            let Value::U32(q) = base.value_at(2, r) else { panic!() };
-            let Value::I64(p) = base.value_at(3, r) else { panic!() };
+            let Value::U32(d) = base.value_at(0, r) else {
+                panic!()
+            };
+            let Value::U32(disc) = base.value_at(1, r) else {
+                panic!()
+            };
+            let Value::U32(q) = base.value_at(2, r) else {
+                panic!()
+            };
+            let Value::I64(p) = base.value_at(3, r) else {
+                panic!()
+            };
             (d, disc, q, p)
         })
         .collect();
