@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_equivalence-87d643807a76a8c4.d: tests/end_to_end_equivalence.rs
+
+/root/repo/target/debug/deps/end_to_end_equivalence-87d643807a76a8c4: tests/end_to_end_equivalence.rs
+
+tests/end_to_end_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/estimator_props-e3e6791b00fdfb1f.d: crates/query/tests/estimator_props.rs
+
+/root/repo/target/debug/deps/estimator_props-e3e6791b00fdfb1f: crates/query/tests/estimator_props.rs
+
+crates/query/tests/estimator_props.rs:

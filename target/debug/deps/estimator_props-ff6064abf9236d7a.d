@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/estimator_props-ff6064abf9236d7a.d: crates/query/tests/estimator_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libestimator_props-ff6064abf9236d7a.rmeta: crates/query/tests/estimator_props.rs Cargo.toml
+
+crates/query/tests/estimator_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fts_client-5fe2a965755b200e.d: src/bin/fts-client.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfts_client-5fe2a965755b200e.rmeta: src/bin/fts-client.rs Cargo.toml
+
+src/bin/fts-client.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

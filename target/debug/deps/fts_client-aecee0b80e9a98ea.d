@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fts_client-aecee0b80e9a98ea.d: src/bin/fts-client.rs
+
+/root/repo/target/debug/deps/fts_client-aecee0b80e9a98ea: src/bin/fts-client.rs
+
+src/bin/fts-client.rs:

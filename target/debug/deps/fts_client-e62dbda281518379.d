@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fts_client-e62dbda281518379.d: src/bin/fts-client.rs
+
+/root/repo/target/debug/deps/fts_client-e62dbda281518379: src/bin/fts-client.rs
+
+src/bin/fts-client.rs:

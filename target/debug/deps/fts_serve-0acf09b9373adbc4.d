@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fts_serve-0acf09b9373adbc4.d: src/bin/fts-serve.rs
+
+/root/repo/target/debug/deps/fts_serve-0acf09b9373adbc4: src/bin/fts-serve.rs
+
+src/bin/fts-serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fts_serve-28f6307bec4d9142.d: src/bin/fts-serve.rs
+
+/root/repo/target/debug/deps/fts_serve-28f6307bec4d9142: src/bin/fts-serve.rs
+
+src/bin/fts-serve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fts_serve-f23ddd7cce765521.d: src/bin/fts-serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfts_serve-f23ddd7cce765521.rmeta: src/bin/fts-serve.rs Cargo.toml
+
+src/bin/fts-serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fts_server-6c8e4ed32b267299.d: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+/root/repo/target/debug/deps/libfts_server-6c8e4ed32b267299.rlib: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+/root/repo/target/debug/deps/libfts_server-6c8e4ed32b267299.rmeta: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+crates/server/src/lib.rs:
+crates/server/src/client.rs:
+crates/server/src/protocol.rs:
+crates/server/src/server.rs:
+crates/server/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fts_server-8599d58c5f92c745.d: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+/root/repo/target/debug/deps/fts_server-8599d58c5f92c745: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+crates/server/src/lib.rs:
+crates/server/src/client.rs:
+crates/server/src/protocol.rs:
+crates/server/src/server.rs:
+crates/server/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fts_server-e42f45ec471b7f33.d: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfts_server-e42f45ec471b7f33.rmeta: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs Cargo.toml
+
+crates/server/src/lib.rs:
+crates/server/src/client.rs:
+crates/server/src/protocol.rs:
+crates/server/src/server.rs:
+crates/server/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fts_sql-17a39d0cf5a2543e.d: src/bin/fts-sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfts_sql-17a39d0cf5a2543e.rmeta: src/bin/fts-sql.rs Cargo.toml
+
+src/bin/fts-sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

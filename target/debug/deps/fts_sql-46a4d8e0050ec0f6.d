@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fts_sql-46a4d8e0050ec0f6.d: src/bin/fts-sql.rs
+
+/root/repo/target/debug/deps/fts_sql-46a4d8e0050ec0f6: src/bin/fts-sql.rs
+
+src/bin/fts-sql.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fts_sql-5b7f926eefcd1597.d: src/bin/fts-sql.rs
+
+/root/repo/target/debug/deps/fts_sql-5b7f926eefcd1597: src/bin/fts-sql.rs
+
+src/bin/fts-sql.rs:

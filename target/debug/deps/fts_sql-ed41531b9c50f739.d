@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fts_sql-ed41531b9c50f739.d: src/bin/fts-sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfts_sql-ed41531b9c50f739.rmeta: src/bin/fts-sql.rs Cargo.toml
+
+src/bin/fts-sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

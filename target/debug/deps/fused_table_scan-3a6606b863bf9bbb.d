@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fused_table_scan-3a6606b863bf9bbb.d: src/lib.rs
+
+/root/repo/target/debug/deps/fused_table_scan-3a6606b863bf9bbb: src/lib.rs
+
+src/lib.rs:

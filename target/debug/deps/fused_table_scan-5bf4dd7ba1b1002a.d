@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fused_table_scan-5bf4dd7ba1b1002a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfused_table_scan-5bf4dd7ba1b1002a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

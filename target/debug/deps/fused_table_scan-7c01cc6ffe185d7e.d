@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fused_table_scan-7c01cc6ffe185d7e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfused_table_scan-7c01cc6ffe185d7e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfused_table_scan-7c01cc6ffe185d7e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fused_table_scan-8dc5e4e42cea9a53.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfused_table_scan-8dc5e4e42cea9a53.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-3d00f5a801a89a39.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-3d00f5a801a89a39: tests/paper_claims.rs
+
+tests/paper_claims.rs:

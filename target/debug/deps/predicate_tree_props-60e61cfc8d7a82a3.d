@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predicate_tree_props-60e61cfc8d7a82a3.d: crates/query/tests/predicate_tree_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredicate_tree_props-60e61cfc8d7a82a3.rmeta: crates/query/tests/predicate_tree_props.rs Cargo.toml
+
+crates/query/tests/predicate_tree_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

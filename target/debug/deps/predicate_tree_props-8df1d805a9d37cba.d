@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predicate_tree_props-8df1d805a9d37cba.d: crates/query/tests/predicate_tree_props.rs
+
+/root/repo/target/debug/deps/predicate_tree_props-8df1d805a9d37cba: crates/query/tests/predicate_tree_props.rs
+
+crates/query/tests/predicate_tree_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/server_tests-047b7afa02543465.d: crates/server/tests/server_tests.rs
+
+/root/repo/target/debug/deps/server_tests-047b7afa02543465: crates/server/tests/server_tests.rs
+
+crates/server/tests/server_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/server_tests-142f59054e9101ba.d: crates/server/tests/server_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserver_tests-142f59054e9101ba.rmeta: crates/server/tests/server_tests.rs Cargo.toml
+
+crates/server/tests/server_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

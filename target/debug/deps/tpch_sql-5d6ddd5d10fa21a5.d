@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpch_sql-5d6ddd5d10fa21a5.d: tests/tpch_sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpch_sql-5d6ddd5d10fa21a5.rmeta: tests/tpch_sql.rs Cargo.toml
+
+tests/tpch_sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tpch_sql-c9f7687c6b9d129f.d: tests/tpch_sql.rs
+
+/root/repo/target/debug/deps/tpch_sql-c9f7687c6b9d129f: tests/tpch_sql.rs
+
+tests/tpch_sql.rs:

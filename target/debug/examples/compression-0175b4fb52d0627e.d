@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compression-0175b4fb52d0627e.d: examples/compression.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompression-0175b4fb52d0627e.rmeta: examples/compression.rs Cargo.toml
+
+examples/compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compression-ec7bd6abbacaa1a6.d: examples/compression.rs
+
+/root/repo/target/debug/examples/compression-ec7bd6abbacaa1a6: examples/compression.rs
+
+examples/compression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/jit_explorer-0fc2c5f26c9af26b.d: examples/jit_explorer.rs
+
+/root/repo/target/debug/examples/jit_explorer-0fc2c5f26c9af26b: examples/jit_explorer.rs
+
+examples/jit_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/jit_explorer-e0ac06045ab8a71d.d: examples/jit_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libjit_explorer-e0ac06045ab8a71d.rmeta: examples/jit_explorer.rs Cargo.toml
+
+examples/jit_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

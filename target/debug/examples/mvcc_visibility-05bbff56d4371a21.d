@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mvcc_visibility-05bbff56d4371a21.d: examples/mvcc_visibility.rs
+
+/root/repo/target/debug/examples/mvcc_visibility-05bbff56d4371a21: examples/mvcc_visibility.rs
+
+examples/mvcc_visibility.rs:

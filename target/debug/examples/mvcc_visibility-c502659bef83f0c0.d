@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mvcc_visibility-c502659bef83f0c0.d: examples/mvcc_visibility.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmvcc_visibility-c502659bef83f0c0.rmeta: examples/mvcc_visibility.rs Cargo.toml
+
+examples/mvcc_visibility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

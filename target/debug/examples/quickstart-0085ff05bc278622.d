@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0085ff05bc278622.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0085ff05bc278622: examples/quickstart.rs
+
+examples/quickstart.rs:

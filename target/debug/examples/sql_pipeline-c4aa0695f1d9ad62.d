@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sql_pipeline-c4aa0695f1d9ad62.d: examples/sql_pipeline.rs
+
+/root/repo/target/debug/examples/sql_pipeline-c4aa0695f1d9ad62: examples/sql_pipeline.rs
+
+examples/sql_pipeline.rs:

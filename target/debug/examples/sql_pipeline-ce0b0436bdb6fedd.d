@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sql_pipeline-ce0b0436bdb6fedd.d: examples/sql_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsql_pipeline-ce0b0436bdb6fedd.rmeta: examples/sql_pipeline.rs Cargo.toml
+
+examples/sql_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-bbfa1d29a41c9d24.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-bbfa1d29a41c9d24.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-bbfa1d29a41c9d24.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

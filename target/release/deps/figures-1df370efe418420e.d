@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-1df370efe418420e.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-1df370efe418420e: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

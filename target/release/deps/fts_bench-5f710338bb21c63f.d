@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fts_bench-5f710338bb21c63f.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/tpch.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libfts_bench-5f710338bb21c63f.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/tpch.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libfts_bench-5f710338bb21c63f.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/tpch.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/json.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tpch.rs:
+crates/bench/src/workload.rs:

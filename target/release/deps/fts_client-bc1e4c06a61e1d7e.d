@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fts_client-bc1e4c06a61e1d7e.d: src/bin/fts-client.rs
+
+/root/repo/target/release/deps/fts_client-bc1e4c06a61e1d7e: src/bin/fts-client.rs
+
+src/bin/fts-client.rs:

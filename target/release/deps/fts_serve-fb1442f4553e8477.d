@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fts_serve-fb1442f4553e8477.d: src/bin/fts-serve.rs
+
+/root/repo/target/release/deps/fts_serve-fb1442f4553e8477: src/bin/fts-serve.rs
+
+src/bin/fts-serve.rs:

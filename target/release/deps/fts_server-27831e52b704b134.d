@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fts_server-27831e52b704b134.d: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+/root/repo/target/release/deps/libfts_server-27831e52b704b134.rlib: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+/root/repo/target/release/deps/libfts_server-27831e52b704b134.rmeta: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+crates/server/src/lib.rs:
+crates/server/src/client.rs:
+crates/server/src/protocol.rs:
+crates/server/src/server.rs:
+crates/server/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fts_sql-49298381be712d5e.d: src/bin/fts-sql.rs
+
+/root/repo/target/release/deps/fts_sql-49298381be712d5e: src/bin/fts-sql.rs
+
+src/bin/fts-sql.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fused_table_scan-92cf21e0dcefea32.d: src/lib.rs
+
+/root/repo/target/release/deps/libfused_table_scan-92cf21e0dcefea32.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfused_table_scan-92cf21e0dcefea32.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-eaf08a39451c5d18.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-eaf08a39451c5d18: tests/paper_claims.rs
+
+tests/paper_claims.rs:

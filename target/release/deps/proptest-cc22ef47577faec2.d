@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-cc22ef47577faec2.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-cc22ef47577faec2.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-cc22ef47577faec2.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/server_load-f47d37d743261595.d: crates/server/benches/server_load.rs
+
+/root/repo/target/release/deps/server_load-f47d37d743261595: crates/server/benches/server_load.rs
+
+crates/server/benches/server_load.rs:
