@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive_bench;
 pub mod figures;
 pub mod json;
 pub mod report;

@@ -470,7 +470,9 @@ mod tests {
         )
         .unwrap();
         let mut fig = FigureResult::new("figT", "demo", "rows");
-        fig.push_telemetry("workload", &t, 1e9);
+        // Against a near-zero peak any real scan rate is bandwidth-bound
+        // (a huge peak would flip the verdict to compute-bound).
+        fig.push_telemetry("workload", &t, 1e-9);
         assert_eq!(fig.telemetry[0].verdict, "bandwidth-bound");
         assert_eq!(fig.telemetry[0].rows, 4096);
         assert!(fig.telemetry[0]

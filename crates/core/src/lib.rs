@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod blockwise;
 pub mod engine;
 pub mod fused;
@@ -29,6 +30,11 @@ pub mod sisd;
 pub mod stride;
 pub mod telemetry;
 
+pub use adaptive::{
+    candidate_scan_impls, estimate_cost, estimate_packed_cost, rank_scan_impls, run_scan_adaptive,
+    AdaptiveConfig, AdaptiveScanReport, CalibrationConfig, CalibrationReport, Calibrator,
+    CandidateStats, ChainProfile, CostEstimate, Encoding, Phase, PredProfile, RankedKernel,
+};
 pub use engine::{
     best_fused_impl, run_fused_auto, run_scan, run_scan_telemetered, scan_columns_auto,
     scan_columns_auto_telemetered, EngineError, RegWidth, ScanElem, ScanImpl,

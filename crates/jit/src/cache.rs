@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
-use crate::ir::{JitError, ScanSig};
+use crate::ir::{JitError, KernelVariant, ScanSig};
 use crate::kernel::{CompiledKernel, JitBackend};
 
 /// Default capacity: generous for any realistic query mix, small enough
@@ -106,7 +106,15 @@ impl KernelCache {
         }
         // Compile outside the lock; a racing thread may compile the same
         // signature — the first insert wins, both results are valid.
-        let kernel = Arc::new(CompiledKernel::compile(sig.clone(), self.backend)?);
+        // The signature's variant picks the code generator; `Auto` means
+        // this cache's configured default, so one cache can hold several
+        // variants of the same chain under distinct keys.
+        let backend = match sig.variant {
+            KernelVariant::Auto => self.backend,
+            KernelVariant::Avx512 => JitBackend::Avx512,
+            KernelVariant::Scalar => JitBackend::Scalar,
+        };
+        let kernel = Arc::new(CompiledKernel::compile(sig.clone(), backend)?);
         let mut guard = self.lock();
         let State { map, tick, stats } = &mut *guard;
         *tick += 1;
@@ -317,6 +325,43 @@ mod tests {
         // k1's Arc keeps its code pages mapped after eviction.
         let a = [1u32, 2, 1];
         assert_eq!(k1.run(&[&a[..]]).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn variants_key_distinct_entries_without_thrash() {
+        // An adaptive selector probing several variants of the same chain
+        // must not thrash compilation: each (chain, variant) compiles at
+        // most once, and alternating between variants only produces hits.
+        let cache = KernelCache::new(JitBackend::Scalar);
+        let base = ScanSig::u32_chain(&[(CmpOp::Eq, 5), (CmpOp::Lt, 9)], false);
+        let scalar = base.clone().with_variant(KernelVariant::Scalar);
+        let auto = base.clone();
+
+        let k_auto = cache.get_or_compile(&auto).unwrap();
+        let k_scalar = cache.get_or_compile(&scalar).unwrap();
+        assert!(!Arc::ptr_eq(&k_auto, &k_scalar), "distinct cache entries");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+
+        // Calibration-style alternation: steady-state hit rate unaffected.
+        for _ in 0..10 {
+            cache.get_or_compile(&auto).unwrap();
+            cache.get_or_compile(&scalar).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 2, "no recompilation across variant switches");
+        assert_eq!(s.hits, 20);
+
+        if fts_simd::has_avx512() {
+            let avx = base.clone().with_variant(KernelVariant::Avx512);
+            cache.get_or_compile(&avx).unwrap();
+            cache.get_or_compile(&avx).unwrap();
+            let s = cache.stats();
+            assert_eq!(s.misses, 3);
+            let a = [5u32, 6, 5, 9];
+            let got = cache.get_or_compile(&avx).unwrap();
+            assert_eq!(got.run(&[&a[..], &a[..]]).unwrap().count(), 2);
+        }
     }
 
     #[test]

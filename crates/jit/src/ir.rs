@@ -67,6 +67,24 @@ pub struct JitPred {
     pub needle_bits: u64,
 }
 
+/// Which code-generation backend a [`ScanSig`] asks for.
+///
+/// Part of the signature — and therefore of the kernel-cache key — so an
+/// adaptive selector probing several kernel variants of the same chain
+/// maps each variant to a distinct cache entry: calibration never
+/// invalidates or recompiles another variant's kernel, and each
+/// `(chain, variant)` pair compiles at most once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelVariant {
+    /// Use the cache's configured default backend.
+    #[default]
+    Auto,
+    /// The AVX-512 EVEX code generator (512-bit registers).
+    Avx512,
+    /// The portable scalar code generator.
+    Scalar,
+}
+
 /// A full scan-chain signature — also the kernel-cache key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ScanSig {
@@ -76,6 +94,8 @@ pub struct ScanSig {
     pub preds: Vec<JitPred>,
     /// Whether the kernel writes matching positions (true) or only counts.
     pub emit_positions: bool,
+    /// Requested code-generation backend (part of the cache key).
+    pub variant: KernelVariant,
 }
 
 impl ScanSig {
@@ -91,6 +111,7 @@ impl ScanSig {
                 })
                 .collect(),
             emit_positions,
+            variant: KernelVariant::Auto,
         }
     }
 
@@ -106,6 +127,7 @@ impl ScanSig {
                 })
                 .collect(),
             emit_positions,
+            variant: KernelVariant::Auto,
         }
     }
 
@@ -121,6 +143,7 @@ impl ScanSig {
                 })
                 .collect(),
             emit_positions,
+            variant: KernelVariant::Auto,
         }
     }
 
@@ -133,6 +156,7 @@ impl ScanSig {
                 .map(|&(op, n)| JitPred { op, needle_bits: n })
                 .collect(),
             emit_positions,
+            variant: KernelVariant::Auto,
         }
     }
 
@@ -148,6 +172,7 @@ impl ScanSig {
                 })
                 .collect(),
             emit_positions,
+            variant: KernelVariant::Auto,
         }
     }
 
@@ -163,7 +188,15 @@ impl ScanSig {
                 })
                 .collect(),
             emit_positions,
+            variant: KernelVariant::Auto,
         }
+    }
+
+    /// The same signature pinned to a specific backend variant (a
+    /// distinct cache key — see [`KernelVariant`]).
+    pub fn with_variant(mut self, variant: KernelVariant) -> ScanSig {
+        self.variant = variant;
+        self
     }
 
     /// Number of predicates.
@@ -265,6 +298,15 @@ mod tests {
         set.insert(ScanSig::u32_chain(&[(CmpOp::Eq, 6)], false));
         set.insert(ScanSig::u32_chain(&[(CmpOp::Eq, 5)], true));
         assert_eq!(set.len(), 3);
+        // The kernel variant is part of the key: the same chain under a
+        // pinned backend is a distinct entry.
+        set.insert(
+            ScanSig::u32_chain(&[(CmpOp::Eq, 5)], false).with_variant(KernelVariant::Scalar),
+        );
+        set.insert(
+            ScanSig::u32_chain(&[(CmpOp::Eq, 5)], false).with_variant(KernelVariant::Avx512),
+        );
+        assert_eq!(set.len(), 5);
     }
 
     #[test]

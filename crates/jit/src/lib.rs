@@ -39,6 +39,8 @@ pub use cache::{CacheStats, KernelCache};
 pub use compile_packed::{
     CompiledPackedKernel, PackedColRef, PackedColSig, PackedKernelCache, PackedScanSig,
 };
-pub use ir::{JitElem, JitError, JitPred, KernelArgs, KernelFn, ScanSig, MAX_JIT_PREDICATES};
+pub use ir::{
+    JitElem, JitError, JitPred, KernelArgs, KernelFn, KernelVariant, ScanSig, MAX_JIT_PREDICATES,
+};
 pub use kernel::{CompiledKernel, JitBackend};
 pub use mem::{ExecBuf, ExecError};

@@ -20,16 +20,21 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use fts_core::adaptive::{
+    candidate_scan_impls, estimate_cost, rank_scan_impls, CalibrationConfig, Calibrator,
+    ChainProfile, CostEstimate, Encoding, Phase, PredProfile,
+};
 use fts_core::fused::packed::{fused_scan_packed, packed_kernel_available, PackedPred};
 use fts_core::{
-    best_fused_impl, run_fused_auto, run_scan_telemetered, scan_columns_auto_telemetered,
-    ColumnPred, OutputMode, RegWidth, ScanImpl, ScanOutput, ScanTelemetry, TelemetryLevel,
-    TypedPred,
+    best_fused_impl, run_fused_auto, run_scan, run_scan_telemetered, scan_columns_auto_telemetered,
+    BoundVerdict, ColumnPred, OutputMode, RegWidth, ScanImpl, ScanOutput, ScanTelemetry,
+    TelemetryLevel, TypedPred,
 };
 use fts_jit::{
-    JitBackend, KernelCache, PackedColRef, PackedColSig, PackedKernelCache, PackedScanSig, ScanSig,
+    JitBackend, KernelCache, KernelVariant, PackedColRef, PackedColSig, PackedKernelCache,
+    PackedScanSig, ScanSig,
 };
-use fts_simd::has_avx512;
+use fts_simd::SimdLevel;
 use fts_storage::{Chunk, CmpOp, DataType, IdPredicate, PosList, Segment, Value};
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,6 +58,10 @@ pub enum JitMode {
 pub struct ExecContext {
     /// JIT policy.
     pub jit: JitMode,
+    /// Whether scans pick their kernel adaptively (plan-time cost model +
+    /// runtime calibration) instead of always using the statically best
+    /// fused kernel.
+    pub adaptive: bool,
     /// Compiled-kernel cache (used when `jit == On`).
     pub kernels: Arc<KernelCache>,
     /// Compiled packed-kernel cache (bit-packed chains, `jit == On`).
@@ -66,17 +75,25 @@ pub struct ExecContext {
 impl Default for ExecContext {
     fn default() -> Self {
         ExecContext {
-            jit: if has_avx512() {
+            jit: if avx512_enabled() {
                 JitMode::On
             } else {
                 JitMode::Off
             },
+            adaptive: true,
             kernels: Arc::new(KernelCache::new(JitBackend::Avx512)),
             packed_kernels: Arc::new(PackedKernelCache::new()),
             chunks_pruned: AtomicU64::new(0),
             chunks_scanned: AtomicU64::new(0),
         }
     }
+}
+
+/// Whether the AVX-512 execution paths (JIT included) may run: the host
+/// must have the ISA *and* `FTS_FORCE_SIMD` must not cap the level below
+/// it — so forcing `scalar`/`avx2` disables machine-code kernels too.
+fn avx512_enabled() -> bool {
+    fts_simd::detect() >= SimdLevel::Avx512
 }
 
 /// Can `OP literal` match any value of a chunk with the given min/max?
@@ -159,6 +176,9 @@ pub struct AnalyzeReport {
     pub jit_compile_time: Duration,
     /// Packed kernels resident after the statement.
     pub packed_kernels: usize,
+    /// What the adaptive kernel selector decided (None when the scan ran
+    /// on a chain shape the selector does not cover, or adaptivity is off).
+    pub adaptive: Option<AdaptiveDecision>,
     /// End-to-end execution wall time (planning excluded).
     pub wall: Duration,
 }
@@ -204,6 +224,25 @@ impl AnalyzeReport {
                 self.packed_kernels
             );
         }
+        if let Some(a) = &self.adaptive {
+            let _ = writeln!(
+                out,
+                "adaptive: winner={}  reprobes={}  selectivity expected={:.4} observed={:.4}",
+                a.winner.unwrap_or("(calibrating)"),
+                a.reprobes,
+                a.expected_selectivity,
+                a.observed_selectivity
+            );
+            if let (Some((name, est_ns)), Some(v)) = (a.plan.first(), a.plan_verdict) {
+                let _ = writeln!(out, "  plan: best={name}  est={est_ns:.0}ns  model={v}");
+            }
+            for (name, morsels, vpu) in &a.probed {
+                let _ = writeln!(
+                    out,
+                    "  probed {name}: {morsels} morsels, {vpu:.0} values/µs"
+                );
+            }
+        }
         let _ = writeln!(
             out,
             "peak read bandwidth={:.2} GB/s -> {}",
@@ -211,6 +250,143 @@ impl AnalyzeReport {
             self.scan.verdict(peak_gb_per_sec)
         );
         out
+    }
+}
+
+/// A kernel the query-layer adaptive selector can pick for a `u32` chain:
+/// the JIT'd machine-code kernel or one of the static engines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum QueryKernel {
+    /// Machine-code kernel from the `fts-jit` cache (AVX-512 backend).
+    Jit,
+    /// A pre-monomorphized engine from `fts-core`.
+    Static(ScanImpl),
+}
+
+impl QueryKernel {
+    fn name(self) -> &'static str {
+        match self {
+            QueryKernel::Jit => "jit-avx512(w512)",
+            QueryKernel::Static(imp) => imp.name(),
+        }
+    }
+}
+
+/// Per-statement adaptive-selection state: the plan-time ranking and the
+/// runtime calibrator, shared by every chunk the statement scans (each
+/// chunk is one calibration morsel).
+pub struct AdaptiveState {
+    ranked: Vec<(QueryKernel, CostEstimate)>,
+    cal: Calibrator<QueryKernel>,
+}
+
+impl AdaptiveState {
+    fn decision(&self) -> AdaptiveDecision {
+        let report = self.cal.report();
+        AdaptiveDecision {
+            plan: self
+                .ranked
+                .iter()
+                .map(|(k, c)| (k.name(), c.est_ns))
+                .collect(),
+            plan_verdict: self.ranked.first().map(|(_, c)| c.verdict()),
+            probed: report
+                .candidates
+                .iter()
+                .map(|c| (c.kernel.name(), c.morsels, c.values_per_us()))
+                .collect(),
+            winner: report.winner.map(QueryKernel::name),
+            reprobes: report.reprobes,
+            expected_selectivity: report.expected_selectivity,
+            observed_selectivity: report.observed_selectivity,
+        }
+    }
+}
+
+/// What the adaptive selector decided for one statement, for
+/// `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveDecision {
+    /// Plan-time ranking (cheapest first): kernel name, estimated ns for
+    /// the whole chain.
+    pub plan: Vec<(&'static str, f64)>,
+    /// The cost model's bandwidth-vs-compute verdict for the top kernel.
+    pub plan_verdict: Option<BoundVerdict>,
+    /// Candidates runtime calibration timed: name, probe morsels,
+    /// measured values/µs.
+    pub probed: Vec<(&'static str, u64, f64)>,
+    /// The winning kernel (None while still calibrating).
+    pub winner: Option<&'static str>,
+    /// Selectivity-drift re-probes triggered during the statement.
+    pub reprobes: u32,
+    /// Plan-time estimate of the chain's selectivity.
+    pub expected_selectivity: f64,
+    /// Selectivity actually observed across all scanned rows.
+    pub observed_selectivity: f64,
+}
+
+/// Build the adaptive-selection state for a statement whose scan the
+/// selector covers: a non-empty predicate chain over plain-`u32` or
+/// dictionary segments (both run the fused `u32` kernels). Other shapes
+/// (packed, typed, row-wise) return None and run their usual path.
+fn build_adaptive(
+    entry: &CatalogEntry,
+    preds: &[BoundPred],
+    ctx: &ExecContext,
+) -> Option<AdaptiveState> {
+    if !ctx.adaptive || preds.is_empty() {
+        return None;
+    }
+    let first = entry.table.chunks().first()?;
+    let mut profiles = Vec::with_capacity(preds.len());
+    for p in preds {
+        let encoding = match first.segment(p.column) {
+            Segment::Plain(col) if col.data_type() == DataType::U32 => Encoding::Plain,
+            Segment::Dict(_) => Encoding::Dict,
+            _ => return None,
+        };
+        profiles.push(PredProfile {
+            selectivity: p.selectivity,
+            width_bytes: 4,
+            encoding,
+        });
+    }
+    let profile = ChainProfile {
+        rows: entry.table.chunks().iter().map(|c| c.rows() as u64).sum(),
+        preds: profiles,
+    };
+    let peak = fts_core::stride::peak_bandwidth_gbps();
+    let mut ranked: Vec<(QueryKernel, CostEstimate)> =
+        rank_scan_impls(&candidate_scan_impls::<u32>(), &profile, peak)
+            .into_iter()
+            .map(|r| (QueryKernel::Static(r.kernel), r.cost))
+            .collect();
+    if ctx.jit == JitMode::On && avx512_enabled() && preds.len() <= fts_jit::MAX_JIT_PREDICATES {
+        // The JIT kernel runs the same fused 512-bit algorithm with the
+        // literals and operators baked in; model it as the static kernel
+        // minus the dispatch overhead so it ranks just ahead of its twin.
+        let mut cost = estimate_cost(ScanImpl::FusedAvx512(RegWidth::W512), &profile, peak);
+        cost.est_ns *= 0.97;
+        cost.compute_ns *= 0.97;
+        let at = ranked
+            .iter()
+            .position(|(_, c)| c.est_ns > cost.est_ns)
+            .unwrap_or(ranked.len());
+        ranked.insert(at, (QueryKernel::Jit, cost));
+    }
+    let kernels: Vec<QueryKernel> = ranked.iter().map(|&(k, _)| k).collect();
+    let cal = Calibrator::new(
+        &kernels,
+        profile.expected_selectivity(),
+        CalibrationConfig::default(),
+    );
+    Some(AdaptiveState { ranked, cal })
+}
+
+/// Record the adaptive decision into an `EXPLAIN ANALYZE` report.
+fn finish_adaptive(analyze: Option<&mut AnalyzeReport>, state: &Option<AdaptiveState>) {
+    if let (Some(r), Some(s)) = (analyze, state) {
+        r.adaptive = Some(s.decision());
     }
 }
 
@@ -243,6 +419,7 @@ fn scan_chunk(
     ctx: &ExecContext,
     mode: OutputMode,
     mut analyze: Option<&mut AnalyzeReport>,
+    adaptive: Option<&mut AdaptiveState>,
 ) -> Result<ScanOutput, ExecError> {
     let level = if analyze.is_some() {
         TelemetryLevel::Full
@@ -354,7 +531,13 @@ fn scan_chunk(
             _ => ScanOutput::Positions((0..rows).collect()),
         }
     } else {
-        run_u32_chain(&u32_preds, ctx, phase1_mode, analyze.as_deref_mut())
+        run_u32_chain(
+            &u32_preds,
+            ctx,
+            phase1_mode,
+            analyze.as_deref_mut(),
+            adaptive,
+        )
     };
 
     if dynp.is_empty() {
@@ -513,12 +696,21 @@ fn run_u32_chain(
     ctx: &ExecContext,
     mode: OutputMode,
     mut analyze: Option<&mut AnalyzeReport>,
+    adaptive: Option<&mut AdaptiveState>,
 ) -> ScanOutput {
     let max = fts_core::fused::MAX_PREDICATES;
     if preds.len() > max {
         let mut acc: Option<PosList> = None;
         for group in preds.chunks(max) {
-            let out = run_u32_chain(group, ctx, OutputMode::Positions, analyze.as_deref_mut());
+            // Split groups have a different shape than the calibrated
+            // chain, so they run uncalibrated.
+            let out = run_u32_chain(
+                group,
+                ctx,
+                OutputMode::Positions,
+                analyze.as_deref_mut(),
+                None,
+            );
             let pl = match out {
                 ScanOutput::Positions(pl) => pl,
                 ScanOutput::Count(_) => unreachable!("positions requested"),
@@ -534,17 +726,44 @@ fn run_u32_chain(
             OutputMode::Positions => ScanOutput::Positions(pl),
         };
     }
-    if ctx.jit == JitMode::On && has_avx512() && preds.len() <= fts_jit::MAX_JIT_PREDICATES {
+    // The calibrator (if any) picks this chunk's kernel — a probe
+    // candidate while calibrating, the winner in steady state. Without
+    // one, the static policy applies: JIT when enabled, else the best
+    // pre-monomorphized fused kernel.
+    let picked = adaptive.as_ref().map(|s| match s.cal.phase() {
+        Phase::Calibrating(k) | Phase::Steady(k) => k,
+    });
+    let rows = preds[0].0.len() as u64;
+    let use_jit = match picked {
+        Some(QueryKernel::Jit) => true,
+        Some(QueryKernel::Static(_)) => false,
+        None => {
+            ctx.jit == JitMode::On && avx512_enabled() && preds.len() <= fts_jit::MAX_JIT_PREDICATES
+        }
+    };
+    if use_jit {
         let sig = ScanSig::u32_chain(
             &preds.iter().map(|&(_, op, n)| (op, n)).collect::<Vec<_>>(),
             mode == OutputMode::Positions,
         );
+        // The adaptive path pins the backend variant in the cache key:
+        // probing a chain under several kernels must map each variant to
+        // its own entry, never invalidating or recompiling another's.
+        let sig = if picked.is_some() {
+            sig.with_variant(KernelVariant::Avx512)
+        } else {
+            sig
+        };
         if let Ok(kernel) = ctx.kernels.get_or_compile(&sig) {
             let cols: Vec<&[u32]> = preds.iter().map(|&(d, _, _)| d).collect();
-            let started = analyze.is_some().then(Instant::now);
+            let started = Instant::now();
             if let Ok(out) = kernel.run(&cols) {
-                if let (Some(r), Some(started)) = (analyze, started) {
-                    let wall = started.elapsed();
+                let wall = started.elapsed();
+                if let Some(s) = adaptive {
+                    s.cal
+                        .observe(QueryKernel::Jit, rows, wall.as_nanos() as u64, out.count());
+                }
+                if let Some(r) = analyze {
                     // The JIT kernel implements the same per-block fused
                     // algorithm as the 512-bit AVX-512 engine, so the
                     // scalar-model replay yields its exact stage counters;
@@ -570,14 +789,38 @@ fn run_u32_chain(
         .iter()
         .map(|&(d, op, n)| TypedPred::new(d, op, n))
         .collect();
-    if let Some(r) = analyze {
-        let (out, t) =
-            run_scan_telemetered(best_fused_impl::<u32>(), &typed, mode, TelemetryLevel::Full)
-                .expect("auto impl is always available");
+    let imp = match picked {
+        Some(QueryKernel::Static(imp)) => imp,
+        // Adaptive picked JIT but compilation/run failed: fall back.
+        _ => best_fused_impl::<u32>(),
+    };
+    // Calibration uses the kernel's own wall time: `run_scan_telemetered`
+    // times the real run before its stage-replay pass, so EXPLAIN ANALYZE
+    // does not bias the probe timings.
+    let (out, wall) = if let Some(r) = analyze {
+        let (out, t) = run_scan_telemetered(imp, &typed, mode, TelemetryLevel::Full)
+            .expect("ranked kernels are runnable on this host");
+        let wall = t.wall;
         r.note_scan(&t);
-        return out;
+        (out, wall)
+    } else {
+        let started = Instant::now();
+        let out = if picked.is_some() {
+            run_scan(imp, &typed, mode).expect("ranked kernels are runnable on this host")
+        } else {
+            run_fused_auto(&typed, mode)
+        };
+        (out, started.elapsed())
+    };
+    if let Some(s) = adaptive {
+        s.cal.observe(
+            QueryKernel::Static(imp),
+            rows,
+            wall.as_nanos() as u64,
+            out.count(),
+        );
     }
-    run_fused_auto(&typed, mode)
+    out
 }
 
 /// Execute an optimized logical plan.
@@ -624,6 +867,7 @@ fn execute_with(
     match plan {
         Lqp::Aggregate { input, aggs } => {
             let (entry, preds) = scan_root(input)?;
+            let mut adaptive = build_adaptive(entry, preds, ctx);
             // Pure COUNT(*) needs no gathered values — count mode end to end.
             if aggs.len() == 1 && aggs[0].func == AggFunc::Count {
                 let mut total = 0u64;
@@ -633,10 +877,17 @@ fn execute_with(
                         continue;
                     }
                     ctx.chunks_scanned.fetch_add(1, Ordering::Relaxed);
-                    total +=
-                        scan_chunk(chunk, preds, ctx, OutputMode::Count, analyze.as_deref_mut())?
-                            .count();
+                    total += scan_chunk(
+                        chunk,
+                        preds,
+                        ctx,
+                        OutputMode::Count,
+                        analyze.as_deref_mut(),
+                        adaptive.as_mut(),
+                    )?
+                    .count();
                 }
+                finish_adaptive(analyze, &adaptive);
                 return Ok(QueryResult::Count(total));
             }
             let mut states: Vec<AggState> = aggs.iter().map(AggState::new).collect();
@@ -652,6 +903,7 @@ fn execute_with(
                     ctx,
                     OutputMode::Positions,
                     analyze.as_deref_mut(),
+                    adaptive.as_mut(),
                 )?;
                 let positions = out.positions().expect("positions requested");
                 for pos in positions {
@@ -660,6 +912,7 @@ fn execute_with(
                     }
                 }
             }
+            finish_adaptive(analyze, &adaptive);
             Ok(QueryResult::Rows {
                 columns: aggs.iter().map(|a| a.label.clone()).collect(),
                 rows: vec![states
@@ -685,6 +938,7 @@ fn execute_with(
             names,
         } => {
             let (entry, preds) = scan_root(input)?;
+            let mut adaptive = build_adaptive(entry, preds, ctx);
             let mut rows: Vec<Vec<Value>> = Vec::new();
             for (ci, chunk) in entry.table.chunks().iter().enumerate() {
                 if prune_chunk(entry, ci, preds) {
@@ -698,6 +952,7 @@ fn execute_with(
                     ctx,
                     OutputMode::Positions,
                     analyze.as_deref_mut(),
+                    adaptive.as_mut(),
                 )?;
                 let positions = out.positions().expect("positions requested");
                 for pos in positions {
@@ -709,6 +964,7 @@ fn execute_with(
                     );
                 }
             }
+            finish_adaptive(analyze, &adaptive);
             Ok(QueryResult::Rows {
                 columns: names.clone(),
                 rows,
@@ -1316,7 +1572,7 @@ mod tests {
             assert!(text.contains("Scan ["), "{text}");
             assert!(text.contains("chunks: scanned=4"), "{text}");
             assert!(text.contains("-bound"), "{text}");
-            if jit == JitMode::On && has_avx512() {
+            if jit == JitMode::On && avx512_enabled() {
                 assert!(
                     report.jit_hits + report.jit_misses > 0,
                     "JIT cache was exercised"
@@ -1340,8 +1596,14 @@ mod tests {
         let (result, report) = execute_analyzed(&p, &ctx).unwrap();
         let expected = expected_count(|i| i % 10 == 5 && (i as i64 - 500) < 0);
         assert_eq!(result, QueryResult::Count(expected));
-        // Phase 1 (a = 5) passes 100 positions to the row-wise phase.
-        assert_eq!(report.phase2_rows_in, expected_count(|i| i % 10 == 5));
+        // `big < 0` prunes the two chunks whose min is ≥ 0 (rows 512..1000),
+        // so phase 1 (a = 5) passes only the surviving chunks' positions to
+        // the row-wise phase.
+        assert_eq!(report.chunks_pruned, 2);
+        assert_eq!(
+            report.phase2_rows_in,
+            expected_count(|i| i < 512 && i % 10 == 5)
+        );
         assert_eq!(report.phase2_rows_out, expected);
         let text = report.render(10.0);
         assert!(text.contains("phase 2"), "{text}");
@@ -1363,12 +1625,112 @@ mod tests {
         let expected = expected_count(|i| (i as i64 - 500) >= -100 && (i as i64 - 500) < 100);
         assert_eq!(result, QueryResult::Count(expected));
         assert!(report.scan.enabled);
-        assert_eq!(report.scan.rows, 1000);
+        // The range chain prunes the lowest and highest chunk; the two
+        // middle chunks (rows 256..768) are scanned.
+        assert_eq!(report.chunks_pruned, 2);
+        assert_eq!(report.scan.rows, 512);
         assert_eq!(*report.scan.pred_survivors.last().unwrap(), expected);
 
         // Analyzed and plain execution agree on results.
         let plain = execute(&p, &ctx).unwrap();
         assert_eq!(plain, result);
+    }
+
+    /// A table with enough chunks that calibration (3 probe morsels by
+    /// default) converges and steady state covers most of the scan.
+    fn many_chunk_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let t = Table::from_chunked_columns(
+            vec![
+                ColumnDef::new("a", DataType::U32),
+                ColumnDef::new("b", DataType::U32),
+            ],
+            vec![
+                Column::from_fn(20_480, |i| (i % 10) as u32),
+                Column::from_fn(20_480, |i| (i % 4) as u32),
+            ],
+            512, // 40 chunks
+        )
+        .unwrap();
+        cat.register("big", t);
+        cat
+    }
+
+    #[test]
+    fn adaptive_selector_converges_and_matches_static() {
+        let cat = many_chunk_catalog();
+        let expected = (0..20_480).filter(|i| i % 10 == 5 && i % 4 == 1).count() as u64;
+        let sql = "SELECT COUNT(*) FROM big WHERE a = 5 AND b = 1";
+        for jit in [JitMode::Off, JitMode::On] {
+            let ctx = make_ctx(jit);
+            assert!(ctx.adaptive, "adaptive selection is on by default");
+            let p = optimize(plan(&parse(sql).unwrap(), &cat).unwrap());
+            let (result, report) = execute_analyzed(&p, &ctx).unwrap();
+            assert_eq!(result, QueryResult::Count(expected), "{jit:?}");
+            let a = report.adaptive.as_ref().expect("u32 chain is covered");
+            assert!(a.winner.is_some(), "{jit:?}: 40 chunks must converge");
+            assert!(!a.plan.is_empty());
+            assert!(a.plan_verdict.is_some());
+            // Every probed candidate was actually timed.
+            assert!(!a.probed.is_empty());
+            for &(name, morsels, _) in &a.probed {
+                assert!(morsels >= 1, "{jit:?}: {name} never probed");
+            }
+            // Observed chain selectivity: i ≡ 5 (mod 20) → 1 in 20 rows.
+            assert!((a.observed_selectivity - 0.05).abs() < 1e-6, "{jit:?}");
+            let text = report.render(10.0);
+            assert!(text.contains("adaptive: winner="), "{text}");
+            assert!(text.contains("values/µs"), "{text}");
+            assert!(text.contains("plan: best="), "{text}");
+
+            // Adaptive off: same answer, no decision recorded.
+            let ctx_off = ExecContext {
+                jit,
+                adaptive: false,
+                ..Default::default()
+            };
+            let (result_off, report_off) = execute_analyzed(&p, &ctx_off).unwrap();
+            assert_eq!(result_off, QueryResult::Count(expected), "{jit:?}");
+            assert!(report_off.adaptive.is_none());
+        }
+    }
+
+    #[test]
+    fn adaptive_projection_agrees_with_static_rows() {
+        let cat = many_chunk_catalog();
+        let sql = "SELECT a, b FROM big WHERE a = 5 AND b = 1";
+        let p = optimize(plan(&parse(sql).unwrap(), &cat).unwrap());
+        let ctx_on = make_ctx(JitMode::On);
+        let ctx_off = ExecContext {
+            jit: JitMode::Off,
+            adaptive: false,
+            ..Default::default()
+        };
+        assert_eq!(
+            execute(&p, &ctx_on).unwrap(),
+            execute(&p, &ctx_off).unwrap(),
+            "adaptive row order must match the static engines"
+        );
+    }
+
+    #[test]
+    fn adaptive_steady_state_does_not_thrash_the_jit_cache() {
+        if !avx512_enabled() {
+            eprintln!("skipping: no AVX-512");
+            return;
+        }
+        let cat = many_chunk_catalog();
+        let sql = "SELECT COUNT(*) FROM big WHERE a = 5 AND b = 1";
+        let ctx = make_ctx(JitMode::On);
+        let p = optimize(plan(&parse(sql).unwrap(), &cat).unwrap());
+        let (_, first) = execute_analyzed(&p, &ctx).unwrap();
+        // First statement may compile kernels (each candidate at most once
+        // per chain signature); re-running the same statement must be all
+        // cache hits — calibration never thrashes compilation.
+        assert!(first.jit_misses <= 2, "count-mode chain: {first:?}");
+        let (_, second) = execute_analyzed(&p, &ctx).unwrap();
+        assert_eq!(second.jit_misses, 0, "steady state recompiled: {second:?}");
+        assert_eq!(second.jit_evictions, 0);
     }
 
     #[test]

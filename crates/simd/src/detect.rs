@@ -38,17 +38,52 @@ impl std::fmt::Display for SimdLevel {
 }
 
 /// Detect the best [`SimdLevel`] available at runtime (cached).
+///
+/// The `FTS_FORCE_SIMD={scalar,avx2,avx512}` environment variable caps
+/// the detected level so CI and tests can exercise the scalar and AVX2
+/// paths on AVX-512 hosts. The override is clamped to what the host
+/// actually supports — forcing `avx512` on an AVX2 machine still yields
+/// [`SimdLevel::Avx2`], so a forced level never executes unsupported
+/// instructions. Unrecognized values are ignored. Read once on first
+/// call, like the hardware probe itself.
 pub fn detect() -> SimdLevel {
     static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
     *LEVEL.get_or_init(|| {
-        if has_avx512() {
-            SimdLevel::Avx512
-        } else if has_avx2() {
-            SimdLevel::Avx2
-        } else {
-            SimdLevel::Scalar
+        let hw = detect_hardware();
+        match std::env::var("FTS_FORCE_SIMD") {
+            Ok(v) => apply_force(parse_force(&v), hw),
+            Err(_) => hw,
         }
     })
+}
+
+fn detect_hardware() -> SimdLevel {
+    if has_avx512() {
+        SimdLevel::Avx512
+    } else if has_avx2() {
+        SimdLevel::Avx2
+    } else {
+        SimdLevel::Scalar
+    }
+}
+
+/// Parse an `FTS_FORCE_SIMD` value; `None` for anything unrecognized.
+pub fn parse_force(value: &str) -> Option<SimdLevel> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "scalar" => Some(SimdLevel::Scalar),
+        "avx2" => Some(SimdLevel::Avx2),
+        "avx512" => Some(SimdLevel::Avx512),
+        _ => None,
+    }
+}
+
+/// Clamp a requested override to the hardware level: a forced level can
+/// only disable extensions, never enable ones the host lacks.
+pub fn apply_force(requested: Option<SimdLevel>, hardware: SimdLevel) -> SimdLevel {
+    match requested {
+        Some(level) => level.min(hardware),
+        None => hardware,
+    }
 }
 
 /// Whether the full AVX-512 subset the fused kernels use is present:
@@ -107,5 +142,45 @@ mod tests {
     fn names() {
         assert_eq!(SimdLevel::Avx512.to_string(), "avx512");
         assert_eq!(SimdLevel::Scalar.name(), "scalar");
+    }
+
+    #[test]
+    fn force_parsing() {
+        assert_eq!(parse_force("scalar"), Some(SimdLevel::Scalar));
+        assert_eq!(parse_force("AVX2"), Some(SimdLevel::Avx2));
+        assert_eq!(parse_force(" avx512 "), Some(SimdLevel::Avx512));
+        assert_eq!(parse_force(""), None);
+        assert_eq!(parse_force("sse9"), None);
+    }
+
+    #[test]
+    fn force_clamps_to_hardware() {
+        // Forcing down always honors the request.
+        assert_eq!(
+            apply_force(Some(SimdLevel::Scalar), SimdLevel::Avx512),
+            SimdLevel::Scalar
+        );
+        assert_eq!(
+            apply_force(Some(SimdLevel::Avx2), SimdLevel::Avx512),
+            SimdLevel::Avx2
+        );
+        // Forcing up is clamped to what the host supports.
+        assert_eq!(
+            apply_force(Some(SimdLevel::Avx512), SimdLevel::Avx2),
+            SimdLevel::Avx2
+        );
+        assert_eq!(
+            apply_force(Some(SimdLevel::Avx512), SimdLevel::Scalar),
+            SimdLevel::Scalar
+        );
+        // No/invalid override: hardware level wins.
+        assert_eq!(apply_force(None, SimdLevel::Avx2), SimdLevel::Avx2);
+    }
+
+    #[test]
+    fn detect_never_exceeds_hardware() {
+        // Whatever FTS_FORCE_SIMD is set to in the environment, detect()
+        // must not report more than the host supports.
+        assert!(detect() <= super::detect_hardware());
     }
 }

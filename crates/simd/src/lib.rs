@@ -17,4 +17,4 @@ pub mod detect;
 pub mod hw;
 pub mod model;
 
-pub use detect::{detect, has_avx2, has_avx512, SimdLevel};
+pub use detect::{apply_force, detect, has_avx2, has_avx512, parse_force, SimdLevel};

@@ -231,19 +231,27 @@ pub mod seq {
         /// Sample `amount` distinct indices from `0..length`, in no
         /// particular order (Floyd's algorithm). Panics when
         /// `amount > length`.
+        ///
+        /// Membership tracking uses a hash set so the whole sample is
+        /// O(amount) — the draw sequence (and thus every seeded workload)
+        /// is identical to a `Vec::contains` formulation.
         pub fn sample<R: RngCore + ?Sized>(
             rng: &mut R,
             length: usize,
             amount: usize,
         ) -> Vec<usize> {
             assert!(amount <= length, "cannot sample {amount} of {length}");
+            let mut seen = std::collections::HashSet::with_capacity(amount);
             let mut chosen: Vec<usize> = Vec::with_capacity(amount);
             for j in (length - amount)..length {
                 let t = rng.random_range(0..=j);
-                if chosen.contains(&t) {
-                    chosen.push(j);
-                } else {
+                // Floyd: a repeat of `t` stands in for `j`, which cannot
+                // itself have been chosen yet.
+                if seen.insert(t) {
                     chosen.push(t);
+                } else {
+                    seen.insert(j);
+                    chosen.push(j);
                 }
             }
             chosen
