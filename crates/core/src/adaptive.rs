@@ -298,7 +298,7 @@ pub struct RankedKernel<C> {
 
 /// The [`ScanImpl`]s the selector considers for element type `T` on this
 /// host: SISD auto-vec always; the AVX2 backport and the AVX-512 widths
-/// when the ISA ([`fts_simd::detect`]) and the element type support them;
+/// when the ISA ([`fts_simd::detect()`]) and the element type support them;
 /// the portable scalar engine only when no hardware kernel exists.
 pub fn candidate_scan_impls<T: ScanElem>() -> Vec<ScanImpl> {
     let kernels_32 = matches!(T::DATA_TYPE, DataType::U32 | DataType::I32 | DataType::F32);

@@ -15,12 +15,16 @@
 //!   AVX-512 kernels at 128/256/512 bits ([`fused::avx512`]).
 //! * [`engine`] — runtime dispatch over ISA, element type, register width
 //!   and output mode; the API the query layer and benchmarks call.
+//! * [`bool_expr`] — boolean predicate trees (AND/OR/NOT) normalized to a
+//!   disjunction of fused sub-chains (NNF → DNF → prefix factoring) and
+//!   executed as mask union/intersection of position lists.
 //! * [`stride`] — the strided-scan bandwidth microbenchmark of Fig. 2.
 
 #![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod blockwise;
+pub mod bool_expr;
 pub mod engine;
 pub mod fused;
 pub mod parallel;
@@ -34,6 +38,10 @@ pub use adaptive::{
     candidate_scan_impls, estimate_cost, estimate_packed_cost, rank_scan_impls, run_scan_adaptive,
     AdaptiveConfig, AdaptiveScanReport, CalibrationConfig, CalibrationReport, Calibrator,
     CandidateStats, ChainProfile, CostEstimate, Encoding, Phase, PredProfile, RankedKernel,
+};
+pub use bool_expr::{
+    reference_scan_bool, run_scan_bool, scan_conjunct, scan_factored, value_key_bits, BoolExpr,
+    Dnf, DnfError, FactoredDnf, MAX_DNF_DISJUNCTS,
 };
 pub use engine::{
     best_fused_impl, run_fused_auto, run_scan, run_scan_telemetered, scan_columns_auto,

@@ -1,0 +1,207 @@
+//! Property tests for boolean predicate trees: for random bounded-depth
+//! AND/OR/NOT expressions over random columns, the mask-combining fused
+//! execution ([`run_scan_bool`]) must agree exactly with the row-at-a-time
+//! tree walk ([`reference_scan_bool`]) — for every implementation, element
+//! type, and output mode.
+
+use fts_core::{
+    reference_scan_bool, run_scan_bool, BoolExpr, OutputMode, RegWidth, ScanElem, ScanImpl,
+    TypedPred,
+};
+use fts_storage::{CmpOp, NativeType};
+use proptest::prelude::*;
+
+/// An abstract leaf: column index, operator, and a small needle selector
+/// that each element type maps into its own domain.
+#[derive(Debug, Clone, Copy)]
+struct Leaf {
+    col: usize,
+    op: CmpOp,
+    needle: u32,
+}
+
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
+
+/// Build a random boolean tree of bounded depth with fan-out 2..=3 — deep
+/// enough to produce nested NOTs, mixed AND-of-OR shapes, and (after DNF
+/// expansion) multi-disjunct factored plans, small enough to stay under
+/// the DNF cap most of the time so the fused path gets exercised.
+fn random_tree(rng: &mut impl FnMut() -> u64, depth: u32, cols: usize) -> BoolExpr<Leaf> {
+    let choice = if depth == 0 { 0 } else { rng() % 8 };
+    match choice {
+        // Leaves dominate so trees stay small; NOT is rarest.
+        0..=3 => BoolExpr::pred(Leaf {
+            col: rng() as usize % cols,
+            op: CmpOp::ALL[rng() as usize % CmpOp::ALL.len()],
+            needle: (rng() % 16) as u32,
+        }),
+        4 | 5 => BoolExpr::and(
+            (0..2 + rng() % 2)
+                .map(|_| random_tree(rng, depth - 1, cols))
+                .collect(),
+        ),
+        6 => BoolExpr::or(
+            (0..2 + rng() % 2)
+                .map(|_| random_tree(rng, depth - 1, cols))
+                .collect(),
+        ),
+        _ => BoolExpr::not(random_tree(rng, depth - 1, cols)),
+    }
+}
+
+fn impls() -> Vec<ScanImpl> {
+    let mut v = vec![
+        ScanImpl::SisdBranching,
+        ScanImpl::SisdAutoVec,
+        ScanImpl::BlockBitmap,
+        ScanImpl::BlockSelVec,
+        ScanImpl::FusedScalar(RegWidth::W128),
+        ScanImpl::FusedScalar(RegWidth::W512),
+    ];
+    for imp in [
+        ScanImpl::FusedAvx2,
+        ScanImpl::FusedAvx512(RegWidth::W256),
+        ScanImpl::FusedAvx512(RegWidth::W512),
+    ] {
+        if imp.available() {
+            v.push(imp);
+        }
+    }
+    v
+}
+
+/// Bind the abstract tree to typed columns and check every implementation
+/// against the row-wise reference, in both output modes.
+fn check_tree<T: ScanElem + NativeType>(
+    expr: &BoolExpr<Leaf>,
+    cols: &[Vec<T>],
+    needle_of: impl Fn(u32) -> T,
+) -> Result<(), TestCaseError> {
+    check_tree_with(&impls(), expr, cols, needle_of)
+}
+
+fn check_tree_with<T: ScanElem + NativeType>(
+    impls: &[ScanImpl],
+    expr: &BoolExpr<Leaf>,
+    cols: &[Vec<T>],
+    needle_of: impl Fn(u32) -> T,
+) -> Result<(), TestCaseError> {
+    let rows = cols[0].len();
+    let typed: BoolExpr<TypedPred<'_, T>> = expr
+        .clone()
+        .map(&mut |l: Leaf| TypedPred::new(&cols[l.col][..], l.op, needle_of(l.needle)));
+    let expected = reference_scan_bool(&typed, rows);
+    prop_assert!(expected.is_valid(), "reference emits valid positions");
+
+    for &imp in impls {
+        let got = run_scan_bool(imp, &typed, OutputMode::Positions).unwrap();
+        prop_assert_eq!(
+            got.positions().unwrap(),
+            &expected,
+            "{} positions for {:?}",
+            imp.name(),
+            expr
+        );
+        let got = run_scan_bool(imp, &typed, OutputMode::Count).unwrap();
+        prop_assert_eq!(got.count(), expected.len() as u64, "{} count", imp.name());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn u32_trees_agree_with_reference(
+        tree_seed in any::<u64>(),
+        data_seed in any::<u64>(),
+        depth in 1u32..=3,
+        rows in 0usize..900,
+    ) {
+        let mut trng = xorshift(tree_seed);
+        let expr = random_tree(&mut trng, depth, 3);
+        let mut rng = xorshift(data_seed);
+        let cols: Vec<Vec<u32>> = (0..3)
+            .map(|_| (0..rows).map(|_| (rng() % 16) as u32).collect())
+            .collect();
+        check_tree(&expr, &cols, |n| n)?;
+    }
+
+    #[test]
+    fn i32_trees_with_negatives_agree_with_reference(
+        tree_seed in any::<u64>(),
+        data_seed in any::<u64>(),
+        depth in 1u32..=3,
+        rows in 0usize..700,
+    ) {
+        let mut trng = xorshift(tree_seed);
+        let expr = random_tree(&mut trng, depth, 2);
+        let mut rng = xorshift(data_seed);
+        let cols: Vec<Vec<i32>> = (0..2)
+            .map(|_| (0..rows).map(|_| (rng() % 17) as i32 - 8).collect())
+            .collect();
+        check_tree(&expr, &cols, |n| n as i32 - 8)?;
+    }
+
+    #[test]
+    fn u64_trees_straddling_u32_agree_with_reference(
+        tree_seed in any::<u64>(),
+        data_seed in any::<u64>(),
+        depth in 1u32..=3,
+        rows in 0usize..500,
+    ) {
+        let mut trng = xorshift(tree_seed);
+        let expr = random_tree(&mut trng, depth, 2);
+        // Values straddling 2^32 exercise the 64-bit compare path under
+        // mask combination.
+        let base = u32::MAX as u64 - 8;
+        let mut rng = xorshift(data_seed);
+        let cols: Vec<Vec<u64>> = (0..2)
+            .map(|_| (0..rows).map(|_| base + rng() % 16).collect())
+            .collect();
+        // AVX2 Fused and the block engines have no 64-bit kernels.
+        let mut impls64 = vec![
+            ScanImpl::SisdBranching,
+            ScanImpl::SisdAutoVec,
+            ScanImpl::FusedScalar(RegWidth::W256),
+        ];
+        if ScanImpl::FusedAvx512(RegWidth::W512).available() {
+            impls64.push(ScanImpl::FusedAvx512(RegWidth::W512));
+        }
+        check_tree_with(&impls64, &expr, &cols, |n| base + n as u64)?;
+    }
+
+    /// DNF blowup fallback: wide AND-of-ORs exceed the disjunct cap and
+    /// must fall back to the row-wise tree walk — still exact.
+    #[test]
+    fn dnf_blowup_falls_back_correctly(
+        data_seed in any::<u64>(),
+        needle_seed in any::<u64>(),
+        rows in 1usize..400,
+    ) {
+        let mut rng = xorshift(data_seed);
+        let col: Vec<u32> = (0..rows).map(|_| (rng() % 16) as u32).collect();
+        // AND of 6 ORs of 2 leaves each → 2^6 = 64 disjuncts > cap (32).
+        let mut nrng = xorshift(needle_seed);
+        let expr = BoolExpr::and(
+            (0..6)
+                .map(|_| {
+                    BoolExpr::or(vec![
+                        BoolExpr::pred(Leaf { col: 0, op: CmpOp::Ne, needle: (nrng() % 16) as u32 }),
+                        BoolExpr::pred(Leaf { col: 0, op: CmpOp::Ge, needle: (nrng() % 16) as u32 }),
+                    ])
+                })
+                .collect(),
+        );
+        let cols = vec![col];
+        check_tree(&expr, &cols, |n| n)?;
+    }
+}

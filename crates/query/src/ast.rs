@@ -1,15 +1,19 @@
 //! Abstract syntax tree for the supported SQL subset:
 //!
 //! ```sql
-//! [EXPLAIN] SELECT COUNT(*) | * | col [, col …]
+//! [EXPLAIN [ANALYZE]] SELECT COUNT(*) | * | col [, col …]
 //! FROM table
-//! [WHERE col OP literal [AND col OP literal …]]
+//! [WHERE expr]
 //! [LIMIT n]
 //! ```
 //!
-//! exactly the shape of the paper's motivating query (§II) plus enough
-//! projection support for the examples.
+//! where `expr` is a boolean tree over `col OP literal` /
+//! `col BETWEEN lo AND hi` atoms combined with `AND`, `OR`, `NOT` and
+//! parentheses (precedence `NOT` > `AND` > `OR`). This is the shape of the
+//! paper's motivating query (§II) generalized to the disjunctive chains of
+//! DESIGN.md §6, plus enough projection support for the examples.
 
+use fts_core::BoolExpr;
 use fts_storage::CmpOp;
 
 /// A literal in a predicate.
@@ -31,6 +35,12 @@ pub struct AstPredicate {
     /// Literal operand.
     pub literal: Literal,
 }
+
+/// The WHERE clause as a boolean tree over leaf predicates. This is
+/// [`BoolExpr`] from `fts-core` instantiated at the AST level, so the
+/// binder can normalize (NNF via [`CmpOp::negate`]) and bind leaves with
+/// the tree combinators instead of bespoke recursion.
+pub type WhereExpr = BoolExpr<AstPredicate>;
 
 /// An aggregate function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,8 +97,8 @@ pub struct Select {
     pub projection: Projection,
     /// Table name.
     pub table: String,
-    /// Conjunctive predicates (empty = no WHERE).
-    pub predicates: Vec<AstPredicate>,
+    /// The WHERE clause as a boolean predicate tree (`None` = no WHERE).
+    pub where_clause: Option<WhereExpr>,
     /// Optional LIMIT.
     pub limit: Option<u64>,
     /// Whether the statement was prefixed with EXPLAIN.
@@ -96,6 +106,19 @@ pub struct Select {
     /// Whether the statement was prefixed with EXPLAIN ANALYZE (execute
     /// and report scan telemetry alongside the plan).
     pub analyze: bool,
+}
+
+impl Select {
+    /// All leaf predicates of the WHERE clause in source order (empty when
+    /// there is no WHERE). An inspection helper for tests and tooling —
+    /// the binder works on the [`WhereExpr`] tree itself, because for
+    /// non-conjunctive clauses the flat list loses the tree structure.
+    pub fn leaf_predicates(&self) -> Vec<&AstPredicate> {
+        self.where_clause
+            .as_ref()
+            .map(|w| w.leaves())
+            .unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -115,12 +138,29 @@ mod tests {
                 column: None,
             }]),
             table: "tbl".into(),
-            predicates: vec![p.clone()],
+            where_clause: Some(WhereExpr::pred(p.clone())),
             limit: None,
             explain: false,
             analyze: false,
         };
-        assert_eq!(s.predicates[0], p);
+        assert_eq!(s.leaf_predicates(), vec![&p]);
         assert_ne!(s.projection, Projection::Star);
+    }
+
+    #[test]
+    fn where_trees_compose() {
+        let leaf = |c: &str| {
+            WhereExpr::pred(AstPredicate {
+                column: c.into(),
+                op: CmpOp::Eq,
+                literal: Literal::Int(1),
+            })
+        };
+        let e = WhereExpr::or(vec![
+            WhereExpr::and(vec![leaf("a"), leaf("b")]),
+            WhereExpr::not(leaf("c")),
+        ]);
+        assert_eq!(e.leaves().len(), 3);
+        assert!(!e.is_conjunctive());
     }
 }

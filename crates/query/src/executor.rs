@@ -17,6 +17,7 @@
 //! machine-code kernel from `fts-jit`'s cache — and the dynamic remainder
 //! filters the resulting position list row by row.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,8 +28,8 @@ use fts_core::adaptive::{
 use fts_core::fused::packed::{fused_scan_packed, packed_kernel_available, PackedPred};
 use fts_core::{
     best_fused_impl, run_fused_auto, run_scan, run_scan_telemetered, scan_columns_auto_telemetered,
-    BoundVerdict, ColumnPred, OutputMode, RegWidth, ScanImpl, ScanOutput, ScanTelemetry,
-    TelemetryLevel, TypedPred,
+    value_key_bits, BoolExpr, BoundVerdict, ColumnPred, OutputMode, RegWidth, ScanImpl, ScanOutput,
+    ScanTelemetry, TelemetryLevel, TypedPred,
 };
 use fts_jit::{
     JitBackend, KernelCache, KernelVariant, PackedColRef, PackedColSig, PackedKernelCache,
@@ -41,7 +42,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::ast::AggFunc;
 use crate::catalog::CatalogEntry;
-use crate::lqp::{BoundAgg, BoundPred, Lqp};
+use crate::lqp::{chain_text, BoundAgg, BoundPred, Lqp};
 
 /// How scans execute their fused portion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,9 +179,48 @@ pub struct AnalyzeReport {
     pub packed_kernels: usize,
     /// What the adaptive kernel selector decided (None when the scan ran
     /// on a chain shape the selector does not cover, or adaptivity is off).
+    /// For disjunctive scans the per-sub-chain decisions live in
+    /// [`AnalyzeReport::bool_scan`] instead.
     pub adaptive: Option<AdaptiveDecision>,
+    /// Per-sub-chain statistics of a disjunctive (`FusedBoolScan`)
+    /// statement (None for conjunctive scans).
+    pub bool_scan: Option<BoolScanReport>,
     /// End-to-end execution wall time (planning excluded).
     pub wall: Duration,
+}
+
+/// What a disjunctive scan did, per fused sub-chain (`EXPLAIN ANALYZE`).
+#[derive(Debug, Clone, Default)]
+pub struct BoolScanReport {
+    /// The factored common-prefix sub-chain (None when the disjuncts share
+    /// no predicate).
+    pub prefix: Option<SubChainReport>,
+    /// Per-disjunct sub-chain reports, in execution order (least selective
+    /// first).
+    pub disjuncts: Vec<SubChainReport>,
+    /// Chunks where the running union saturated (every row already
+    /// matched) and the remaining disjuncts were skipped.
+    pub saturated_chunks: u64,
+}
+
+/// One fused sub-chain of a disjunctive scan.
+#[derive(Debug, Clone, Default)]
+pub struct SubChainReport {
+    /// Human-readable chain, e.g. `b = 1 AND c = 2`.
+    pub label: String,
+    /// Plan-time selectivity estimate (product over the conjuncts).
+    pub expected_selectivity: f64,
+    /// Rows of the chunks this sub-chain actually scanned.
+    pub rows_scanned: u64,
+    /// Positions the sub-chain produced across those chunks.
+    pub rows_matched: u64,
+    /// Chunks this sub-chain skipped (min/max pruning or union
+    /// saturation).
+    pub chunks_skipped: u64,
+    /// This sub-chain's own adaptive decision. Calibration state is keyed
+    /// per sub-chain signature, so probe statistics are never mixed across
+    /// the sub-chains of one disjunction.
+    pub adaptive: Option<AdaptiveDecision>,
 }
 
 impl AnalyzeReport {
@@ -241,6 +281,39 @@ impl AnalyzeReport {
                     out,
                     "  probed {name}: {morsels} morsels, {vpu:.0} values/µs"
                 );
+            }
+        }
+        if let Some(b) = &self.bool_scan {
+            let _ = writeln!(
+                out,
+                "bool scan: {} disjuncts  saturated_chunks={}",
+                b.disjuncts.len(),
+                b.saturated_chunks
+            );
+            let render_chain = |out: &mut String, role: String, s: &SubChainReport| {
+                let _ = writeln!(
+                    out,
+                    "  {role} ꔖ[{}]: sel≈{:.4}  rows {} -> {}  skipped_chunks={}",
+                    s.label,
+                    s.expected_selectivity,
+                    s.rows_scanned,
+                    s.rows_matched,
+                    s.chunks_skipped
+                );
+                if let Some(a) = &s.adaptive {
+                    let _ = writeln!(
+                        out,
+                        "    adaptive: winner={}  observed_sel={:.4}",
+                        a.winner.unwrap_or("(calibrating)"),
+                        a.observed_selectivity
+                    );
+                }
+            };
+            if let Some(p) = &b.prefix {
+                render_chain(&mut out, "prefix".to_string(), p);
+            }
+            for (i, d) in b.disjuncts.iter().enumerate() {
+                render_chain(&mut out, format!("disjunct {}", i + 1), d);
             }
         }
         let _ = writeln!(
@@ -381,13 +454,6 @@ fn build_adaptive(
         CalibrationConfig::default(),
     );
     Some(AdaptiveState { ranked, cal })
-}
-
-/// Record the adaptive decision into an `EXPLAIN ANALYZE` report.
-fn finish_adaptive(analyze: Option<&mut AnalyzeReport>, state: &Option<AdaptiveState>) {
-    if let (Some(r), Some(s)) = (analyze, state) {
-        r.adaptive = Some(s.decision());
-    }
 }
 
 /// Execution errors.
@@ -866,44 +932,44 @@ fn execute_with(
 ) -> Result<QueryResult, ExecError> {
     match plan {
         Lqp::Aggregate { input, aggs } => {
-            let (entry, preds) = scan_root(input)?;
-            let mut adaptive = build_adaptive(entry, preds, ctx);
+            let (entry, mut scan) = StatementScan::build(input, ctx)?;
             // Pure COUNT(*) needs no gathered values — count mode end to end.
             if aggs.len() == 1 && aggs[0].func == AggFunc::Count {
                 let mut total = 0u64;
                 for (ci, chunk) in entry.table.chunks().iter().enumerate() {
-                    if prune_chunk(entry, ci, preds) {
+                    if scan.prune(entry, ci) {
                         ctx.chunks_pruned.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
                     ctx.chunks_scanned.fetch_add(1, Ordering::Relaxed);
-                    total += scan_chunk(
-                        chunk,
-                        preds,
-                        ctx,
-                        OutputMode::Count,
-                        analyze.as_deref_mut(),
-                        adaptive.as_mut(),
-                    )?
-                    .count();
+                    total += scan
+                        .scan(
+                            entry,
+                            ci,
+                            chunk,
+                            ctx,
+                            OutputMode::Count,
+                            analyze.as_deref_mut(),
+                        )?
+                        .count();
                 }
-                finish_adaptive(analyze, &adaptive);
+                scan.finish(analyze);
                 return Ok(QueryResult::Count(total));
             }
             let mut states: Vec<AggState> = aggs.iter().map(AggState::new).collect();
             for (ci, chunk) in entry.table.chunks().iter().enumerate() {
-                if prune_chunk(entry, ci, preds) {
+                if scan.prune(entry, ci) {
                     ctx.chunks_pruned.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
                 ctx.chunks_scanned.fetch_add(1, Ordering::Relaxed);
-                let out = scan_chunk(
+                let out = scan.scan(
+                    entry,
+                    ci,
                     chunk,
-                    preds,
                     ctx,
                     OutputMode::Positions,
                     analyze.as_deref_mut(),
-                    adaptive.as_mut(),
                 )?;
                 let positions = out.positions().expect("positions requested");
                 for pos in positions {
@@ -912,7 +978,7 @@ fn execute_with(
                     }
                 }
             }
-            finish_adaptive(analyze, &adaptive);
+            scan.finish(analyze);
             Ok(QueryResult::Rows {
                 columns: aggs.iter().map(|a| a.label.clone()).collect(),
                 rows: vec![states
@@ -937,22 +1003,21 @@ fn execute_with(
             columns,
             names,
         } => {
-            let (entry, preds) = scan_root(input)?;
-            let mut adaptive = build_adaptive(entry, preds, ctx);
+            let (entry, mut scan) = StatementScan::build(input, ctx)?;
             let mut rows: Vec<Vec<Value>> = Vec::new();
             for (ci, chunk) in entry.table.chunks().iter().enumerate() {
-                if prune_chunk(entry, ci, preds) {
+                if scan.prune(entry, ci) {
                     ctx.chunks_pruned.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
                 ctx.chunks_scanned.fetch_add(1, Ordering::Relaxed);
-                let out = scan_chunk(
+                let out = scan.scan(
+                    entry,
+                    ci,
                     chunk,
-                    preds,
                     ctx,
                     OutputMode::Positions,
                     analyze.as_deref_mut(),
-                    adaptive.as_mut(),
                 )?;
                 let positions = out.positions().expect("positions requested");
                 for pos in positions {
@@ -964,7 +1029,7 @@ fn execute_with(
                     );
                 }
             }
-            finish_adaptive(analyze, &adaptive);
+            scan.finish(analyze);
             Ok(QueryResult::Rows {
                 columns: names.clone(),
                 rows,
@@ -1115,18 +1180,48 @@ fn num_cmp(a: Num, b: Num) -> std::cmp::Ordering {
     }
 }
 
-/// Unwrap a scan subtree: (fused chain | single filter | bare table).
-fn scan_root(plan: &Lqp) -> Result<(&CatalogEntry, &[BoundPred]), ExecError> {
+/// What a statement's scan subtree computes, as the executor sees it.
+enum ScanSpec<'a> {
+    /// A conjunctive chain (possibly empty — bare table scan).
+    Conjunct(&'a [BoundPred]),
+    /// Factored disjunction: `prefix ∧ (d₁ ∨ … ∨ dₙ)` of fused sub-chains.
+    Bool {
+        /// Shared prefix conjunction (may be empty).
+        prefix: &'a [BoundPred],
+        /// The disjuncts, each a conjunctive fused sub-chain.
+        disjuncts: &'a [Vec<BoundPred>],
+    },
+    /// NNF tree whose DNF blew past the cap: row-wise evaluation.
+    Tree(&'a BoolExpr<BoundPred>),
+}
+
+/// Unwrap a scan subtree: (fused chain | bool scan | σ tree | single
+/// filter | bare table) directly over a stored table.
+fn scan_root(plan: &Lqp) -> Result<(&CatalogEntry, ScanSpec<'_>), ExecError> {
+    fn table_of<'p>(input: &'p Lqp, what: &str) -> Result<&'p CatalogEntry, ExecError> {
+        match input {
+            Lqp::StoredTable { entry, .. } => Ok(entry),
+            other => Err(ExecError::UnsupportedPlan(format!("{what} over {other:?}"))),
+        }
+    }
     match plan {
-        Lqp::StoredTable { entry, .. } => Ok((entry, &[])),
-        Lqp::Filter { input, pred } => match input.as_ref() {
-            Lqp::StoredTable { entry, .. } => Ok((entry, std::slice::from_ref(pred))),
-            other => Err(ExecError::UnsupportedPlan(format!("filter over {other:?}"))),
-        },
-        Lqp::FusedFilterChain { input, preds } => match input.as_ref() {
-            Lqp::StoredTable { entry, .. } => Ok((entry, preds)),
-            other => Err(ExecError::UnsupportedPlan(format!("chain over {other:?}"))),
-        },
+        Lqp::StoredTable { entry, .. } => Ok((entry, ScanSpec::Conjunct(&[]))),
+        Lqp::Filter { input, pred } => Ok((
+            table_of(input, "filter")?,
+            ScanSpec::Conjunct(std::slice::from_ref(pred)),
+        )),
+        Lqp::FusedFilterChain { input, preds } => {
+            Ok((table_of(input, "chain")?, ScanSpec::Conjunct(preds)))
+        }
+        Lqp::FusedBoolScan {
+            input,
+            prefix,
+            disjuncts,
+        } => Ok((
+            table_of(input, "bool scan")?,
+            ScanSpec::Bool { prefix, disjuncts },
+        )),
+        Lqp::FilterTree { input, expr } => Ok((table_of(input, "tree")?, ScanSpec::Tree(expr))),
         other => Err(ExecError::UnsupportedPlan(format!("{other:?}"))),
     }
 }
@@ -1137,6 +1232,274 @@ fn prune_chunk(entry: &CatalogEntry, chunk_idx: usize, preds: &[BoundPred]) -> b
         && preds
             .iter()
             .any(|p| !range_can_match(entry.chunk_ranges[chunk_idx][p.column], p.op, p.value))
+}
+
+/// Whether min/max pruning proves a *boolean tree* cannot match a chunk:
+/// a conjunction can match only if every child can, a disjunction if any
+/// child can. (`Not` never appears in NNF trees; stay conservative.)
+fn tree_can_match(entry: &CatalogEntry, chunk_idx: usize, expr: &BoolExpr<BoundPred>) -> bool {
+    match expr {
+        BoolExpr::Pred(p) => {
+            range_can_match(entry.chunk_ranges[chunk_idx][p.column], p.op, p.value)
+        }
+        BoolExpr::And(cs) => cs.iter().all(|c| tree_can_match(entry, chunk_idx, c)),
+        BoolExpr::Or(ds) => ds.iter().any(|d| tree_can_match(entry, chunk_idx, d)),
+        BoolExpr::Not(_) => true,
+    }
+}
+
+/// Row-wise evaluation of one bound leaf (the `FilterTree` fallback path —
+/// works uniformly over plain, dictionary and packed segments).
+fn leaf_matches(chunk: &Chunk, p: &BoundPred, row: usize) -> bool {
+    let ord = num_cmp(
+        value_num(chunk.segment(p.column).value_at(row)),
+        value_num(p.value),
+    );
+    use std::cmp::Ordering::*;
+    match p.op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }
+}
+
+/// A sub-chain's identity for adaptive-calibration bookkeeping: one entry
+/// per predicate — (column, operator, literal bits). Two sub-chains with
+/// the same key scan the same data with the same predicates, so they may
+/// share probe statistics; any difference means separate calibrators.
+type SubChainKey = Vec<(usize, u8, u64)>;
+
+fn sub_chain_key(preds: &[BoundPred]) -> SubChainKey {
+    preds
+        .iter()
+        .map(|p| (p.column, p.op as u8, value_key_bits(p.value)))
+        .collect()
+}
+
+/// Per-sub-chain execution counters for a disjunctive scan.
+#[derive(Default)]
+struct SubChainCounters {
+    rows_scanned: u64,
+    rows_matched: u64,
+    chunks_skipped: u64,
+}
+
+/// Per-statement scan driver: the scan spec plus adaptive-calibration
+/// state, keyed by sub-chain signature. Keying per sub-chain is what keeps
+/// a disjunction's calibrations honest — each sub-chain has its own
+/// selectivity and cost profile, and folding probe timings from different
+/// sub-chains into one calibrator would corrupt every decision derived
+/// from it (winner choice, drift re-probes, observed selectivity).
+struct StatementScan<'a> {
+    spec: ScanSpec<'a>,
+    adaptive: HashMap<SubChainKey, AdaptiveState>,
+    /// Counters parallel to [prefix?, disjunct…] for `ScanSpec::Bool`.
+    prefix_counters: SubChainCounters,
+    disjunct_counters: Vec<SubChainCounters>,
+    saturated_chunks: u64,
+}
+
+impl<'a> StatementScan<'a> {
+    /// Resolve the scan subtree and build per-sub-chain adaptive state.
+    fn build(plan: &'a Lqp, ctx: &ExecContext) -> Result<(&'a CatalogEntry, Self), ExecError> {
+        let (entry, spec) = scan_root(plan)?;
+        let mut adaptive = HashMap::new();
+        let mut disjunct_counters = Vec::new();
+        match &spec {
+            ScanSpec::Conjunct(preds) => {
+                if let Some(state) = build_adaptive(entry, preds, ctx) {
+                    adaptive.insert(sub_chain_key(preds), state);
+                }
+            }
+            ScanSpec::Bool { prefix, disjuncts } => {
+                for chain in std::iter::once(*prefix).chain(disjuncts.iter().map(Vec::as_slice)) {
+                    if let std::collections::hash_map::Entry::Vacant(slot) =
+                        adaptive.entry(sub_chain_key(chain))
+                    {
+                        if let Some(state) = build_adaptive(entry, chain, ctx) {
+                            slot.insert(state);
+                        }
+                    }
+                }
+                disjunct_counters = disjuncts
+                    .iter()
+                    .map(|_| SubChainCounters::default())
+                    .collect();
+            }
+            ScanSpec::Tree(_) => {}
+        }
+        Ok((
+            entry,
+            StatementScan {
+                spec,
+                adaptive,
+                prefix_counters: SubChainCounters::default(),
+                disjunct_counters,
+                saturated_chunks: 0,
+            },
+        ))
+    }
+
+    /// Whether min/max pruning proves this chunk cannot produce matches.
+    fn prune(&self, entry: &CatalogEntry, chunk_idx: usize) -> bool {
+        match &self.spec {
+            ScanSpec::Conjunct(preds) => prune_chunk(entry, chunk_idx, preds),
+            ScanSpec::Bool { prefix, disjuncts } => {
+                prune_chunk(entry, chunk_idx, prefix)
+                    || disjuncts.iter().all(|d| prune_chunk(entry, chunk_idx, d))
+            }
+            ScanSpec::Tree(expr) => !tree_can_match(entry, chunk_idx, expr),
+        }
+    }
+
+    /// Evaluate the spec over one chunk.
+    fn scan(
+        &mut self,
+        entry: &CatalogEntry,
+        chunk_idx: usize,
+        chunk: &Chunk,
+        ctx: &ExecContext,
+        mode: OutputMode,
+        mut analyze: Option<&mut AnalyzeReport>,
+    ) -> Result<ScanOutput, ExecError> {
+        match &self.spec {
+            ScanSpec::Conjunct(preds) => {
+                let state = self.adaptive.get_mut(&sub_chain_key(preds));
+                scan_chunk(chunk, preds, ctx, mode, analyze, state)
+            }
+            ScanSpec::Bool { prefix, disjuncts } => {
+                let rows = chunk.rows();
+                // Prefix sub-chain first: it gates every disjunct.
+                let prefix_pos: Option<PosList> = if prefix.is_empty() {
+                    None
+                } else {
+                    let out = scan_chunk(
+                        chunk,
+                        prefix,
+                        ctx,
+                        OutputMode::Positions,
+                        analyze.as_deref_mut(),
+                        self.adaptive.get_mut(&sub_chain_key(prefix)),
+                    )?;
+                    let ScanOutput::Positions(pl) = out else {
+                        unreachable!("positions requested")
+                    };
+                    self.prefix_counters.rows_scanned += rows as u64;
+                    self.prefix_counters.rows_matched += pl.len() as u64;
+                    if pl.is_empty() {
+                        for c in &mut self.disjunct_counters {
+                            c.chunks_skipped += 1;
+                        }
+                        return Ok(match mode {
+                            OutputMode::Count => ScanOutput::Count(0),
+                            OutputMode::Positions => ScanOutput::Positions(PosList::new()),
+                        });
+                    }
+                    Some(pl)
+                };
+                // Mask-union of the disjunct sub-chains, least selective
+                // first; once the running union saturates (every row of
+                // the chunk matches) the remaining disjuncts are skipped.
+                let mut acc = PosList::new();
+                let mut saturated = false;
+                for (d, counters) in disjuncts.iter().zip(&mut self.disjunct_counters) {
+                    if acc.len() == rows {
+                        saturated = true;
+                        counters.chunks_skipped += 1;
+                        continue;
+                    }
+                    if prune_chunk(entry, chunk_idx, d) {
+                        counters.chunks_skipped += 1;
+                        continue;
+                    }
+                    let out = scan_chunk(
+                        chunk,
+                        d,
+                        ctx,
+                        OutputMode::Positions,
+                        analyze.as_deref_mut(),
+                        self.adaptive.get_mut(&sub_chain_key(d)),
+                    )?;
+                    let ScanOutput::Positions(pl) = out else {
+                        unreachable!("positions requested")
+                    };
+                    counters.rows_scanned += rows as u64;
+                    counters.rows_matched += pl.len() as u64;
+                    acc = acc.union(&pl);
+                }
+                if saturated {
+                    self.saturated_chunks += 1;
+                }
+                let result = match prefix_pos {
+                    Some(p) => p.intersect(&acc),
+                    None => acc,
+                };
+                Ok(match mode {
+                    OutputMode::Count => ScanOutput::Count(result.len() as u64),
+                    OutputMode::Positions => ScanOutput::Positions(result),
+                })
+            }
+            ScanSpec::Tree(expr) => {
+                // Row-wise fallback (DNF blowup): evaluate the tree with
+                // short-circuiting per row.
+                let rows = chunk.rows();
+                let mut out = PosList::new();
+                for row in 0..rows {
+                    if expr.eval(&mut |p| leaf_matches(chunk, p, row)) {
+                        out.push(row as u32);
+                    }
+                }
+                if let Some(r) = analyze {
+                    r.phase2_rows_in += rows as u64;
+                    r.phase2_rows_out += out.len() as u64;
+                }
+                Ok(match mode {
+                    OutputMode::Count => ScanOutput::Count(out.len() as u64),
+                    OutputMode::Positions => ScanOutput::Positions(out),
+                })
+            }
+        }
+    }
+
+    /// Record the statement's adaptive decisions and per-sub-chain
+    /// statistics into an `EXPLAIN ANALYZE` report.
+    fn finish(&self, analyze: Option<&mut AnalyzeReport>) {
+        let Some(report) = analyze else { return };
+        match &self.spec {
+            ScanSpec::Conjunct(preds) => {
+                if let Some(state) = self.adaptive.get(&sub_chain_key(preds)) {
+                    report.adaptive = Some(state.decision());
+                }
+            }
+            ScanSpec::Bool { prefix, disjuncts } => {
+                let sub_report =
+                    |preds: &[BoundPred], counters: &SubChainCounters| SubChainReport {
+                        label: chain_text(preds),
+                        expected_selectivity: preds.iter().map(|p| p.selectivity).product(),
+                        rows_scanned: counters.rows_scanned,
+                        rows_matched: counters.rows_matched,
+                        chunks_skipped: counters.chunks_skipped,
+                        adaptive: self
+                            .adaptive
+                            .get(&sub_chain_key(preds))
+                            .map(AdaptiveState::decision),
+                    };
+                report.bool_scan = Some(BoolScanReport {
+                    prefix: (!prefix.is_empty()).then(|| sub_report(prefix, &self.prefix_counters)),
+                    disjuncts: disjuncts
+                        .iter()
+                        .zip(&self.disjunct_counters)
+                        .map(|(d, c)| sub_report(d, c))
+                        .collect(),
+                    saturated_chunks: self.saturated_chunks,
+                });
+            }
+            ScanSpec::Tree(_) => {}
+        }
+    }
 }
 
 #[cfg(test)]

@@ -43,8 +43,8 @@ impl std::fmt::Display for LexError {
 impl std::error::Error for LexError {}
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "AND", "COUNT", "SUM", "MIN", "MAX", "AVG", "AS", "EXPLAIN",
-    "LIMIT", "BETWEEN",
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "COUNT", "SUM", "MIN", "MAX", "AVG", "AS",
+    "EXPLAIN", "LIMIT", "BETWEEN",
 ];
 
 /// Tokenize a SQL string.
@@ -218,6 +218,15 @@ mod tests {
                 .count(),
             2
         );
+    }
+
+    #[test]
+    fn boolean_connectives_lex_as_keywords() {
+        let toks = lex("a = 1 OR NOT (b = 2)").unwrap();
+        assert!(toks.contains(&Token::Keyword("OR".into())));
+        assert!(toks.contains(&Token::Keyword("NOT".into())));
+        assert!(toks.contains(&Token::LParen));
+        assert!(toks.contains(&Token::RParen));
     }
 
     #[test]

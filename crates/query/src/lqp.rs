@@ -4,9 +4,10 @@
 
 use std::sync::Arc;
 
+use fts_core::BoolExpr;
 use fts_storage::{CmpOp, Table, Value};
 
-use crate::ast::{AggFunc, Literal, Projection, Select};
+use crate::ast::{AggFunc, AstPredicate, Literal, Projection, Select};
 use crate::catalog::{Catalog, CatalogEntry};
 
 /// A bound aggregate expression.
@@ -63,6 +64,33 @@ pub enum Lqp {
         /// Predicates in evaluation order.
         preds: Vec<BoundPred>,
     },
+    /// A non-conjunctive WHERE clause as a bound boolean tree in negation
+    /// normal form (the binder rewrites `NOT` into complemented operators
+    /// via [`CmpOp::negate`], so the tree holds only AND/OR over leaves).
+    /// The optimizer lowers this into a [`Lqp::FusedBoolScan`] when the
+    /// DNF stays within [`fts_core::MAX_DNF_DISJUNCTS`]; otherwise it
+    /// survives to the executor, which evaluates it row-wise.
+    FilterTree {
+        /// Input plan.
+        input: Box<Lqp>,
+        /// The predicate tree (NNF).
+        expr: BoolExpr<BoundPred>,
+    },
+    /// The normalized disjunctive scan (DESIGN.md §6): a factored common
+    /// prefix conjunction ANDed with a disjunction of fused sub-chains,
+    /// executed as mask-union of per-disjunct position lists intersected
+    /// with the prefix. Produced by the optimizer only.
+    FusedBoolScan {
+        /// Input plan.
+        input: Box<Lqp>,
+        /// Predicates every disjunct shares (factored out; scanned once).
+        /// May be empty when the disjuncts have no common predicate.
+        prefix: Vec<BoundPred>,
+        /// The disjuncts (each a conjunctive fused sub-chain), ordered
+        /// least-selective first so the running union saturates early.
+        /// Always ≥ 2 — smaller shapes lower to plain σ chains.
+        disjuncts: Vec<Vec<BoundPred>>,
+    },
     /// Whole-table aggregation (COUNT/SUM/MIN/MAX/AVG, no GROUP BY).
     Aggregate {
         /// Input plan.
@@ -95,6 +123,8 @@ impl Lqp {
             Lqp::StoredTable { .. } => None,
             Lqp::Filter { input, .. }
             | Lqp::FusedFilterChain { input, .. }
+            | Lqp::FilterTree { input, .. }
+            | Lqp::FusedBoolScan { input, .. }
             | Lqp::Aggregate { input, .. }
             | Lqp::Project { input, .. }
             | Lqp::Limit { input, .. } => Some(input),
@@ -124,11 +154,32 @@ impl Lqp {
                 input.explain_into(out, depth + 1);
             }
             Lqp::FusedFilterChain { input, preds } => {
-                let chain: Vec<String> = preds
-                    .iter()
-                    .map(|p| format!("{} {} {}", p.column_name, p.op, p.value))
-                    .collect();
-                let _ = writeln!(out, "{pad}FusedTableScan ꔖ[{}]", chain.join(" AND "));
+                let _ = writeln!(out, "{pad}FusedTableScan ꔖ[{}]", chain_text(preds));
+                input.explain_into(out, depth + 1);
+            }
+            Lqp::FilterTree { input, expr } => {
+                let _ = writeln!(out, "{pad}FilterTree σ({})", bool_text(expr));
+                input.explain_into(out, depth + 1);
+            }
+            Lqp::FusedBoolScan {
+                input,
+                prefix,
+                disjuncts,
+            } => {
+                if prefix.is_empty() {
+                    let _ = writeln!(out, "{pad}FusedBoolScan ∨[{} disjuncts]", disjuncts.len());
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{pad}FusedBoolScan ꔖ[{}] ∧ ∨[{} disjuncts]",
+                        chain_text(prefix),
+                        disjuncts.len()
+                    );
+                }
+                for d in disjuncts {
+                    let sel = d.iter().map(|p| p.selectivity).product::<f64>();
+                    let _ = writeln!(out, "{pad}  ∨ ꔖ[{}] [sel≈{sel:.4}]", chain_text(d));
+                }
                 input.explain_into(out, depth + 1);
             }
             Lqp::Aggregate { input, aggs } => {
@@ -145,6 +196,36 @@ impl Lqp {
                 input.explain_into(out, depth + 1);
             }
         }
+    }
+}
+
+/// Render one bound predicate as `name OP value`.
+fn pred_text(p: &BoundPred) -> String {
+    format!("{} {} {}", p.column_name, p.op, p.value)
+}
+
+/// Render a conjunctive sub-chain as `a = 5 AND b = 1` (evaluation order).
+pub(crate) fn chain_text(preds: &[BoundPred]) -> String {
+    preds
+        .iter()
+        .map(pred_text)
+        .collect::<Vec<_>>()
+        .join(" AND ")
+}
+
+/// Render a bound boolean tree with explicit grouping parentheses.
+fn bool_text(expr: &BoolExpr<BoundPred>) -> String {
+    match expr {
+        BoolExpr::Pred(p) => pred_text(p),
+        BoolExpr::And(cs) => {
+            let parts: Vec<String> = cs.iter().map(bool_text).collect();
+            format!("({})", parts.join(" AND "))
+        }
+        BoolExpr::Or(ds) => {
+            let parts: Vec<String> = ds.iter().map(bool_text).collect();
+            format!("({})", parts.join(" OR "))
+        }
+        BoolExpr::Not(inner) => format!("NOT {}", bool_text(inner)),
     }
 }
 
@@ -185,8 +266,77 @@ impl std::fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
+/// Bind one AST predicate: resolve the column, cast the literal and
+/// estimate selectivity from the column statistics.
+fn bind_pred(
+    p: &AstPredicate,
+    table: &Table,
+    entry: &CatalogEntry,
+    table_name: &str,
+) -> Result<BoundPred, PlanError> {
+    let column = table
+        .column_index(&p.column)
+        .ok_or_else(|| PlanError::UnknownColumn {
+            column: p.column.clone(),
+            table: table_name.to_string(),
+        })?;
+    let raw = match p.literal {
+        Literal::Int(v) => {
+            // Widen through i64/u64 then cast precisely.
+            if let Ok(v) = i64::try_from(v) {
+                Value::I64(v)
+            } else if let Ok(v) = u64::try_from(v) {
+                Value::U64(v)
+            } else {
+                return Err(PlanError::LiteralOutOfRange {
+                    column: p.column.clone(),
+                    literal: v.to_string(),
+                });
+            }
+        }
+        Literal::Float(v) => Value::F64(v),
+    };
+    let ty = table.schema()[column].data_type;
+    let value = raw
+        .cast_to(ty)
+        .ok_or_else(|| PlanError::LiteralOutOfRange {
+            column: p.column.clone(),
+            literal: format!("{raw}"),
+        })?;
+    let selectivity = entry.stats[column].selectivity(p.op, value);
+    Ok(BoundPred {
+        column,
+        column_name: p.column.clone(),
+        op: p.op,
+        value,
+        selectivity,
+    })
+}
+
+/// Flatten a conjunctive NNF tree into its leaves in source order. The
+/// caller must have checked [`BoolExpr::is_conjunctive`].
+fn flatten_conjuncts(expr: BoolExpr<BoundPred>, out: &mut Vec<BoundPred>) {
+    match expr {
+        BoolExpr::Pred(p) => out.push(p),
+        BoolExpr::And(cs) => {
+            for c in cs {
+                flatten_conjuncts(c, out);
+            }
+        }
+        other => unreachable!("caller checked is_conjunctive: {other:?}"),
+    }
+}
+
 /// Bind an AST to the catalog and build the (un-optimized) logical plan:
-/// table → σ…σ → (aggregate | project) → limit.
+/// table → (σ…σ | σ-tree) → (aggregate | project) → limit.
+///
+/// The WHERE tree is normalized to negation normal form *before* binding,
+/// so `NOT` disappears into complemented comparison operators
+/// ([`CmpOp::negate`]) and every bound leaf gets a selectivity estimate for
+/// the operator that will actually run. Conjunctive clauses (the common
+/// paper-query shape) lower to the classic σ chain so the existing
+/// reorder/fuse rules and executor paths apply unchanged; anything with an
+/// OR becomes a [`Lqp::FilterTree`] for the optimizer's DNF lowering.
 pub fn plan(select: &Select, catalog: &Catalog) -> Result<Lqp, PlanError> {
     let entry = catalog
         .get(&select.table)
@@ -199,47 +349,27 @@ pub fn plan(select: &Select, catalog: &Catalog) -> Result<Lqp, PlanError> {
         entry: entry.clone(),
     };
 
-    for p in &select.predicates {
-        let column = table
-            .column_index(&p.column)
-            .ok_or_else(|| PlanError::UnknownColumn {
-                column: p.column.clone(),
-                table: select.table.clone(),
-            })?;
-        let raw = match p.literal {
-            Literal::Int(v) => {
-                // Widen through i64/u64 then cast precisely.
-                if let Ok(v) = i64::try_from(v) {
-                    Value::I64(v)
-                } else if let Ok(v) = u64::try_from(v) {
-                    Value::U64(v)
-                } else {
-                    return Err(PlanError::LiteralOutOfRange {
-                        column: p.column.clone(),
-                        literal: v.to_string(),
-                    });
-                }
+    if let Some(w) = &select.where_clause {
+        let nnf = w.clone().to_nnf(&|p| AstPredicate {
+            op: p.op.negate(),
+            ..p
+        });
+        let bound = nnf.try_map(&mut |p| bind_pred(&p, table, entry, &select.table))?;
+        if bound.is_conjunctive() {
+            let mut preds = Vec::with_capacity(bound.leaf_count());
+            flatten_conjuncts(bound, &mut preds);
+            for pred in preds {
+                node = Lqp::Filter {
+                    input: Box::new(node),
+                    pred,
+                };
             }
-            Literal::Float(v) => Value::F64(v),
-        };
-        let ty = table.schema()[column].data_type;
-        let value = raw
-            .cast_to(ty)
-            .ok_or_else(|| PlanError::LiteralOutOfRange {
-                column: p.column.clone(),
-                literal: format!("{raw}"),
-            })?;
-        let selectivity = entry.stats[column].selectivity(p.op, value);
-        node = Lqp::Filter {
-            input: Box::new(node),
-            pred: BoundPred {
-                column,
-                column_name: p.column.clone(),
-                op: p.op,
-                value,
-                selectivity,
-            },
-        };
+        } else {
+            node = Lqp::FilterTree {
+                input: Box::new(node),
+                expr: bound,
+            };
+        }
     }
 
     node =
@@ -435,5 +565,57 @@ mod tests {
         assert!(text.contains("Aggregate COUNT(*)"));
         assert!(text.contains("Filter σ(a = 5)"));
         assert!(text.contains("StoredTable tbl [100 rows]"));
+    }
+
+    #[test]
+    fn disjunctive_where_binds_to_a_filter_tree() {
+        let cat = catalog();
+        let ast = parse("SELECT COUNT(*) FROM tbl WHERE a = 5 OR b = 2").unwrap();
+        let p = plan(&ast, &cat).unwrap();
+        let Lqp::Aggregate { input, .. } = &p else {
+            panic!()
+        };
+        let Lqp::FilterTree { expr, .. } = input.as_ref() else {
+            panic!("{p:?}")
+        };
+        let BoolExpr::Or(ds) = expr else {
+            panic!("{expr:?}")
+        };
+        assert_eq!(ds.len(), 2);
+        let text = p.explain();
+        assert!(text.contains("FilterTree σ((a = 5 OR b = 2))"), "{text}");
+    }
+
+    #[test]
+    fn not_normalizes_to_complemented_operator_before_binding() {
+        let cat = catalog();
+        // NOT (a = 5 AND b < 2) → a <> 5 OR b >= 2 (De Morgan + negate).
+        let ast = parse("SELECT COUNT(*) FROM tbl WHERE NOT (a = 5 AND b < 2)").unwrap();
+        let p = plan(&ast, &cat).unwrap();
+        let Lqp::Aggregate { input, .. } = &p else {
+            panic!()
+        };
+        let Lqp::FilterTree { expr, .. } = input.as_ref() else {
+            panic!("{p:?}")
+        };
+        let leaves = expr.leaves();
+        assert_eq!(leaves.len(), 2);
+        assert_eq!(leaves[0].op, CmpOp::Ne);
+        assert_eq!(leaves[1].op, CmpOp::Ge);
+        // Selectivity was estimated for the *negated* operator: a has 10
+        // distinct values, so a <> 5 keeps ≈ 0.9 of the rows.
+        assert!(leaves[0].selectivity > 0.5, "{}", leaves[0].selectivity);
+
+        // A purely conjunctive rewrite lowers to plain σ nodes: NOT a = 5
+        // is just a <> 5.
+        let ast = parse("SELECT COUNT(*) FROM tbl WHERE NOT a = 5").unwrap();
+        let p = plan(&ast, &cat).unwrap();
+        let Lqp::Aggregate { input, .. } = &p else {
+            panic!()
+        };
+        let Lqp::Filter { pred, .. } = input.as_ref() else {
+            panic!("{p:?}")
+        };
+        assert_eq!(pred.op, CmpOp::Ne);
     }
 }

@@ -1,23 +1,32 @@
 //! The rule-based optimizer (paper §V, Figs. 8–9).
 //!
-//! Three rules, applied in order:
+//! Four rules, applied in order:
 //!
-//! 1. **Predicate pushdown** — σ nodes sink below projections so scans see
-//!    them ("make sure that predicates are evaluated as early as
-//!    possible").
-//! 2. **Predicate reordering** — consecutive σ chains are sorted by
+//! 1. **Predicate pushdown** — σ nodes (plain and boolean-tree) sink below
+//!    projections so scans see them ("make sure that predicates are
+//!    evaluated as early as possible").
+//! 2. **Boolean-tree lowering** — a [`Lqp::FilterTree`] (NNF tree with ORs)
+//!    normalizes to DNF (capped at [`fts_core::MAX_DNF_DISJUNCTS`]),
+//!    orders conjuncts/disjuncts by estimated selectivity, factors the
+//!    common prefix out of the disjuncts and becomes one
+//!    [`Lqp::FusedBoolScan`] — DESIGN.md §6. Trees whose DNF blows up keep
+//!    their `FilterTree` node and run row-wise.
+//! 3. **Predicate reordering** — consecutive σ chains are sorted by
 //!    estimated selectivity, most selective first ("… and in the most
 //!    efficient order"). The driver predicate of the fused scan then
 //!    filters the most rows, minimizing gather traffic.
-//! 3. **Fused-chain tagging** — a maximal chain of ≥ 2 consecutive σ nodes
+//! 4. **Fused-chain tagging** — a maximal chain of ≥ 2 consecutive σ nodes
 //!    is collapsed into one [`Lqp::FusedFilterChain`], which the translator
 //!    turns into a Fused Table Scan operator (Fig. 8's right-hand plan).
+
+use fts_core::value_key_bits;
 
 use crate::lqp::{BoundPred, Lqp};
 
 /// Apply all rules and return the optimized plan.
 pub fn optimize(plan: Lqp) -> Lqp {
     let plan = pushdown(plan);
+    let plan = lower_bool_trees(plan);
     let plan = reorder_predicates(plan);
     fuse_chains(plan)
 }
@@ -47,7 +56,75 @@ pub fn pushdown(plan: Lqp) -> Lqp {
                 },
             }
         }
+        Lqp::FilterTree { input, expr } => {
+            let input = pushdown(*input);
+            match input {
+                Lqp::Project {
+                    input: pin,
+                    columns,
+                    names,
+                } => {
+                    let pushed = pushdown(Lqp::FilterTree { input: pin, expr });
+                    Lqp::Project {
+                        input: Box::new(pushed),
+                        columns,
+                        names,
+                    }
+                }
+                other => Lqp::FilterTree {
+                    input: Box::new(other),
+                    expr,
+                },
+            }
+        }
         other => map_input(other, pushdown),
+    }
+}
+
+/// The identity of one bound predicate for prefix factoring: two leaves
+/// with the same column, operator and literal bits are the same predicate.
+/// (`Value` is not `Hash`, so floats key by their IEEE bits.)
+fn pred_key(p: &BoundPred) -> (usize, u8, u64) {
+    (p.column, p.op as u8, value_key_bits(p.value))
+}
+
+/// Rule 2: lower boolean predicate trees into the normalized disjunctive
+/// scan (NNF → DNF → selectivity ordering → common-prefix factoring).
+///
+/// Degenerate outcomes fall back to the conjunctive machinery: a DNF with
+/// a single disjunct, or one whose factored disjunct list collapses via the
+/// absorption law `p ∨ (p ∧ B) = p`, is a plain conjunction and is rebuilt
+/// as a σ chain so rules 3–4 apply to it. A DNF that would exceed
+/// [`fts_core::MAX_DNF_DISJUNCTS`] keeps its `FilterTree` (row-wise
+/// execution beats scanning dozens of sub-chains).
+pub fn lower_bool_trees(plan: Lqp) -> Lqp {
+    match plan {
+        Lqp::FilterTree { input, expr } => {
+            let input = Box::new(lower_bool_trees(*input));
+            match expr.to_dnf(fts_core::MAX_DNF_DISJUNCTS) {
+                Ok(mut dnf) if !dnf.is_false() => {
+                    dnf.order_by_selectivity(&|p: &BoundPred| p.selectivity);
+                    let factored = dnf.factor(&pred_key);
+                    if factored.disjuncts.len() <= 1 {
+                        let mut preds = factored.prefix;
+                        if let Some(d) = factored.disjuncts.into_iter().next() {
+                            preds.extend(d);
+                        }
+                        rebuild_chain(preds, *input)
+                    } else {
+                        Lqp::FusedBoolScan {
+                            input,
+                            prefix: factored.prefix,
+                            disjuncts: factored.disjuncts,
+                        }
+                    }
+                }
+                // DNF blowup (or an unexpectedly constant-false tree —
+                // the binder never builds one): keep the tree node.
+                _ => Lqp::FilterTree { input, expr },
+            }
+        }
+        other => map_input(other, lower_bool_trees),
     }
 }
 
@@ -126,6 +203,19 @@ fn map_input(plan: Lqp, f: impl Fn(Lqp) -> Lqp) -> Lqp {
         Lqp::FusedFilterChain { input, preds } => Lqp::FusedFilterChain {
             input: Box::new(f(*input)),
             preds,
+        },
+        Lqp::FilterTree { input, expr } => Lqp::FilterTree {
+            input: Box::new(f(*input)),
+            expr,
+        },
+        Lqp::FusedBoolScan {
+            input,
+            prefix,
+            disjuncts,
+        } => Lqp::FusedBoolScan {
+            input: Box::new(f(*input)),
+            prefix,
+            disjuncts,
         },
         Lqp::Aggregate { input, aggs } => Lqp::Aggregate {
             input: Box::new(f(*input)),
@@ -233,6 +323,80 @@ mod tests {
             panic!("{p:?}")
         };
         assert!(matches!(input.as_ref(), Lqp::FusedFilterChain { .. }));
+    }
+
+    #[test]
+    fn disjunctions_lower_to_fused_bool_scans() {
+        let p = optimized("SELECT COUNT(*) FROM t WHERE narrow = 7 OR mid = 3 AND wide = 1");
+        let Lqp::Aggregate { input, .. } = &p else {
+            panic!("{p:?}")
+        };
+        let Lqp::FusedBoolScan {
+            prefix, disjuncts, ..
+        } = input.as_ref()
+        else {
+            panic!("{p:?}")
+        };
+        assert!(prefix.is_empty(), "no shared predicate to factor");
+        assert_eq!(disjuncts.len(), 2);
+        // Disjuncts are ordered least-selective first so the running union
+        // saturates early: (mid AND wide) has sel 0.05, narrow 0.01.
+        assert_eq!(disjuncts[0].len(), 2);
+        assert_eq!(disjuncts[1][0].column_name, "narrow");
+        // Within a disjunct the driver is the most selective predicate.
+        assert_eq!(disjuncts[0][0].column_name, "mid");
+    }
+
+    #[test]
+    fn common_prefix_is_factored_out_of_disjuncts() {
+        let p = optimized(
+            "SELECT COUNT(*) FROM t WHERE narrow = 7 AND mid = 1 OR narrow = 7 AND wide = 0",
+        );
+        let Lqp::Aggregate { input, .. } = &p else {
+            panic!("{p:?}")
+        };
+        let Lqp::FusedBoolScan {
+            prefix, disjuncts, ..
+        } = input.as_ref()
+        else {
+            panic!("{p:?}")
+        };
+        assert_eq!(prefix.len(), 1, "{p:?}");
+        assert_eq!(prefix[0].column_name, "narrow");
+        assert_eq!(disjuncts.len(), 2);
+        assert!(disjuncts.iter().all(|d| d.len() == 1));
+        let text = p.explain();
+        assert!(
+            text.contains("FusedBoolScan ꔖ[narrow = 7] ∧ ∨[2 disjuncts]"),
+            "{text}"
+        );
+        assert!(text.contains("∨ ꔖ["), "{text}");
+        assert!(text.contains("[sel≈"), "{text}");
+    }
+
+    #[test]
+    fn absorbed_disjunctions_collapse_to_conjunctive_chains() {
+        // mid = 3 OR (mid = 3 AND wide = 1) absorbs to mid = 3.
+        let p = optimized("SELECT COUNT(*) FROM t WHERE mid = 3 OR mid = 3 AND wide = 1");
+        let Lqp::Aggregate { input, .. } = &p else {
+            panic!("{p:?}")
+        };
+        let Lqp::Filter { pred, .. } = input.as_ref() else {
+            panic!("{p:?}")
+        };
+        assert_eq!(pred.column_name, "mid");
+
+        // NOT over a conjunction lowers back to a fused conjunctive chain
+        // when De Morgan yields a single disjunct … it cannot, so check the
+        // single-disjunct path with a redundant OR of identical terms.
+        let p = optimized("SELECT COUNT(*) FROM t WHERE mid = 3 OR mid = 3");
+        let Lqp::Aggregate { input, .. } = &p else {
+            panic!("{p:?}")
+        };
+        assert!(
+            matches!(input.as_ref(), Lqp::Filter { .. }),
+            "identical disjuncts absorb: {p:?}"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use fts_storage::CmpOp;
 
-use crate::ast::{AggExpr, AggFunc, AstPredicate, Literal, Projection, Select};
+use crate::ast::{AggExpr, AggFunc, AstPredicate, Literal, Projection, Select, WhereExpr};
 use crate::lexer::{lex, LexError, Token};
 
 /// Parse errors.
@@ -202,48 +202,95 @@ impl Parser {
         }
     }
 
-    /// `col OP literal`, `literal OP col` (operator flipped), or
-    /// `col BETWEEN lo AND hi` (desugared into two predicates; BETWEEN
-    /// binds tighter than the conjunction's AND).
-    fn parse_predicates(&mut self, out: &mut Vec<AstPredicate>) -> Result<(), ParseError> {
+    /// WHERE expression, lowest precedence level: `and_expr [OR and_expr …]`.
+    fn parse_where_or(&mut self) -> Result<WhereExpr, ParseError> {
+        let mut terms = vec![self.parse_where_and()?];
+        while self.eat_keyword("OR") {
+            terms.push(self.parse_where_and()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            WhereExpr::Or(terms)
+        })
+    }
+
+    /// `not_expr [AND not_expr …]` — AND binds tighter than OR.
+    fn parse_where_and(&mut self) -> Result<WhereExpr, ParseError> {
+        let mut terms = vec![self.parse_where_not()?];
+        while self.eat_keyword("AND") {
+            terms.push(self.parse_where_not()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            WhereExpr::And(terms)
+        })
+    }
+
+    /// `[NOT] atom` — NOT binds tighter than AND/OR and nests.
+    fn parse_where_not(&mut self) -> Result<WhereExpr, ParseError> {
+        if self.eat_keyword("NOT") {
+            Ok(WhereExpr::not(self.parse_where_not()?))
+        } else {
+            self.parse_where_atom()
+        }
+    }
+
+    /// Atom: a parenthesized expression, `col OP literal`, `literal OP col`
+    /// (operator flipped), or `col BETWEEN lo AND hi` (desugared into a
+    /// two-predicate conjunction; BETWEEN's AND binds tighter than the
+    /// boolean AND).
+    fn parse_where_atom(&mut self) -> Result<WhereExpr, ParseError> {
         match self.peek().cloned() {
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let inner = self.parse_where_or()?;
+                match self.next() {
+                    Some(Token::RParen) => Ok(inner),
+                    got => Err(ParseError::Unexpected {
+                        got,
+                        expected: ")".into(),
+                    }),
+                }
+            }
             Some(Token::Ident(_)) => {
                 let column = self.expect_ident()?;
                 if self.eat_keyword("BETWEEN") {
                     let lo = self.parse_literal()?;
                     self.expect_keyword("AND")?;
                     let hi = self.parse_literal()?;
-                    out.push(AstPredicate {
-                        column: column.clone(),
-                        op: CmpOp::Ge,
-                        literal: lo,
-                    });
-                    out.push(AstPredicate {
-                        column,
-                        op: CmpOp::Le,
-                        literal: hi,
-                    });
+                    Ok(WhereExpr::And(vec![
+                        WhereExpr::pred(AstPredicate {
+                            column: column.clone(),
+                            op: CmpOp::Ge,
+                            literal: lo,
+                        }),
+                        WhereExpr::pred(AstPredicate {
+                            column,
+                            op: CmpOp::Le,
+                            literal: hi,
+                        }),
+                    ]))
                 } else {
                     let op = self.parse_op()?;
                     let literal = self.parse_literal()?;
-                    out.push(AstPredicate {
+                    Ok(WhereExpr::pred(AstPredicate {
                         column,
                         op,
                         literal,
-                    });
+                    }))
                 }
-                Ok(())
             }
             Some(Token::Int(_)) | Some(Token::Float(_)) => {
                 let literal = self.parse_literal()?;
                 let op = self.parse_op()?;
                 let column = self.expect_ident()?;
-                out.push(AstPredicate {
+                Ok(WhereExpr::pred(AstPredicate {
                     column,
                     op: op.flip(),
                     literal,
-                });
-                Ok(())
+                }))
             }
             got => Err(ParseError::Unexpected {
                 got,
@@ -272,13 +319,11 @@ pub fn parse(sql: &str) -> Result<Select, ParseError> {
     p.expect_keyword("FROM")?;
     let table = p.expect_ident()?;
 
-    let mut predicates = Vec::new();
-    if p.eat_keyword("WHERE") {
-        p.parse_predicates(&mut predicates)?;
-        while p.eat_keyword("AND") {
-            p.parse_predicates(&mut predicates)?;
-        }
-    }
+    let where_clause = if p.eat_keyword("WHERE") {
+        Some(p.parse_where_or()?)
+    } else {
+        None
+    };
     let mut limit = None;
     if p.eat_keyword("LIMIT") {
         match p.next() {
@@ -300,7 +345,7 @@ pub fn parse(sql: &str) -> Result<Select, ParseError> {
     Ok(Select {
         projection,
         table,
-        predicates,
+        where_clause,
         limit,
         explain,
         analyze,
@@ -322,12 +367,68 @@ mod tests {
             }])
         );
         assert_eq!(s.table, "tbl");
-        assert_eq!(s.predicates.len(), 2);
-        assert_eq!(s.predicates[0].column, "a");
-        assert_eq!(s.predicates[0].op, CmpOp::Eq);
-        assert_eq!(s.predicates[0].literal, Literal::Int(5));
+        let preds = s.leaf_predicates();
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[0].column, "a");
+        assert_eq!(preds[0].op, CmpOp::Eq);
+        assert_eq!(preds[0].literal, Literal::Int(5));
+        assert!(s.where_clause.as_ref().unwrap().is_conjunctive());
         assert!(!s.explain);
         assert_eq!(s.limit, None);
+    }
+
+    #[test]
+    fn or_binds_looser_than_and() {
+        let s = parse("SELECT COUNT(*) FROM t WHERE a = 1 AND b = 2 OR c = 3").unwrap();
+        let w = s.where_clause.unwrap();
+        // (a AND b) OR c
+        let WhereExpr::Or(terms) = &w else {
+            panic!("{w:?}")
+        };
+        assert_eq!(terms.len(), 2);
+        assert!(matches!(&terms[0], WhereExpr::And(cs) if cs.len() == 2));
+        assert!(matches!(&terms[1], WhereExpr::Pred(p) if p.column == "c"));
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let s = parse("SELECT COUNT(*) FROM t WHERE a = 1 AND (b = 2 OR c = 3)").unwrap();
+        let WhereExpr::And(terms) = &s.where_clause.unwrap() else {
+            panic!()
+        };
+        assert!(matches!(&terms[0], WhereExpr::Pred(p) if p.column == "a"));
+        assert!(matches!(&terms[1], WhereExpr::Or(ds) if ds.len() == 2));
+    }
+
+    #[test]
+    fn not_binds_tightest_and_nests() {
+        let s = parse("SELECT COUNT(*) FROM t WHERE NOT a = 1 AND b = 2").unwrap();
+        let WhereExpr::And(terms) = &s.where_clause.unwrap() else {
+            panic!()
+        };
+        assert!(matches!(&terms[0], WhereExpr::Not(_)));
+
+        let s = parse("SELECT COUNT(*) FROM t WHERE NOT NOT (a = 1 OR b = 2)").unwrap();
+        let WhereExpr::Not(inner) = &s.where_clause.unwrap() else {
+            panic!()
+        };
+        assert!(matches!(inner.as_ref(), WhereExpr::Not(_)));
+
+        // NOT applies to a BETWEEN atom as a whole.
+        let s = parse("SELECT COUNT(*) FROM t WHERE NOT d BETWEEN 5 AND 7").unwrap();
+        let WhereExpr::Not(inner) = &s.where_clause.unwrap() else {
+            panic!()
+        };
+        assert!(matches!(inner.as_ref(), WhereExpr::And(cs) if cs.len() == 2));
+    }
+
+    #[test]
+    fn unbalanced_parens_are_rejected() {
+        assert!(parse("SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2)").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE a = 1 OR").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE NOT").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE ()").is_err());
     }
 
     #[test]
@@ -346,8 +447,9 @@ mod tests {
     #[test]
     fn flips_literal_on_left() {
         let s = parse("SELECT COUNT(*) FROM t WHERE 5 < a").unwrap();
-        assert_eq!(s.predicates[0].op, CmpOp::Gt);
-        assert_eq!(s.predicates[0].column, "a");
+        let preds = s.leaf_predicates();
+        assert_eq!(preds[0].op, CmpOp::Gt);
+        assert_eq!(preds[0].column, "a");
     }
 
     #[test]
@@ -358,7 +460,8 @@ mod tests {
         .unwrap();
         assert!(s.explain);
         assert!(!s.analyze);
-        assert_eq!(s.predicates.len(), 5);
+        assert_eq!(s.leaf_predicates().len(), 5);
+        assert!(s.where_clause.as_ref().unwrap().is_conjunctive());
     }
 
     #[test]
@@ -384,8 +487,9 @@ mod tests {
             (">=", CmpOp::Ge),
         ] {
             let s = parse(&format!("SELECT COUNT(*) FROM t WHERE x {text} 1.5")).unwrap();
-            assert_eq!(s.predicates[0].op, op, "{text}");
-            assert_eq!(s.predicates[0].literal, Literal::Float(1.5));
+            let preds = s.leaf_predicates();
+            assert_eq!(preds[0].op, op, "{text}");
+            assert_eq!(preds[0].literal, Literal::Float(1.5));
         }
     }
 
@@ -413,12 +517,14 @@ mod tests {
     #[test]
     fn between_desugars_into_two_predicates() {
         let s = parse("SELECT COUNT(*) FROM t WHERE d BETWEEN 5 AND 7 AND q < 24").unwrap();
-        assert_eq!(s.predicates.len(), 3);
-        assert_eq!(s.predicates[0].op, CmpOp::Ge);
-        assert_eq!(s.predicates[0].literal, Literal::Int(5));
-        assert_eq!(s.predicates[1].op, CmpOp::Le);
-        assert_eq!(s.predicates[1].literal, Literal::Int(7));
-        assert_eq!(s.predicates[2].column, "q");
+        assert!(s.where_clause.as_ref().unwrap().is_conjunctive());
+        let preds = s.leaf_predicates();
+        assert_eq!(preds.len(), 3);
+        assert_eq!(preds[0].op, CmpOp::Ge);
+        assert_eq!(preds[0].literal, Literal::Int(5));
+        assert_eq!(preds[1].op, CmpOp::Le);
+        assert_eq!(preds[1].literal, Literal::Int(7));
+        assert_eq!(preds[2].column, "q");
         // BETWEEN needs both bounds.
         assert!(parse("SELECT COUNT(*) FROM t WHERE d BETWEEN 5").is_err());
         assert!(parse("SELECT COUNT(*) FROM t WHERE d BETWEEN 5 AND").is_err());

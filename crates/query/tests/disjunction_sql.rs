@@ -1,0 +1,387 @@
+//! End-to-end SQL tests for boolean predicate trees: WHERE clauses with
+//! OR/NOT/parentheses must produce exactly the brute-force answer through
+//! the fused mask-combining path, report per-disjunct statistics under
+//! `EXPLAIN ANALYZE`, keep the JIT kernel cache hit rate at 100% in steady
+//! state, and never mix adaptive calibration across sub-chains.
+
+use fts_query::executor::{execute, execute_analyzed, ExecContext, JitMode, QueryResult};
+use fts_query::lqp::plan;
+use fts_query::optimizer::optimize;
+use fts_query::parser::parse;
+use fts_query::Catalog;
+use fts_simd::SimdLevel;
+use fts_storage::{Column, ColumnDef, DataType, Table};
+
+fn avx512() -> bool {
+    fts_simd::detect() >= SimdLevel::Avx512
+}
+
+/// 1000 rows in 256-row chunks: `a = i % 10`, `b = i % 4`, `big = i - 500`.
+/// `t_dict` dictionary-encodes `a` and `big`.
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    let t = Table::from_chunked_columns(
+        vec![
+            ColumnDef::new("a", DataType::U32),
+            ColumnDef::new("b", DataType::U32),
+            ColumnDef::new("big", DataType::I64),
+        ],
+        vec![
+            Column::from_fn(1000, |i| (i % 10) as u32),
+            Column::from_fn(1000, |i| (i % 4) as u32),
+            Column::from_fn(1000, |i| i as i64 - 500),
+        ],
+        256,
+    )
+    .unwrap();
+    cat.register("t", t.clone());
+    cat.register("t_dict", t.with_dictionary_encoding(&[0, 2]).unwrap());
+    cat
+}
+
+/// 20480 rows in 512-row chunks — enough chunks for adaptive calibration
+/// to converge per sub-chain.
+fn many_chunk_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    let t = Table::from_chunked_columns(
+        vec![
+            ColumnDef::new("a", DataType::U32),
+            ColumnDef::new("b", DataType::U32),
+        ],
+        vec![
+            Column::from_fn(20_480, |i| (i % 10) as u32),
+            Column::from_fn(20_480, |i| (i % 4) as u32),
+        ],
+        512,
+    )
+    .unwrap();
+    cat.register("big", t);
+    cat
+}
+
+fn run(cat: &Catalog, sql: &str, jit: JitMode) -> QueryResult {
+    let ctx = ExecContext {
+        jit,
+        ..Default::default()
+    };
+    let p = optimize(plan(&parse(sql).unwrap(), cat).unwrap());
+    execute(&p, &ctx).unwrap()
+}
+
+type BruteCase = (&'static str, Box<dyn Fn(u64, u64, i64) -> bool>);
+
+fn brute(f: impl Fn(u64, u64, i64) -> bool) -> u64 {
+    (0..1000u64)
+        .filter(|&i| f(i % 10, i % 4, i as i64 - 500))
+        .count() as u64
+}
+
+#[test]
+fn disjunctive_counts_match_brute_force() {
+    let cat = catalog();
+    let cases: Vec<BruteCase> = vec![
+        ("a = 5 OR a = 7", Box::new(|a, _, _| a == 5 || a == 7)),
+        ("a = 5 OR b = 1", Box::new(|a, b, _| a == 5 || b == 1)),
+        ("a < 2 OR a > 8", Box::new(|a, _, _| !(2..=8).contains(&a))),
+        (
+            "a = 5 AND b = 1 OR a = 6 AND b = 2",
+            Box::new(|a, b, _| (a == 5 && b == 1) || (a == 6 && b == 2)),
+        ),
+        (
+            "(a = 5 OR a = 6) AND b = 1",
+            Box::new(|a, b, _| (a == 5 || a == 6) && b == 1),
+        ),
+        (
+            "a = 5 AND b = 1 OR a = 5 AND b = 2",
+            Box::new(|a, b, _| a == 5 && (b == 1 || b == 2)),
+        ),
+        (
+            "a BETWEEN 2 AND 4 OR b = 3",
+            Box::new(|a, b, _| (2..=4).contains(&a) || b == 3),
+        ),
+        (
+            "big < -400 OR big >= 400",
+            Box::new(|_, _, big| !(-400..400).contains(&big)),
+        ),
+        (
+            "a = 1 OR b = 2 OR big = 0",
+            Box::new(|a, b, big| a == 1 || b == 2 || big == 0),
+        ),
+    ];
+    for (sql, f) in &cases {
+        let expected = brute(f);
+        assert!(expected > 0, "{sql}: test data must produce matches");
+        for jit in [JitMode::Off, JitMode::On] {
+            let full = format!("SELECT COUNT(*) FROM t WHERE {sql}");
+            assert_eq!(
+                run(&cat, &full, jit),
+                QueryResult::Count(expected),
+                "{sql} ({jit:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn negated_counts_match_brute_force() {
+    let cat = catalog();
+    let cases: Vec<BruteCase> = vec![
+        ("NOT a = 5", Box::new(|a, _, _| a != 5)),
+        (
+            "NOT (a = 5 AND b = 1)",
+            Box::new(|a, b, _| !(a == 5 && b == 1)),
+        ),
+        (
+            "NOT (a < 3 OR b = 2)",
+            Box::new(|a, b, _| !(a < 3 || b == 2)),
+        ),
+        (
+            "a = 5 OR NOT (b = 1 OR b = 2)",
+            Box::new(|a, b, _| a == 5 || !(b == 1 || b == 2)),
+        ),
+        ("NOT NOT a = 5", Box::new(|a, _, _| a == 5)),
+        (
+            "NOT a BETWEEN 2 AND 7",
+            Box::new(|a, _, _| !(2..=7).contains(&a)),
+        ),
+    ];
+    for (sql, f) in &cases {
+        let expected = brute(f);
+        assert!(expected > 0, "{sql}: test data must produce matches");
+        for jit in [JitMode::Off, JitMode::On] {
+            let full = format!("SELECT COUNT(*) FROM t WHERE {sql}");
+            assert_eq!(
+                run(&cat, &full, jit),
+                QueryResult::Count(expected),
+                "{sql} ({jit:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn dictionary_encoded_disjunctions_match_brute_force() {
+    let cat = catalog();
+    let expected = brute(|a, _, big| a == 5 || big >= 250);
+    for jit in [JitMode::Off, JitMode::On] {
+        assert_eq!(
+            run(
+                &cat,
+                "SELECT COUNT(*) FROM t_dict WHERE a = 5 OR big >= 250",
+                jit
+            ),
+            QueryResult::Count(expected),
+            "{jit:?}"
+        );
+    }
+}
+
+#[test]
+fn disjunctive_projections_match_the_static_engines() {
+    let cat = catalog();
+    let sql = "SELECT a, b FROM t WHERE a = 5 AND b = 1 OR a = 6 AND b = 2";
+    let on = run(&cat, sql, JitMode::On);
+    let off = run(&cat, sql, JitMode::Off);
+    assert_eq!(on, off, "row order must not depend on the engine");
+    let QueryResult::Rows { rows, .. } = on else {
+        panic!("projection returns rows");
+    };
+    assert_eq!(
+        rows.len() as u64,
+        brute(|a, b, _| (a == 5 && b == 1) || (a == 6 && b == 2))
+    );
+}
+
+/// DNF blowup (AND of 6 ORs → 64 disjuncts > cap) keeps the FilterTree
+/// and executes row-wise — still the exact answer.
+#[test]
+fn dnf_blowup_falls_back_to_tree_filter() {
+    let cat = catalog();
+    let clauses: Vec<String> = (0..6)
+        .map(|k| format!("(a = {k} OR b = {})", k % 4))
+        .collect();
+    let sql = format!("SELECT COUNT(*) FROM t WHERE {}", clauses.join(" AND "));
+    let expected = brute(|a, b, _| (0..6u64).all(|k| a == k || b == k % 4));
+    let p = optimize(plan(&parse(&sql).unwrap(), &cat).unwrap());
+    assert!(
+        p.explain().contains("FilterTree"),
+        "blown-up DNF keeps the tree: {}",
+        p.explain()
+    );
+    for jit in [JitMode::Off, JitMode::On] {
+        assert_eq!(
+            run(&cat, &sql, jit),
+            QueryResult::Count(expected),
+            "{jit:?}"
+        );
+    }
+}
+
+#[test]
+fn explain_shows_the_normalized_tree() {
+    let cat = catalog();
+    let explain = |sql: &str| optimize(plan(&parse(sql).unwrap(), &cat).unwrap()).explain();
+
+    // Plain disjunction → FusedBoolScan with one line per disjunct.
+    let text = explain("SELECT COUNT(*) FROM t WHERE a = 5 OR b = 1 AND b <= 2");
+    assert!(text.contains("FusedBoolScan"), "{text}");
+    assert!(text.contains("∨[2 disjuncts]"), "{text}");
+    assert!(text.matches("∨ ꔖ[").count() == 2, "{text}");
+    assert!(text.contains("sel≈"), "{text}");
+
+    // Common prefix is factored out of the disjuncts.
+    let text = explain("SELECT COUNT(*) FROM t WHERE a = 5 AND b = 1 OR a = 5 AND b = 2");
+    assert!(
+        text.contains("FusedBoolScan ꔖ[a = 5] ∧ ∨[2 disjuncts]"),
+        "{text}"
+    );
+
+    // NOT normalizes to complemented operators before planning: the plan
+    // is an ordinary conjunctive chain, not a tree.
+    let text = explain("SELECT COUNT(*) FROM t WHERE NOT (a = 5 OR b = 1)");
+    assert!(!text.contains("FusedBoolScan"), "{text}");
+    assert!(!text.contains("FilterTree"), "{text}");
+    assert!(text.contains("a <> 5"), "{text}");
+    assert!(text.contains("b <> 1"), "{text}");
+}
+
+#[test]
+fn explain_analyze_reports_per_disjunct_stats() {
+    let cat = catalog();
+    let ctx = ExecContext {
+        jit: JitMode::Off,
+        ..Default::default()
+    };
+    let sql = "SELECT COUNT(*) FROM t WHERE a = 5 AND b = 1 OR a = 5 AND b = 2";
+    let p = optimize(plan(&parse(sql).unwrap(), &cat).unwrap());
+    let (result, report) = execute_analyzed(&p, &ctx).unwrap();
+    let expected = brute(|a, b, _| a == 5 && (b == 1 || b == 2));
+    assert_eq!(result, QueryResult::Count(expected));
+
+    let b = report.bool_scan.as_ref().expect("disjunctive statement");
+    let prefix = b.prefix.as_ref().expect("a = 5 is factored out");
+    assert_eq!(prefix.label, "a = 5");
+    assert!(prefix.rows_scanned >= 1000, "prefix scans every chunk");
+    assert_eq!(prefix.rows_matched, 100, "a = 5 matches 1 in 10");
+    assert!((prefix.expected_selectivity - 0.1).abs() < 1e-6);
+
+    assert_eq!(b.disjuncts.len(), 2);
+    for d in &b.disjuncts {
+        assert!(d.rows_scanned > 0, "{}", d.label);
+        assert_eq!(d.rows_matched, 250, "{} matches 1 in 4", d.label);
+        assert!((d.expected_selectivity - 0.25).abs() < 1e-6, "{}", d.label);
+    }
+    let labels: Vec<&str> = b.disjuncts.iter().map(|d| d.label.as_str()).collect();
+    assert!(
+        labels.contains(&"b = 1") && labels.contains(&"b = 2"),
+        "{labels:?}"
+    );
+
+    let text = report.render(10.0);
+    assert!(text.contains("bool scan: 2 disjuncts"), "{text}");
+    assert!(text.contains("prefix ꔖ[a = 5]"), "{text}");
+}
+
+/// When the first (least selective) disjunct already matches every row of
+/// a chunk, the union saturates and the remaining disjuncts are skipped.
+#[test]
+fn saturated_unions_skip_remaining_disjuncts() {
+    let cat = catalog();
+    let ctx = ExecContext {
+        jit: JitMode::Off,
+        ..Default::default()
+    };
+    let sql = "SELECT COUNT(*) FROM t WHERE a < 10 OR b = 1";
+    let p = optimize(plan(&parse(sql).unwrap(), &cat).unwrap());
+    let (result, report) = execute_analyzed(&p, &ctx).unwrap();
+    assert_eq!(result, QueryResult::Count(1000));
+    let b = report.bool_scan.as_ref().expect("disjunctive statement");
+    assert_eq!(b.saturated_chunks, 4, "every chunk saturates after a < 10");
+    // Execution order is least selective first, so `a < 10` runs first
+    // and `b = 1` never has to.
+    assert_eq!(b.disjuncts[0].label, "a < 10");
+    assert_eq!(b.disjuncts[1].label, "b = 1");
+    assert_eq!(b.disjuncts[1].rows_scanned, 0);
+    assert_eq!(b.disjuncts[1].chunks_skipped, 4);
+}
+
+#[test]
+fn repeated_disjunctive_queries_hit_the_jit_cache() {
+    if !avx512() {
+        eprintln!("skipping: no AVX-512");
+        return;
+    }
+    let cat = many_chunk_catalog();
+    let ctx = ExecContext {
+        jit: JitMode::On,
+        ..Default::default()
+    };
+    let sql = "SELECT COUNT(*) FROM big WHERE a = 5 AND b = 1 OR a = 6 AND b = 2";
+    let p = optimize(plan(&parse(sql).unwrap(), &cat).unwrap());
+    let (first_result, first) = execute_analyzed(&p, &ctx).unwrap();
+    let expected = (0..20_480u64)
+        .filter(|i| (i % 10 == 5 && i % 4 == 1) || (i % 10 == 6 && i % 4 == 2))
+        .count() as u64;
+    assert_eq!(first_result, QueryResult::Count(expected));
+    // Each sub-chain compiles its candidates at most once; the tree shape
+    // itself is never a cache key.
+    assert!(
+        first.jit_misses <= 4,
+        "per-sub-chain compilation only: {first:?}"
+    );
+    let (_, second) = execute_analyzed(&p, &ctx).unwrap();
+    assert_eq!(second.jit_misses, 0, "steady state recompiled: {second:?}");
+    assert_eq!(second.jit_evictions, 0);
+
+    // A different tree over the same sub-chains reuses the same kernels:
+    // sub-chains are content-addressed, so nothing new compiles.
+    let sql2 = "SELECT COUNT(*) FROM big WHERE a = 6 AND b = 2 OR a = 5 AND b = 1";
+    let p2 = optimize(plan(&parse(sql2).unwrap(), &cat).unwrap());
+    let (r2, third) = execute_analyzed(&p2, &ctx).unwrap();
+    assert_eq!(r2, QueryResult::Count(expected));
+    assert_eq!(
+        third.jit_misses, 0,
+        "shared sub-chains recompiled: {third:?}"
+    );
+}
+
+/// Regression test for calibration mixing: the two sub-chains of one
+/// disjunction have very different selectivities (0.1 vs 0.25); each
+/// calibrator must observe its own, not a blend.
+#[test]
+fn per_sub_chain_calibration_is_not_mixed() {
+    let cat = many_chunk_catalog();
+    let ctx = ExecContext {
+        jit: JitMode::Off,
+        ..Default::default()
+    };
+    assert!(ctx.adaptive, "adaptive selection is on by default");
+    let sql = "SELECT COUNT(*) FROM big WHERE a = 5 OR b = 1";
+    let p = optimize(plan(&parse(sql).unwrap(), &cat).unwrap());
+    let (result, report) = execute_analyzed(&p, &ctx).unwrap();
+    let expected = (0..20_480u64).filter(|i| i % 10 == 5 || i % 4 == 1).count() as u64;
+    assert_eq!(result, QueryResult::Count(expected));
+
+    let b = report.bool_scan.as_ref().expect("disjunctive statement");
+    assert!(b.prefix.is_none(), "no common predicate to factor");
+    assert_eq!(b.disjuncts.len(), 2);
+    for d in &b.disjuncts {
+        let a = d
+            .adaptive
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: u32 sub-chain is covered by the selector", d.label));
+        let own = match d.label.as_str() {
+            "a = 5" => 0.1,
+            "b = 1" => 0.25,
+            other => panic!("unexpected sub-chain {other}"),
+        };
+        assert!(
+            (a.observed_selectivity - own).abs() < 1e-6,
+            "{}: observed {} but own selectivity is {own} — calibration mixed \
+             across sub-chains",
+            d.label,
+            a.observed_selectivity
+        );
+        assert!(a.winner.is_some(), "{}: 40 chunks must converge", d.label);
+    }
+}

@@ -20,9 +20,9 @@ proptest! {
     fn parser_never_panics_on_token_soup(
         tokens in prop::collection::vec(
             prop::sample::select(vec![
-                "SELECT", "FROM", "WHERE", "AND", "COUNT", "SUM", "AVG", "LIMIT",
-                "EXPLAIN", "(", ")", "*", ",", "=", "<", "<=", "<>", "tbl", "a",
-                "b", "5", "-3", "1.5", ";",
+                "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "COUNT", "SUM", "AVG",
+                "LIMIT", "EXPLAIN", "(", ")", "*", ",", "=", "<", "<=", "<>", "tbl",
+                "a", "b", "5", "-3", "1.5", ";",
             ]),
             0..16,
         )
@@ -44,6 +44,10 @@ proptest! {
                 prop::sample::select(vec!["a", "b", "c_3"]),
                 prop::sample::select(vec!["=", "<>", "<", "<=", ">", ">="]),
                 -1000i32..1000,
+                // Connective in front of this predicate (ignored for the
+                // first) plus an optional NOT.
+                prop::sample::select(vec!["AND", "OR"]),
+                any::<bool>(),
             ),
             0..5,
         ),
@@ -54,8 +58,14 @@ proptest! {
             sql.push_str("EXPLAIN ");
         }
         sql.push_str(&format!("SELECT {agg} FROM t"));
-        for (i, (col, op, lit)) in preds.iter().enumerate() {
-            sql.push_str(if i == 0 { " WHERE " } else { " AND " });
+        for (i, (col, op, lit, conn, negate)) in preds.iter().enumerate() {
+            sql.push_str(if i == 0 { " WHERE " } else { "" });
+            if i > 0 {
+                sql.push_str(&format!(" {conn} "));
+            }
+            if *negate {
+                sql.push_str("NOT ");
+            }
             sql.push_str(&format!("{col} {op} {lit}"));
         }
         if let Some(n) = limit {
@@ -64,9 +74,10 @@ proptest! {
         let stmt = parse(&sql).unwrap_or_else(|e| panic!("'{sql}' must parse: {e}"));
         prop_assert_eq!(stmt.explain, explain);
         prop_assert_eq!(stmt.table, "t");
-        prop_assert_eq!(stmt.predicates.len(), preds.len());
+        let leaves = stmt.leaf_predicates();
+        prop_assert_eq!(leaves.len(), preds.len());
         prop_assert_eq!(stmt.limit, limit);
-        for (parsed, (col, _, lit)) in stmt.predicates.iter().zip(&preds) {
+        for (parsed, (col, _, lit, _, _)) in leaves.iter().zip(&preds) {
             prop_assert_eq!(&parsed.column, col);
             prop_assert_eq!(parsed.literal, fts_query::ast::Literal::Int(*lit as i128));
         }

@@ -79,7 +79,7 @@ fn main() {
     );
     db.register("orders", orders);
     eprintln!(
-        "tables: {} | SIMD: {} | try:\n  SELECT COUNT(*) FROM orders WHERE quantity = 5 AND discount = 2\n  EXPLAIN SELECT SUM(price) FROM orders WHERE discount >= 5 AND quantity < 24\n  \\help",
+        "tables: {} | SIMD: {} | try:\n  SELECT COUNT(*) FROM orders WHERE quantity = 5 AND discount = 2\n  EXPLAIN SELECT SUM(price) FROM orders WHERE discount >= 5 AND quantity < 24\n  EXPLAIN ANALYZE SELECT COUNT(*) FROM orders WHERE quantity < 3 OR NOT discount <= 8\n  \\help",
         db.catalog().table_names().join(", "),
         fused_table_scan::simd::detect(),
     );
@@ -104,7 +104,11 @@ fn main() {
             "\\help" => {
                 println!(
                     "statements:\n  SELECT COUNT(*)|SUM(c)|MIN(c)|MAX(c)|AVG(c)|cols|* FROM t \
-                     [WHERE c OP lit [AND …]] [LIMIT n]\n  EXPLAIN SELECT …\ncommands:\n  \
+                     [WHERE pred] [LIMIT n]\n  EXPLAIN [ANALYZE] SELECT …\nWHERE grammar \
+                     (NOT > AND > OR, parentheses group):\n  pred := c OP lit | lit OP c | \
+                     c BETWEEN lo AND hi | (pred) | NOT pred\n          | pred AND pred | \
+                     pred OR pred      OP ∈ {{= <> < <= > >=}}\n  ORs execute as a mask union \
+                     of fused sub-chains (EXPLAIN shows the tree)\ncommands:\n  \
                      \\tables   list tables\n  \\jit      kernel-cache statistics\n  \\stats    chunk-pruning counters\n  \\q        quit"
                 );
             }

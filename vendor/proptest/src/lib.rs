@@ -242,7 +242,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// Accepted size specifications for [`vec`].
+        /// Accepted size specifications for [`vec()`].
         pub struct SizeRange {
             lo: usize,
             hi: usize,
