@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive_bench;
+pub mod concurrent_bench;
 pub mod figures;
 pub mod json;
 pub mod report;

@@ -126,6 +126,19 @@ pub enum EngineError {
         /// Index of the unprocessed morsel.
         morsel: usize,
     },
+    /// The scheduler's admission budget rejected the work: the bounded
+    /// wait queue was full, or the request's declared cost exceeds the
+    /// configured budget outright (see
+    /// [`AdmissionController`](crate::sched::AdmissionController)).
+    Overloaded {
+        /// Queries running when the request was rejected.
+        running: usize,
+        /// Requests already waiting in the bounded queue.
+        queued: usize,
+        /// `(cost, budget)` when the request alone exceeds the byte
+        /// budget and could never be admitted; `None` for queue pressure.
+        oversized: Option<(u64, u64)>,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -144,6 +157,20 @@ impl std::fmt::Display for EngineError {
             EngineError::MorselMissing { morsel } => {
                 write!(f, "morsel {morsel} was never processed")
             }
+            EngineError::Overloaded {
+                running,
+                queued,
+                oversized,
+            } => match oversized {
+                Some((cost, budget)) => write!(
+                    f,
+                    "overloaded: request cost {cost} B exceeds the {budget} B admission budget"
+                ),
+                None => write!(
+                    f,
+                    "overloaded: admission queue full ({running} running, {queued} queued)"
+                ),
+            },
         }
     }
 }

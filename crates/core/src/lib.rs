@@ -30,6 +30,7 @@ pub mod fused;
 pub mod parallel;
 pub mod pred;
 pub mod reference;
+pub mod sched;
 pub mod sisd;
 pub mod stride;
 pub mod telemetry;
@@ -49,4 +50,5 @@ pub use engine::{
 };
 pub use parallel::{run_scan_parallel, run_scan_parallel_telemetered, DEFAULT_MORSEL_ROWS};
 pub use pred::{ColumnPred, OutputMode, ScanOutput, TypedPred};
+pub use sched::{AdmissionConfig, AdmissionController, Permit, ScanPool};
 pub use telemetry::{BoundVerdict, ScanTelemetry, StageTelemetry, TelemetryLevel};

@@ -2,10 +2,15 @@
 //!
 //! Paper footnote 1: the column-major table "can, however, be horizontally
 //! partitioned into chunks or morsels". This module exploits that: the row
-//! range is split into fixed-size morsels, a scoped worker pool pulls
-//! morsels from an atomic cursor (classic morsel-driven parallelism), each
-//! worker runs the single-threaded fused kernel on its sub-slices, and
-//! per-morsel outputs are stitched back together in row order.
+//! range is split into fixed-size morsels, worker loops pull morsels from
+//! an atomic cursor (classic morsel-driven parallelism), each worker runs
+//! the single-threaded fused kernel on its sub-slices, and per-morsel
+//! outputs are stitched back together in row order.
+//!
+//! Worker loops run on the process-wide sharded [`ScanPool`] — persistent
+//! per-core workers shared by every concurrent scan — instead of spawning
+//! fresh OS threads per call; the calling thread participates too, so a
+//! scan progresses even when the pool is saturated by other queries.
 //!
 //! Failures never tear down the process: a worker that returns an engine
 //! error — or panics — surfaces as an [`EngineError`] from the stitcher,
@@ -18,6 +23,7 @@ use fts_storage::PosList;
 
 use crate::engine::{EngineError, ScanElem, ScanImpl};
 use crate::pred::{OutputMode, ScanOutput, TypedPred};
+use crate::sched::ScanPool;
 use crate::telemetry::{ScanTelemetry, TelemetryLevel};
 
 /// Default morsel size: large enough to amortize dispatch, small enough to
@@ -83,33 +89,29 @@ pub fn run_scan_parallel_telemetered<T: ScanElem>(
     let results: Vec<once_slot::Slot<MorselResult>> =
         (0..morsels).map(|_| once_slot::Slot::new()).collect();
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(morsels) {
-            scope.spawn(|| loop {
-                let m = cursor.fetch_add(1, Ordering::Relaxed);
-                if m >= morsels {
-                    break;
-                }
-                // A panicking morsel must not poison the scope join: catch
-                // it and report it as an engine error for this morsel.
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    let base = m * morsel_rows;
-                    let end = (base + morsel_rows).min(rows);
-                    let sub: Vec<TypedPred<'_, T>> = preds
-                        .iter()
-                        .map(|p| TypedPred::new(&p.data[base..end], p.op, p.needle))
-                        .collect();
-                    crate::engine::run_scan_telemetered(imp, &sub, mode, level)
-                }))
-                .unwrap_or_else(|panic| {
-                    Err(EngineError::WorkerPanicked {
-                        morsel: m,
-                        message: panic_text(&panic),
-                    })
-                });
-                results[m].set(result);
-            });
+    ScanPool::global().scope_run(threads.min(morsels), |_| loop {
+        let m = cursor.fetch_add(1, Ordering::Relaxed);
+        if m >= morsels {
+            break;
         }
+        // A panicking morsel must not take down a pool worker: catch it
+        // and report it as an engine error for this morsel.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let base = m * morsel_rows;
+            let end = (base + morsel_rows).min(rows);
+            let sub: Vec<TypedPred<'_, T>> = preds
+                .iter()
+                .map(|p| TypedPred::new(&p.data[base..end], p.op, p.needle))
+                .collect();
+            crate::engine::run_scan_telemetered(imp, &sub, mode, level)
+        }))
+        .unwrap_or_else(|panic| {
+            Err(EngineError::WorkerPanicked {
+                morsel: m,
+                message: panic_text(&panic),
+            })
+        });
+        results[m].set(result);
     });
 
     // Stitch morsel outputs in order, rebasing positions.
@@ -159,8 +161,8 @@ fn panic_text(panic: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Tiny once-settable cell so workers can publish results without locks
-/// (each slot is written by exactly one worker, then read after the scope
-/// joins).
+/// (each slot is written by exactly one worker, then read after the
+/// pool's completion barrier).
 mod once_slot {
     use std::cell::UnsafeCell;
     use std::sync::atomic::{AtomicBool, Ordering};
@@ -171,7 +173,8 @@ mod once_slot {
     }
 
     // SAFETY: one writer per slot (distinct morsel index per worker pull),
-    // reads happen only after the thread scope joined.
+    // reads happen only after every worker loop finished (the pool's
+    // completion barrier).
     unsafe impl<T: Send> Sync for Slot<T> {}
 
     impl<T> Slot<T> {
@@ -192,7 +195,7 @@ mod once_slot {
             if !self.set.load(Ordering::Acquire) {
                 return None;
             }
-            // SAFETY: all writers joined before take() is called.
+            // SAFETY: all writers finished before take() is called.
             unsafe { (*self.value.get()).take() }
         }
     }

@@ -6,11 +6,15 @@
 //! and tracks hit/miss statistics plus the total time spent compiling, so
 //! the `ablation_jit` benchmark can report exactly that amortization.
 //!
-//! Concurrency: compilation happens outside the lock, so two threads may
-//! race to compile the same signature. The first insert wins; the loser
-//! adopts the winner's kernel and is charged a *hit* — its wasted compile
-//! work is not a cache miss and must not inflate `misses`/`compile_time`
-//! (each signature contributes at most one miss).
+//! Concurrency: the hot path (a hit) takes only a *read* lock plus a few
+//! relaxed atomic bumps, so a server's worth of concurrent scans can look
+//! up kernels without serializing on each other; a miss takes the write
+//! lock only to insert. Compilation happens outside any lock, so two
+//! threads may race to compile the same signature. The first insert wins;
+//! the loser adopts the winner's kernel and is charged a *hit* — its
+//! wasted compile work is not a cache miss and must not inflate
+//! `misses`/`compile_time` (each signature contributes at most one miss,
+//! checked again under the write lock before inserting).
 //!
 //! Capacity: the cache holds at most [`KernelCache::capacity`] kernels;
 //! inserting past the bound evicts the least-recently-used entry (mapped
@@ -18,7 +22,8 @@
 //! keep working).
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
 
 use crate::ir::{JitError, KernelVariant, ScanSig};
@@ -45,24 +50,28 @@ pub struct CacheStats {
 
 struct Entry {
     kernel: Arc<CompiledKernel>,
-    /// Logical timestamp of the last lookup, for LRU eviction.
-    last_used: u64,
-}
-
-/// Everything under one lock: the map, the LRU clock and the statistics.
-/// A single mutex makes hit/miss accounting atomic with the map lookup —
-/// the split-lock design double-counted racing compiles.
-struct State {
-    map: HashMap<ScanSig, Entry>,
-    tick: u64,
-    stats: CacheStats,
+    /// Logical timestamp of the last lookup, for LRU eviction. Atomic so
+    /// hits can refresh it under the *read* lock.
+    last_used: AtomicU64,
 }
 
 /// A signature-keyed cache of compiled kernels for one backend.
+///
+/// Hits take a read lock and bump relaxed atomics, so concurrent lookups
+/// of cached kernels never serialize; misses re-check under the write
+/// lock so each signature is charged exactly one miss no matter how many
+/// threads race to compile it.
 pub struct KernelCache {
     backend: JitBackend,
     capacity: usize,
-    state: Mutex<State>,
+    map: RwLock<HashMap<ScanSig, Entry>>,
+    /// Logical LRU clock.
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Nanoseconds spent compiling charged misses.
+    compile_ns: AtomicU64,
 }
 
 impl KernelCache {
@@ -76,35 +85,43 @@ impl KernelCache {
         KernelCache {
             backend,
             capacity: capacity.max(1),
-            state: Mutex::new(State {
-                map: HashMap::new(),
-                tick: 0,
-                stats: CacheStats::default(),
-            }),
+            map: RwLock::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            compile_ns: AtomicU64::new(0),
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, State> {
-        // A panic while holding the lock leaves plain counters, not an
-        // invariant violation — keep serving.
-        self.state
-            .lock()
+    // A panic while holding either lock leaves plain counters/maps, not
+    // an invariant violation — keep serving.
+    fn read(&self) -> RwLockReadGuard<'_, HashMap<ScanSig, Entry>> {
+        self.map
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, HashMap<ScanSig, Entry>> {
+        self.map
+            .write()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Fetch the kernel for `sig`, compiling it on first use.
     pub fn get_or_compile(&self, sig: &ScanSig) -> Result<Arc<CompiledKernel>, JitError> {
         {
-            let mut guard = self.lock();
-            let State { map, tick, stats } = &mut *guard;
-            *tick += 1;
-            if let Some(entry) = map.get_mut(sig) {
-                entry.last_used = *tick;
-                stats.hits += 1;
+            let map = self.read();
+            if let Some(entry) = map.get(sig) {
+                entry.last_used.store(
+                    self.tick.fetch_add(1, Ordering::Relaxed) + 1,
+                    Ordering::Relaxed,
+                );
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(&entry.kernel));
             }
         }
-        // Compile outside the lock; a racing thread may compile the same
+        // Compile outside any lock; a racing thread may compile the same
         // signature — the first insert wins, both results are valid.
         // The signature's variant picks the code generator; `Auto` means
         // this cache's configured default, so one cache can hold several
@@ -115,33 +132,33 @@ impl KernelCache {
             KernelVariant::Scalar => JitBackend::Scalar,
         };
         let kernel = Arc::new(CompiledKernel::compile(sig.clone(), backend)?);
-        let mut guard = self.lock();
-        let State { map, tick, stats } = &mut *guard;
-        *tick += 1;
-        if let Some(entry) = map.get_mut(sig) {
+        let mut map = self.write();
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(entry) = map.get(sig) {
             // Lost the race: the signature is already cached, so this
             // lookup is a hit; drop our duplicate kernel uncounted.
-            entry.last_used = *tick;
-            stats.hits += 1;
+            entry.last_used.store(tick, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(&entry.kernel));
         }
-        stats.misses += 1;
-        stats.compile_time += kernel.compile_time();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.compile_ns
+            .fetch_add(kernel.compile_time().as_nanos() as u64, Ordering::Relaxed);
         if map.len() >= self.capacity {
             if let Some(lru) = map
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
                 .map(|(sig, _)| sig.clone())
             {
                 map.remove(&lru);
-                stats.evictions += 1;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         map.insert(
             sig.clone(),
             Entry {
                 kernel: Arc::clone(&kernel),
-                last_used: *tick,
+                last_used: AtomicU64::new(tick),
             },
         );
         Ok(kernel)
@@ -149,7 +166,7 @@ impl KernelCache {
 
     /// Number of cached kernels.
     pub fn len(&self) -> usize {
-        self.lock().map.len()
+        self.read().len()
     }
 
     /// Whether the cache is empty.
@@ -164,7 +181,12 @@ impl KernelCache {
 
     /// Statistics snapshot.
     pub fn stats(&self) -> CacheStats {
-        self.lock().stats
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            compile_time: Duration::from_nanos(self.compile_ns.load(Ordering::Relaxed)),
+        }
     }
 
     /// The backend this cache compiles with.
@@ -370,5 +392,88 @@ mod tests {
         let bad = ScanSig::u32_chain(&[], false);
         assert!(cache.get_or_compile(&bad).is_err());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn contention_hammer_counts_are_exact() {
+        // Many threads hammering a working set that fits in the cache:
+        // each signature must be charged exactly one miss, every other
+        // lookup is a hit, regardless of interleaving.
+        const THREADS: usize = 8;
+        const SIGS: usize = 6;
+        const ITERS: usize = 40;
+        let cache = Arc::new(KernelCache::with_capacity(JitBackend::Scalar, SIGS));
+        let sigs: Arc<Vec<ScanSig>> = Arc::new(
+            (0..SIGS as u32)
+                .map(|i| ScanSig::u32_chain(&[(CmpOp::Gt, i)], false))
+                .collect(),
+        );
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let sigs = Arc::clone(&sigs);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..ITERS {
+                        // Each thread walks the signatures in a different
+                        // order so reads and compiles interleave.
+                        let sig = &sigs[(i + t) % SIGS];
+                        let k = cache.get_or_compile(sig).unwrap();
+                        let a = [0u32, 7, 3];
+                        k.run(&[&a[..]]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = cache.stats();
+        let total = (THREADS * ITERS) as u64;
+        assert_eq!(s.misses, SIGS as u64, "exactly one charged miss per sig");
+        assert_eq!(s.hits, total - SIGS as u64);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(cache.len(), SIGS);
+    }
+
+    #[test]
+    fn contention_under_eviction_pressure_never_loses_lookups() {
+        // Working set larger than capacity: hit/miss split is timing
+        // dependent, but every lookup must be accounted exactly once and
+        // the capacity bound must hold at all times.
+        const THREADS: usize = 8;
+        const SIGS: usize = 8;
+        const ITERS: usize = 25;
+        let cache = Arc::new(KernelCache::with_capacity(JitBackend::Scalar, 3));
+        let sigs: Arc<Vec<ScanSig>> = Arc::new(
+            (0..SIGS as u32)
+                .map(|i| ScanSig::u32_chain(&[(CmpOp::Le, i)], false))
+                .collect(),
+        );
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let sigs = Arc::clone(&sigs);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..ITERS {
+                        let sig = &sigs[(i * (t + 1)) % SIGS];
+                        cache.get_or_compile(sig).unwrap();
+                        assert!(cache.len() <= cache.capacity());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, (THREADS * ITERS) as u64);
+        assert!(s.misses >= SIGS as u64, "cold start plus eviction refills");
+        assert!(cache.len() <= cache.capacity());
     }
 }

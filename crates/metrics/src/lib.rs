@@ -13,6 +13,8 @@
 //!   report branches and loads while computing the same result;
 //! * [`timing`] — median-of-N wall-clock measurement (the paper's §IV
 //!   protocol) and bandwidth/throughput derivations for Fig. 2.
+//! * [`sched`] — admission-control and shared-pass counters for the
+//!   concurrent server (admitted/queued/rejected, batching hit rate).
 
 #![warn(missing_docs)]
 
@@ -20,9 +22,11 @@ pub mod branch;
 pub mod cache;
 pub mod instrument;
 pub mod probe;
+pub mod sched;
 pub mod timing;
 
 pub use branch::{AlwaysTaken, Bimodal, BranchPredictor, BranchStats, GShare};
 pub use cache::{CacheSim, MemStats, PrefetcherConfig, StreamPrefetcher};
 pub use probe::{column_base, HwCounters, HwModel, NullProbe, Probe};
+pub use sched::{SchedCounters, SchedSnapshot};
 pub use timing::{bytes_per_second, measure, values_per_microsecond, Measurements};

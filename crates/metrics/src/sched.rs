@@ -1,0 +1,196 @@
+//! Scheduler / admission telemetry counters.
+//!
+//! The server refactor turns the engine from "run one scan" into
+//! "schedule many scans"; these counters are how an operator sees that
+//! scheduling happen: how many queries were admitted straight away,
+//! how many had to queue, how many were shed with
+//! `EngineError::Overloaded`, and how often the shared-pass batcher
+//! managed to serve several compatible queries from one table sweep.
+//!
+//! Everything is relaxed atomics: the counters are monotonically
+//! increasing event counts (plus one high-water gauge) read only for
+//! reporting, so no cross-counter consistency is promised — a snapshot
+//! taken mid-flight may see an admission whose completion is not yet
+//! counted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing admission-control and shared-pass
+/// batching behaviour. One instance lives for the whole server; every
+/// field is updated lock-free from connection threads.
+#[derive(Debug, Default)]
+pub struct SchedCounters {
+    /// Queries admitted without waiting (fast path).
+    pub admitted: AtomicU64,
+    /// Queries that waited in the admission queue before running.
+    pub queued: AtomicU64,
+    /// Queries rejected with `Overloaded` (queue full or oversized).
+    pub rejected: AtomicU64,
+    /// Queries that ran to completion (success).
+    pub completed: AtomicU64,
+    /// Queries that ran but returned an error (parse, plan, execute).
+    pub errors: AtomicU64,
+    /// Shared passes executed (each served ≥ 1 query in one table sweep).
+    pub shared_batches: AtomicU64,
+    /// Queries whose result came out of a shared pass that served more
+    /// than one query — the batcher's "hit" count.
+    pub shared_queries: AtomicU64,
+    /// High-water mark of concurrently running queries.
+    pub peak_running: AtomicU64,
+}
+
+/// A point-in-time copy of [`SchedCounters`], for display and JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedSnapshot {
+    /// Queries admitted without waiting.
+    pub admitted: u64,
+    /// Queries that waited in the admission queue.
+    pub queued: u64,
+    /// Queries rejected with `Overloaded`.
+    pub rejected: u64,
+    /// Queries completed successfully.
+    pub completed: u64,
+    /// Queries that failed after admission.
+    pub errors: u64,
+    /// Shared passes executed.
+    pub shared_batches: u64,
+    /// Queries served by a multi-query shared pass.
+    pub shared_queries: u64,
+    /// High-water mark of concurrently running queries.
+    pub peak_running: u64,
+}
+
+impl SchedSnapshot {
+    /// Fraction of *finished* queries that were served by a shared pass
+    /// together with at least one other query, in `[0, 1]`. Returns 0.0
+    /// when nothing has finished yet.
+    pub fn shared_hit_rate(&self) -> f64 {
+        let done = self.completed + self.errors;
+        if done == 0 {
+            0.0
+        } else {
+            self.shared_queries as f64 / done as f64
+        }
+    }
+}
+
+impl SchedCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> SchedCounters {
+        SchedCounters::default()
+    }
+
+    /// Record an admission; `waited` says whether it queued first.
+    pub fn record_admitted(&self, waited: bool) {
+        if waited {
+            self.queued.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a load-shed rejection.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a finished query; `ok` distinguishes success from error.
+    pub fn record_finished(&self, ok: bool) {
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one shared pass that served `queries` queries. Only passes
+    /// serving more than one query count toward `shared_queries`.
+    pub fn record_shared_pass(&self, queries: u64) {
+        self.shared_batches.fetch_add(1, Ordering::Relaxed);
+        if queries > 1 {
+            self.shared_queries.fetch_add(queries, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the running-queries high-water mark to at least `running`.
+    pub fn observe_running(&self, running: u64) {
+        self.peak_running.fetch_max(running, Ordering::Relaxed);
+    }
+
+    /// Copy the current values.
+    pub fn snapshot(&self) -> SchedSnapshot {
+        SchedSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            shared_batches: self.shared_batches.load(Ordering::Relaxed),
+            shared_queries: self.shared_queries.load(Ordering::Relaxed),
+            peak_running: self.peak_running.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_and_snapshots() {
+        let c = SchedCounters::new();
+        c.record_admitted(false);
+        c.record_admitted(true);
+        c.record_rejected();
+        c.record_finished(true);
+        c.record_finished(false);
+        c.record_shared_pass(3);
+        c.record_shared_pass(1);
+        c.observe_running(2);
+        c.observe_running(1);
+        let s = c.snapshot();
+        assert_eq!(s.admitted, 1);
+        assert_eq!(s.queued, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.shared_batches, 2);
+        assert_eq!(s.shared_queries, 3, "single-query passes are not hits");
+        assert_eq!(s.peak_running, 2, "gauge keeps the high-water mark");
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let c = SchedCounters::new();
+        assert_eq!(c.snapshot().shared_hit_rate(), 0.0);
+        for _ in 0..4 {
+            c.record_finished(true);
+        }
+        c.record_shared_pass(2);
+        let r = c.snapshot().shared_hit_rate();
+        assert!((r - 0.5).abs() < 1e-9, "2 of 4 via shared pass: {r}");
+    }
+
+    #[test]
+    fn concurrent_updates_sum_exactly() {
+        let c = Arc::new(SchedCounters::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        c.record_admitted(false);
+                        c.record_finished(true);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.admitted, 800);
+        assert_eq!(s.completed, 800);
+    }
+}

@@ -23,7 +23,7 @@ pub struct CatalogEntry {
 }
 
 /// The database catalog.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, CatalogEntry>,
 }

@@ -1,14 +1,14 @@
 //! The top-level database facade: register tables, run SQL, explain plans.
 
+use std::sync::Arc;
+
 use fts_storage::{Table, TableError};
 
 use crate::catalog::Catalog;
-use crate::executor::{
-    execute, execute_analyzed, AnalyzeReport, ExecContext, ExecError, JitMode, QueryResult,
-};
-use crate::lqp::{plan, PlanError};
-use crate::optimizer::optimize;
-use crate::parser::{parse, ParseError};
+use crate::engine::Engine;
+use crate::executor::{AnalyzeReport, ExecContext, ExecError, JitMode, QueryResult};
+use crate::lqp::PlanError;
+use crate::parser::ParseError;
 
 /// Any error a query can produce.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +21,9 @@ pub enum QueryError {
     Exec(ExecError),
     /// Table construction failed.
     Table(TableError),
+    /// The engine refused or failed the work below the query layer —
+    /// notably admission control's `Overloaded` rejection.
+    Engine(fts_core::EngineError),
 }
 
 impl std::fmt::Display for QueryError {
@@ -30,6 +33,7 @@ impl std::fmt::Display for QueryError {
             QueryError::Plan(e) => write!(f, "plan error: {e}"),
             QueryError::Exec(e) => write!(f, "execution error: {e}"),
             QueryError::Table(e) => write!(f, "table error: {e}"),
+            QueryError::Engine(e) => write!(f, "engine error: {e}"),
         }
     }
 }
@@ -56,6 +60,11 @@ impl From<TableError> for QueryError {
         QueryError::Table(e)
     }
 }
+impl From<fts_core::EngineError> for QueryError {
+    fn from(e: fts_core::EngineError) -> Self {
+        QueryError::Engine(e)
+    }
+}
 
 /// An in-memory database with the fused-scan execution pipeline.
 ///
@@ -75,8 +84,7 @@ impl From<TableError> for QueryError {
 /// assert!(plan.contains("FusedTableScan"));
 /// ```
 pub struct Database {
-    catalog: Catalog,
-    ctx: ExecContext,
+    engine: Engine,
 }
 
 impl Default for Database {
@@ -90,35 +98,37 @@ impl Database {
     /// is available).
     pub fn new() -> Database {
         Database {
-            catalog: Catalog::new(),
-            ctx: ExecContext::default(),
+            engine: Engine::new(),
         }
     }
 
     /// Database with an explicit JIT policy.
     pub fn with_jit(jit: JitMode) -> Database {
         Database {
-            catalog: Catalog::new(),
-            ctx: ExecContext {
-                jit,
-                ..Default::default()
-            },
+            engine: Engine::with_jit(jit),
         }
+    }
+
+    /// The shared [`Engine`] this facade fronts — hand an `Arc<Engine>`
+    /// built from [`Engine::new`] to a server instead when multiple
+    /// connections must share it.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// Register a table.
     pub fn register(&mut self, name: impl Into<String>, table: Table) {
-        self.catalog.register(name, table);
+        self.engine.register(name, table);
     }
 
-    /// The catalog (for inspection).
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// The current catalog snapshot (for inspection).
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.engine.catalog()
     }
 
     /// The execution context (kernel cache statistics live here).
     pub fn context(&self) -> &ExecContext {
-        &self.ctx
+        self.engine.context()
     }
 
     /// Parse, plan, optimize and execute one SQL statement. `EXPLAIN`
@@ -126,36 +136,18 @@ impl Database {
     /// `EXPLAIN ANALYZE` statements execute the plan and append the scan
     /// telemetry block (see [`AnalyzeReport::render`]).
     pub fn query(&self, sql: &str) -> Result<QueryResult, QueryError> {
-        let ast = parse(sql)?;
-        let logical = optimize(plan(&ast, &self.catalog)?);
-        if ast.analyze {
-            let (_, report) = execute_analyzed(&logical, &self.ctx)?;
-            let peak = fts_core::stride::peak_bandwidth_gbps();
-            return Ok(QueryResult::Explain(format!(
-                "{}\n{}",
-                logical.explain(),
-                report.render(peak)
-            )));
-        }
-        if ast.explain {
-            return Ok(QueryResult::Explain(logical.explain()));
-        }
-        Ok(execute(&logical, &self.ctx)?)
+        self.engine.query(sql)
     }
 
     /// The optimized plan for a statement, as text.
     pub fn explain(&self, sql: &str) -> Result<String, QueryError> {
-        let ast = parse(sql)?;
-        let logical = optimize(plan(&ast, &self.catalog)?);
-        Ok(logical.explain())
+        self.engine.explain(sql)
     }
 
     /// Execute a statement and return the full [`AnalyzeReport`] —
     /// the programmatic face of `EXPLAIN ANALYZE`.
     pub fn query_analyzed(&self, sql: &str) -> Result<(QueryResult, AnalyzeReport), QueryError> {
-        let ast = parse(sql)?;
-        let logical = optimize(plan(&ast, &self.catalog)?);
-        Ok(execute_analyzed(&logical, &self.ctx)?)
+        self.engine.query_analyzed(sql)
     }
 }
 

@@ -1,0 +1,438 @@
+//! The shared query engine: one `Send + Sync` instance serving many
+//! concurrent frontends.
+//!
+//! [`Database`](crate::Database) grew up single-threaded: one owner, one
+//! statement at a time. A server needs the opposite split — *engine*
+//! state (catalog, JIT kernel caches, adaptive-calibration registry)
+//! shared by every connection, and *session* state (the current
+//! statement, its telemetry) owned per connection. [`Engine`] is that
+//! shared half:
+//!
+//! * the **catalog** lives behind a copy-on-write snapshot
+//!   (`RwLock<Arc<Catalog>>`): statements plan against an immutable
+//!   [`Arc<Catalog>`] snapshot while `register` swaps in a clone, so a
+//!   long-running scan never blocks DDL and vice versa;
+//! * the **execution context** ([`ExecContext`]) was already built from
+//!   `Arc`'d caches and atomics — it is shared as-is, and its
+//!   [`CalibrationRegistry`](crate::executor::CalibrationRegistry)
+//!   serializes per-chain calibration updates while letting distinct
+//!   chains proceed in parallel;
+//! * [`Engine::prepare`] splits planning from execution so a server can
+//!   admission-control and batch *planned* statements (grouping by
+//!   scanned table), then run compatible groups through
+//!   [`execute_shared`] as one cooperative table pass.
+
+use std::sync::{Arc, RwLock};
+
+use fts_storage::Table;
+
+use crate::catalog::Catalog;
+use crate::db::QueryError;
+use crate::executor::{
+    execute, execute_analyzed, execute_shared, AnalyzeReport, ExecContext, JitMode, QueryResult,
+};
+use crate::lqp::{plan, Lqp};
+use crate::optimizer::optimize;
+use crate::parser::parse;
+
+/// A thread-safe query engine: catalog + execution context, shared by
+/// every connection of a server (or by one REPL).
+///
+/// ```
+/// use std::sync::Arc;
+/// use fts_query::{Engine, QueryResult};
+/// use fts_storage::{Column, ColumnDef, DataType, Table};
+///
+/// let engine = Arc::new(Engine::new());
+/// engine.register("t", Table::from_columns(
+///     vec![ColumnDef::new("a", DataType::U32)],
+///     vec![Column::from_fn(100, |i| (i % 10) as u32)],
+/// ).unwrap());
+/// let handles: Vec<_> = (0..4).map(|_| {
+///     let engine = Arc::clone(&engine);
+///     std::thread::spawn(move || engine.query("SELECT COUNT(*) FROM t WHERE a = 5").unwrap())
+/// }).collect();
+/// for h in handles {
+///     assert_eq!(h.join().unwrap(), QueryResult::Count(10));
+/// }
+/// ```
+pub struct Engine {
+    catalog: RwLock<Arc<Catalog>>,
+    ctx: ExecContext,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Engine with the default execution context (JIT on where AVX-512
+    /// is available).
+    pub fn new() -> Engine {
+        Engine::with_context(ExecContext::default())
+    }
+
+    /// Engine with an explicit JIT policy.
+    pub fn with_jit(jit: JitMode) -> Engine {
+        Engine::with_context(ExecContext {
+            jit,
+            ..Default::default()
+        })
+    }
+
+    /// Engine over a custom execution context.
+    pub fn with_context(ctx: ExecContext) -> Engine {
+        Engine {
+            catalog: RwLock::new(Arc::new(Catalog::new())),
+            ctx,
+        }
+    }
+
+    /// Register a table, replacing any previous table of that name.
+    /// Copy-on-write: statements already planned against the previous
+    /// snapshot keep scanning it untouched.
+    pub fn register(&self, name: impl Into<String>, table: Table) {
+        let mut slot = self
+            .catalog
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut next = Catalog::clone(&slot);
+        next.register(name, table);
+        *slot = Arc::new(next);
+    }
+
+    /// The current catalog snapshot.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(
+            &self
+                .catalog
+                .read()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
+    }
+
+    /// The shared execution context (kernel caches, calibration registry,
+    /// chunk counters).
+    pub fn context(&self) -> &ExecContext {
+        &self.ctx
+    }
+
+    /// Parse, plan and optimize one statement against the current catalog
+    /// snapshot without executing it. The returned [`Prepared`] is
+    /// self-contained (the plan pins its table data), so it stays valid
+    /// across later `register` calls.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared, QueryError> {
+        let ast = parse(sql)?;
+        let catalog = self.catalog();
+        let logical = optimize(plan(&ast, &catalog)?);
+        Ok(Prepared {
+            plan: logical,
+            explain: ast.explain,
+            analyze: ast.analyze,
+        })
+    }
+
+    /// Execute a prepared statement.
+    pub fn execute(&self, prepared: &Prepared) -> Result<QueryResult, QueryError> {
+        if prepared.analyze {
+            let (_, report) = execute_analyzed(&prepared.plan, &self.ctx)?;
+            let peak = fts_core::stride::peak_bandwidth_gbps();
+            return Ok(QueryResult::Explain(format!(
+                "{}\n{}",
+                prepared.plan.explain(),
+                report.render(peak)
+            )));
+        }
+        if prepared.explain {
+            return Ok(QueryResult::Explain(prepared.plan.explain()));
+        }
+        Ok(execute(&prepared.plan, &self.ctx)?)
+    }
+
+    /// Execute a batch of prepared statements as one shared table pass
+    /// when their shapes allow it (all aggregates over one table),
+    /// falling back to statement-at-a-time execution otherwise. Results
+    /// are positionally parallel to `batch` and identical to what
+    /// [`Engine::execute`] would return for each statement alone.
+    ///
+    /// Returns the per-statement results plus whether the batch actually
+    /// ran as a shared pass (for the scan-sharing hit-rate telemetry).
+    pub fn execute_batch(
+        &self,
+        batch: &[&Prepared],
+    ) -> (Vec<Result<QueryResult, QueryError>>, bool) {
+        if batch.len() > 1 && batch.iter().all(|p| p.is_shareable()) {
+            let plans: Vec<&Lqp> = batch.iter().map(|p| &p.plan).collect();
+            if let Some(results) = execute_shared(&plans, &self.ctx) {
+                return (
+                    results
+                        .into_iter()
+                        .map(|r| r.map_err(QueryError::from))
+                        .collect(),
+                    true,
+                );
+            }
+        }
+        (batch.iter().map(|p| self.execute(p)).collect(), false)
+    }
+
+    /// Parse, plan, optimize and execute one SQL statement — the
+    /// one-shot convenience over [`Engine::prepare`] +
+    /// [`Engine::execute`].
+    pub fn query(&self, sql: &str) -> Result<QueryResult, QueryError> {
+        let prepared = self.prepare(sql)?;
+        self.execute(&prepared)
+    }
+
+    /// The optimized plan for a statement, as text.
+    pub fn explain(&self, sql: &str) -> Result<String, QueryError> {
+        Ok(self.prepare(sql)?.plan.explain())
+    }
+
+    /// Execute a statement and return the full [`AnalyzeReport`] —
+    /// the programmatic face of `EXPLAIN ANALYZE`.
+    pub fn query_analyzed(&self, sql: &str) -> Result<(QueryResult, AnalyzeReport), QueryError> {
+        let prepared = self.prepare(sql)?;
+        Ok(execute_analyzed(&prepared.plan, &self.ctx)?)
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("tables", &self.catalog().table_names())
+            .finish()
+    }
+}
+
+/// A parsed, planned and optimized statement, ready to execute —
+/// produced by [`Engine::prepare`]. The plan pins the catalog entries it
+/// scans, so a `Prepared` outlives catalog changes.
+#[derive(Debug)]
+pub struct Prepared {
+    plan: Lqp,
+    explain: bool,
+    analyze: bool,
+}
+
+impl Prepared {
+    /// The optimized logical plan.
+    pub fn plan(&self) -> &Lqp {
+        &self.plan
+    }
+
+    /// Whether this is an `EXPLAIN` (plan-only) statement.
+    pub fn is_explain(&self) -> bool {
+        self.explain
+    }
+
+    /// Whether this is an `EXPLAIN ANALYZE` statement.
+    pub fn is_analyze(&self) -> bool {
+        self.analyze
+    }
+
+    /// The name of the stored table the statement scans.
+    pub fn scan_table(&self) -> Option<&str> {
+        self.plan.scan_table()
+    }
+
+    /// Whether the statement can join a shared table pass: a plain
+    /// aggregate (no EXPLAIN wrapper). The batch executor still verifies
+    /// that all members scan the same table.
+    pub fn is_shareable(&self) -> bool {
+        !self.explain && !self.analyze && matches!(self.plan, Lqp::Aggregate { .. })
+    }
+
+    /// An approximate cost of the statement in bytes scanned (table rows
+    /// × touched column width), used for admission budgeting. Pruning and
+    /// early-outs only make the true cost smaller.
+    pub fn cost_bytes(&self) -> u64 {
+        fn scan_entry(plan: &Lqp) -> Option<u64> {
+            match plan {
+                Lqp::StoredTable { table, .. } => Some(table.rows() as u64),
+                other => scan_entry(other.input()?),
+            }
+        }
+        let rows = scan_entry(&self.plan).unwrap_or(0);
+        let cols = count_preds(&self.plan).max(1) as u64;
+        rows * cols * 4
+    }
+}
+
+/// Number of bound predicate leaves in the plan (for the cost model).
+fn count_preds(plan: &Lqp) -> usize {
+    let own = match plan {
+        Lqp::Filter { .. } => 1,
+        Lqp::FusedFilterChain { preds, .. } => preds.len(),
+        Lqp::FusedBoolScan {
+            prefix, disjuncts, ..
+        } => prefix.len() + disjuncts.iter().map(Vec::len).sum::<usize>(),
+        Lqp::FilterTree { .. } => 1,
+        _ => 0,
+    };
+    own + plan.input().map(count_preds).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_storage::{Column, ColumnDef, DataType};
+
+    fn engine() -> Engine {
+        let engine = Engine::new();
+        engine.register(
+            "t",
+            Table::from_chunked_columns(
+                vec![
+                    ColumnDef::new("a", DataType::U32),
+                    ColumnDef::new("b", DataType::U32),
+                ],
+                vec![
+                    Column::from_fn(1000, |i| (i % 10) as u32),
+                    Column::from_fn(1000, |i| (i % 4) as u32),
+                ],
+                256,
+            )
+            .unwrap(),
+        );
+        engine
+    }
+
+    fn expected_count(f: impl Fn(usize) -> bool) -> u64 {
+        (0..1000).filter(|&i| f(i)).count() as u64
+    }
+
+    #[test]
+    fn engine_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<Prepared>();
+    }
+
+    #[test]
+    fn concurrent_queries_one_engine() {
+        let engine = Arc::new(engine());
+        let expected = expected_count(|i| i % 10 == 5 && i % 4 == 1);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    for _ in 0..5 {
+                        let r = engine
+                            .query("SELECT COUNT(*) FROM t WHERE a = 5 AND b = 1")
+                            .unwrap();
+                        assert_eq!(r.count(), Some(expected));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn register_is_copy_on_write() {
+        let engine = engine();
+        let before = engine.catalog();
+        engine.register(
+            "u",
+            Table::from_columns(
+                vec![ColumnDef::new("x", DataType::U32)],
+                vec![Column::from_fn(10, |i| i as u32)],
+            )
+            .unwrap(),
+        );
+        // The old snapshot is untouched; the new one sees both tables.
+        assert!(before.get("u").is_none());
+        assert!(engine.catalog().get("u").is_some());
+        assert!(engine.catalog().get("t").is_some());
+    }
+
+    #[test]
+    fn prepared_survives_reregistration() {
+        let engine = engine();
+        let prepared = engine
+            .prepare("SELECT COUNT(*) FROM t WHERE a = 5 AND b = 1")
+            .unwrap();
+        // Replace `t` with an empty-ish table; the prepared plan pinned
+        // the old data and must still answer from it.
+        engine.register(
+            "t",
+            Table::from_columns(
+                vec![
+                    ColumnDef::new("a", DataType::U32),
+                    ColumnDef::new("b", DataType::U32),
+                ],
+                vec![Column::from_fn(1, |_| 0u32), Column::from_fn(1, |_| 0u32)],
+            )
+            .unwrap(),
+        );
+        let expected = expected_count(|i| i % 10 == 5 && i % 4 == 1);
+        assert_eq!(
+            engine.execute(&prepared).unwrap(),
+            QueryResult::Count(expected)
+        );
+        assert_eq!(
+            engine
+                .query("SELECT COUNT(*) FROM t WHERE a = 5 AND b = 1")
+                .unwrap(),
+            QueryResult::Count(0)
+        );
+    }
+
+    #[test]
+    fn prepared_exposes_batching_metadata() {
+        let engine = engine();
+        let agg = engine
+            .prepare("SELECT COUNT(*) FROM t WHERE a = 5")
+            .unwrap();
+        assert!(agg.is_shareable());
+        assert_eq!(agg.scan_table(), Some("t"));
+        assert!(agg.cost_bytes() >= 1000 * 4);
+        let rows = engine.prepare("SELECT b FROM t WHERE a = 5").unwrap();
+        assert!(!rows.is_shareable(), "projections do not share passes");
+        let explain = engine
+            .prepare("EXPLAIN SELECT COUNT(*) FROM t WHERE a = 5")
+            .unwrap();
+        assert!(explain.is_explain() && !explain.is_shareable());
+    }
+
+    #[test]
+    fn batch_matches_solo_execution() {
+        let engine = engine();
+        let sqls = [
+            "SELECT COUNT(*) FROM t WHERE a = 5 AND b = 1",
+            "SELECT COUNT(*) FROM t WHERE a < 3",
+            "SELECT SUM(a), MAX(b) FROM t WHERE b = 2",
+            "SELECT COUNT(*) FROM t",
+        ];
+        let prepared: Vec<Prepared> = sqls.iter().map(|s| engine.prepare(s).unwrap()).collect();
+        let refs: Vec<&Prepared> = prepared.iter().collect();
+        let (batched, shared) = engine.execute_batch(&refs);
+        assert!(shared, "all-aggregate same-table batch must share");
+        for (sql, got) in sqls.iter().zip(&batched) {
+            let solo = engine.query(sql).unwrap();
+            assert_eq!(got.as_ref().unwrap(), &solo, "{sql}");
+        }
+    }
+
+    #[test]
+    fn mixed_batch_falls_back() {
+        let engine = engine();
+        let prepared = [
+            engine
+                .prepare("SELECT COUNT(*) FROM t WHERE a = 5")
+                .unwrap(),
+            engine
+                .prepare("SELECT b FROM t WHERE a = 5 LIMIT 3")
+                .unwrap(),
+        ];
+        let refs: Vec<&Prepared> = prepared.iter().collect();
+        let (results, shared) = engine.execute_batch(&refs);
+        assert!(!shared);
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+}

@@ -18,7 +18,7 @@
 //! filters the resulting position list row by row.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use fts_core::adaptive::{
@@ -67,6 +67,10 @@ pub struct ExecContext {
     pub kernels: Arc<KernelCache>,
     /// Compiled packed-kernel cache (bit-packed chains, `jit == On`).
     pub packed_kernels: Arc<PackedKernelCache>,
+    /// Shared adaptive-calibration state, keyed by (table, sub-chain
+    /// signature) — concurrent statements on the same chain feed one
+    /// calibrator instead of each re-probing from scratch.
+    pub calibration: Arc<CalibrationRegistry>,
     /// Chunks skipped by min/max pruning (observability + tests).
     pub chunks_pruned: AtomicU64,
     /// Chunks actually scanned.
@@ -84,6 +88,7 @@ impl Default for ExecContext {
             adaptive: true,
             kernels: Arc::new(KernelCache::new(JitBackend::Avx512)),
             packed_kernels: Arc::new(PackedKernelCache::new()),
+            calibration: Arc::new(CalibrationRegistry::new()),
             chunks_pruned: AtomicU64::new(0),
             chunks_scanned: AtomicU64::new(0),
         }
@@ -374,6 +379,84 @@ impl AdaptiveState {
             observed_selectivity: report.observed_selectivity,
         }
     }
+}
+
+/// A sub-chain's calibration identity across statements: the table it
+/// scans plus its per-predicate signature.
+type CalKey = (String, SubChainKey);
+
+/// Cross-statement calibration state, keyed by (table, sub-chain
+/// signature).
+///
+/// The calibrator for a chain is a little state machine (probe →
+/// winner → drift re-probe) whose transitions assume its observations
+/// arrive one at a time; two statements interleaving raw `observe`
+/// calls on one instance would corrupt probe timings and winner
+/// choice. The registry therefore hands out each chain's state behind
+/// its own `Mutex`: a statement locks it for the duration of one chunk
+/// scan, so observations serialize per chain while different chains —
+/// and different tables — calibrate fully in parallel. Sharing the
+/// state is also what makes a server warm: the second connection to ask
+/// the same question starts in steady state instead of re-probing.
+pub struct CalibrationRegistry {
+    states: Mutex<HashMap<CalKey, Arc<Mutex<AdaptiveState>>>>,
+}
+
+impl CalibrationRegistry {
+    /// Empty registry.
+    pub fn new() -> CalibrationRegistry {
+        CalibrationRegistry {
+            states: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The chain's shared state, building it with `build` on first use.
+    /// `build` returning None (chain shape not covered by the selector)
+    /// is not cached, so a later statement may still succeed.
+    fn get_or_build(
+        &self,
+        table: &str,
+        key: &SubChainKey,
+        build: impl FnOnce() -> Option<AdaptiveState>,
+    ) -> Option<Arc<Mutex<AdaptiveState>>> {
+        let mut states = lock_plain(&self.states);
+        if let Some(state) = states.get(&(table.to_string(), key.clone())) {
+            return Some(Arc::clone(state));
+        }
+        let state = Arc::new(Mutex::new(build()?));
+        states.insert((table.to_string(), key.clone()), Arc::clone(&state));
+        Some(state)
+    }
+
+    /// Number of chains with live calibration state.
+    pub fn len(&self) -> usize {
+        lock_plain(&self.states).len()
+    }
+
+    /// Whether no chain has calibration state yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for CalibrationRegistry {
+    fn default() -> Self {
+        CalibrationRegistry::new()
+    }
+}
+
+impl std::fmt::Debug for CalibrationRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CalibrationRegistry")
+            .field("chains", &self.len())
+            .finish()
+    }
+}
+
+/// Lock with poison recovery: calibration state is advisory (it only
+/// picks kernels), so a panicking statement must not wedge the server.
+fn lock_plain<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// What the adaptive selector decided for one statement, for
@@ -925,6 +1008,114 @@ pub fn execute_analyzed(
     Ok((result, report))
 }
 
+/// Execute several aggregate statements over the *same* stored table as
+/// one chunk-major shared pass (cooperative scan): the outer loop walks
+/// the table's chunks once, and every statement evaluates its predicate
+/// chain against the chunk while it is hot in cache. With K compatible
+/// statements this reads each chunk from memory once instead of K times —
+/// the win that makes concurrent-scan batching pay in the bandwidth-bound
+/// regime.
+///
+/// Returns `None` (caller falls back to per-statement execution) unless
+/// every plan is an `Aggregate` whose scan bottoms out in the same table.
+/// Each statement keeps its own pruning, adaptive state and aggregation,
+/// so per-statement results are bit-identical to solo execution.
+pub fn execute_shared(
+    plans: &[&Lqp],
+    ctx: &ExecContext,
+) -> Option<Vec<Result<QueryResult, ExecError>>> {
+    struct SharedQuery<'p> {
+        aggs: &'p [BoundAgg],
+        entry: &'p CatalogEntry,
+        scan: StatementScan<'p>,
+        /// Pure COUNT(*) runs in count mode end to end.
+        count_only: bool,
+        total: u64,
+        states: Vec<AggState>,
+        failed: Option<ExecError>,
+    }
+
+    if plans.is_empty() {
+        return None;
+    }
+    let mut queries = Vec::with_capacity(plans.len());
+    for plan in plans {
+        let Lqp::Aggregate { input, aggs } = plan else {
+            return None;
+        };
+        let (entry, scan) = StatementScan::build(input, ctx).ok()?;
+        queries.push(SharedQuery {
+            aggs,
+            entry,
+            scan,
+            count_only: aggs.len() == 1 && aggs[0].func == AggFunc::Count,
+            total: 0,
+            states: aggs.iter().map(AggState::new).collect(),
+            failed: None,
+        });
+    }
+    let first = queries[0].entry;
+    if !queries
+        .iter()
+        .all(|q| Arc::ptr_eq(&q.entry.table, &first.table))
+    {
+        return None;
+    }
+
+    for (ci, chunk) in first.table.chunks().iter().enumerate() {
+        for q in &mut queries {
+            if q.failed.is_some() {
+                continue;
+            }
+            if q.scan.prune(q.entry, ci) {
+                ctx.chunks_pruned.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            ctx.chunks_scanned.fetch_add(1, Ordering::Relaxed);
+            let mode = if q.count_only {
+                OutputMode::Count
+            } else {
+                OutputMode::Positions
+            };
+            match q.scan.scan(q.entry, ci, chunk, ctx, mode, None) {
+                Err(e) => q.failed = Some(e),
+                Ok(out) if q.count_only => q.total += out.count(),
+                Ok(out) => {
+                    let positions = out.positions().expect("positions requested");
+                    for pos in positions {
+                        for (state, agg) in q.states.iter_mut().zip(q.aggs) {
+                            state.accumulate(agg, chunk, pos as usize);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Some(
+        queries
+            .into_iter()
+            .map(|q| {
+                if let Some(e) = q.failed {
+                    return Err(e);
+                }
+                if q.count_only {
+                    return Ok(QueryResult::Count(q.total));
+                }
+                Ok(QueryResult::Rows {
+                    columns: q.aggs.iter().map(|a| a.label.clone()).collect(),
+                    rows: vec![q
+                        .states
+                        .into_iter()
+                        .zip(q.aggs)
+                        .map(|(st, agg)| st.finish(agg))
+                        .collect()],
+                })
+            })
+            .collect(),
+    )
+}
+
 fn execute_with(
     plan: &Lqp,
     ctx: &ExecContext,
@@ -1197,31 +1388,35 @@ enum ScanSpec<'a> {
 
 /// Unwrap a scan subtree: (fused chain | bool scan | σ tree | single
 /// filter | bare table) directly over a stored table.
-fn scan_root(plan: &Lqp) -> Result<(&CatalogEntry, ScanSpec<'_>), ExecError> {
-    fn table_of<'p>(input: &'p Lqp, what: &str) -> Result<&'p CatalogEntry, ExecError> {
+fn scan_root(plan: &Lqp) -> Result<(&str, &CatalogEntry, ScanSpec<'_>), ExecError> {
+    fn table_of<'p>(input: &'p Lqp, what: &str) -> Result<(&'p str, &'p CatalogEntry), ExecError> {
         match input {
-            Lqp::StoredTable { entry, .. } => Ok(entry),
+            Lqp::StoredTable { name, entry, .. } => Ok((name, entry)),
             other => Err(ExecError::UnsupportedPlan(format!("{what} over {other:?}"))),
         }
     }
     match plan {
-        Lqp::StoredTable { entry, .. } => Ok((entry, ScanSpec::Conjunct(&[]))),
-        Lqp::Filter { input, pred } => Ok((
-            table_of(input, "filter")?,
-            ScanSpec::Conjunct(std::slice::from_ref(pred)),
-        )),
+        Lqp::StoredTable { name, entry, .. } => Ok((name, entry, ScanSpec::Conjunct(&[]))),
+        Lqp::Filter { input, pred } => {
+            let (name, entry) = table_of(input, "filter")?;
+            Ok((name, entry, ScanSpec::Conjunct(std::slice::from_ref(pred))))
+        }
         Lqp::FusedFilterChain { input, preds } => {
-            Ok((table_of(input, "chain")?, ScanSpec::Conjunct(preds)))
+            let (name, entry) = table_of(input, "chain")?;
+            Ok((name, entry, ScanSpec::Conjunct(preds)))
         }
         Lqp::FusedBoolScan {
             input,
             prefix,
             disjuncts,
-        } => Ok((
-            table_of(input, "bool scan")?,
-            ScanSpec::Bool { prefix, disjuncts },
-        )),
-        Lqp::FilterTree { input, expr } => Ok((table_of(input, "tree")?, ScanSpec::Tree(expr))),
+        } => {
+            let (name, entry) = table_of(input, "bool scan")?;
+            Ok((name, entry, ScanSpec::Bool { prefix, disjuncts }))
+        }
+        Lqp::FilterTree { input, expr } => {
+            let (name, entry) = table_of(input, "tree")?;
+            Ok((name, entry, ScanSpec::Tree(expr)))
+        }
         other => Err(ExecError::UnsupportedPlan(format!("{other:?}"))),
     }
 }
@@ -1295,7 +1490,9 @@ struct SubChainCounters {
 /// from it (winner choice, drift re-probes, observed selectivity).
 struct StatementScan<'a> {
     spec: ScanSpec<'a>,
-    adaptive: HashMap<SubChainKey, AdaptiveState>,
+    /// Handles into the shared [`CalibrationRegistry`]: concurrent
+    /// statements on the same (table, sub-chain) share one calibrator.
+    adaptive: HashMap<SubChainKey, Arc<Mutex<AdaptiveState>>>,
     /// Counters parallel to [prefix?, disjunct…] for `ScanSpec::Bool`.
     prefix_counters: SubChainCounters,
     disjunct_counters: Vec<SubChainCounters>,
@@ -1303,15 +1500,20 @@ struct StatementScan<'a> {
 }
 
 impl<'a> StatementScan<'a> {
-    /// Resolve the scan subtree and build per-sub-chain adaptive state.
+    /// Resolve the scan subtree and attach per-sub-chain adaptive state
+    /// from the context's shared registry.
     fn build(plan: &'a Lqp, ctx: &ExecContext) -> Result<(&'a CatalogEntry, Self), ExecError> {
-        let (entry, spec) = scan_root(plan)?;
+        let (table, entry, spec) = scan_root(plan)?;
         let mut adaptive = HashMap::new();
         let mut disjunct_counters = Vec::new();
         match &spec {
             ScanSpec::Conjunct(preds) => {
-                if let Some(state) = build_adaptive(entry, preds, ctx) {
-                    adaptive.insert(sub_chain_key(preds), state);
+                let key = sub_chain_key(preds);
+                if let Some(state) = ctx
+                    .calibration
+                    .get_or_build(table, &key, || build_adaptive(entry, preds, ctx))
+                {
+                    adaptive.insert(key, state);
                 }
             }
             ScanSpec::Bool { prefix, disjuncts } => {
@@ -1319,7 +1521,10 @@ impl<'a> StatementScan<'a> {
                     if let std::collections::hash_map::Entry::Vacant(slot) =
                         adaptive.entry(sub_chain_key(chain))
                     {
-                        if let Some(state) = build_adaptive(entry, chain, ctx) {
+                        if let Some(state) = ctx
+                            .calibration
+                            .get_or_build(table, slot.key(), || build_adaptive(entry, chain, ctx))
+                        {
                             slot.insert(state);
                         }
                     }
@@ -1367,8 +1572,14 @@ impl<'a> StatementScan<'a> {
     ) -> Result<ScanOutput, ExecError> {
         match &self.spec {
             ScanSpec::Conjunct(preds) => {
-                let state = self.adaptive.get_mut(&sub_chain_key(preds));
-                scan_chunk(chunk, preds, ctx, mode, analyze, state)
+                // Hold the chain's calibration lock for the chunk: the
+                // phase read and the observe that follows must see no
+                // interleaved writer, or probe timings would corrupt.
+                let mut guard = self
+                    .adaptive
+                    .get(&sub_chain_key(preds))
+                    .map(|s| lock_plain(s));
+                scan_chunk(chunk, preds, ctx, mode, analyze, guard.as_deref_mut())
             }
             ScanSpec::Bool { prefix, disjuncts } => {
                 let rows = chunk.rows();
@@ -1376,14 +1587,19 @@ impl<'a> StatementScan<'a> {
                 let prefix_pos: Option<PosList> = if prefix.is_empty() {
                     None
                 } else {
+                    let mut guard = self
+                        .adaptive
+                        .get(&sub_chain_key(prefix))
+                        .map(|s| lock_plain(s));
                     let out = scan_chunk(
                         chunk,
                         prefix,
                         ctx,
                         OutputMode::Positions,
                         analyze.as_deref_mut(),
-                        self.adaptive.get_mut(&sub_chain_key(prefix)),
+                        guard.as_deref_mut(),
                     )?;
+                    drop(guard);
                     let ScanOutput::Positions(pl) = out else {
                         unreachable!("positions requested")
                     };
@@ -1415,14 +1631,16 @@ impl<'a> StatementScan<'a> {
                         counters.chunks_skipped += 1;
                         continue;
                     }
+                    let mut guard = self.adaptive.get(&sub_chain_key(d)).map(|s| lock_plain(s));
                     let out = scan_chunk(
                         chunk,
                         d,
                         ctx,
                         OutputMode::Positions,
                         analyze.as_deref_mut(),
-                        self.adaptive.get_mut(&sub_chain_key(d)),
+                        guard.as_deref_mut(),
                     )?;
+                    drop(guard);
                     let ScanOutput::Positions(pl) = out else {
                         unreachable!("positions requested")
                     };
@@ -1471,7 +1689,7 @@ impl<'a> StatementScan<'a> {
         match &self.spec {
             ScanSpec::Conjunct(preds) => {
                 if let Some(state) = self.adaptive.get(&sub_chain_key(preds)) {
-                    report.adaptive = Some(state.decision());
+                    report.adaptive = Some(lock_plain(state).decision());
                 }
             }
             ScanSpec::Bool { prefix, disjuncts } => {
@@ -1485,7 +1703,7 @@ impl<'a> StatementScan<'a> {
                         adaptive: self
                             .adaptive
                             .get(&sub_chain_key(preds))
-                            .map(AdaptiveState::decision),
+                            .map(|s| lock_plain(s).decision()),
                     };
                 report.bool_scan = Some(BoolScanReport {
                     prefix: (!prefix.is_empty()).then(|| sub_report(prefix, &self.prefix_counters)),

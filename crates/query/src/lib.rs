@@ -7,13 +7,17 @@
 //! (per-chunk effective-predicate translation, dictionary value-id
 //! rewriting, fused/JIT kernel dispatch, dynamic fallback).
 //!
-//! Entry point: [`Database`].
+//! Entry points: [`Database`] for one owner, [`Engine`] for many
+//! concurrent frontends (the `fts-server` path — a `Send + Sync` core
+//! with a copy-on-write catalog, shared kernel caches and a shared
+//! calibration registry).
 
 #![warn(missing_docs)]
 
 pub mod ast;
 pub mod catalog;
 pub mod db;
+pub mod engine;
 pub mod executor;
 pub mod lexer;
 pub mod lqp;
@@ -23,6 +27,7 @@ pub mod stats;
 
 pub use catalog::Catalog;
 pub use db::{Database, QueryError};
-pub use executor::{AnalyzeReport, ExecContext, JitMode, QueryResult};
+pub use engine::{Engine, Prepared};
+pub use executor::{AnalyzeReport, CalibrationRegistry, ExecContext, JitMode, QueryResult};
 pub use lqp::{BoundPred, Lqp};
 pub use stats::ColumnStats;

@@ -131,6 +131,16 @@ impl Lqp {
         }
     }
 
+    /// The name of the stored table this plan ultimately scans, if the
+    /// plan bottoms out in one (it always does for plans the current
+    /// binder produces). The scan-sharing batcher keys on this.
+    pub fn scan_table(&self) -> Option<&str> {
+        match self {
+            Lqp::StoredTable { name, .. } => Some(name),
+            other => other.input()?.scan_table(),
+        }
+    }
+
     /// Pretty-print the plan tree (used for `EXPLAIN`).
     pub fn explain(&self) -> String {
         let mut out = String::new();

@@ -1,0 +1,228 @@
+//! Scan-sharing: concurrent compatible statements execute as one pass.
+//!
+//! A multi-predicate scan is bandwidth-bound (the paper's whole premise),
+//! so when K clients ask aggregate questions of the *same* table at the
+//! same time, running K independent passes reads the table from memory K
+//! times for no reason. The batcher gives compatible statements a short
+//! rendezvous window: the first arrival for a table becomes the batch
+//! *leader*, waits [`Batcher::window`], then executes everything that
+//! joined as one chunk-major shared pass
+//! ([`fts_query::Engine::execute_batch`]) and fans the per-statement
+//! results back out. Identical statements are deduplicated — asked once,
+//! answered K times.
+//!
+//! Correctness containment: joining a batch never changes a statement's
+//! result (the shared executor keeps per-statement pruning/aggregation,
+//! and falls back to solo execution for shapes it cannot share), and a
+//! follower whose leader dies times out and re-executes solo — every
+//! client gets an answer.
+//!
+//! Admission composes with batching at the *pass* level: followers wait
+//! for their leader without holding a permit, and the leader admits the
+//! whole pass under one permit sized by the widest statement in it (a
+//! shared pass reads the table once, so that is its true cost). This is
+//! what lets batching coalesce even with `max_concurrent = 1` — if every
+//! waiter held a permit, the rendezvous itself would exhaust the budget.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use fts_core::AdmissionController;
+use fts_metrics::SchedCounters;
+use fts_query::{Engine, Prepared, QueryError, QueryResult};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+struct Slot {
+    sql: String,
+    prepared: Arc<Prepared>,
+}
+
+struct BatchState {
+    slots: Vec<Slot>,
+    /// Per-slot results, set exactly once by the leader.
+    results: Option<Vec<Result<QueryResult, QueryError>>>,
+}
+
+struct PendingBatch {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+/// Groups compatible concurrent statements into shared table passes.
+pub struct Batcher {
+    window: Duration,
+    /// Open batches by table name. Statements join a table's batch while
+    /// it is in this map; the leader removes it before executing, so a
+    /// join and a take can never race (both hold the map lock).
+    tables: Mutex<HashMap<String, Arc<PendingBatch>>>,
+}
+
+impl Batcher {
+    /// A batcher whose leaders wait `window` for followers to join.
+    pub fn new(window: Duration) -> Batcher {
+        Batcher {
+            window,
+            tables: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The rendezvous window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Execute `prepared`, sharing a table pass with any compatible
+    /// statement that arrives within the window. The batch leader admits
+    /// the whole pass through `admission` (one permit, cost of the widest
+    /// statement); on rejection every statement in the pass gets the
+    /// `Overloaded` error. Blocks until this statement's own result is
+    /// ready.
+    pub fn submit(
+        &self,
+        engine: &Engine,
+        admission: &AdmissionController,
+        counters: &SchedCounters,
+        table: String,
+        sql: String,
+        prepared: Arc<Prepared>,
+    ) -> Result<QueryResult, QueryError> {
+        let slot = Slot {
+            sql,
+            prepared: Arc::clone(&prepared),
+        };
+        let (batch, index) = {
+            let mut tables = lock(&self.tables);
+            if let Some(batch) = tables.get(&table) {
+                // Join the open batch as a follower.
+                let batch = Arc::clone(batch);
+                let mut state = lock(&batch.state);
+                let index = state.slots.len();
+                state.slots.push(slot);
+                drop(state);
+                drop(tables);
+                return self.await_result(&batch, index, engine, &prepared);
+            }
+            let batch = Arc::new(PendingBatch {
+                state: Mutex::new(BatchState {
+                    slots: vec![slot],
+                    results: None,
+                }),
+                done: Condvar::new(),
+            });
+            tables.insert(table.clone(), Arc::clone(&batch));
+            (batch, 0usize)
+        };
+
+        // Leader: give followers the window to join, then take the batch
+        // off the map (joins stop) and execute everything in one pass.
+        std::thread::sleep(self.window);
+        lock(&self.tables).remove(&table);
+        let slots = {
+            let state = lock(&batch.state);
+            // Slots are only pushed while the batch is in the map; after
+            // the remove above this snapshot is final.
+            state
+                .slots
+                .iter()
+                .map(|s| (s.sql.clone(), Arc::clone(&s.prepared)))
+                .collect::<Vec<_>>()
+        };
+
+        // Deduplicate identical statements: ask once, answer everyone.
+        let mut unique: Vec<&Prepared> = Vec::new();
+        let mut unique_sql: Vec<&str> = Vec::new();
+        let mut slot_to_unique = Vec::with_capacity(slots.len());
+        for (sql, prepared) in &slots {
+            match unique_sql.iter().position(|u| u == sql) {
+                Some(i) => slot_to_unique.push(i),
+                None => {
+                    slot_to_unique.push(unique.len());
+                    unique_sql.push(sql);
+                    unique.push(prepared);
+                }
+            }
+        }
+
+        // Admit the pass as a whole: one table sweep, so one permit,
+        // sized by the widest statement in it.
+        let pass_cost = unique.iter().map(|p| p.cost_bytes()).max().unwrap_or(0);
+        let results: Vec<Result<QueryResult, QueryError>> = match admission.admit_tracked(pass_cost)
+        {
+            Ok((permit, waited)) => {
+                for _ in &slots {
+                    counters.record_admitted(waited);
+                }
+                let (running, _) = admission.load();
+                counters.observe_running(running as u64);
+                let (unique_results, shared_pass) = engine.execute_batch(&unique);
+                drop(permit);
+                let deduped = unique.len() < slots.len();
+                if slots.len() > 1 && (shared_pass || deduped) {
+                    counters.record_shared_pass(slots.len() as u64);
+                }
+                slot_to_unique
+                    .iter()
+                    .map(|&u| unique_results[u].clone())
+                    .collect()
+            }
+            Err(e) => {
+                for _ in &slots {
+                    counters.record_rejected();
+                }
+                slots
+                    .iter()
+                    .map(|_| Err(QueryError::Engine(e.clone())))
+                    .collect()
+            }
+        };
+        let own = results[index].clone();
+        let mut state = lock(&batch.state);
+        state.results = Some(results);
+        drop(state);
+        batch.done.notify_all();
+        own
+    }
+
+    /// Follower wait: block until the leader publishes results. If the
+    /// leader never does (its thread died), time out and run solo — a
+    /// batching failure must never lose a client's answer.
+    fn await_result(
+        &self,
+        batch: &PendingBatch,
+        index: usize,
+        engine: &Engine,
+        prepared: &Prepared,
+    ) -> Result<QueryResult, QueryError> {
+        // Leader sleeps the window, then executes; 10× window + 30 s is
+        // far beyond any sane pass and still bounded.
+        let deadline = self.window * 10 + Duration::from_secs(30);
+        let mut state = lock(&batch.state);
+        loop {
+            if let Some(results) = &state.results {
+                return results[index].clone();
+            }
+            let (next, timeout) = batch
+                .done
+                .wait_timeout(state, deadline)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = next;
+            if timeout.timed_out() && state.results.is_none() {
+                drop(state);
+                return engine.execute(prepared);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Batcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batcher")
+            .field("window", &self.window)
+            .field("open_tables", &lock(&self.tables).len())
+            .finish()
+    }
+}

@@ -1,0 +1,84 @@
+//! Minimal wire-protocol client for `fts-server`.
+//!
+//! ```text
+//! # one-shot: send each argument as a statement
+//! cargo run --release --bin fts-client -- 127.0.0.1:5433 "SELECT COUNT(*) FROM orders" STATS
+//!
+//! # interactive: read statements from stdin, one per line
+//! cargo run --release --bin fts-client -- 127.0.0.1:5433
+//! ```
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use fts_server::{Request, Response};
+
+fn run_statement(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    statement: &str,
+) -> std::io::Result<bool> {
+    let start = Instant::now();
+    Request {
+        statement: statement.to_string(),
+    }
+    .write(writer)?;
+    match Response::read(reader)? {
+        Some(Response::Ok(body)) => {
+            println!("{body}");
+            println!("[{:.2} ms]", start.elapsed().as_secs_f64() * 1e3);
+            Ok(true)
+        }
+        Some(Response::Err(body)) => {
+            eprintln!("error: {body}");
+            Ok(false)
+        }
+        None => {
+            eprintln!("server closed the connection");
+            Ok(false)
+        }
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| {
+        eprintln!("usage: fts-client HOST:PORT [statement…]");
+        std::process::exit(2);
+    });
+    let statements: Vec<String> = args.collect();
+
+    let stream = TcpStream::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    if !statements.is_empty() {
+        let mut ok = true;
+        for statement in &statements {
+            ok &= run_statement(&mut reader, &mut writer, statement)?;
+        }
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("fts> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            "\\q" | "exit" | "quit" => return Ok(()),
+            _ => {
+                run_statement(&mut reader, &mut writer, line)?;
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # fts-server — a concurrent SQL server over the fused-scan engine
+//!
+//! The refactor this crate caps off turns the repo from "run one scan"
+//! into "schedule many scans": a long-lived server process sharing one
+//! [`fts_query::Engine`] across many client connections. Three layers
+//! cooperate:
+//!
+//! * **admission** ([`fts_core::AdmissionController`]) — every statement
+//!   declares an approximate scan cost in bytes; the server admits it,
+//!   queues it (bounded FIFO), or sheds it with an explicit
+//!   `Overloaded` error the client can retry on;
+//! * **batching** ([`batch`]) — admitted statements that are compatible
+//!   (aggregates over the same table) rendezvous for a short window and
+//!   execute as *one* shared chunk-major table pass, with identical
+//!   statements deduplicated outright — the concurrent analogue of the
+//!   paper's "the scan is bandwidth-bound, so don't read the data
+//!   twice";
+//! * **observability** ([`fts_metrics::SchedCounters`]) — the `STATS`
+//!   command and the server lines appended to `EXPLAIN ANALYZE` report
+//!   admitted/queued/rejected counts and the shared-pass hit rate.
+//!
+//! The wire protocol ([`protocol`]) is deliberately small: length-prefixed
+//! UTF-8 frames, one statement per request, one status byte per response.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{read_frame, write_frame, Request, Response, MAX_FRAME_BYTES};
+pub use server::{render_result, QueryServer, ServerConfig};

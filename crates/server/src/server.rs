@@ -1,0 +1,287 @@
+//! The server proper: admission → batching → execution → telemetry.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fts_core::{AdmissionConfig, AdmissionController, EngineError};
+use fts_metrics::{SchedCounters, SchedSnapshot};
+use fts_query::{Engine, QueryError, QueryResult};
+
+use crate::batch::Batcher;
+use crate::protocol::{Request, Response};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Admission budget (concurrency, queue depth, byte budget).
+    pub admission: AdmissionConfig,
+    /// How long a batch leader waits for compatible statements to join
+    /// its shared pass. Zero still batches statements that are already
+    /// waiting, but in practice disables coalescing.
+    pub batch_window: Duration,
+    /// Whether scan-sharing is enabled at all (`false` executes every
+    /// statement solo — the bench's baseline mode).
+    pub batching: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            admission: AdmissionConfig::default(),
+            batch_window: Duration::from_millis(2),
+            batching: true,
+        }
+    }
+}
+
+/// A concurrent SQL server over a shared [`Engine`].
+///
+/// [`QueryServer::handle`] is the whole request path and is plain
+/// synchronous code safe to call from any number of threads — the TCP
+/// front end ([`QueryServer::serve`]) is just frames around it, which is
+/// also what keeps the in-process benches and tests honest: they measure
+/// the same path the wire speaks.
+pub struct QueryServer {
+    engine: Arc<Engine>,
+    admission: AdmissionController,
+    counters: SchedCounters,
+    batcher: Batcher,
+    config: ServerConfig,
+}
+
+impl QueryServer {
+    /// A server over `engine` with the given config.
+    pub fn new(engine: Arc<Engine>, config: ServerConfig) -> QueryServer {
+        QueryServer {
+            engine,
+            admission: AdmissionController::new(config.admission),
+            counters: SchedCounters::new(),
+            batcher: Batcher::new(config.batch_window),
+            config,
+        }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The scheduler telemetry counters.
+    pub fn counters(&self) -> &SchedCounters {
+        &self.counters
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Handle one statement end to end: server commands short-circuit,
+    /// SQL goes through plan → admit → (batch|solo) execute → render.
+    pub fn handle(&self, statement: &str) -> Response {
+        let stmt = statement.trim();
+        match stmt.to_ascii_uppercase().as_str() {
+            "" => return Response::Err("empty statement".into()),
+            "PING" => return Response::Ok("pong".into()),
+            "STATS" => return Response::Ok(self.stats_text()),
+            _ => {}
+        }
+
+        // Planning is cheap and needs no admission; it also yields the
+        // statement's cost estimate, which admission is based on.
+        let prepared = match self.engine.prepare(stmt) {
+            Ok(p) => p,
+            Err(e) => {
+                self.counters.record_finished(false);
+                return Response::Err(e.to_string());
+            }
+        };
+        let analyze = prepared.is_analyze();
+
+        // A statement whose cost alone exceeds the byte budget can never
+        // be admitted — reject it before it joins a batch, where its cost
+        // would poison the whole pass (pass cost is the max of its
+        // statements).
+        let budget = self.admission.config().max_bytes;
+        if prepared.cost_bytes() > budget {
+            self.counters.record_rejected();
+            return Response::Err(
+                EngineError::Overloaded {
+                    running: self.admission.load().0,
+                    queued: self.admission.load().1,
+                    oversized: Some((prepared.cost_bytes(), budget)),
+                }
+                .to_string(),
+            );
+        }
+
+        // Shareable statements are admitted by their batch *leader* (one
+        // permit per shared pass — see `batch`); everything else admits
+        // itself here.
+        let result = if self.config.batching && prepared.is_shareable() {
+            let table = prepared
+                .scan_table()
+                .expect("shareable statements scan a stored table")
+                .to_string();
+            self.batcher.submit(
+                &self.engine,
+                &self.admission,
+                &self.counters,
+                table,
+                stmt.to_string(),
+                Arc::new(prepared),
+            )
+        } else {
+            match self.admission.admit_tracked(prepared.cost_bytes()) {
+                Ok((permit, waited)) => {
+                    self.counters.record_admitted(waited);
+                    let (running, _) = self.admission.load();
+                    self.counters.observe_running(running as u64);
+                    let result = self.engine.execute(&prepared);
+                    drop(permit);
+                    result
+                }
+                Err(e) => {
+                    self.counters.record_rejected();
+                    Err(QueryError::Engine(e))
+                }
+            }
+        };
+
+        match result {
+            Ok(r) => {
+                self.counters.record_finished(true);
+                let mut text = render_result(&r);
+                if analyze {
+                    // EXPLAIN ANALYZE through the server also reports the
+                    // scheduler's view of the world.
+                    text.push_str(&self.analyze_lines());
+                }
+                Response::Ok(text)
+            }
+            Err(e) => {
+                // Overloaded rejections were already counted where they
+                // happened (solo path above, batch leader for shared
+                // passes); everything else is a finished-with-error.
+                if !matches!(e, QueryError::Engine(EngineError::Overloaded { .. })) {
+                    self.counters.record_finished(false);
+                }
+                Response::Err(e.to_string())
+            }
+        }
+    }
+
+    /// The scheduler lines appended to `EXPLAIN ANALYZE` responses.
+    fn analyze_lines(&self) -> String {
+        let s = self.counters.snapshot();
+        let (running, queued) = self.admission.load();
+        format!(
+            "server: admitted={} queued={} rejected={} running={running} waiting={queued}\n\
+             server: shared_passes={} shared_queries={} hit_rate={:.1}%\n",
+            s.admitted,
+            s.queued,
+            s.rejected,
+            s.shared_batches,
+            s.shared_queries,
+            s.shared_hit_rate() * 100.0
+        )
+    }
+
+    /// The `STATS` command body: admission, batching and engine counters.
+    pub fn stats_text(&self) -> String {
+        let s: SchedSnapshot = self.counters.snapshot();
+        let (running, queued) = self.admission.load();
+        let cfg = self.admission.config();
+        let jit = self.engine.context().kernels.stats();
+        let ctx = self.engine.context();
+        format!(
+            "admission: running={running} waiting={queued} peak_running={} \
+             (max_concurrent={} max_queued={} max_bytes={})\n\
+             queries: admitted={} queued={} rejected={} completed={} errors={}\n\
+             batching: shared_passes={} shared_queries={} hit_rate={:.1}%\n\
+             jit: kernels={} hits={} misses={} evictions={}\n\
+             scan: chunks_scanned={} chunks_pruned={} calibrated_chains={}",
+            s.peak_running,
+            cfg.max_concurrent,
+            cfg.max_queued,
+            cfg.max_bytes,
+            s.admitted,
+            s.queued,
+            s.rejected,
+            s.completed,
+            s.errors,
+            s.shared_batches,
+            s.shared_queries,
+            s.shared_hit_rate() * 100.0,
+            ctx.kernels.len(),
+            jit.hits,
+            jit.misses,
+            jit.evictions,
+            ctx.chunks_scanned.load(Ordering::Relaxed),
+            ctx.chunks_pruned.load(Ordering::Relaxed),
+            ctx.calibration.len(),
+        )
+    }
+
+    /// Accept loop: one thread per connection, each speaking the frame
+    /// protocol over [`QueryServer::handle`]. Runs until the listener
+    /// errors (for a bounded run, drop the listener from another thread).
+    pub fn serve(self: &Arc<Self>, listener: TcpListener) -> io::Result<()> {
+        for stream in listener.incoming() {
+            let stream = stream?;
+            let server = Arc::clone(self);
+            std::thread::spawn(move || server.serve_connection(stream));
+        }
+        Ok(())
+    }
+
+    fn serve_connection(&self, stream: TcpStream) {
+        let mut reader = io::BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        });
+        let mut writer = io::BufWriter::new(stream);
+        loop {
+            let request = match Request::read(&mut reader) {
+                Ok(Some(r)) => r,
+                Ok(None) => return, // clean disconnect
+                Err(_) => return,
+            };
+            let response = self.handle(&request.statement);
+            if response.write(&mut writer).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for QueryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryServer")
+            .field("config", &self.config)
+            .field("load", &self.admission.load())
+            .finish()
+    }
+}
+
+/// Render a [`QueryResult`] as the response body text.
+pub fn render_result(result: &QueryResult) -> String {
+    match result {
+        QueryResult::Count(n) => format!("COUNT(*) = {n}"),
+        QueryResult::Explain(plan) => plan.clone(),
+        QueryResult::Rows { columns, rows } => {
+            use std::fmt::Write;
+            let mut out = String::new();
+            let _ = writeln!(out, "{}", columns.join(" | "));
+            for row in rows {
+                let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                let _ = writeln!(out, "{}", cells.join(" | "));
+            }
+            let _ = write!(out, "({} row(s))", rows.len());
+            out
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Concurrency guarantees of the query server, exercised end to end over
+//! TCP: the differential guarantee (concurrent == sequential), load
+//! shedding with explicit `Overloaded` errors, byte-budget rejection of
+//! oversized statements, and absence of deadlock under sustained
+//! over-subscription.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fts_core::AdmissionConfig;
+use fts_query::Engine;
+use fts_server::{QueryServer, Request, Response, ServerConfig};
+use fts_storage::{Column, ColumnDef, DataType, Table};
+
+const ROWS: usize = 40_960;
+const CHUNK: usize = 1024;
+
+/// Deterministic table: quantity cycles 0..50, discount cycles 0..11,
+/// price is a linear ramp — every predicate's true count is computable.
+fn test_table() -> Table {
+    Table::from_chunked_columns(
+        vec![
+            ColumnDef::new("quantity", DataType::U32),
+            ColumnDef::new("discount", DataType::U32),
+            ColumnDef::new("price", DataType::I64),
+        ],
+        vec![
+            Column::from_fn(ROWS, |i| (i % 50) as u32),
+            Column::from_fn(ROWS, |i| (i % 11) as u32),
+            Column::from_fn(ROWS, |i| i as i64),
+        ],
+        CHUNK,
+    )
+    .expect("test table")
+}
+
+fn start_server(config: ServerConfig) -> (Arc<QueryServer>, std::net::SocketAddr) {
+    let engine = Engine::new();
+    engine.register("orders", test_table());
+    let server = Arc::new(QueryServer::new(Arc::new(engine), config));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let accept = Arc::clone(&server);
+    std::thread::spawn(move || {
+        let _ = accept.serve(listener);
+    });
+    (server, addr)
+}
+
+/// One statement over a fresh connection.
+fn roundtrip(addr: std::net::SocketAddr, statement: &str) -> Response {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    Request {
+        statement: statement.to_string(),
+    }
+    .write(&mut writer)
+    .expect("write");
+    Response::read(&mut reader)
+        .expect("read")
+        .expect("response")
+}
+
+#[test]
+fn ping_and_stats_respond() {
+    let (_server, addr) = start_server(ServerConfig::default());
+    assert_eq!(roundtrip(addr, "PING"), Response::Ok("pong".into()));
+    let stats = roundtrip(addr, "STATS");
+    assert!(stats.is_ok());
+    assert!(stats.body().contains("admission:"), "{}", stats.body());
+    assert!(stats.body().contains("batching:"), "{}", stats.body());
+}
+
+#[test]
+fn parse_errors_are_clean_protocol_errors() {
+    let (_server, addr) = start_server(ServerConfig::default());
+    let resp = roundtrip(addr, "SELEKT nonsense");
+    assert!(!resp.is_ok());
+    // The connection must survive a bad statement.
+    assert_eq!(roundtrip(addr, "PING"), Response::Ok("pong".into()));
+}
+
+/// The differential guarantee: 16 concurrent clients with a mix of
+/// statements get byte-identical answers to a sequential run of the same
+/// statements — batching and admission must be invisible in the results.
+#[test]
+fn sixteen_concurrent_clients_match_sequential() {
+    let statements: Vec<String> = (0..16)
+        .map(|i| match i % 4 {
+            0 => "SELECT COUNT(*) FROM orders WHERE quantity < 25".to_string(),
+            1 => format!(
+                "SELECT COUNT(*) FROM orders WHERE quantity < 25 AND discount = {}",
+                i % 11
+            ),
+            2 => "SELECT SUM(price) FROM orders WHERE quantity = 5 AND discount = 2".to_string(),
+            _ => format!("SELECT MAX(price) FROM orders WHERE discount >= {}", i % 11),
+        })
+        .collect();
+
+    // Sequential reference on a dedicated engine.
+    let reference_engine = Engine::new();
+    reference_engine.register("orders", test_table());
+    let reference: Vec<String> = statements
+        .iter()
+        .map(|s| {
+            let prepared = reference_engine.prepare(s).expect("prepare");
+            let result = reference_engine.execute(&prepared).expect("execute");
+            fts_server::server::render_result(&result)
+        })
+        .collect();
+
+    // Generous window so statements actually coalesce.
+    let (server, addr) = start_server(ServerConfig {
+        batch_window: Duration::from_millis(20),
+        ..ServerConfig::default()
+    });
+
+    let handles: Vec<_> = statements
+        .iter()
+        .cloned()
+        .map(|s| std::thread::spawn(move || roundtrip(addr, &s)))
+        .collect();
+    let responses: Vec<Response> = handles
+        .into_iter()
+        .map(|h| h.join().expect("join"))
+        .collect();
+
+    for (i, (resp, expect)) in responses.iter().zip(&reference).enumerate() {
+        assert!(resp.is_ok(), "client {i} failed: {}", resp.body());
+        assert_eq!(resp.body(), expect, "client {i} diverged");
+    }
+
+    let snap = server.counters().snapshot();
+    assert_eq!(
+        snap.admitted + snap.queued,
+        16,
+        "all 16 admitted (fast or queued)"
+    );
+    assert_eq!(snap.completed, 16);
+    assert_eq!(snap.rejected, 0);
+}
+
+/// Load shedding: a tiny admission budget with a tiny queue must reject
+/// the overflow with an explicit overloaded error — and every client must
+/// still get *some* answer (result or clean rejection), never a hang.
+#[test]
+fn overload_sheds_with_explicit_error_and_no_deadlock() {
+    let (server, addr) = start_server(ServerConfig {
+        admission: AdmissionConfig {
+            max_concurrent: 1,
+            max_queued: 1,
+            ..AdmissionConfig::default()
+        },
+        batching: false,
+        ..ServerConfig::default()
+    });
+
+    const CLIENTS: usize = 24;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                roundtrip(addr, "SELECT COUNT(*) FROM orders WHERE quantity < 25")
+            })
+        })
+        .collect();
+    let responses: Vec<Response> = handles
+        .into_iter()
+        .map(|h| h.join().expect("join"))
+        .collect();
+
+    let expect = format!("COUNT(*) = {}", (0..ROWS).filter(|i| i % 50 < 25).count());
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    for resp in &responses {
+        if resp.is_ok() {
+            assert_eq!(resp.body(), expect);
+            ok += 1;
+        } else {
+            assert!(
+                resp.body().contains("overloaded"),
+                "unexpected error: {}",
+                resp.body()
+            );
+            shed += 1;
+        }
+    }
+    assert_eq!(ok + shed, CLIENTS, "every client got an answer");
+    assert!(ok >= 2, "the budget admits at least running + queued");
+
+    let snap = server.counters().snapshot();
+    assert_eq!((snap.admitted + snap.queued) as usize, ok);
+    assert_eq!(snap.rejected as usize, shed);
+    assert!(
+        snap.peak_running <= 1,
+        "budget exceeded: {}",
+        snap.peak_running
+    );
+}
+
+/// Byte budget: a statement whose scan-cost estimate exceeds `max_bytes`
+/// is rejected outright even on an idle server.
+#[test]
+fn oversized_statement_rejected_by_byte_budget() {
+    let (_server, addr) = start_server(ServerConfig {
+        admission: AdmissionConfig {
+            max_bytes: 1024, // far below the table's scan cost
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let resp = roundtrip(addr, "SELECT COUNT(*) FROM orders WHERE quantity < 25");
+    assert!(!resp.is_ok());
+    assert!(
+        resp.body().contains("overloaded"),
+        "unexpected error: {}",
+        resp.body()
+    );
+    // A cheap server command still works.
+    assert_eq!(roundtrip(addr, "PING"), Response::Ok("pong".into()));
+}
+
+/// Identical concurrent statements coalesce into shared passes and the
+/// hit rate shows up in STATS.
+#[test]
+fn identical_statements_share_a_pass() {
+    let (server, addr) = start_server(ServerConfig {
+        batch_window: Duration::from_millis(30),
+        ..ServerConfig::default()
+    });
+
+    const CLIENTS: usize = 8;
+    let sql = "SELECT COUNT(*) FROM orders WHERE quantity < 25 AND discount = 3";
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| std::thread::spawn(move || roundtrip(addr, sql)))
+        .collect();
+    let expect = format!(
+        "COUNT(*) = {}",
+        (0..ROWS).filter(|i| i % 50 < 25 && i % 11 == 3).count()
+    );
+    for h in handles {
+        let resp = h.join().expect("join");
+        assert!(resp.is_ok(), "{}", resp.body());
+        assert_eq!(resp.body(), expect);
+    }
+
+    let snap = server.counters().snapshot();
+    assert!(
+        snap.shared_batches >= 1,
+        "no shared pass despite {CLIENTS} identical concurrent statements"
+    );
+    assert!(snap.shared_queries >= 2);
+    let stats = roundtrip(addr, "STATS");
+    assert!(stats.body().contains("shared_passes="), "{}", stats.body());
+}
+
+/// One connection can issue many statements back to back (pipelining one
+/// at a time), and EXPLAIN ANALYZE through the server carries the
+/// scheduler telemetry lines.
+#[test]
+fn connection_reuse_and_analyze_telemetry() {
+    let (_server, addr) = start_server(ServerConfig::default());
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+
+    for _ in 0..3 {
+        Request {
+            statement: "SELECT COUNT(*) FROM orders WHERE quantity = 7".into(),
+        }
+        .write(&mut writer)
+        .expect("write");
+        let resp = Response::read(&mut reader).expect("read").expect("resp");
+        assert!(resp.is_ok());
+    }
+
+    Request {
+        statement: "EXPLAIN ANALYZE SELECT COUNT(*) FROM orders WHERE quantity = 7".into(),
+    }
+    .write(&mut writer)
+    .expect("write");
+    let resp = Response::read(&mut reader).expect("read").expect("resp");
+    assert!(resp.is_ok());
+    assert!(
+        resp.body().contains("server: admitted="),
+        "missing scheduler telemetry:\n{}",
+        resp.body()
+    );
+    assert!(resp.body().contains("shared_passes="));
+}

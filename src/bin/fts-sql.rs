@@ -11,7 +11,7 @@
 
 use std::io::{BufRead, Write};
 
-use fused_table_scan::query::{Database, QueryResult};
+use fused_table_scan::query::{Engine, QueryResult};
 use fused_table_scan::storage::{Column, ColumnDef, DataType, Table};
 
 fn build_demo(rows: usize) -> Table {
@@ -66,7 +66,9 @@ fn main() {
         .and_then(|s| s.replace('_', "").parse().ok())
         .unwrap_or(2_000_000);
 
-    let mut db = Database::new();
+    // The same shared engine `fts-server` serves concurrently; this REPL
+    // is just its single-connection frontend.
+    let db = Engine::new();
     eprintln!("loading demo tables ({rows} rows each)…");
     let orders = build_demo(rows);
     db.register(
