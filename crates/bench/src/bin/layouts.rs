@@ -1,0 +1,80 @@
+//! Run the storage-layout sweep and persist `BENCH_layouts.json`.
+//!
+//! ```text
+//! layouts [--scale quick|default|paper] [--out DIR]
+//! ```
+//!
+//! Exits non-zero if any measured scan's count diverged from the
+//! row-loop reference — CI runs the quick scale and relies on that.
+
+use fts_bench::layout_bench;
+use fts_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default_scale();
+    let mut out_dir = std::path::PathBuf::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = match args.get(i + 1).map(String::as_str) {
+                    Some("quick") => Scale::quick(),
+                    Some("default") => Scale::default_scale(),
+                    Some("paper") => Scale::paper(),
+                    _ => usage(),
+                };
+                i += 2;
+            }
+            "--out" => {
+                out_dir = args.get(i + 1).cloned().unwrap_or_else(|| usage()).into();
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    println!(
+        "host: {} | rows={} reps={}\n",
+        fts_simd::detect(),
+        scale.rows,
+        scale.reps
+    );
+
+    let t = std::time::Instant::now();
+    let fig = layout_bench::bench_layouts(&scale);
+    println!("{}", fig.table("median_ms"));
+    let accepted = layout_bench::acceptance(&fig);
+    if let Some(a) = accepted {
+        println!(
+            "acceptance: mismatches={} (bar: 0), worst advisor/defaults = {:.3} \
+             (bar: <= 1.0), count-only vs poslist = {:.2}x (bar: >= 1.0)",
+            a.mismatches, a.worst_advisor_ratio, a.popcount_speedup
+        );
+    }
+    if let Err(e) = fig.save(&out_dir) {
+        eprintln!("warning: could not save {}: {e}", fig.id);
+    }
+    println!(
+        "[{} finished in {:.1}s, saved to {}]",
+        fig.id,
+        t.elapsed().as_secs_f64(),
+        out_dir.display()
+    );
+    match accepted {
+        Some(a) if a.mismatches == 0 => {}
+        Some(a) => {
+            eprintln!("FAIL: {} differential mismatches", a.mismatches);
+            std::process::exit(1);
+        }
+        None => {
+            eprintln!("FAIL: acceptance numbers missing from the figure");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: layouts [--scale quick|default|paper] [--out DIR]");
+    std::process::exit(2);
+}

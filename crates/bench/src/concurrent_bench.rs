@@ -93,6 +93,7 @@ fn fresh_server(table: &Table, batching: bool, clients: usize) -> Arc<QueryServe
         },
         batch_window: BATCH_WINDOW,
         batching,
+        ..ServerConfig::default()
     };
     Arc::new(QueryServer::new(Arc::new(engine), config))
 }

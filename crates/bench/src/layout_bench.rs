@@ -1,0 +1,283 @@
+//! The storage-layout benchmark (`BENCH_layouts.json`): one logical u32
+//! column swept across layout × selectivity × cardinality, scanned
+//! end-to-end through the SQL engine (`SELECT COUNT(*) … WHERE a < n`).
+//! Every point cross-checks its count against a row-loop reference —
+//! the figure carries a `mismatches` config entry that CI asserts is
+//! zero — and an `advisor cN` series records what the layout advisor
+//! would have picked for each cardinality, with its time as a ratio
+//! against the dictionary and bit-packed defaults (the acceptance bar:
+//! the advisor's choice is never slower). A second section compares the
+//! COUNT-only positional-popcount path against PosList materialization
+//! on the same scans, where skipping the position list is pure profit.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use fts_query::{Engine, QueryResult};
+use fts_storage::{choose_layout, Column, ColumnDef, DataType, Layout, Table};
+
+use crate::report::FigureResult;
+use crate::workload::Scale;
+
+/// Selectivity axis: fraction of qualifying rows per scan.
+pub const LAYOUT_SELECTIVITIES: [f64; 4] = [0.001, 0.01, 0.1, 0.5];
+
+/// Cardinality axis: 8-, 16- and 24-bit uniform domains — one, two and
+/// three byte planes; 8, 16 and 24 packed bits.
+pub const CARDINALITIES: [u32; 3] = [256, 65_536, 16_777_216];
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn mix(i: usize) -> u32 {
+    (i as u32).wrapping_mul(2654435761).rotate_left(11)
+}
+
+fn table_of(values: &[u32]) -> Table {
+    Table::from_chunked_columns(
+        vec![ColumnDef::new("a", DataType::U32)],
+        vec![Column::from_slice(values)],
+        values.len().min(1 << 20),
+    )
+    .expect("bench table")
+}
+
+/// The layout sweep plus the COUNT-vs-PosList section.
+pub fn bench_layouts(scale: &Scale) -> FigureResult {
+    let mut fig = FigureResult::new(
+        "BENCH_layouts",
+        "storage layouts under fused scans (layout × selectivity × cardinality)",
+        "selectivity",
+    );
+    fig.config("rows", scale.rows);
+    fig.config("reps", scale.reps);
+    fig.config("isa", fts_simd::detect());
+
+    let mut mismatches = 0u64;
+    for &card in &CARDINALITIES {
+        let values: Vec<u32> = (0..scale.rows).map(|i| mix(i) % card).collect();
+        let plain = table_of(&values);
+        let variants: Vec<(Layout, Table)> = vec![
+            (Layout::Plain, plain.clone()),
+            (Layout::Dict, plain.with_dictionary_encoding(&[0]).unwrap()),
+            (Layout::Packed, plain.with_bitpacking(&[0]).unwrap()),
+            (Layout::For, plain.with_for_encoding(&[0]).unwrap()),
+            (Layout::ByteSliced, plain.with_byte_slicing(&[0]).unwrap()),
+        ];
+        let engines: Vec<(Layout, Engine)> = variants
+            .into_iter()
+            .map(|(layout, table)| {
+                let engine = Engine::new();
+                engine.register("t", table);
+                (layout, engine)
+            })
+            .collect();
+
+        // What the advisor would choose for this column, from the same
+        // profile the server's background loop would build.
+        let profile = engines[0].1.column_profile("t", 0).expect("plain profile");
+        let chosen = choose_layout(&profile).layout;
+        fig.config(&format!("advisor_choice_c{card}"), chosen);
+
+        for &sel in &LAYOUT_SELECTIVITIES {
+            let point_started = Instant::now();
+            let needle = ((card as f64 * sel) as u32).max(1);
+            let expected = values.iter().filter(|&&v| v < needle).count() as u64;
+            let stmt = format!("SELECT COUNT(*) FROM t WHERE a < {needle}");
+            let prepared: Vec<_> = engines
+                .iter()
+                .map(|(_, e)| e.prepare(&stmt).expect("prepare"))
+                .collect();
+
+            // Interleave the layouts inside every repetition (round 0 is
+            // a discarded warmup) so host drift cancels out of the ratios.
+            let mut samples: Vec<Vec<f64>> = vec![Vec::new(); engines.len()];
+            for round in 0..=scale.reps {
+                for (k, ((_, engine), prep)) in engines.iter().zip(&prepared).enumerate() {
+                    let t0 = Instant::now();
+                    let result = engine.execute(prep).expect("scan");
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    match result {
+                        QueryResult::Count(n) if n == expected => {}
+                        _ => mismatches += 1,
+                    }
+                    if round > 0 {
+                        samples[k].push(ms);
+                    }
+                }
+            }
+
+            let mut ms_of: BTreeMap<Layout, f64> = BTreeMap::new();
+            for ((layout, _), sample) in engines.iter().zip(&mut samples) {
+                let ms = median(sample);
+                ms_of.insert(*layout, ms);
+                fig.push(&format!("{layout} c{card}"), sel, &[("median_ms", ms)]);
+            }
+            let advisor_ms = ms_of[&chosen];
+            fig.push(
+                &format!("advisor c{card}"),
+                sel,
+                &[
+                    ("median_ms", advisor_ms),
+                    ("ratio_vs_dict", advisor_ms / ms_of[&Layout::Dict]),
+                    ("ratio_vs_packed", advisor_ms / ms_of[&Layout::Packed]),
+                ],
+            );
+            eprintln!(
+                "  [card={card} sel={sel}] advisor={chosen} {advisor_ms:.2}ms \
+                 (dict {:.2}ms, packed {:.2}ms) in {:.1}s",
+                ms_of[&Layout::Dict],
+                ms_of[&Layout::Packed],
+                point_started.elapsed().as_secs_f64()
+            );
+        }
+    }
+
+    popcount_sweep(scale, &mut fig);
+    fig.config("mismatches", mismatches);
+    fig
+}
+
+/// COUNT-only vs PosList materialization: the same single-predicate scan
+/// with `OutputMode::Count` (positional popcount, no positions ever
+/// materialized) and with `OutputMode::Positions` + `len()`. The gap
+/// grows with the match count — at 50 % selectivity the positions path
+/// writes `rows/2` u32s the COUNT path never touches.
+fn popcount_sweep(scale: &Scale, fig: &mut FigureResult) {
+    use fts_core::{run_fused_auto, OutputMode, TypedPred};
+    let card = 65_536u32;
+    let values: Vec<u32> = (0..scale.rows).map(|i| mix(i) % card).collect();
+    for &sel in &LAYOUT_SELECTIVITIES {
+        let needle = ((card as f64 * sel) as u32).max(1);
+        let expected = values.iter().filter(|&&v| v < needle).count() as u64;
+        let preds = [TypedPred::new(&values[..], fts_storage::CmpOp::Lt, needle)];
+        let (mut count_ms, mut pos_ms) = (Vec::new(), Vec::new());
+        for round in 0..=scale.reps {
+            let t0 = Instant::now();
+            let out = run_fused_auto(&preds, OutputMode::Count);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(out.count(), expected, "count mode");
+            if round > 0 {
+                count_ms.push(ms);
+            }
+            let t0 = Instant::now();
+            let out = run_fused_auto(&preds, OutputMode::Positions);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                out.positions().expect("positions").len() as u64,
+                expected,
+                "positions mode"
+            );
+            if round > 0 {
+                pos_ms.push(ms);
+            }
+        }
+        let count = median(&mut count_ms);
+        let pos = median(&mut pos_ms);
+        fig.push(
+            "count-only popcount",
+            sel,
+            &[("median_ms", count), ("speedup_vs_poslist", pos / count)],
+        );
+        fig.push("poslist materialization", sel, &[("median_ms", pos)]);
+        eprintln!(
+            "  [popcount sel={sel}] count {count:.2}ms vs positions {pos:.2}ms \
+             ({:.2}x)",
+            pos / count
+        );
+    }
+}
+
+/// Acceptance numbers over a finished sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayoutAcceptance {
+    /// Differential mismatches across every measured scan (bar: 0).
+    pub mismatches: u64,
+    /// Worst advisor-choice time over the better of dict/packed at the
+    /// same point (bar: ≤ 1.0 within noise — the advisor's layout is
+    /// never slower than the defaults).
+    pub worst_advisor_ratio: f64,
+    /// COUNT-path speedup over PosList materialization at the
+    /// highest-match point (bar: ≥ 1.0).
+    pub popcount_speedup: f64,
+}
+
+/// Extract the acceptance numbers from a finished figure.
+pub fn acceptance(fig: &FigureResult) -> Option<LayoutAcceptance> {
+    let mismatches: u64 = fig.config.get("mismatches")?.parse().ok()?;
+    let mut worst = f64::NEG_INFINITY;
+    let mut seen = false;
+    for s in fig
+        .series
+        .iter()
+        .filter(|s| s.label.starts_with("advisor "))
+    {
+        for p in &s.points {
+            if let (Some(d), Some(k)) = (
+                p.metrics.get("ratio_vs_dict"),
+                p.metrics.get("ratio_vs_packed"),
+            ) {
+                seen = true;
+                worst = worst.max(d.max(*k));
+            }
+        }
+    }
+    let pop = fig
+        .series
+        .iter()
+        .find(|s| s.label == "count-only popcount")?;
+    let speedup = pop
+        .points
+        .iter()
+        .max_by(|a, b| a.x.total_cmp(&b.x))?
+        .metrics
+        .get("speedup_vs_poslist")
+        .copied()?;
+    seen.then_some(LayoutAcceptance {
+        mismatches,
+        worst_advisor_ratio: worst,
+        popcount_speedup: speedup,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_sweep_runs_at_tiny_scale() {
+        let scale = Scale {
+            rows: 30_000,
+            max_rows: 30_000,
+            reps: 2,
+            model_rows: 10_000,
+        };
+        let fig = bench_layouts(&scale);
+        // Every layout produced a full series per cardinality.
+        for card in CARDINALITIES {
+            for layout in Layout::ALL {
+                let s = fig
+                    .series
+                    .iter()
+                    .find(|s| s.label == format!("{layout} c{card}"))
+                    .unwrap_or_else(|| panic!("missing {layout} c{card}"));
+                assert_eq!(s.points.len(), LAYOUT_SELECTIVITIES.len());
+            }
+            assert!(fig.config.contains_key(&format!("advisor_choice_c{card}")));
+        }
+        let a = acceptance(&fig).expect("acceptance extractable");
+        assert_eq!(a.mismatches, 0, "differential mismatches");
+        assert!(a.worst_advisor_ratio.is_finite());
+        assert!(a.popcount_speedup > 0.0);
+    }
+}

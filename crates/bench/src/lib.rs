@@ -12,6 +12,7 @@ pub mod adaptive_bench;
 pub mod concurrent_bench;
 pub mod figures;
 pub mod json;
+pub mod layout_bench;
 pub mod report;
 pub mod tpch;
 pub mod workload;

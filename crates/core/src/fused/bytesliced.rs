@@ -1,0 +1,247 @@
+//! Plane-wise predicate evaluation over **byte-sliced** columns — the
+//! ByteStore scan (PAPERS.md).
+//!
+//! A predicate over a byte-sliced column is answered most-significant
+//! plane first, 64 rows at a time. Three running masks per group —
+//! `lt`, `gt` (decided) and `eq` (still undecided) — are refined one
+//! plane at a time:
+//!
+//! ```text
+//! lt |= eq & (plane_byte < needle_byte)
+//! gt |= eq & (plane_byte > needle_byte)
+//! eq &= (plane_byte == needle_byte)
+//! ```
+//!
+//! Once `eq` reaches zero every row of the group is decided and the
+//! remaining (less significant) planes are never read — on selective
+//! predicates most groups are decided after one byte per row instead of
+//! four. The per-plane byte compare uses AVX-512 BW's 64-lane `u8`
+//! compare masks when available, a branch-free scalar loop otherwise,
+//! dispatched through `fts_simd::detect()` (so `FTS_FORCE_SIMD` gates
+//! this kernel too). `Count` mode popcounts the final masks and never
+//! materializes a position list.
+
+use fts_simd::{mask_popcount, SimdLevel};
+use fts_storage::{ByteSlicedColumn, CmpOp, PosList};
+
+use crate::pred::{OutputMode, ScanOutput};
+
+/// Per-scan statistics: how many plane-groups the early exit skipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ByteSliceStats {
+    /// 64-row × plane units actually compared.
+    pub plane_groups_read: u64,
+    /// 64-row × plane units skipped because the group was fully decided.
+    pub plane_groups_skipped: u64,
+}
+
+/// Byte compare of up to 64 lanes: returns (lt, gt, eq) bit masks.
+fn cmp_bytes(plane: &[u8], needle: u8, rows: usize) -> (u64, u64, u64) {
+    #[cfg(target_arch = "x86_64")]
+    if fts_simd::detect() == SimdLevel::Avx512 {
+        // SAFETY: AVX-512 F+VL+BW+DQ presence established by detect().
+        return unsafe { cmp_bytes_avx512(plane, needle, rows) };
+    }
+    cmp_bytes_scalar(plane, needle, rows)
+}
+
+fn cmp_bytes_scalar(plane: &[u8], needle: u8, rows: usize) -> (u64, u64, u64) {
+    let (mut lt, mut gt, mut eq) = (0u64, 0u64, 0u64);
+    for (i, &b) in plane[..rows].iter().enumerate() {
+        lt |= ((b < needle) as u64) << i;
+        gt |= ((b > needle) as u64) << i;
+        eq |= ((b == needle) as u64) << i;
+    }
+    (lt, gt, eq)
+}
+
+/// # Safety
+/// Requires AVX-512 F+VL+BW+DQ (checked by the caller via `detect()`);
+/// `plane` must hold at least `rows` bytes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,avx512bw,avx512dq")]
+#[allow(unsafe_op_in_unsafe_fn)] // one kernel = one contiguous unsafe context
+unsafe fn cmp_bytes_avx512(plane: &[u8], needle: u8, rows: usize) -> (u64, u64, u64) {
+    use std::arch::x86_64::*;
+    let load: __mmask64 = if rows >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << rows) - 1
+    };
+    let v = _mm512_maskz_loadu_epi8(load, plane.as_ptr() as *const i8);
+    let n = _mm512_set1_epi8(needle as i8);
+    let lt = _mm512_mask_cmplt_epu8_mask(load, v, n);
+    let gt = _mm512_mask_cmpgt_epu8_mask(load, v, n);
+    let eq = _mm512_mask_cmpeq_epu8_mask(load, v, n);
+    (lt, gt, eq)
+}
+
+/// Evaluate `col OP needle` into per-64-row match masks, calling `sink`
+/// with `(group_index, mask)` for every group with at least one match.
+fn scan_groups(
+    col: &ByteSlicedColumn,
+    op: CmpOp,
+    needle: u32,
+    stats: &mut ByteSliceStats,
+    mut sink: impl FnMut(usize, u64),
+) {
+    let rows = col.len();
+    let planes = col.planes();
+    let (needle_bytes, overflow) = col.needle_bytes(needle);
+    if overflow {
+        // Needle above every storable value: constant outcome per op.
+        let all = matches!(op, CmpOp::Ne | CmpOp::Lt | CmpOp::Le);
+        if all {
+            for g in 0..rows.div_ceil(64) {
+                let n = (rows - g * 64).min(64);
+                sink(g, if n >= 64 { u64::MAX } else { (1u64 << n) - 1 });
+            }
+        }
+        return;
+    }
+
+    for g in 0..rows.div_ceil(64) {
+        let base = g * 64;
+        let n = (rows - base).min(64);
+        let group_mask = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let (mut lt, mut gt) = (0u64, 0u64);
+        let mut eq = group_mask;
+        for k in (0..planes).rev() {
+            if eq == 0 {
+                stats.plane_groups_skipped += (k + 1) as u64;
+                break;
+            }
+            stats.plane_groups_read += 1;
+            let (plt, pgt, peq) = cmp_bytes(&col.plane(k)[base..], needle_bytes[k], n);
+            lt |= eq & plt;
+            gt |= eq & pgt;
+            eq &= peq;
+        }
+        let mask = match op {
+            CmpOp::Eq => eq,
+            CmpOp::Ne => group_mask & !eq,
+            CmpOp::Lt => lt,
+            CmpOp::Le => lt | eq,
+            CmpOp::Gt => gt,
+            CmpOp::Ge => gt | eq,
+        };
+        if mask != 0 {
+            sink(g, mask);
+        }
+    }
+}
+
+/// Scan one byte-sliced predicate. `Count` mode accumulates popcounts
+/// only; `Positions` mode emits a [`PosList`].
+pub fn scan_bytesliced(
+    col: &ByteSlicedColumn,
+    op: CmpOp,
+    needle: u32,
+    mode: OutputMode,
+) -> (ScanOutput, ByteSliceStats) {
+    let mut stats = ByteSliceStats::default();
+    match mode {
+        OutputMode::Count => {
+            let mut total = 0u64;
+            scan_groups(col, op, needle, &mut stats, |_, mask| {
+                total += mask_popcount(&[mask]);
+            });
+            (ScanOutput::Count(total), stats)
+        }
+        OutputMode::Positions => {
+            let mut out: Vec<u32> = Vec::new();
+            scan_groups(col, op, needle, &mut stats, |g, mask| {
+                let mut bits = mask;
+                while bits != 0 {
+                    let i = bits.trailing_zeros() as usize;
+                    out.push((g * 64 + i) as u32);
+                    bits &= bits - 1;
+                }
+            });
+            (ScanOutput::Positions(PosList::from_vec(out)), stats)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_storage::NativeType;
+
+    fn xorshift(seed: u64) -> impl Iterator<Item = u32> {
+        let mut state = seed | 1;
+        std::iter::repeat_with(move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as u32
+        })
+    }
+
+    fn check(values: &[u32], op: CmpOp, needle: u32) {
+        let col = ByteSlicedColumn::encode(values);
+        let expect: Vec<u32> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.cmp_op(op, needle))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let (got, _) = scan_bytesliced(&col, op, needle, OutputMode::Positions);
+        assert_eq!(
+            got.positions().unwrap().as_slice(),
+            &expect[..],
+            "op={op:?} needle={needle}"
+        );
+        let (got, _) = scan_bytesliced(&col, op, needle, OutputMode::Count);
+        assert_eq!(got.count(), expect.len() as u64);
+    }
+
+    #[test]
+    fn all_ops_all_plane_counts() {
+        for max in [200u32, 60_000, 1 << 20, u32::MAX - 1] {
+            let values: Vec<u32> = xorshift(max as u64)
+                .take(500)
+                .map(|v| v % max)
+                .chain([0, max])
+                .collect();
+            for op in CmpOp::ALL {
+                for needle in [0u32, 1, max / 2, max, max.saturating_add(1), u32::MAX] {
+                    check(&values, op, needle);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_sizes_and_tails() {
+        for rows in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let values: Vec<u32> = (0..rows as u32).map(|i| i * 3).collect();
+            check(&values, CmpOp::Lt, (rows as u32) * 3 / 2);
+        }
+    }
+
+    #[test]
+    fn early_exit_skips_low_planes() {
+        // Wide random values, selective equality: most groups decide on
+        // the top plane.
+        let values: Vec<u32> = xorshift(42).take(64 * 100).collect();
+        let col = ByteSlicedColumn::encode(&values);
+        let (_, stats) = scan_bytesliced(&col, CmpOp::Eq, values[17], OutputMode::Count);
+        assert!(
+            stats.plane_groups_skipped > stats.plane_groups_read,
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn count_equals_positions() {
+        let values: Vec<u32> = xorshift(9).take(777).map(|v| v % 1000).collect();
+        let col = ByteSlicedColumn::encode(&values);
+        for op in CmpOp::ALL {
+            let (c, _) = scan_bytesliced(&col, op, 500, OutputMode::Count);
+            let (p, _) = scan_bytesliced(&col, op, 500, OutputMode::Positions);
+            assert_eq!(c.count(), p.count());
+            assert!(matches!(c, ScanOutput::Count(_)));
+        }
+    }
+}

@@ -31,6 +31,8 @@
 
 pub mod avx2;
 pub mod avx512;
+pub mod bytesliced;
+pub mod for_scan;
 pub mod mixed;
 pub mod packed;
 pub mod scalar;

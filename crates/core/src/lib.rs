@@ -48,6 +48,10 @@ pub use engine::{
     best_fused_impl, run_fused_auto, run_scan, run_scan_telemetered, scan_columns_auto,
     scan_columns_auto_telemetered, EngineError, RegWidth, ScanElem, ScanImpl,
 };
+pub use fused::bytesliced::{scan_bytesliced, ByteSliceStats};
+pub use fused::for_scan::{
+    fused_scan_for, scan_for_reference, ForPred, ForScanError, ForScanStats,
+};
 pub use parallel::{run_scan_parallel, run_scan_parallel_telemetered, DEFAULT_MORSEL_ROWS};
 pub use pred::{ColumnPred, OutputMode, ScanOutput, TypedPred};
 pub use sched::{AdmissionConfig, AdmissionController, Permit, ScanPool};

@@ -85,6 +85,31 @@ pub enum KernelVariant {
     Scalar,
 }
 
+/// On-chunk layout the kernel's column pointers decode — part of the
+/// cache key.
+///
+/// The JIT compiles needles into immediates, and a compressed-domain
+/// rewrite changes those immediates *and* the load sequence: a chain over
+/// `Plain` data and the "same" chain whose literals were rewritten into
+/// FoR-delta or byte-plane space are different programs. Tagging the
+/// signature keeps the kernel cache from ever serving a plain-layout
+/// kernel to a decode-fused call site (or vice versa), the same way
+/// [`KernelVariant`] separates backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelLayout {
+    /// Uncompressed native values (the default load sequence).
+    #[default]
+    Plain,
+    /// Horizontally bit-packed values (`fts_storage::PackedColumn`).
+    Packed,
+    /// Frame-of-reference blocks (`fts_storage::ForColumn`): literals
+    /// rewritten per block into delta space.
+    For,
+    /// Byte-sliced planes (`fts_storage::ByteSlicedColumn`): literals
+    /// split into per-plane bytes.
+    ByteSliced,
+}
+
 /// A full scan-chain signature — also the kernel-cache key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ScanSig {
@@ -96,6 +121,8 @@ pub struct ScanSig {
     pub emit_positions: bool,
     /// Requested code-generation backend (part of the cache key).
     pub variant: KernelVariant,
+    /// On-chunk layout the column pointers decode (part of the cache key).
+    pub layout: KernelLayout,
 }
 
 impl ScanSig {
@@ -112,6 +139,7 @@ impl ScanSig {
                 .collect(),
             emit_positions,
             variant: KernelVariant::Auto,
+            layout: KernelLayout::Plain,
         }
     }
 
@@ -128,6 +156,7 @@ impl ScanSig {
                 .collect(),
             emit_positions,
             variant: KernelVariant::Auto,
+            layout: KernelLayout::Plain,
         }
     }
 
@@ -144,6 +173,7 @@ impl ScanSig {
                 .collect(),
             emit_positions,
             variant: KernelVariant::Auto,
+            layout: KernelLayout::Plain,
         }
     }
 
@@ -157,6 +187,7 @@ impl ScanSig {
                 .collect(),
             emit_positions,
             variant: KernelVariant::Auto,
+            layout: KernelLayout::Plain,
         }
     }
 
@@ -173,6 +204,7 @@ impl ScanSig {
                 .collect(),
             emit_positions,
             variant: KernelVariant::Auto,
+            layout: KernelLayout::Plain,
         }
     }
 
@@ -189,6 +221,7 @@ impl ScanSig {
                 .collect(),
             emit_positions,
             variant: KernelVariant::Auto,
+            layout: KernelLayout::Plain,
         }
     }
 
@@ -196,6 +229,13 @@ impl ScanSig {
     /// distinct cache key — see [`KernelVariant`]).
     pub fn with_variant(mut self, variant: KernelVariant) -> ScanSig {
         self.variant = variant;
+        self
+    }
+
+    /// The same signature tagged with an on-chunk layout (a distinct
+    /// cache key — see [`KernelLayout`]).
+    pub fn with_layout(mut self, layout: KernelLayout) -> ScanSig {
+        self.layout = layout;
         self
     }
 
@@ -305,6 +345,7 @@ impl BoolSig {
                     preds: part.to_vec(),
                     emit_positions: true,
                     variant: self.variant,
+                    layout: KernelLayout::Plain,
                 });
             }
         };
@@ -427,6 +468,19 @@ mod tests {
             ScanSig::u32_chain(&[(CmpOp::Eq, 5)], false).with_variant(KernelVariant::Avx512),
         );
         assert_eq!(set.len(), 5);
+        // The on-chunk layout is part of the key too: the same chain with
+        // literals rewritten into FoR-delta or byte-plane space must never
+        // hit the plain-layout kernel.
+        set.insert(ScanSig::u32_chain(&[(CmpOp::Eq, 5)], false).with_layout(KernelLayout::For));
+        set.insert(
+            ScanSig::u32_chain(&[(CmpOp::Eq, 5)], false).with_layout(KernelLayout::ByteSliced),
+        );
+        set.insert(ScanSig::u32_chain(&[(CmpOp::Eq, 5)], false).with_layout(KernelLayout::Packed));
+        assert_eq!(set.len(), 8);
+        assert_eq!(
+            ScanSig::u32_chain(&[(CmpOp::Eq, 5)], false).layout,
+            KernelLayout::Plain
+        );
     }
 
     #[test]

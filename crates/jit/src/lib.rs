@@ -40,8 +40,8 @@ pub use compile_packed::{
     CompiledPackedKernel, PackedColRef, PackedColSig, PackedKernelCache, PackedScanSig,
 };
 pub use ir::{
-    BoolSig, JitElem, JitError, JitPred, KernelArgs, KernelFn, KernelVariant, ScanSig,
-    MAX_JIT_PREDICATES,
+    BoolSig, JitElem, JitError, JitPred, KernelArgs, KernelFn, KernelLayout, KernelVariant,
+    ScanSig, MAX_JIT_PREDICATES,
 };
 pub use kernel::{CompiledKernel, JitBackend};
 pub use mem::{ExecBuf, ExecError};

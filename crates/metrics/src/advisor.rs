@@ -1,0 +1,213 @@
+//! Layout-advisor telemetry counters.
+//!
+//! The background layout advisor (fts-server) walks the catalog, scores
+//! every column against the cost model in `fts-storage::advisor`, and
+//! re-encodes chunks whose stored layout lost. These counters are how an
+//! operator sees that happen without tracing: how many chunk-columns were
+//! scored, how many were actually rewritten, how many rewrites the
+//! admission controller deferred, and what the rewrites bought in bytes.
+//! Per-layout decode throughput is tracked as cumulative (bytes, nanos)
+//! pairs so `STATS` can report an honest lifetime GB/s per layout rather
+//! than a last-sample gauge.
+//!
+//! Same contract as [`crate::sched::SchedCounters`]: relaxed atomics,
+//! monotone counts, no cross-counter consistency — a snapshot taken while
+//! a re-encode is mid-flight may see it scored but not yet committed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fts_storage::Layout;
+
+/// Number of distinct layouts tracked per-layout (indexes parallel
+/// [`Layout::ALL`]).
+pub const NUM_LAYOUTS: usize = Layout::ALL.len();
+
+fn layout_index(layout: Layout) -> usize {
+    Layout::ALL
+        .iter()
+        .position(|&l| l == layout)
+        .expect("Layout::ALL covers every variant")
+}
+
+/// Monotonic counters describing the background layout advisor. One
+/// instance lives for the whole server; the advisor thread updates it
+/// lock-free and `STATS` / `EXPLAIN ANALYZE` read it.
+#[derive(Debug, Default)]
+pub struct AdvisorCounters {
+    /// Advisor passes over the whole catalog.
+    pub passes: AtomicU64,
+    /// Chunk-columns scored against the layout cost model.
+    pub chunks_scored: AtomicU64,
+    /// Chunk-columns re-encoded and swapped in.
+    pub chunks_reencoded: AtomicU64,
+    /// Re-encodes skipped because the admission budget had no room.
+    pub reencodes_deferred: AtomicU64,
+    /// Segment bytes before every committed re-encode, summed.
+    pub bytes_before: AtomicU64,
+    /// Segment bytes after every committed re-encode, summed.
+    pub bytes_after: AtomicU64,
+    /// Cumulative decoded bytes per layout (parallel to [`Layout::ALL`]).
+    decode_bytes: [AtomicU64; NUM_LAYOUTS],
+    /// Cumulative decode nanoseconds per layout.
+    decode_nanos: [AtomicU64; NUM_LAYOUTS],
+}
+
+/// A point-in-time copy of [`AdvisorCounters`], for display and JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AdvisorSnapshot {
+    /// Advisor passes over the whole catalog.
+    pub passes: u64,
+    /// Chunk-columns scored.
+    pub chunks_scored: u64,
+    /// Chunk-columns re-encoded.
+    pub chunks_reencoded: u64,
+    /// Re-encodes deferred by admission control.
+    pub reencodes_deferred: u64,
+    /// Bytes before committed re-encodes.
+    pub bytes_before: u64,
+    /// Bytes after committed re-encodes.
+    pub bytes_after: u64,
+    /// Cumulative decoded bytes per layout (parallel to [`Layout::ALL`]).
+    pub decode_bytes: [u64; NUM_LAYOUTS],
+    /// Cumulative decode nanoseconds per layout.
+    pub decode_nanos: [u64; NUM_LAYOUTS],
+}
+
+impl AdvisorSnapshot {
+    /// Net bytes the committed re-encodes saved (0 if they grew — the
+    /// advisor can legitimately trade bytes for decode speed).
+    pub fn bytes_saved(&self) -> u64 {
+        self.bytes_before.saturating_sub(self.bytes_after)
+    }
+
+    /// Lifetime decode throughput for one layout in GB/s, or `None` if
+    /// that layout has never been timed.
+    pub fn decode_gbps(&self, layout: Layout) -> Option<f64> {
+        let i = layout_index(layout);
+        let nanos = self.decode_nanos[i];
+        if nanos == 0 {
+            None
+        } else {
+            Some(self.decode_bytes[i] as f64 / nanos as f64)
+        }
+    }
+}
+
+impl AdvisorCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> AdvisorCounters {
+        AdvisorCounters::default()
+    }
+
+    /// Record one full catalog pass.
+    pub fn record_pass(&self) {
+        self.passes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one chunk-column scored.
+    pub fn record_scored(&self) {
+        self.chunks_scored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one committed re-encode with its before/after footprint.
+    pub fn record_reencoded(&self, bytes_before: u64, bytes_after: u64) {
+        self.chunks_reencoded.fetch_add(1, Ordering::Relaxed);
+        self.bytes_before.fetch_add(bytes_before, Ordering::Relaxed);
+        self.bytes_after.fetch_add(bytes_after, Ordering::Relaxed);
+    }
+
+    /// Record a re-encode the admission budget had no room for.
+    pub fn record_deferred(&self) {
+        self.reencodes_deferred.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a timed decode of `bytes` logical bytes from `layout`
+    /// taking `nanos` nanoseconds.
+    pub fn record_decode(&self, layout: Layout, bytes: u64, nanos: u64) {
+        let i = layout_index(layout);
+        self.decode_bytes[i].fetch_add(bytes, Ordering::Relaxed);
+        self.decode_nanos[i].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Copy the current values.
+    pub fn snapshot(&self) -> AdvisorSnapshot {
+        let mut decode_bytes = [0u64; NUM_LAYOUTS];
+        let mut decode_nanos = [0u64; NUM_LAYOUTS];
+        for i in 0..NUM_LAYOUTS {
+            decode_bytes[i] = self.decode_bytes[i].load(Ordering::Relaxed);
+            decode_nanos[i] = self.decode_nanos[i].load(Ordering::Relaxed);
+        }
+        AdvisorSnapshot {
+            passes: self.passes.load(Ordering::Relaxed),
+            chunks_scored: self.chunks_scored.load(Ordering::Relaxed),
+            chunks_reencoded: self.chunks_reencoded.load(Ordering::Relaxed),
+            reencodes_deferred: self.reencodes_deferred.load(Ordering::Relaxed),
+            bytes_before: self.bytes_before.load(Ordering::Relaxed),
+            bytes_after: self.bytes_after.load(Ordering::Relaxed),
+            decode_bytes,
+            decode_nanos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let c = AdvisorCounters::new();
+        c.record_pass();
+        c.record_scored();
+        c.record_scored();
+        c.record_reencoded(4096, 1024);
+        c.record_deferred();
+        let s = c.snapshot();
+        assert_eq!(s.passes, 1);
+        assert_eq!(s.chunks_scored, 2);
+        assert_eq!(s.chunks_reencoded, 1);
+        assert_eq!(s.reencodes_deferred, 1);
+        assert_eq!(s.bytes_saved(), 3072);
+    }
+
+    #[test]
+    fn bytes_saved_saturates_when_reencode_grows() {
+        let c = AdvisorCounters::new();
+        c.record_reencoded(100, 500);
+        assert_eq!(c.snapshot().bytes_saved(), 0);
+    }
+
+    #[test]
+    fn decode_gbps_per_layout() {
+        let c = AdvisorCounters::new();
+        // 2 bytes per nano = 2 GB/s.
+        c.record_decode(Layout::For, 2_000, 1_000);
+        c.record_decode(Layout::For, 4_000, 2_000);
+        let s = c.snapshot();
+        let gbps = s.decode_gbps(Layout::For).unwrap();
+        assert!((gbps - 2.0).abs() < 1e-9, "{gbps}");
+        assert_eq!(s.decode_gbps(Layout::Plain), None, "never timed");
+    }
+
+    #[test]
+    fn concurrent_updates_sum_exactly() {
+        let c = std::sync::Arc::new(AdvisorCounters::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        c.record_scored();
+                        c.record_decode(Layout::Packed, 10, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.chunks_scored, 800);
+        assert!((s.decode_gbps(Layout::Packed).unwrap() - 10.0).abs() < 1e-9);
+    }
+}

@@ -15,9 +15,12 @@
 //!   protocol) and bandwidth/throughput derivations for Fig. 2.
 //! * [`sched`] — admission-control and shared-pass counters for the
 //!   concurrent server (admitted/queued/rejected, batching hit rate).
+//! * [`advisor`] — layout-advisor counters (chunks scored/re-encoded,
+//!   bytes saved, per-layout decode throughput).
 
 #![warn(missing_docs)]
 
+pub mod advisor;
 pub mod branch;
 pub mod cache;
 pub mod instrument;
@@ -25,6 +28,7 @@ pub mod probe;
 pub mod sched;
 pub mod timing;
 
+pub use advisor::{AdvisorCounters, AdvisorSnapshot};
 pub use branch::{AlwaysTaken, Bimodal, BranchPredictor, BranchStats, GShare};
 pub use cache::{CacheSim, MemStats, PrefetcherConfig, StreamPrefetcher};
 pub use probe::{column_base, HwCounters, HwModel, NullProbe, Probe};

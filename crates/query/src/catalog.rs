@@ -77,6 +77,12 @@ fn compute_stats(table: &Table) -> Vec<ColumnStats> {
             Some(Segment::Packed(p)) => {
                 ColumnStats::from_column(&fts_storage::Column::from_vec(p.unpack()))
             }
+            Some(Segment::For(c)) => {
+                ColumnStats::from_column(&fts_storage::Column::from_vec(c.unpack()))
+            }
+            Some(Segment::ByteSliced(c)) => {
+                ColumnStats::from_column(&fts_storage::Column::from_vec(c.unpack()))
+            }
             None => ColumnStats {
                 rows: 0,
                 min: None,
@@ -124,6 +130,22 @@ fn segment_range(seg: &Segment) -> Option<(f64, f64)> {
                     hi = hi.max(v);
                 }
                 return Some((lo as f64, hi as f64));
+            }
+        }
+        // Both compressed layouts track the exact value range at encode
+        // time — no decode needed.
+        Segment::For(c) => {
+            if c.is_empty() {
+                None
+            } else {
+                return Some((c.min() as f64, c.max() as f64));
+            }
+        }
+        Segment::ByteSliced(c) => {
+            if c.is_empty() {
+                None
+            } else {
+                return Some((c.min() as f64, c.max() as f64));
             }
         }
     };

@@ -24,7 +24,7 @@
 
 use std::sync::{Arc, RwLock};
 
-use fts_storage::Table;
+use fts_storage::{Chunk, ColumnProfile, Table};
 
 use crate::catalog::Catalog;
 use crate::db::QueryError;
@@ -101,6 +101,60 @@ impl Engine {
         let mut next = Catalog::clone(&slot);
         next.register(name, table);
         *slot = Arc::new(next);
+    }
+
+    /// Swap one chunk of a registered table for a re-encoded twin —
+    /// the layout advisor's copy-on-write commit. The catalog gets a
+    /// fresh snapshot whose table shares every *other* chunk with the old
+    /// one (`Arc` per chunk), so statements already planned keep scanning
+    /// their pinned snapshot untouched and concurrent readers never see a
+    /// half-swapped table. Returns `false` when the table is unknown, the
+    /// index is out of range, or the replacement's row count differs.
+    pub fn replace_chunk(&self, name: &str, chunk_idx: usize, chunk: Arc<Chunk>) -> bool {
+        let mut slot = self
+            .catalog
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let Some(entry) = slot.get(name) else {
+            return false;
+        };
+        if entry
+            .table
+            .chunks()
+            .get(chunk_idx)
+            .is_none_or(|old| old.rows() != chunk.rows())
+        {
+            return false;
+        }
+        let table = entry.table.with_chunk_replaced(chunk_idx, chunk);
+        let mut next = Catalog::clone(&slot);
+        next.register(name, table);
+        *slot = Arc::new(next);
+        true
+    }
+
+    /// Build the layout advisor's [`ColumnProfile`] for one column of a
+    /// registered table: catalog statistics (rows, distinct, value range),
+    /// first-chunk sortedness, and the observed scan selectivity of
+    /// calibrated chains touching the column (None until scanned).
+    pub fn column_profile(&self, table: &str, col: usize) -> Option<ColumnProfile> {
+        let catalog = self.catalog();
+        let entry = catalog.get(table)?;
+        let stats = entry.stats.get(col)?;
+        let first = entry.table.chunks().first();
+        let sortedness = first
+            .and_then(|c| c.segment(col).decode_u32())
+            .map(|v| fts_storage::sortedness_of(&v))
+            .unwrap_or(0.0);
+        Some(ColumnProfile {
+            data_type: entry.table.schema()[col].data_type,
+            rows: first.map(|c| c.rows()).unwrap_or(0),
+            distinct: stats.distinct as usize,
+            min: stats.min.unwrap_or(0.0).max(0.0) as u64,
+            max: stats.max.unwrap_or(0.0).max(0.0) as u64,
+            sortedness,
+            observed_selectivity: self.ctx.calibration.observed_selectivity(table, col),
+        })
     }
 
     /// The current catalog snapshot.
@@ -398,6 +452,60 @@ mod tests {
             .prepare("EXPLAIN SELECT COUNT(*) FROM t WHERE a = 5")
             .unwrap();
         assert!(explain.is_explain() && !explain.is_shareable());
+    }
+
+    #[test]
+    fn replace_chunk_is_copy_on_write() {
+        let engine = engine();
+        let before = engine.catalog();
+        let table = Arc::clone(&before.get("t").unwrap().table);
+        // Re-encode chunk 1's column 0 to FoR and swap it in.
+        let chunk = table
+            .reencode_chunk_column(1, 0, fts_storage::Layout::For)
+            .unwrap();
+        assert!(engine.replace_chunk("t", 1, chunk));
+        let after = engine.catalog();
+        let swapped = &after.get("t").unwrap().table;
+        assert!(swapped.chunks()[1].segment(0).as_for().is_some());
+        // Untouched chunks are shared, the old snapshot is unchanged.
+        assert!(Arc::ptr_eq(&table.chunks()[0], &swapped.chunks()[0]));
+        assert!(before.get("t").unwrap().table.chunks()[1]
+            .segment(0)
+            .as_plain()
+            .is_some());
+        // Queries agree across the swap.
+        let expected = expected_count(|i| i % 10 == 5 && i % 4 == 1);
+        assert_eq!(
+            engine
+                .query("SELECT COUNT(*) FROM t WHERE a = 5 AND b = 1")
+                .unwrap(),
+            QueryResult::Count(expected)
+        );
+        // Bad swaps are refused.
+        assert!(!engine.replace_chunk("missing", 0, Arc::clone(&table.chunks()[0])));
+        assert!(!engine.replace_chunk("t", 99, Arc::clone(&table.chunks()[0])));
+    }
+
+    #[test]
+    fn column_profile_reflects_stats_and_calibration() {
+        let engine = engine();
+        let p = engine.column_profile("t", 0).unwrap();
+        assert_eq!(p.data_type, DataType::U32);
+        assert_eq!(p.distinct, 10);
+        assert_eq!((p.min, p.max), (0, 9));
+        // 0..9 repeating: ~90% of adjacent pairs are non-decreasing.
+        assert!(p.sortedness > 0.5, "{}", p.sortedness);
+        assert!(p.observed_selectivity.is_none(), "never scanned yet");
+        // After enough scans the calibration registry feeds selectivity.
+        for _ in 0..50 {
+            engine.query("SELECT COUNT(*) FROM t WHERE a = 5").unwrap();
+        }
+        let p = engine.column_profile("t", 0).unwrap();
+        if let Some(sel) = p.observed_selectivity {
+            assert!((sel - 0.1).abs() < 0.05, "{sel}");
+        }
+        assert!(engine.column_profile("t", 9).is_none());
+        assert!(engine.column_profile("nope", 0).is_none());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use fts_core::{
     value_key_bits, BoolExpr, BoundVerdict, ColumnPred, OutputMode, RegWidth, ScanImpl, ScanOutput,
     ScanTelemetry, TelemetryLevel, TypedPred,
 };
+use fts_core::{fused_scan_for, scan_bytesliced, ForPred};
 use fts_jit::{
     JitBackend, KernelCache, KernelVariant, PackedColRef, PackedColSig, PackedKernelCache,
     PackedScanSig, ScanSig,
@@ -172,6 +173,16 @@ pub struct AnalyzeReport {
     pub phase2_rows_in: u64,
     /// Positions surviving phase 2.
     pub phase2_rows_out: u64,
+    /// Frame-of-reference blocks whose payload was decoded and compared.
+    pub for_blocks_scanned: u64,
+    /// Frame-of-reference blocks resolved from the header alone (the
+    /// compressed-domain rewrite proved the whole chain on them).
+    pub for_blocks_pruned: u64,
+    /// Byte-sliced 64-row × plane units actually compared.
+    pub bs_plane_groups_read: u64,
+    /// Byte-sliced plane units skipped by the most-significant-first
+    /// early exit.
+    pub bs_plane_groups_skipped: u64,
     /// JIT kernel-cache hits during the statement.
     pub jit_hits: u64,
     /// JIT kernel-cache misses (fresh compilations) during the statement.
@@ -256,6 +267,20 @@ impl AnalyzeReport {
                 out,
                 "phase 2 (row-wise): rows_in={}  rows_out={}",
                 self.phase2_rows_in, self.phase2_rows_out
+            );
+        }
+        if self.for_blocks_scanned + self.for_blocks_pruned > 0 {
+            let _ = writeln!(
+                out,
+                "for scan: blocks_scanned={}  blocks_pruned={}",
+                self.for_blocks_scanned, self.for_blocks_pruned
+            );
+        }
+        if self.bs_plane_groups_read + self.bs_plane_groups_skipped > 0 {
+            let _ = writeln!(
+                out,
+                "bytesliced scan: plane_groups_read={}  skipped={}",
+                self.bs_plane_groups_read, self.bs_plane_groups_skipped
             );
         }
         if self.jit_hits + self.jit_misses > 0 || self.packed_kernels > 0 {
@@ -428,6 +453,24 @@ impl CalibrationRegistry {
         Some(state)
     }
 
+    /// Mean observed selectivity across calibrated chains of `table` that
+    /// mention `column` — the layout advisor's scan-behaviour signal.
+    /// `None` until some chain over the column has observed rows.
+    pub fn observed_selectivity(&self, table: &str, column: usize) -> Option<f64> {
+        let states = lock_plain(&self.states);
+        let (mut acc, mut n) = (0.0f64, 0u32);
+        for ((t, key), state) in states.iter() {
+            if t == table && key.iter().any(|&(c, _, _)| c == column) {
+                let sel = lock_plain(state).cal.report().observed_selectivity;
+                if sel > 0.0 {
+                    acc += sel;
+                    n += 1;
+                }
+            }
+        }
+        (n > 0).then(|| acc / n as f64)
+    }
+
     /// Number of chains with live calibration state.
     pub fn len(&self) -> usize {
         lock_plain(&self.states).len()
@@ -578,6 +621,8 @@ fn scan_chunk(
     // 1. Rewrite into effective predicates.
     let mut u32_preds: Vec<(&[u32], CmpOp, u32)> = Vec::new();
     let mut packed_preds: Vec<(&fts_storage::PackedColumn, CmpOp, u32)> = Vec::new();
+    let mut for_preds: Vec<(&fts_storage::ForColumn, CmpOp, u32)> = Vec::new();
+    let mut bs_preds: Vec<(&fts_storage::ByteSlicedColumn, CmpOp, u32)> = Vec::new();
     let mut typed: Vec<ColumnPred<'_>> = Vec::new();
     let mut dynp: Vec<(&Segment, CmpOp, Value)> = Vec::new();
 
@@ -610,6 +655,18 @@ fn scan_chunk(
                     dynp.push((seg, p.op, p.value));
                 }
             }
+            Segment::For(col) => {
+                let Value::U32(needle) = p.value else {
+                    return Err(ExecError::PredicateTypeError);
+                };
+                for_preds.push((col, p.op, needle));
+            }
+            Segment::ByteSliced(col) => {
+                let Value::U32(needle) = p.value else {
+                    return Err(ExecError::PredicateTypeError);
+                };
+                bs_preds.push((col, p.op, needle));
+            }
             Segment::Plain(col) => match col.data_type() {
                 DataType::U32 => {
                     let data = col.as_native::<u32>().expect("type checked");
@@ -631,7 +688,13 @@ fn scan_chunk(
     }
 
     // Homogeneous typed chain with nothing else: one fused typed scan.
-    if u32_preds.is_empty() && packed_preds.is_empty() && dynp.is_empty() && !typed.is_empty() {
+    if u32_preds.is_empty()
+        && packed_preds.is_empty()
+        && for_preds.is_empty()
+        && bs_preds.is_empty()
+        && dynp.is_empty()
+        && !typed.is_empty()
+    {
         let same = typed
             .windows(2)
             .all(|w| w[0].column.data_type() == w[1].column.data_type());
@@ -657,36 +720,96 @@ fn scan_chunk(
         ));
     }
 
-    // 2. Phase 1 — the fused scan over u32 and packed predicates.
+    // 2. Phase 1 — fused scans over the u32/compressed predicates. Each
+    // group (plain+packed chain, plain+FoR chain, each byte-sliced
+    // predicate) runs as one fused scan over its layout; when several
+    // groups are present each emits a position list and the lists
+    // intersect. Plain u32 predicates fuse into the packed or FoR chain
+    // instead of running alone.
     let rows = chunk.rows() as u32;
-    let phase1_mode = if dynp.is_empty() {
+    let u32_standalone = !u32_preds.is_empty() && packed_preds.is_empty() && for_preds.is_empty();
+    let groups = usize::from(!packed_preds.is_empty())
+        + usize::from(!for_preds.is_empty())
+        + bs_preds.len()
+        + usize::from(u32_standalone);
+    let phase1_mode = if dynp.is_empty() && groups <= 1 {
         mode
     } else {
         OutputMode::Positions
     };
-    let phase1: ScanOutput = if !packed_preds.is_empty() {
+    let mut outs: Vec<ScanOutput> = Vec::with_capacity(groups);
+    if !packed_preds.is_empty() {
         // Mixed packed + plain-u32 chain runs as one packed fused scan —
         // JIT-compiled when enabled and the chain fits one kernel.
-        run_packed_chain(
+        outs.push(run_packed_chain(
             &u32_preds,
             &packed_preds,
             ctx,
             phase1_mode,
             analyze.as_deref_mut(),
-        )?
-    } else if u32_preds.is_empty() {
-        match phase1_mode {
-            OutputMode::Count if dynp.is_empty() => ScanOutput::Count(rows as u64),
-            _ => ScanOutput::Positions((0..rows).collect()),
+        )?);
+    }
+    if !for_preds.is_empty() {
+        // Plain predicates join the FoR chain unless the packed chain
+        // already consumed them.
+        let plain: &[(&[u32], CmpOp, u32)] = if packed_preds.is_empty() {
+            &u32_preds
+        } else {
+            &[]
+        };
+        let chain: Vec<ForPred<'_>> = plain
+            .iter()
+            .map(|&(d, op, n)| ForPred::Plain(TypedPred::new(d, op, n)))
+            .chain(
+                for_preds
+                    .iter()
+                    .map(|&(col, op, needle)| ForPred::For { col, op, needle }),
+            )
+            .collect();
+        let (out, stats) = fused_scan_for(&chain, phase1_mode)
+            .map_err(|e| ExecError::UnsupportedPlan(e.to_string()))?;
+        if let Some(r) = analyze.as_deref_mut() {
+            r.for_blocks_scanned += stats.blocks_scanned;
+            r.for_blocks_pruned += stats.blocks_pruned;
         }
-    } else {
-        run_u32_chain(
+        outs.push(out);
+    }
+    for &(col, op, needle) in &bs_preds {
+        let (out, stats) = scan_bytesliced(col, op, needle, phase1_mode);
+        if let Some(r) = analyze.as_deref_mut() {
+            r.bs_plane_groups_read += stats.plane_groups_read;
+            r.bs_plane_groups_skipped += stats.plane_groups_skipped;
+        }
+        outs.push(out);
+    }
+    if u32_standalone {
+        outs.push(run_u32_chain(
             &u32_preds,
             ctx,
             phase1_mode,
             analyze.as_deref_mut(),
             adaptive,
-        )
+        ));
+    }
+    let phase1: ScanOutput = match outs.len() {
+        0 => match phase1_mode {
+            OutputMode::Count if dynp.is_empty() => ScanOutput::Count(rows as u64),
+            _ => ScanOutput::Positions((0..rows).collect()),
+        },
+        1 => outs.pop().expect("one group"),
+        _ => {
+            let mut acc: Option<PosList> = None;
+            for out in outs {
+                let ScanOutput::Positions(pl) = out else {
+                    unreachable!("positions requested from every group")
+                };
+                acc = Some(match acc {
+                    None => pl,
+                    Some(prev) => prev.intersect(&pl),
+                });
+            }
+            ScanOutput::Positions(acc.expect("at least two groups"))
+        }
     };
 
     if dynp.is_empty() {
@@ -728,6 +851,14 @@ fn segment_matches(seg: &Segment, row: usize, op: CmpOp, needle: Value) -> Optio
         Segment::Packed(pc) => {
             let Value::U32(n) = needle else { return None };
             Some(pc.get(row).cmp_op(op, n))
+        }
+        Segment::For(c) => {
+            let Value::U32(n) = needle else { return None };
+            Some(c.get(row).cmp_op(op, n))
+        }
+        Segment::ByteSliced(c) => {
+            let Value::U32(n) = needle else { return None };
+            Some(c.get(row).cmp_op(op, n))
         }
         // Dictionary predicates are always rewritten in phase 1.
         Segment::Dict(d) => {
@@ -1869,6 +2000,65 @@ mod tests {
         // Re-running hits the cache, same result.
         assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(expected));
         assert_eq!(ctx.packed_kernels.len(), 1);
+    }
+
+    #[test]
+    fn for_and_bytesliced_segments_scan_fused() {
+        let cat = catalog();
+        let base = cat.get("t").unwrap().table.as_ref().clone();
+        let mut cat2 = Catalog::new();
+        cat2.register("tf", base.with_for_encoding(&[0]).unwrap());
+        cat2.register("tb", base.with_byte_slicing(&[1]).unwrap());
+        cat2.register(
+            "tfb",
+            base.with_for_encoding(&[0])
+                .unwrap()
+                .with_byte_slicing(&[1])
+                .unwrap(),
+        );
+        let expected = expected_count(|i| i % 10 == 5 && i % 4 == 1);
+        for jit in [JitMode::Off, JitMode::On] {
+            let ctx = make_ctx(jit);
+            // FoR driver + plain follow-up: one fused FoR chain.
+            // Plain driver + byte-sliced predicate: two groups intersect.
+            // FoR + byte-sliced: both compressed layouts in one statement.
+            for table in ["tf", "tb", "tfb"] {
+                let sql = format!("SELECT COUNT(*) FROM {table} WHERE a = 5 AND b = 1");
+                let p = optimize(plan(&parse(&sql).unwrap(), &cat2).unwrap());
+                assert_eq!(
+                    execute(&p, &ctx).unwrap(),
+                    QueryResult::Count(expected),
+                    "{table} {jit:?}"
+                );
+            }
+        }
+        // Compressed layout + dynamic i64 predicate (phase 2).
+        let expected = expected_count(|i| i % 10 == 5 && (i as i64 - 500) < 0);
+        let ctx = make_ctx(JitMode::Off);
+        let p = optimize(
+            plan(
+                &parse("SELECT COUNT(*) FROM tfb WHERE a = 5 AND big < 0").unwrap(),
+                &cat2,
+            )
+            .unwrap(),
+        );
+        assert_eq!(execute(&p, &ctx).unwrap(), QueryResult::Count(expected));
+        // Positions path: projection over a FoR-encoded filter column.
+        let p = optimize(
+            plan(
+                &parse("SELECT a, b FROM tfb WHERE a = 5 AND b = 1 LIMIT 4").unwrap(),
+                &cat2,
+            )
+            .unwrap(),
+        );
+        let QueryResult::Rows { rows, .. } = execute(&p, &ctx).unwrap() else {
+            panic!("rows expected")
+        };
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row[0], Value::U32(5));
+            assert_eq!(row[1], Value::U32(1));
+        }
     }
 
     #[test]

@@ -153,7 +153,22 @@ impl Lqp {
         let pad = "  ".repeat(depth);
         match self {
             Lqp::StoredTable { name, table, .. } => {
-                let _ = writeln!(out, "{pad}StoredTable {name} [{} rows]", table.rows());
+                // Per-column storage layout of the first chunk (chunks may
+                // diverge while the advisor re-encodes in the background).
+                let layouts = match table.chunks().first() {
+                    Some(chunk) => (0..table.columns())
+                        .map(|i| {
+                            format!("{}:{}", table.schema()[i].name, chunk.segment(i).layout())
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{pad}StoredTable {name} [{} rows] [{layouts}]",
+                    table.rows()
+                );
             }
             Lqp::Filter { input, pred } => {
                 let _ = writeln!(
@@ -574,7 +589,9 @@ mod tests {
         let text = plan(&ast, &cat).unwrap().explain();
         assert!(text.contains("Aggregate COUNT(*)"));
         assert!(text.contains("Filter σ(a = 5)"));
-        assert!(text.contains("StoredTable tbl [100 rows]"));
+        assert!(text.contains("StoredTable tbl [100 rows]"), "{text}");
+        // Per-column layouts render on the leaf.
+        assert!(text.contains("a:plain"), "{text}");
     }
 
     #[test]

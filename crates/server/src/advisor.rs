@@ -1,0 +1,372 @@
+//! The background layout advisor — the *mechanics* half of hybrid
+//! storage layouts.
+//!
+//! The pure policy (cost model, [`fts_storage::choose_layout`]) lives in
+//! `fts-storage::advisor` and never touches data; this module is the loop
+//! that applies it: walk the catalog, build a [`fts_storage::ColumnProfile`]
+//! per column (catalog stats plus observed scan selectivity from the
+//! calibration registry), and re-encode every chunk whose stored layout
+//! lost the scoring — decisively, see [`AdvisorConfig::hysteresis`].
+//!
+//! Re-encoding is a scan-shaped background job, so it competes for the
+//! *same* admission byte budget as queries: each chunk rewrite admits
+//! itself through the server's [`AdmissionController`] with the segment's
+//! heap bytes as its cost, and is deferred (not dropped — the next pass
+//! retries) when the budget has no room. Commits go through
+//! [`fts_query::Engine::replace_chunk`], the copy-on-write swap, so
+//! concurrent scans keep reading their pinned snapshot and the
+//! differential guarantee (concurrent == sequential) holds while data is
+//! being rewritten underneath the queries.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fts_core::AdmissionController;
+use fts_metrics::AdvisorCounters;
+use fts_query::Engine;
+use fts_storage::{choose_layout, score_layouts};
+
+/// Tuning knobs for the background layout advisor.
+#[derive(Debug, Clone, Copy)]
+pub struct AdvisorConfig {
+    /// Whether the server runs the advisor thread at all.
+    pub enabled: bool,
+    /// Pause between catalog passes.
+    pub interval: Duration,
+    /// Relative cost win required before a chunk is re-encoded: the
+    /// chosen layout's estimated cost must be below
+    /// `current_cost * (1 - hysteresis)`. Stops layout flapping when two
+    /// layouts score within noise of each other.
+    pub hysteresis: f64,
+    /// Chunks with fewer rows than this are never re-encoded (the swap
+    /// machinery costs more than the scan ever will).
+    pub min_rows: usize,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> AdvisorConfig {
+        AdvisorConfig {
+            enabled: false,
+            interval: Duration::from_millis(200),
+            hysteresis: 0.10,
+            min_rows: 1024,
+        }
+    }
+}
+
+/// What one advisor pass did — returned by [`run_advisor_once`] so tests
+/// and operators can assert on a single pass without diffing counter
+/// snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassReport {
+    /// Chunk-columns scored against the cost model.
+    pub scored: u64,
+    /// Chunk-columns re-encoded and committed.
+    pub reencoded: u64,
+    /// Re-encodes skipped because admission had no room.
+    pub deferred: u64,
+}
+
+/// One full advisor pass over the catalog, synchronous. The background
+/// thread calls this in a loop; tests call it directly for determinism.
+pub fn run_advisor_once(
+    engine: &Engine,
+    admission: &AdmissionController,
+    counters: &AdvisorCounters,
+    config: &AdvisorConfig,
+) -> PassReport {
+    counters.record_pass();
+    let mut report = PassReport::default();
+
+    // The pass plans against a catalog snapshot but commits against fresh
+    // state: every commit below swaps the table's Arc, so a stale chunk
+    // reference would silently revert a column this same pass already
+    // rewrote in the same chunk.
+    let snapshot = engine.catalog();
+    let names: Vec<String> = snapshot
+        .table_names()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+
+    for name in &names {
+        let Some(entry) = snapshot.get(name) else {
+            continue;
+        };
+        let ncols = entry.table.schema().len();
+        let nchunks = entry.table.chunks().len();
+        for col in 0..ncols {
+            let Some(profile) = engine.column_profile(name, col) else {
+                continue;
+            };
+            if profile.rows < config.min_rows {
+                continue;
+            }
+            let scored = score_layouts(&profile);
+            let best = choose_layout(&profile);
+            for ci in 0..nchunks {
+                report.scored += 1;
+                counters.record_scored();
+
+                let fresh = engine.catalog();
+                let Some(entry) = fresh.get(name) else {
+                    break;
+                };
+                let Some(chunk) = entry.table.chunks().get(ci) else {
+                    break;
+                };
+                let seg = chunk.segment(col);
+                let current = seg.layout();
+                if current == best.layout {
+                    continue;
+                }
+                if let Some(cur) = scored.iter().find(|e| e.layout == current) {
+                    if best.cost >= cur.cost * (1.0 - config.hysteresis) {
+                        continue;
+                    }
+                }
+
+                // The rewrite reads the whole segment once and writes a
+                // comparable amount — bill it like a scan of that size.
+                let cost = seg.heap_bytes() as u64;
+                let permit = match admission.admit_tracked(cost) {
+                    Ok((permit, _waited)) => permit,
+                    Err(_) => {
+                        counters.record_deferred();
+                        report.deferred += 1;
+                        continue;
+                    }
+                };
+
+                // Time the decode through the *old* layout while we have
+                // to do it anyway — this is where the per-layout decode
+                // GB/s figures in STATS come from.
+                let rows = chunk.rows() as u64;
+                let start = Instant::now();
+                let decoded = seg.decode_u32().is_some();
+                if decoded {
+                    let nanos = (start.elapsed().as_nanos() as u64).max(1);
+                    counters.record_decode(current, rows * 4, nanos);
+                }
+
+                let new_chunk = match entry.table.reencode_chunk_column(ci, col, best.layout) {
+                    Ok(chunk) => chunk,
+                    // Non-u32 data the model mis-scored (e.g. stale stats)
+                    // — leave the chunk alone.
+                    Err(_) => {
+                        drop(permit);
+                        continue;
+                    }
+                };
+                let after = new_chunk.segment(col).heap_bytes() as u64;
+                if engine.replace_chunk(name, ci, new_chunk) {
+                    counters.record_reencoded(cost, after);
+                    report.reencoded += 1;
+                }
+                drop(permit);
+            }
+        }
+    }
+    report
+}
+
+/// Handle for the background advisor thread: signals stop and joins on
+/// [`AdvisorHandle::stop`] or drop.
+#[derive(Debug)]
+pub struct AdvisorHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl AdvisorHandle {
+    /// Signal the thread to stop and wait for the in-flight pass to end.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for AdvisorHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawn the background advisor loop: one pass, then sleep `interval`,
+/// until stopped. Sleeping happens in short slices so stop stays prompt.
+pub fn spawn_advisor(
+    engine: Arc<Engine>,
+    admission: Arc<AdmissionController>,
+    counters: Arc<AdvisorCounters>,
+    config: AdvisorConfig,
+) -> AdvisorHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("fts-layout-advisor".into())
+        .spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                run_advisor_once(&engine, &admission, &counters, &config);
+                let mut slept = Duration::ZERO;
+                while slept < config.interval && !stop_flag.load(Ordering::Relaxed) {
+                    let slice = (config.interval - slept).min(Duration::from_millis(20));
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+            }
+        })
+        .expect("spawn advisor thread");
+    AdvisorHandle {
+        stop,
+        thread: Some(thread),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_core::AdmissionConfig;
+    use fts_storage::{Column, ColumnDef, DataType, Layout, Table};
+
+    fn narrow_table(rows: usize, chunk: usize) -> Table {
+        Table::from_chunked_columns(
+            vec![
+                ColumnDef::new("k", DataType::U32),
+                ColumnDef::new("v", DataType::I64),
+            ],
+            vec![
+                // Narrow domain, mildly clustered: prime compression bait.
+                Column::from_fn(rows, |i| ((i / 7) % 200) as u32),
+                Column::from_fn(rows, |i| i as i64),
+            ],
+            chunk,
+        )
+        .expect("table")
+    }
+
+    fn test_config() -> AdvisorConfig {
+        AdvisorConfig {
+            enabled: true,
+            min_rows: 0,
+            ..AdvisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn pass_reencodes_narrow_u32_and_preserves_results() {
+        let engine = Engine::new();
+        engine.register("t", narrow_table(8192, 2048));
+        let admission = AdmissionController::new(AdmissionConfig::default());
+        let counters = AdvisorCounters::new();
+
+        let before = {
+            let p = engine
+                .prepare("SELECT COUNT(*) FROM t WHERE k < 100")
+                .unwrap();
+            fts_server_result(&engine, &p)
+        };
+
+        let report = run_advisor_once(&engine, &admission, &counters, &test_config());
+        assert!(report.reencoded > 0, "{report:?}");
+        assert_eq!(report.deferred, 0);
+
+        // The narrow u32 column moved off Plain; the i64 column did not
+        // move to a compressed layout.
+        let catalog = engine.catalog();
+        let table = &catalog.get("t").unwrap().table;
+        for chunk in table.chunks() {
+            assert_ne!(chunk.segment(0).layout(), Layout::Plain);
+            assert!(matches!(
+                chunk.segment(1).layout(),
+                Layout::Plain | Layout::Dict
+            ));
+        }
+
+        let after = {
+            let p = engine
+                .prepare("SELECT COUNT(*) FROM t WHERE k < 100")
+                .unwrap();
+            fts_server_result(&engine, &p)
+        };
+        assert_eq!(before, after, "re-encoding changed query results");
+
+        // Second pass is a fixpoint: everything already matches the choice.
+        let again = run_advisor_once(&engine, &admission, &counters, &test_config());
+        assert_eq!(again.reencoded, 0, "{again:?}");
+
+        let snap = counters.snapshot();
+        assert_eq!(snap.passes, 2);
+        assert_eq!(snap.chunks_reencoded, report.reencoded);
+        assert!(snap.bytes_saved() > 0, "narrow domain must shrink");
+        assert!(
+            snap.decode_gbps(Layout::Plain).is_some(),
+            "plain decode was timed during the rewrite"
+        );
+    }
+
+    #[test]
+    fn zero_byte_budget_defers_every_reencode() {
+        let engine = Engine::new();
+        engine.register("t", narrow_table(4096, 4096));
+        let admission = AdmissionController::new(AdmissionConfig {
+            max_bytes: 1, // nothing fits
+            ..AdmissionConfig::default()
+        });
+        let counters = AdvisorCounters::new();
+        let report = run_advisor_once(&engine, &admission, &counters, &test_config());
+        assert_eq!(report.reencoded, 0);
+        assert!(report.deferred > 0, "{report:?}");
+        let catalog = engine.catalog();
+        let table = &catalog.get("t").unwrap().table;
+        assert_eq!(table.chunks()[0].segment(0).layout(), Layout::Plain);
+    }
+
+    #[test]
+    fn min_rows_gates_small_chunks() {
+        let engine = Engine::new();
+        engine.register("t", narrow_table(512, 512));
+        let admission = AdmissionController::new(AdmissionConfig::default());
+        let counters = AdvisorCounters::new();
+        let config = AdvisorConfig {
+            min_rows: 1024,
+            ..test_config()
+        };
+        let report = run_advisor_once(&engine, &admission, &counters, &config);
+        assert_eq!(report, PassReport::default());
+    }
+
+    #[test]
+    fn spawned_advisor_reencodes_then_stops() {
+        let engine = Arc::new(Engine::new());
+        engine.register("t", narrow_table(8192, 2048));
+        let admission = Arc::new(AdmissionController::new(AdmissionConfig::default()));
+        let counters = Arc::new(AdvisorCounters::new());
+        let handle = spawn_advisor(
+            Arc::clone(&engine),
+            Arc::clone(&admission),
+            Arc::clone(&counters),
+            AdvisorConfig {
+                interval: Duration::from_millis(5),
+                ..test_config()
+            },
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while counters.snapshot().chunks_reencoded == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.stop();
+        assert!(counters.snapshot().chunks_reencoded > 0);
+    }
+
+    fn fts_server_result(engine: &Engine, prepared: &fts_query::Prepared) -> String {
+        crate::server::render_result(&engine.execute(prepared).expect("execute"))
+    }
+}

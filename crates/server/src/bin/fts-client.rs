@@ -64,20 +64,24 @@ fn main() -> std::io::Result<()> {
         std::process::exit(if ok { 0 } else { 1 });
     }
 
+    // Interactive mode still reports failures: any statement answered
+    // with an error frame makes the final exit status non-zero, so
+    // `fts-client addr < statements.sql` works in scripts and CI.
     let stdin = std::io::stdin();
+    let mut ok = true;
     loop {
         print!("fts> ");
         std::io::stdout().flush().ok();
         let mut line = String::new();
         if stdin.lock().read_line(&mut line)? == 0 {
-            return Ok(());
+            std::process::exit(if ok { 0 } else { 1 });
         }
         let line = line.trim();
         match line {
             "" => continue,
-            "\\q" | "exit" | "quit" => return Ok(()),
+            "\\q" | "exit" | "quit" => std::process::exit(if ok { 0 } else { 1 }),
             _ => {
-                run_statement(&mut reader, &mut writer, line)?;
+                ok &= run_statement(&mut reader, &mut writer, line)?;
             }
         }
     }

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release --bin fts-server -- [--addr HOST:PORT] [--rows N]
 //!     [--no-batch] [--window-ms MS] [--max-concurrent N] [--max-queued N]
-//!     [--max-bytes B]
+//!     [--max-bytes B] [--advisor] [--advisor-interval-ms MS]
 //! ```
 //!
 //! Serves the same demo `orders` tables as `fts-sql` (plain, dictionary
@@ -47,7 +47,8 @@ fn build_demo(rows: usize) -> Table {
 fn usage() -> ! {
     eprintln!(
         "usage: fts-server [--addr HOST:PORT] [--rows N] [--no-batch] \
-         [--window-ms MS] [--max-concurrent N] [--max-queued N] [--max-bytes B]"
+         [--window-ms MS] [--max-concurrent N] [--max-queued N] [--max-bytes B] \
+         [--advisor] [--advisor-interval-ms MS]"
     );
     std::process::exit(2);
 }
@@ -91,6 +92,14 @@ fn main() {
                 config.admission.max_bytes =
                     value("--max-bytes").parse().unwrap_or_else(|_| usage())
             }
+            "--advisor" => config.advisor.enabled = true,
+            "--advisor-interval-ms" => {
+                config.advisor.interval = Duration::from_millis(
+                    value("--advisor-interval-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -117,10 +126,11 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!(
-        "fts-server listening on {addr} (tables: {}; batching: {}; \
+        "fts-server listening on {addr} (tables: {}; batching: {}; advisor: {}; \
          max_concurrent: {}, max_queued: {})",
         engine.catalog().table_names().join(", "),
         if config.batching { "on" } else { "off" },
+        if config.advisor.enabled { "on" } else { "off" },
         config.admission.max_concurrent,
         config.admission.max_queued,
     );

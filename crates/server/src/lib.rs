@@ -17,16 +17,23 @@
 //!   twice";
 //! * **observability** ([`fts_metrics::SchedCounters`]) — the `STATS`
 //!   command and the server lines appended to `EXPLAIN ANALYZE` report
-//!   admitted/queued/rejected counts and the shared-pass hit rate.
+//!   admitted/queued/rejected counts and the shared-pass hit rate;
+//! * **layout advisor** ([`advisor`]) — an optional background thread
+//!   that scores every column against the storage cost model
+//!   ([`fts_storage::choose_layout`]) and re-encodes losing chunks via
+//!   copy-on-write swaps, billed against the same admission byte budget
+//!   as queries ([`fts_metrics::AdvisorCounters`] reports what it did).
 //!
 //! The wire protocol ([`protocol`]) is deliberately small: length-prefixed
 //! UTF-8 frames, one statement per request, one status byte per response.
 
 #![warn(missing_docs)]
 
+pub mod advisor;
 pub mod batch;
 pub mod protocol;
 pub mod server;
 
+pub use advisor::{run_advisor_once, spawn_advisor, AdvisorConfig, AdvisorHandle, PassReport};
 pub use protocol::{read_frame, write_frame, Request, Response, MAX_FRAME_BYTES};
 pub use server::{render_result, QueryServer, ServerConfig};

@@ -3,13 +3,15 @@
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use fts_core::{AdmissionConfig, AdmissionController, EngineError};
-use fts_metrics::{SchedCounters, SchedSnapshot};
+use fts_metrics::{AdvisorCounters, SchedCounters, SchedSnapshot};
 use fts_query::{Engine, QueryError, QueryResult};
+use fts_storage::Layout;
 
+use crate::advisor::{run_advisor_once, spawn_advisor, AdvisorConfig, AdvisorHandle, PassReport};
 use crate::batch::Batcher;
 use crate::protocol::{Request, Response};
 
@@ -25,6 +27,8 @@ pub struct ServerConfig {
     /// Whether scan-sharing is enabled at all (`false` executes every
     /// statement solo — the bench's baseline mode).
     pub batching: bool,
+    /// Background layout-advisor knobs (off by default).
+    pub advisor: AdvisorConfig,
 }
 
 impl Default for ServerConfig {
@@ -33,6 +37,7 @@ impl Default for ServerConfig {
             admission: AdmissionConfig::default(),
             batch_window: Duration::from_millis(2),
             batching: true,
+            advisor: AdvisorConfig::default(),
         }
     }
 }
@@ -46,19 +51,37 @@ impl Default for ServerConfig {
 /// the same path the wire speaks.
 pub struct QueryServer {
     engine: Arc<Engine>,
-    admission: AdmissionController,
+    admission: Arc<AdmissionController>,
     counters: SchedCounters,
+    advisor_counters: Arc<AdvisorCounters>,
+    advisor: Mutex<Option<AdvisorHandle>>,
     batcher: Batcher,
     config: ServerConfig,
 }
 
 impl QueryServer {
-    /// A server over `engine` with the given config.
+    /// A server over `engine` with the given config. When
+    /// `config.advisor.enabled` is set, the background layout advisor
+    /// starts immediately (and stops when the server is dropped).
     pub fn new(engine: Arc<Engine>, config: ServerConfig) -> QueryServer {
+        let admission = Arc::new(AdmissionController::new(config.admission));
+        let advisor_counters = Arc::new(AdvisorCounters::new());
+        let advisor = if config.advisor.enabled {
+            Some(spawn_advisor(
+                Arc::clone(&engine),
+                Arc::clone(&admission),
+                Arc::clone(&advisor_counters),
+                config.advisor,
+            ))
+        } else {
+            None
+        };
         QueryServer {
             engine,
-            admission: AdmissionController::new(config.admission),
+            admission,
             counters: SchedCounters::new(),
+            advisor_counters,
+            advisor: Mutex::new(advisor),
             batcher: Batcher::new(config.batch_window),
             config,
         }
@@ -72,6 +95,35 @@ impl QueryServer {
     /// The scheduler telemetry counters.
     pub fn counters(&self) -> &SchedCounters {
         &self.counters
+    }
+
+    /// The layout-advisor telemetry counters.
+    pub fn advisor_counters(&self) -> &AdvisorCounters {
+        &self.advisor_counters
+    }
+
+    /// Run one synchronous advisor pass over the catalog, sharing the
+    /// server's admission budget. Works whether or not the background
+    /// thread is running — useful for tests and manual maintenance.
+    pub fn run_advisor_once(&self) -> PassReport {
+        run_advisor_once(
+            &self.engine,
+            &self.admission,
+            &self.advisor_counters,
+            &self.config.advisor,
+        )
+    }
+
+    /// Stop the background advisor thread, if one is running. Idempotent.
+    pub fn stop_advisor(&self) {
+        let handle = self
+            .advisor
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take();
+        if let Some(handle) = handle {
+            handle.stop();
+        }
     }
 
     /// The active configuration.
@@ -177,33 +229,52 @@ impl QueryServer {
     /// The scheduler lines appended to `EXPLAIN ANALYZE` responses.
     fn analyze_lines(&self) -> String {
         let s = self.counters.snapshot();
+        let a = self.advisor_counters.snapshot();
         let (running, queued) = self.admission.load();
         format!(
             "server: admitted={} queued={} rejected={} running={running} waiting={queued}\n\
-             server: shared_passes={} shared_queries={} hit_rate={:.1}%\n",
+             server: shared_passes={} shared_queries={} hit_rate={:.1}%\n\
+             server: advisor_passes={} chunks_reencoded={} bytes_saved={}\n",
             s.admitted,
             s.queued,
             s.rejected,
             s.shared_batches,
             s.shared_queries,
-            s.shared_hit_rate() * 100.0
+            s.shared_hit_rate() * 100.0,
+            a.passes,
+            a.chunks_reencoded,
+            a.bytes_saved(),
         )
     }
 
-    /// The `STATS` command body: admission, batching and engine counters.
+    /// The `STATS` command body: admission, batching, engine and
+    /// layout-advisor counters.
     pub fn stats_text(&self) -> String {
         let s: SchedSnapshot = self.counters.snapshot();
+        let a = self.advisor_counters.snapshot();
         let (running, queued) = self.admission.load();
         let cfg = self.admission.config();
         let jit = self.engine.context().kernels.stats();
         let ctx = self.engine.context();
+        // Per-layout decode throughput, only for layouts actually timed.
+        let decode: Vec<String> = Layout::ALL
+            .iter()
+            .filter_map(|&l| a.decode_gbps(l).map(|g| format!("{l}={g:.2}")))
+            .collect();
+        let decode = if decode.is_empty() {
+            "none".to_string()
+        } else {
+            decode.join(" ")
+        };
         format!(
             "admission: running={running} waiting={queued} peak_running={} \
              (max_concurrent={} max_queued={} max_bytes={})\n\
              queries: admitted={} queued={} rejected={} completed={} errors={}\n\
              batching: shared_passes={} shared_queries={} hit_rate={:.1}%\n\
              jit: kernels={} hits={} misses={} evictions={}\n\
-             scan: chunks_scanned={} chunks_pruned={} calibrated_chains={}",
+             scan: chunks_scanned={} chunks_pruned={} calibrated_chains={}\n\
+             advisor: passes={} scored={} reencoded={} deferred={} bytes_saved={}\n\
+             advisor decode GB/s: {decode}",
             s.peak_running,
             cfg.max_concurrent,
             cfg.max_queued,
@@ -223,6 +294,11 @@ impl QueryServer {
             ctx.chunks_scanned.load(Ordering::Relaxed),
             ctx.chunks_pruned.load(Ordering::Relaxed),
             ctx.calibration.len(),
+            a.passes,
+            a.chunks_scored,
+            a.chunks_reencoded,
+            a.reencodes_deferred,
+            a.bytes_saved(),
         )
     }
 

@@ -11,8 +11,8 @@ use std::time::Duration;
 
 use fts_core::AdmissionConfig;
 use fts_query::Engine;
-use fts_server::{QueryServer, Request, Response, ServerConfig};
-use fts_storage::{Column, ColumnDef, DataType, Table};
+use fts_server::{AdvisorConfig, QueryServer, Request, Response, ServerConfig};
+use fts_storage::{Column, ColumnDef, DataType, Layout, Table};
 
 const ROWS: usize = 40_960;
 const CHUNK: usize = 1024;
@@ -141,6 +141,106 @@ fn sixteen_concurrent_clients_match_sequential() {
     );
     assert_eq!(snap.completed, 16);
     assert_eq!(snap.rejected, 0);
+}
+
+/// The differential guarantee survives background re-encoding: 16
+/// concurrent clients hammer the server while the layout advisor rewrites
+/// chunks underneath them (both its background thread and a synchronous
+/// pass forced mid-flight). Every response must still match the
+/// sequential reference, and the advisor must actually have re-encoded
+/// something for the run to mean anything.
+#[test]
+fn background_reencoding_preserves_differential_guarantee() {
+    let statements: Vec<String> = (0..16)
+        .map(|i| match i % 4 {
+            0 => "SELECT COUNT(*) FROM orders WHERE quantity < 25".to_string(),
+            1 => format!(
+                "SELECT COUNT(*) FROM orders WHERE quantity < 25 AND discount = {}",
+                i % 11
+            ),
+            2 => "SELECT SUM(price) FROM orders WHERE quantity = 5 AND discount = 2".to_string(),
+            _ => format!("SELECT MAX(price) FROM orders WHERE discount >= {}", i % 11),
+        })
+        .collect();
+
+    let reference_engine = Engine::new();
+    reference_engine.register("orders", test_table());
+    let reference: Vec<String> = statements
+        .iter()
+        .map(|s| {
+            let prepared = reference_engine.prepare(s).expect("prepare");
+            let result = reference_engine.execute(&prepared).expect("execute");
+            fts_server::server::render_result(&result)
+        })
+        .collect();
+
+    let (server, addr) = start_server(ServerConfig {
+        advisor: AdvisorConfig {
+            enabled: true,
+            interval: Duration::from_millis(1),
+            min_rows: 0,
+            ..AdvisorConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+
+    // Each client replays its statement several times so traffic overlaps
+    // the rewrites; a synchronous advisor pass forced from this thread
+    // guarantees at least one rewrite happens mid-flight.
+    let handles: Vec<_> = statements
+        .iter()
+        .cloned()
+        .map(|s| {
+            std::thread::spawn(move || (0..6).map(|_| roundtrip(addr, &s)).collect::<Vec<_>>())
+        })
+        .collect();
+    server.run_advisor_once();
+    let responses: Vec<Vec<Response>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("join"))
+        .collect();
+    server.stop_advisor();
+
+    for (i, (resps, expect)) in responses.iter().zip(&reference).enumerate() {
+        for (round, resp) in resps.iter().enumerate() {
+            assert!(resp.is_ok(), "client {i} round {round}: {}", resp.body());
+            assert_eq!(resp.body(), expect, "client {i} round {round} diverged");
+        }
+    }
+
+    let advisor = server.advisor_counters().snapshot();
+    assert!(
+        advisor.chunks_reencoded > 0,
+        "advisor never re-encoded anything: {advisor:?}"
+    );
+    assert!(advisor.bytes_saved() > 0, "narrow u32 columns must shrink");
+
+    // The narrow u32 columns actually moved off Plain.
+    let catalog = server.engine().catalog();
+    let table = &catalog.get("orders").expect("orders").table;
+    assert_ne!(table.chunks()[0].segment(0).layout(), Layout::Plain);
+
+    // And the counters are visible over the wire.
+    let stats = roundtrip(addr, "STATS");
+    assert!(
+        stats.body().contains("advisor: passes="),
+        "{}",
+        stats.body()
+    );
+    assert!(
+        stats.body().contains("advisor decode GB/s:"),
+        "{}",
+        stats.body()
+    );
+    let analyze = roundtrip(
+        addr,
+        "EXPLAIN ANALYZE SELECT COUNT(*) FROM orders WHERE quantity < 25",
+    );
+    assert!(
+        analyze.body().contains("advisor_passes="),
+        "{}",
+        analyze.body()
+    );
 }
 
 /// Load shedding: a tiny admission budget with a tiny queue must reject

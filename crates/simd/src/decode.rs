@@ -1,0 +1,316 @@
+//! Vectorized decode kernels for the compressed layouts, plus the
+//! mask-popcount primitives of the COUNT-only path.
+//!
+//! Every entry point dispatches through [`detect()`](fn@crate::detect) — the
+//! single point where the host-clamped `FTS_FORCE_SIMD` override gates
+//! *all* kernels, decode and popcount included, not just the predicate
+//! kernels. Forcing `scalar` therefore really exercises the scalar decode
+//! paths end to end; no function here consults `is_x86_feature_detected!`
+//! directly.
+//!
+//! The bit-unpack follows the Lemire-style funnel extraction: for value
+//! `i` at width `b`, `bit = i·b`, `lo = words[bit>>5]`,
+//! `hi = words[(bit>>5)+1]`, `value = ((lo >> off) | (hi << (32−off)))
+//! & mask` with `off = bit & 31`. Variable SIMD shifts zero the lane when
+//! the count reaches 32, which makes the `off == 0` case fall out for
+//! free. Callers must provide the guard word (`words` one longer than the
+//! packed payload), the same contract as `fts-storage`'s packed formats.
+
+use crate::detect::{detect, SimdLevel};
+
+/// The low-`bits` mask (u32 domain).
+#[inline]
+fn mask_of(bits: u8) -> u32 {
+    if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+/// Words a decode of `n` values at `bits` bits may touch, including the
+/// guard word the funnel shift reads past the last value.
+#[inline]
+fn words_needed(n: usize, bits: u8) -> usize {
+    (n * bits as usize).div_ceil(32) + 1
+}
+
+/// Decode `out.len()` values packed at `bits` bits from the start of
+/// `words`, adding `min` to each (frame-of-reference decode; pass
+/// `min = 0` for plain bit-unpack). `bits == 0` splats `min`.
+///
+/// # Panics
+/// If `words` is shorter than the payload plus its guard word.
+pub fn decode_for_block(words: &[u32], bits: u8, min: u32, out: &mut [u32]) {
+    if bits == 0 {
+        out.fill(min);
+        return;
+    }
+    assert!(bits <= 32, "bit width out of range");
+    assert!(
+        words.len() >= words_needed(out.len(), bits),
+        "payload too short: {} words for {} values at {bits} bits",
+        words.len(),
+        out.len()
+    );
+    match detect() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { decode_avx512(words, bits, min, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { decode_avx2(words, bits, min, out) },
+        _ => decode_scalar(words, bits, min, out),
+    }
+}
+
+/// Scalar reference decode (also the non-x86 and forced-scalar path).
+pub fn decode_scalar(words: &[u32], bits: u8, min: u32, out: &mut [u32]) {
+    let mask = mask_of(bits);
+    for (i, slot) in out.iter_mut().enumerate() {
+        let bit = i as u64 * bits as u64;
+        let word = (bit / 32) as usize;
+        let off = (bit % 32) as u32;
+        let w = words[word] as u64 | ((words[word + 1] as u64) << 32);
+        *slot = min.wrapping_add(((w >> off) as u32) & mask);
+    }
+}
+
+/// 16-lane AVX-512 funnel-shift decode.
+///
+/// # Safety
+/// Caller checked AVX-512 F+VL+BW+DQ (via [`detect()`]) and the guard-word
+/// length contract.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,avx512bw,avx512dq")]
+#[allow(unsafe_op_in_unsafe_fn)] // one kernel = one contiguous unsafe context
+unsafe fn decode_avx512(words: &[u32], bits: u8, min: u32, out: &mut [u32]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let base = words.as_ptr() as *const i32;
+    let maskv = _mm512_set1_epi32(mask_of(bits) as i32);
+    let minv = _mm512_set1_epi32(min as i32);
+    let bitsv = _mm512_set1_epi32(bits as i32);
+    let iota = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let lane = _mm512_add_epi32(_mm512_set1_epi32(i as i32), iota);
+        let bit = _mm512_mullo_epi32(lane, bitsv);
+        let widx = _mm512_srli_epi32::<5>(bit);
+        let off = _mm512_and_si512(bit, _mm512_set1_epi32(31));
+        let lo = _mm512_i32gather_epi32::<4>(widx, base);
+        let hi = _mm512_i32gather_epi32::<4>(_mm512_add_epi32(widx, _mm512_set1_epi32(1)), base);
+        // (lo >> off) | (hi << (32 - off)); sllv zeroes at count 32.
+        let lo_part = _mm512_srlv_epi32(lo, off);
+        let hi_part = _mm512_sllv_epi32(hi, _mm512_sub_epi32(_mm512_set1_epi32(32), off));
+        let v = _mm512_and_si512(_mm512_or_si512(lo_part, hi_part), maskv);
+        _mm512_storeu_epi32(
+            out.as_mut_ptr().add(i) as *mut i32,
+            _mm512_add_epi32(v, minv),
+        );
+        i += 16;
+    }
+    scalar_tail(words, bits, min, out, i);
+}
+
+/// 8-lane AVX2 funnel-shift decode.
+///
+/// # Safety
+/// Caller checked AVX2 (via [`detect()`]) and the guard-word contract.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_op_in_unsafe_fn)] // one kernel = one contiguous unsafe context
+unsafe fn decode_avx2(words: &[u32], bits: u8, min: u32, out: &mut [u32]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let base = words.as_ptr() as *const i32;
+    let maskv = _mm256_set1_epi32(mask_of(bits) as i32);
+    let minv = _mm256_set1_epi32(min as i32);
+    let bitsv = _mm256_set1_epi32(bits as i32);
+    let iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let lane = _mm256_add_epi32(_mm256_set1_epi32(i as i32), iota);
+        let bit = _mm256_mullo_epi32(lane, bitsv);
+        let widx = _mm256_srli_epi32::<5>(bit);
+        let off = _mm256_and_si256(bit, _mm256_set1_epi32(31));
+        let lo = _mm256_i32gather_epi32::<4>(base, widx);
+        let hi = _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(widx, _mm256_set1_epi32(1)));
+        let lo_part = _mm256_srlv_epi32(lo, off);
+        let hi_part = _mm256_sllv_epi32(hi, _mm256_sub_epi32(_mm256_set1_epi32(32), off));
+        let v = _mm256_and_si256(_mm256_or_si256(lo_part, hi_part), maskv);
+        _mm256_storeu_si256(
+            out.as_mut_ptr().add(i) as *mut __m256i,
+            _mm256_add_epi32(v, minv),
+        );
+        i += 8;
+    }
+    scalar_tail(words, bits, min, out, i);
+}
+
+/// Decode rows `[from, out.len())` scalar-side with absolute bit
+/// addressing (the SIMD loops' tail).
+fn scalar_tail(words: &[u32], bits: u8, min: u32, out: &mut [u32], from: usize) {
+    let mask = mask_of(bits);
+    for (i, slot) in out.iter_mut().enumerate().skip(from) {
+        let bit = i as u64 * bits as u64;
+        let word = (bit / 32) as usize;
+        let off = (bit % 32) as u32;
+        let w = words[word] as u64 | ((words[word + 1] as u64) << 32);
+        *slot = min.wrapping_add(((w >> off) as u32) & mask);
+    }
+}
+
+/// Total population count over packed predicate-mask words — the
+/// COUNT-only accumulator ("Faster Positional Population Counts",
+/// PAPERS.md): a chain that only needs `COUNT(*)` sums its compare masks
+/// here instead of materializing a position list.
+pub fn mask_popcount(masks: &[u64]) -> u64 {
+    match detect() {
+        // The hardware `popcnt` path: on AVX2+ hosts LLVM lowers this to
+        // one popcnt per word, unrolled; a dedicated Harley-Seal kernel
+        // only wins on multi-KiB mask runs, which a 128-value-block scan
+        // never accumulates.
+        SimdLevel::Avx512 | SimdLevel::Avx2 => masks.iter().map(|m| m.count_ones() as u64).sum(),
+        SimdLevel::Scalar => {
+            // Forced-scalar path: branch-free SWAR popcount, no popcnt.
+            masks.iter().map(|&m| swar_popcount(m)).sum()
+        }
+    }
+}
+
+/// SWAR (no `popcnt` instruction) 64-bit population count.
+fn swar_popcount(mut v: u64) -> u64 {
+    v -= (v >> 1) & 0x5555_5555_5555_5555;
+    v = (v & 0x3333_3333_3333_3333) + ((v >> 2) & 0x3333_3333_3333_3333);
+    v = (v + (v >> 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    v.wrapping_mul(0x0101_0101_0101_0101) >> 56
+}
+
+/// Positional population count over 16-lane compare masks: `out[j]` is
+/// the number of masks with bit `j` set. The per-lane histogram feeds the
+/// decode telemetry (which SIMD lanes carry matches — skew here means the
+/// block layout, not the data, limits the kernel).
+pub fn positional_popcount16(masks: &[u16]) -> [u64; 16] {
+    let mut out = [0u64; 16];
+    // Bit-sliced accumulation: 16-wide carry-save adder over u64 groups
+    // would be the paper's kernel; at the mask volumes a scan produces
+    // (≤ 8 per block) the simple transposed loop is already bound by the
+    // load stream, so this stays portable. The dispatch point is kept so
+    // a forced level changes nothing semantically.
+    let _ = detect();
+    for &m in masks {
+        let mut bits = m;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            out[j] += 1;
+            bits &= bits - 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(seed: u64) -> impl Iterator<Item = u32> {
+        let mut state = seed | 1;
+        std::iter::repeat_with(move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as u32
+        })
+    }
+
+    fn pack(values: &[u32], bits: u8) -> Vec<u32> {
+        let mut words = vec![0u32; words_needed(values.len(), bits)];
+        for (i, &v) in values.iter().enumerate() {
+            let bit = i as u64 * bits as u64;
+            let word = (bit / 32) as usize;
+            let off = (bit % 32) as u32;
+            words[word] |= v << off;
+            if off + bits as u32 > 32 {
+                words[word + 1] |= v >> (32 - off);
+            }
+        }
+        words
+    }
+
+    #[test]
+    fn decode_round_trips_all_widths() {
+        for bits in 1..=32u8 {
+            for n in [0usize, 1, 7, 16, 17, 128, 200] {
+                let mask = mask_of(bits);
+                let values: Vec<u32> = xorshift(bits as u64 * 31 + n as u64)
+                    .take(n)
+                    .map(|v| v & mask)
+                    .collect();
+                let words = pack(&values, bits);
+                let mut out = vec![0u32; n];
+                decode_for_block(&words, bits, 0, &mut out);
+                assert_eq!(out, values, "bits={bits} n={n}");
+                // Frame add.
+                decode_for_block(&words, bits, 1000, &mut out);
+                let framed: Vec<u32> = values.iter().map(|v| v + 1000).collect();
+                assert_eq!(out, framed, "bits={bits} n={n} min=1000");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_matches_dispatched() {
+        for bits in [3u8, 13, 21, 32] {
+            let mask = mask_of(bits);
+            let values: Vec<u32> = xorshift(77).take(300).map(|v| v & mask).collect();
+            let words = pack(&values, bits);
+            let mut simd = vec![0u32; 300];
+            let mut scalar = vec![0u32; 300];
+            decode_for_block(&words, bits, 5, &mut simd);
+            decode_scalar(&words, bits, 5, &mut scalar);
+            assert_eq!(simd, scalar);
+        }
+    }
+
+    #[test]
+    fn zero_bits_splats_min() {
+        let mut out = vec![0u32; 10];
+        decode_for_block(&[], 0, 42, &mut out);
+        assert_eq!(out, vec![42u32; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload too short")]
+    fn missing_guard_word_panics() {
+        let mut out = vec![0u32; 32];
+        // 32 values × 8 bits = 8 words, +1 guard required ⇒ 8 is short.
+        decode_for_block(&[0u32; 8], 8, 0, &mut out);
+    }
+
+    #[test]
+    fn popcount_total_and_swar() {
+        let masks = [0u64, u64::MAX, 0x5555_5555_5555_5555, 1 << 63];
+        assert_eq!(mask_popcount(&masks), 64 + 32 + 1);
+        for &m in &masks {
+            assert_eq!(swar_popcount(m), m.count_ones() as u64);
+        }
+        let random: Vec<u64> = (0..99u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let expect: u64 = random.iter().map(|m| m.count_ones() as u64).sum();
+        assert_eq!(mask_popcount(&random), expect);
+    }
+
+    #[test]
+    fn positional_popcount_histogram() {
+        let masks = [0b1u16, 0b11, 0b101, u16::MAX];
+        let h = positional_popcount16(&masks);
+        assert_eq!(h[0], 4);
+        assert_eq!(h[1], 2);
+        assert_eq!(h[2], 2);
+        assert_eq!(h[15], 1);
+        assert_eq!(
+            h.iter().sum::<u64>() as u32,
+            masks.iter().map(|m| m.count_ones()).sum()
+        );
+    }
+}

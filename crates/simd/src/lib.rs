@@ -13,8 +13,10 @@
 
 #![warn(missing_docs)]
 
+pub mod decode;
 pub mod detect;
 pub mod hw;
 pub mod model;
 
+pub use decode::{decode_for_block, mask_popcount, positional_popcount16};
 pub use detect::{apply_force, detect, has_avx2, has_avx512, parse_force, SimdLevel};

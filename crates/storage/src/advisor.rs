@@ -1,0 +1,296 @@
+//! Layout scoring — the pure-policy half of the layout advisor.
+//!
+//! Given a [`ColumnProfile`] (catalog stats plus observed scan behaviour),
+//! [`score_layouts`] estimates bytes and scan cost for every legal layout
+//! and [`choose_layout`] picks the cheapest. The policy is deliberately a
+//! closed-form model, not a search: it must be cheap enough to run per
+//! column per chunk inside the server's background maintenance loop, and
+//! deterministic so the differential tests can pin its decisions. The
+//! *mechanics* of re-encoding (copy-on-write chunk swap, admission budget)
+//! live in `fts-server::advisor`; this module never touches data.
+//!
+//! The cost model follows the decode-throughput law ("When Is a Columnar
+//! Scan Bandwidth-Bound?", PAPERS.md): a scan's cost is
+//! `bytes_touched / bandwidth + rows * decode_cpw / clock`, so smaller
+//! layouts win while their per-value decode work stays under the
+//! bandwidth headroom. Observed selectivity shifts the balance: highly
+//! selective scans touch few gather-side bytes, so compression of the
+//! driver column dominates.
+
+use crate::types::DataType;
+
+/// The storage layouts a column segment can take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layout {
+    /// Uncompressed native values.
+    Plain,
+    /// Sorted dictionary + u32 value ids.
+    Dict,
+    /// Fixed-width bit-packing (whole chunk, one width).
+    Packed,
+    /// Frame-of-reference blocks with per-block width.
+    For,
+    /// Byte planes, most-significant-first evaluation.
+    ByteSliced,
+}
+
+impl Layout {
+    /// All five layouts, in a stable order.
+    pub const ALL: [Layout; 5] = [
+        Layout::Plain,
+        Layout::Dict,
+        Layout::Packed,
+        Layout::For,
+        Layout::ByteSliced,
+    ];
+
+    /// Short name used by EXPLAIN and STATS output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layout::Plain => "plain",
+            Layout::Dict => "dict",
+            Layout::Packed => "packed",
+            Layout::For => "for",
+            Layout::ByteSliced => "bytesliced",
+        }
+    }
+}
+
+impl std::fmt::Display for Layout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What the advisor knows about one column of one chunk.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnProfile {
+    /// Logical type of the column.
+    pub data_type: DataType,
+    /// Rows in the chunk.
+    pub rows: usize,
+    /// Distinct values (capped estimate is fine).
+    pub distinct: usize,
+    /// Minimum value, reinterpreted as u64 ordering key.
+    pub min: u64,
+    /// Maximum value, reinterpreted as u64 ordering key.
+    pub max: u64,
+    /// Clustering excess over random, in `[0, 1]`: computed as
+    /// `max(0, 2·frac_nondecreasing − 1)` so random data scores ≈ 0 and
+    /// sorted (or locally clustered) data scores near 1.
+    pub sortedness: f64,
+    /// Observed selectivity of scans over this column, if any
+    /// (from the calibration registry). `None` = never scanned.
+    pub observed_selectivity: Option<f64>,
+}
+
+/// Clustering excess over random, in `[0, 1]` — the [`ColumnProfile::
+/// sortedness`] metric: `max(0, 2·frac_nondecreasing − 1)`. Random data
+/// scores ≈ 0 (about half its adjacent pairs are non-decreasing), sorted
+/// or locally clustered data scores near 1.
+pub fn sortedness_of(values: &[u32]) -> f64 {
+    if values.len() < 2 {
+        return 1.0;
+    }
+    let nondec = values.windows(2).filter(|w| w[0] <= w[1]).count();
+    let frac = nondec as f64 / (values.len() - 1) as f64;
+    (2.0 * frac - 1.0).max(0.0)
+}
+
+/// One layout's estimated footprint and scan cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayoutEstimate {
+    /// The layout.
+    pub layout: Layout,
+    /// Estimated heap bytes for the segment.
+    pub bytes: u64,
+    /// Estimated cost of one full predicated scan, in abstract
+    /// byte-equivalent units (lower is better).
+    pub cost: f64,
+}
+
+fn bits_for(span: u64) -> u32 {
+    if span == 0 {
+        1
+    } else {
+        64 - span.leading_zeros()
+    }
+}
+
+/// Per-value decode work of each layout, in byte-equivalents added on top
+/// of the bytes actually streamed (the compute term of the decode law).
+/// Calibrated against the `layouts` bench on an AVX-512 host; the exact
+/// constants matter less than their order.
+fn decode_penalty(layout: Layout) -> f64 {
+    match layout {
+        Layout::Plain => 0.0,
+        Layout::Dict => 0.15,       // id indirection on the gather side
+        Layout::Packed => 0.35,     // funnel-shift extraction
+        Layout::For => 0.45,        // extraction + frame add, minus pruning
+        Layout::ByteSliced => 0.50, // survivor refinement off the MSB plane
+    }
+}
+
+/// Score every layout that is legal for the profile. u32 columns admit
+/// all five; other types admit only `Plain` and `Dict` (the dictionary
+/// rewrites any type into the u32 id domain).
+pub fn score_layouts(p: &ColumnProfile) -> Vec<LayoutEstimate> {
+    let rows = p.rows as u64;
+    let elem = p.data_type.width() as u64;
+    let selectivity = p.observed_selectivity.unwrap_or(0.05);
+    let mut out = Vec::with_capacity(Layout::ALL.len());
+
+    for layout in Layout::ALL {
+        let bytes = match layout {
+            Layout::Plain => rows * elem,
+            Layout::Dict => rows * 4 + p.distinct as u64 * elem,
+            Layout::Packed => {
+                if p.data_type != DataType::U32 {
+                    continue;
+                }
+                (rows * bits_for(p.max) as u64).div_ceil(8) + 4
+            }
+            Layout::For => {
+                if p.data_type != DataType::U32 {
+                    continue;
+                }
+                // Per-block widths shrink with clustering: sorted data's
+                // blocks span ~128 values, random data's span the global
+                // range. Interpolate by sortedness.
+                let global = bits_for(p.max - p.min) as f64;
+                let local =
+                    bits_for(((p.max - p.min) / (p.rows as u64 / 128).max(1)).max(127)) as f64;
+                let bits = local * p.sortedness + global * (1.0 - p.sortedness);
+                (rows as f64 * bits / 8.0) as u64 + rows.div_ceil(128) * 12
+            }
+            Layout::ByteSliced => {
+                if p.data_type != DataType::U32 {
+                    continue;
+                }
+                rows * bits_for(p.max).div_ceil(8).max(1) as u64
+            }
+        };
+
+        // Cost = bytes streamed + decode work, discounted where the layout
+        // can skip work: FoR prunes whole blocks on clustered data (the
+        // header resolves the predicate), byte-slicing decides most rows on
+        // the most-significant plane for selective predicates.
+        let mut cost = bytes as f64 + rows as f64 * decode_penalty(layout);
+        if layout == Layout::For {
+            cost *= 1.0 - 0.5 * p.sortedness * (1.0 - selectivity);
+        }
+        if layout == Layout::ByteSliced {
+            let planes = bits_for(p.max).div_ceil(8).max(1) as f64;
+            // Touches ~1 plane for decided rows, all planes for survivors.
+            cost = rows as f64 * (1.0 + selectivity * (planes - 1.0))
+                + rows as f64 * decode_penalty(layout);
+        }
+        // A dictionary on a high-cardinality column buys nothing: ids are
+        // as wide as the data and the dict itself is pure overhead.
+        if layout == Layout::Dict && p.distinct * 2 >= p.rows.max(1) {
+            cost *= 1.5;
+        }
+        out.push(LayoutEstimate {
+            layout,
+            bytes,
+            cost,
+        });
+    }
+    out
+}
+
+/// The cheapest legal layout for the profile (ties break toward the
+/// earlier entry in [`Layout::ALL`], i.e. the simpler layout).
+pub fn choose_layout(p: &ColumnProfile) -> LayoutEstimate {
+    score_layouts(p)
+        .into_iter()
+        .min_by(|a, b| a.cost.total_cmp(&b.cost))
+        .expect("Plain and Dict are always legal")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(rows: usize) -> ColumnProfile {
+        ColumnProfile {
+            data_type: DataType::U32,
+            rows,
+            distinct: rows / 2,
+            min: 0,
+            max: u32::MAX as u64,
+            sortedness: 0.5,
+            observed_selectivity: Some(0.01),
+        }
+    }
+
+    #[test]
+    fn non_u32_restricted_to_plain_and_dict() {
+        let p = ColumnProfile {
+            data_type: DataType::I64,
+            ..profile(1000)
+        };
+        let scored = score_layouts(&p);
+        assert!(scored
+            .iter()
+            .all(|e| matches!(e.layout, Layout::Plain | Layout::Dict)));
+    }
+
+    #[test]
+    fn narrow_domain_prefers_packed_or_for() {
+        let p = ColumnProfile {
+            max: 255,
+            distinct: 256,
+            ..profile(1 << 20)
+        };
+        let best = choose_layout(&p);
+        assert!(
+            matches!(
+                best.layout,
+                Layout::Packed | Layout::For | Layout::ByteSliced
+            ),
+            "narrow u32 domain should compress, got {}",
+            best.layout
+        );
+        assert!(best.bytes < (1u64 << 20) * 4 / 2);
+    }
+
+    #[test]
+    fn large_frame_prefers_for_over_packed() {
+        // Values in [4e9 - 255, 4e9]: packed needs 32 bits, FoR needs 8.
+        let p = ColumnProfile {
+            min: 4_000_000_000 - 255,
+            max: 4_000_000_000,
+            distinct: 256,
+            sortedness: 0.9,
+            ..profile(1 << 20)
+        };
+        let scored = score_layouts(&p);
+        let for_est = scored.iter().find(|e| e.layout == Layout::For).unwrap();
+        let packed = scored.iter().find(|e| e.layout == Layout::Packed).unwrap();
+        assert!(for_est.cost < packed.cost, "{for_est:?} vs {packed:?}");
+    }
+
+    #[test]
+    fn wide_random_u32_never_shrinks_below_plain() {
+        let p = ColumnProfile {
+            sortedness: 0.0,
+            ..profile(1 << 20)
+        };
+        let best = choose_layout(&p);
+        // Full-range random data compresses nowhere; whatever wins must
+        // not be estimated far below plain's footprint.
+        assert!(best.bytes * 2 > (1u64 << 20) * 4);
+    }
+
+    #[test]
+    fn low_cardinality_any_type_likes_dict() {
+        let p = ColumnProfile {
+            data_type: DataType::I64,
+            distinct: 16,
+            ..profile(1 << 20)
+        };
+        let best = choose_layout(&p);
+        assert_eq!(best.layout, Layout::Dict);
+    }
+}

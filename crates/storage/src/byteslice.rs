@@ -1,0 +1,176 @@
+//! Byte-sliced (planar) layout — the ByteStore design (PAPERS.md): value
+//! `i`'s bytes are scattered across per-byte planes, so a predicate can be
+//! answered most-significant-plane first and most rows are decided after
+//! touching one byte per value instead of four.
+//!
+//! A [`ByteSlicedColumn`] stores `planes()` byte planes, least-significant
+//! plane 0 first; planes above the column's significant width are not
+//! materialized (they would be all zero). Plane-wise predicate evaluation
+//! lives in `fts-core::fused::bytesliced`; this module only owns the
+//! layout and its encode/decode contract.
+
+use crate::aligned::AlignedBuf;
+
+/// Maximum number of byte planes (u32 values).
+pub const MAX_PLANES: usize = 4;
+
+/// A byte-sliced `u32` column.
+///
+/// ```
+/// use fts_storage::ByteSlicedColumn;
+///
+/// let values: Vec<u32> = (0..100).map(|i| i * 300).collect();
+/// let c = ByteSlicedColumn::encode(&values);
+/// assert_eq!(c.planes(), 2, "values < 2^16 need two byte planes");
+/// assert_eq!(c.get(7), 2100);
+/// assert_eq!(c.unpack(), values);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ByteSlicedColumn {
+    planes: Vec<AlignedBuf<u8>>,
+    len: usize,
+    min: u32,
+    max: u32,
+}
+
+impl ByteSlicedColumn {
+    /// Slice `values` into byte planes, keeping only significant planes.
+    pub fn encode(values: &[u32]) -> ByteSlicedColumn {
+        let max = values.iter().copied().max().unwrap_or(0);
+        let planes_n = if max == 0 {
+            1
+        } else {
+            ((32 - max.leading_zeros()) as usize).div_ceil(8)
+        };
+        let planes = (0..planes_n)
+            .map(|k| AlignedBuf::from_fn(values.len(), |i| (values[i] >> (8 * k)) as u8))
+            .collect();
+        ByteSlicedColumn {
+            planes,
+            len: values.len(),
+            min: values.iter().copied().min().unwrap_or(0),
+            max,
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of materialized byte planes (1..=4).
+    pub fn planes(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Plane `k` (least-significant byte is plane 0).
+    pub fn plane(&self, k: usize) -> &[u8] {
+        &self.planes[k]
+    }
+
+    /// Exact minimum over the column (0 if empty).
+    pub fn min(&self) -> u32 {
+        self.min
+    }
+
+    /// Exact maximum over the column (0 if empty).
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// Heap bytes across all planes (the advisor's size metric).
+    pub fn heap_bytes(&self) -> usize {
+        self.planes.len() * self.len
+    }
+
+    /// Compression ratio versus plain `u32` storage (> 1 = smaller).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.len == 0 {
+            return 1.0;
+        }
+        4.0 / self.planes.len() as f64
+    }
+
+    /// Reassemble one value from its bytes.
+    pub fn get(&self, row: usize) -> u32 {
+        assert!(row < self.len, "row out of bounds");
+        self.planes
+            .iter()
+            .enumerate()
+            .fold(0u32, |acc, (k, p)| acc | ((p[row] as u32) << (8 * k)))
+    }
+
+    /// Decode the whole column.
+    pub fn unpack(&self) -> Vec<u32> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// The bytes of `needle` for each *stored* plane, plus whether the
+    /// needle overflows the stored planes (its high bytes are non-zero
+    /// above the last plane — no stored value can equal it).
+    pub fn needle_bytes(&self, needle: u32) -> ([u8; MAX_PLANES], bool) {
+        let mut bytes = [0u8; MAX_PLANES];
+        for (k, b) in bytes.iter_mut().enumerate() {
+            *b = (needle >> (8 * k)) as u8;
+        }
+        let overflow = if self.planes.len() < MAX_PLANES {
+            needle >> (8 * self.planes.len()) != 0
+        } else {
+            false
+        };
+        (bytes, overflow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_plane_counts() {
+        for (max, planes) in [(0u32, 1), (255, 1), (256, 2), (1 << 16, 3), (u32::MAX, 4)] {
+            let values: Vec<u32> = (0..500u32)
+                .map(|i| (i.wrapping_mul(2654435761)) % max.max(1))
+                .chain([max])
+                .collect();
+            let c = ByteSlicedColumn::encode(&values);
+            assert_eq!(c.planes(), planes, "max={max}");
+            assert_eq!(c.unpack(), values);
+            assert_eq!(c.max(), max.max(values.iter().copied().max().unwrap_or(0)));
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let c = ByteSlicedColumn::encode(&[]);
+        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.unpack(), Vec::<u32>::new());
+        let c = ByteSlicedColumn::encode(&[77]);
+        assert_eq!(c.get(0), 77);
+    }
+
+    #[test]
+    fn needle_bytes_and_overflow() {
+        let c = ByteSlicedColumn::encode(&[1, 2, 300]); // two planes
+        let (bytes, overflow) = c.needle_bytes(300);
+        assert_eq!(bytes[0], 44);
+        assert_eq!(bytes[1], 1);
+        assert!(!overflow);
+        let (_, overflow) = c.needle_bytes(1 << 20);
+        assert!(overflow, "needle has bytes above the stored planes");
+    }
+
+    #[test]
+    fn heap_bytes_counts_planes() {
+        let c = ByteSlicedColumn::encode(&(0..1000u32).collect::<Vec<_>>());
+        assert_eq!(c.planes(), 2);
+        assert_eq!(c.heap_bytes(), 2000);
+        assert!(c.compression_ratio() > 1.9);
+    }
+}

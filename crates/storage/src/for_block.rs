@@ -1,0 +1,366 @@
+//! Frame-of-reference blocks with SIMD-friendly bit-packing — ROADMAP
+//! item 4 ("SIMD Compression and the Intersection of Sorted Integers",
+//! Lemire et al., PAPERS.md).
+//!
+//! A [`ForColumn`] partitions a `u32` column into blocks of
+//! [`FOR_BLOCK_LEN`] values. Each block stores a header `{min, bits}` and
+//! its values as `value - min` deltas, bit-packed at `bits` bits
+//! little-endian within a word-aligned payload (same stream format as
+//! [`PackedColumn`](crate::PackedColumn), so the funnel-shift extractors of
+//! `fts-simd::decode` apply unchanged). Blocks start on word boundaries so
+//! every block can be decoded independently; one guard word at the end of
+//! the payload lets vectorized extractors always read the word *after* a
+//! value's last word.
+//!
+//! The header is what makes the format scan-friendly rather than just
+//! small: a predicate `v OP needle` is rewritten **per block** into the
+//! packed delta domain (`(v - min) OP (needle - min)`), and blocks whose
+//! `[min, min + mask]` range cannot satisfy the predicate are skipped
+//! without touching their payload. See [`ForColumn::rewrite`] for the
+//! legality rules.
+
+use crate::aligned::AlignedBuf;
+use crate::bitpack::mask_of;
+use crate::types::CmpOp;
+
+/// Values per frame-of-reference block (128 = eight 16-lane AVX-512
+/// sub-blocks, the decode kernel's unit).
+pub const FOR_BLOCK_LEN: usize = 128;
+
+/// Per-block header: the frame (minimum) and the delta bit width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForHeader {
+    /// Smallest value in the block (the frame of reference).
+    pub min: u32,
+    /// Bits per stored delta; 0 for constant blocks (no payload words).
+    pub bits: u8,
+    /// Word offset of this block's payload within the column's word stream.
+    pub offset: u32,
+}
+
+impl ForHeader {
+    /// Inclusive upper bound of values this block can store
+    /// (`min + mask(bits)`, saturating). The actual maximum is ≤ this.
+    pub fn max_bound(&self) -> u32 {
+        self.min.saturating_add(mask_of(self.bits))
+    }
+}
+
+/// A predicate resolved against one block's header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockPred {
+    /// No value in the block can match — skip the payload entirely.
+    Never,
+    /// Every value in the block matches — no compare needed.
+    Always,
+    /// Compare packed deltas against the rewritten literal (delta domain).
+    Cmp(u32),
+}
+
+/// A frame-of-reference, per-block bit-packed `u32` column.
+///
+/// ```
+/// use fts_storage::{ForColumn, CmpOp, for_block::BlockPred};
+///
+/// let values: Vec<u32> = (0..300).map(|i| 1_000_000 + i % 16).collect();
+/// let col = ForColumn::encode(&values);
+/// assert_eq!(col.len(), 300);
+/// assert_eq!(col.get(42), values[42]);
+/// assert_eq!(col.unpack(), values);
+/// // Deltas need 4 bits instead of 20 for the raw values.
+/// assert!(col.headers().iter().all(|h| h.bits <= 4));
+/// // A needle below every block's frame resolves without decoding.
+/// assert_eq!(col.rewrite(CmpOp::Lt, 10, 0), BlockPred::Never);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForColumn {
+    headers: Vec<ForHeader>,
+    words: AlignedBuf<u32>,
+    len: usize,
+    min: u32,
+    max: u32,
+}
+
+impl ForColumn {
+    /// Encode `values` into frame-of-reference blocks with per-block
+    /// minimal delta widths.
+    pub fn encode(values: &[u32]) -> ForColumn {
+        let mut headers = Vec::with_capacity(values.len().div_ceil(FOR_BLOCK_LEN));
+        let mut words: Vec<u32> = Vec::new();
+        for block in values.chunks(FOR_BLOCK_LEN) {
+            let min = block.iter().copied().min().unwrap_or(0);
+            let span = block.iter().copied().max().unwrap_or(0) - min;
+            let bits = if span == 0 {
+                0u8
+            } else {
+                (32 - span.leading_zeros()) as u8
+            };
+            let offset = words.len() as u32;
+            headers.push(ForHeader { min, bits, offset });
+            if bits > 0 {
+                let start = words.len();
+                words.resize(start + (block.len() * bits as usize).div_ceil(32), 0);
+                for (i, &v) in block.iter().enumerate() {
+                    let delta = v - min;
+                    let bit = i as u64 * bits as u64;
+                    let word = start + (bit / 32) as usize;
+                    let off = (bit % 32) as u32;
+                    words[word] |= delta << off;
+                    if off + bits as u32 > 32 {
+                        words[word + 1] |= delta >> (32 - off);
+                    }
+                }
+            }
+        }
+        // Guard word: vectorized extractors may read one word past a
+        // value's last word.
+        words.push(0);
+        ForColumn {
+            headers,
+            words: AlignedBuf::from_slice(&words),
+            len: values.len(),
+            min: values.iter().copied().min().unwrap_or(0),
+            max: values.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The per-block headers.
+    pub fn headers(&self) -> &[ForHeader] {
+        &self.headers
+    }
+
+    /// Number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Rows in block `b` (only the last block may be partial).
+    pub fn block_len(&self, b: usize) -> usize {
+        if b + 1 == self.headers.len() {
+            self.len - b * FOR_BLOCK_LEN
+        } else {
+            FOR_BLOCK_LEN
+        }
+    }
+
+    /// The packed word stream (all blocks plus the guard word).
+    pub fn words(&self) -> &[u32] {
+        self.words.as_slice()
+    }
+
+    /// Exact minimum over the whole column (0 for an empty column).
+    pub fn min(&self) -> u32 {
+        self.min
+    }
+
+    /// Exact maximum over the whole column (0 for an empty column).
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// Heap bytes of payload + headers (the advisor's size metric).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 4 + self.headers.len() * std::mem::size_of::<ForHeader>()
+    }
+
+    /// Compression ratio versus plain `u32` storage (> 1 = smaller).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.len == 0 {
+            return 1.0;
+        }
+        (self.len as f64 * 4.0) / self.heap_bytes() as f64
+    }
+
+    /// Extract one value.
+    pub fn get(&self, row: usize) -> u32 {
+        assert!(row < self.len, "row out of bounds");
+        let h = &self.headers[row / FOR_BLOCK_LEN];
+        if h.bits == 0 {
+            return h.min;
+        }
+        let bit = (row % FOR_BLOCK_LEN) as u64 * h.bits as u64;
+        let word = h.offset as usize + (bit / 32) as usize;
+        let off = (bit % 32) as u32;
+        let w = self.words[word] as u64 | ((self.words[word + 1] as u64) << 32);
+        h.min + (((w >> off) as u32) & mask_of(h.bits))
+    }
+
+    /// Decode the whole column.
+    pub fn unpack(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len);
+        for (b, h) in self.headers.iter().enumerate() {
+            let rows = self.block_len(b);
+            if h.bits == 0 {
+                out.resize(out.len() + rows, h.min);
+                continue;
+            }
+            let words = &self.words[h.offset as usize..];
+            for i in 0..rows {
+                let bit = i as u64 * h.bits as u64;
+                let word = (bit / 32) as usize;
+                let off = (bit % 32) as u32;
+                let w = words[word] as u64 | ((words[word + 1] as u64) << 32);
+                out.push(h.min + (((w >> off) as u32) & mask_of(h.bits)));
+            }
+        }
+        out
+    }
+
+    /// Rewrite `v OP needle` into block `b`'s delta domain.
+    ///
+    /// Legality: within a block every stored value is `min + delta` with
+    /// `delta ≤ mask(bits)`, and `x ↦ x - min` is order-preserving on
+    /// `[min, min + mask]`, so **all six operators** rewrite to the same
+    /// operator over deltas once the literal is inside the block's domain.
+    /// Outside it the predicate is constant for the whole block:
+    ///
+    /// * `needle < min`: every value is `≥ min > needle` — `Eq/Lt/Le`
+    ///   never match, `Ne/Gt/Ge` always match.
+    /// * `needle > min + mask`: every value is `< needle` — `Eq/Gt/Ge`
+    ///   never match, `Ne/Lt/Le` always match.
+    pub fn rewrite(&self, op: CmpOp, needle: u32, b: usize) -> BlockPred {
+        let h = &self.headers[b];
+        if needle < h.min {
+            return match op {
+                CmpOp::Eq | CmpOp::Lt | CmpOp::Le => BlockPred::Never,
+                CmpOp::Ne | CmpOp::Gt | CmpOp::Ge => BlockPred::Always,
+            };
+        }
+        let delta = needle - h.min;
+        let mask = if h.bits == 0 { 0 } else { mask_of(h.bits) };
+        if delta > mask {
+            return match op {
+                CmpOp::Eq | CmpOp::Gt | CmpOp::Ge => BlockPred::Never,
+                CmpOp::Ne | CmpOp::Lt | CmpOp::Le => BlockPred::Always,
+            };
+        }
+        if h.bits == 0 {
+            // Constant block: delta == 0 here, the block value equals min
+            // iff needle == min (delta == 0 ≤ mask == 0 implies it does).
+            return match op {
+                CmpOp::Eq | CmpOp::Le | CmpOp::Ge => BlockPred::Always,
+                CmpOp::Ne | CmpOp::Lt | CmpOp::Gt => BlockPred::Never,
+            };
+        }
+        BlockPred::Cmp(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NativeType;
+
+    fn xorshift(seed: u64) -> impl Iterator<Item = u32> {
+        let mut state = seed | 1;
+        std::iter::repeat_with(move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as u32
+        })
+    }
+
+    #[test]
+    fn round_trip_clustered() {
+        let values: Vec<u32> = (0..1000).map(|i| 5_000_000 + (i * 37) % 256).collect();
+        let c = ForColumn::encode(&values);
+        assert_eq!(c.unpack(), values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(c.get(i), v);
+        }
+        assert!(c.compression_ratio() > 2.0, "deltas fit in 8 bits");
+        assert_eq!(c.min(), 5_000_000);
+        assert_eq!(c.max(), *values.iter().max().unwrap());
+    }
+
+    #[test]
+    fn round_trip_random_and_partial_blocks() {
+        for len in [0usize, 1, 127, 128, 129, 300, 1024] {
+            let values: Vec<u32> = xorshift(len as u64 + 7).take(len).collect();
+            let c = ForColumn::encode(&values);
+            assert_eq!(c.len(), len);
+            assert_eq!(c.blocks(), len.div_ceil(FOR_BLOCK_LEN));
+            assert_eq!(c.unpack(), values);
+        }
+    }
+
+    #[test]
+    fn constant_blocks_store_no_payload() {
+        let values = vec![42u32; 400];
+        let c = ForColumn::encode(&values);
+        assert!(c.headers().iter().all(|h| h.bits == 0));
+        assert_eq!(c.words().len(), 1, "only the guard word");
+        assert_eq!(c.unpack(), values);
+    }
+
+    #[test]
+    fn sorted_runs_get_narrow_blocks() {
+        let values: Vec<u32> = (0..10_000u32).collect();
+        let c = ForColumn::encode(&values);
+        // Each full block spans 127, needing 7 bits vs 14 for global
+        // packing (the partial tail block is narrower still).
+        assert!(c.headers().iter().all(|h| h.bits <= 7));
+        assert_eq!(c.headers()[0].bits, 7);
+        assert_eq!(c.unpack(), values);
+    }
+
+    #[test]
+    fn rewrite_matches_reference_semantics() {
+        let values: Vec<u32> = (0..500).map(|i| 1000 + (i * 13) % 100).collect();
+        let c = ForColumn::encode(&values);
+        for op in CmpOp::ALL {
+            for needle in [0u32, 999, 1000, 1050, 1099, 1100, u32::MAX] {
+                for b in 0..c.blocks() {
+                    let start = b * FOR_BLOCK_LEN;
+                    let rows = c.block_len(b);
+                    let expect: Vec<bool> = (start..start + rows)
+                        .map(|r| values[r].cmp_op(op, needle))
+                        .collect();
+                    match c.rewrite(op, needle, b) {
+                        BlockPred::Never => assert!(expect.iter().all(|&m| !m)),
+                        BlockPred::Always => assert!(expect.iter().all(|&m| m)),
+                        BlockPred::Cmp(delta) => {
+                            let h = c.headers()[b];
+                            for (i, &m) in expect.iter().enumerate() {
+                                let d = c.get(start + i) - h.min;
+                                assert_eq!(d.cmp_op(op, delta), m, "op={op:?} needle={needle}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_bound_is_a_bound() {
+        let values: Vec<u32> = xorshift(99).take(777).collect();
+        let c = ForColumn::encode(&values);
+        for (b, h) in c.headers().iter().enumerate() {
+            let start = b * FOR_BLOCK_LEN;
+            for i in 0..c.block_len(b) {
+                let v = c.get(start + i);
+                assert!(v >= h.min && v <= h.max_bound());
+            }
+        }
+    }
+
+    #[test]
+    fn full_width_values() {
+        let values = vec![0u32, u32::MAX, 1, u32::MAX - 1];
+        let c = ForColumn::encode(&values);
+        assert_eq!(c.unpack(), values);
+        assert_eq!(c.headers()[0].bits, 32);
+    }
+}

@@ -16,21 +16,29 @@
 
 #![warn(missing_docs)]
 
+pub mod advisor;
 pub mod aligned;
 pub mod bitpack;
 pub mod builder;
+pub mod byteslice;
 pub mod column;
 pub mod dictionary;
+pub mod for_block;
 pub mod gen;
 pub mod poslist;
 pub mod table;
 pub mod types;
 
+pub use advisor::{
+    choose_layout, score_layouts, sortedness_of, ColumnProfile, Layout, LayoutEstimate,
+};
 pub use aligned::{AlignedBuf, CACHE_LINE};
 pub use bitpack::{mask_of, PackError, PackedColumn};
 pub use builder::{BuildError, TableBuilder};
+pub use byteslice::ByteSlicedColumn;
 pub use column::Column;
 pub use dictionary::{DictColumn, DictError, IdPredicate};
+pub use for_block::{BlockPred, ForColumn, ForHeader, FOR_BLOCK_LEN};
 pub use poslist::{PosList, MAX_CHUNK_ROWS};
 pub use table::{Chunk, ColumnDef, Segment, Table, TableError, DEFAULT_CHUNK_ROWS};
 pub use types::{CmpOp, DataType, NativeType, Value};

@@ -9,8 +9,10 @@
 use std::sync::Arc;
 
 use crate::bitpack::{PackError, PackedColumn};
+use crate::byteslice::ByteSlicedColumn;
 use crate::column::Column;
 use crate::dictionary::{DictColumn, DictError};
+use crate::for_block::ForColumn;
 use crate::types::{DataType, Value};
 
 /// Default number of rows per chunk (matches Hyrise's default order of
@@ -26,6 +28,10 @@ pub enum Segment {
     Dict(DictColumn),
     /// Bit-packed (null-suppressed) unsigned 32-bit values.
     Packed(PackedColumn),
+    /// Frame-of-reference blocks with per-block minimum and bit width.
+    For(ForColumn),
+    /// Byte-sliced planes (most-significant-plane-first evaluation).
+    ByteSliced(ByteSlicedColumn),
 }
 
 impl Segment {
@@ -35,6 +41,8 @@ impl Segment {
             Segment::Plain(c) => c.len(),
             Segment::Dict(d) => d.len(),
             Segment::Packed(p) => p.len(),
+            Segment::For(f) => f.len(),
+            Segment::ByteSliced(b) => b.len(),
         }
     }
 
@@ -48,7 +56,7 @@ impl Segment {
         match self {
             Segment::Plain(c) => c.data_type(),
             Segment::Dict(d) => d.data_type(),
-            Segment::Packed(_) => DataType::U32,
+            Segment::Packed(_) | Segment::For(_) | Segment::ByteSliced(_) => DataType::U32,
         }
     }
 
@@ -58,6 +66,8 @@ impl Segment {
             Segment::Plain(c) => c.value_at(row),
             Segment::Dict(d) => d.value_at(row),
             Segment::Packed(p) => Value::U32(p.get(row)),
+            Segment::For(f) => Value::U32(f.get(row)),
+            Segment::ByteSliced(b) => Value::U32(b.get(row)),
         }
     }
 
@@ -82,6 +92,64 @@ impl Segment {
         match self {
             Segment::Packed(p) => Some(p),
             _ => None,
+        }
+    }
+
+    /// Frame-of-reference view if this segment is FoR-encoded.
+    pub fn as_for(&self) -> Option<&ForColumn> {
+        match self {
+            Segment::For(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Byte-sliced view if this segment is plane-encoded.
+    pub fn as_byte_sliced(&self) -> Option<&ByteSlicedColumn> {
+        match self {
+            Segment::ByteSliced(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Short layout name (matches [`crate::advisor::Layout`] naming);
+    /// used by EXPLAIN, STATS and the advisor.
+    pub fn layout(&self) -> crate::advisor::Layout {
+        match self {
+            Segment::Plain(_) => crate::advisor::Layout::Plain,
+            Segment::Dict(_) => crate::advisor::Layout::Dict,
+            Segment::Packed(_) => crate::advisor::Layout::Packed,
+            Segment::For(_) => crate::advisor::Layout::For,
+            Segment::ByteSliced(_) => crate::advisor::Layout::ByteSliced,
+        }
+    }
+
+    /// Heap bytes of the segment's data (the advisor's size metric).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Segment::Plain(c) => c.len() * c.data_type().width(),
+            Segment::Dict(d) => d.len() * 4 + d.dict_size() * d.data_type().width(),
+            Segment::Packed(p) => p.words().len() * 4,
+            Segment::For(f) => f.heap_bytes(),
+            Segment::ByteSliced(b) => b.heap_bytes(),
+        }
+    }
+
+    /// Decode this segment to plain `u32` values, if its logical type is
+    /// `u32` (the only type the compressed layouts cover).
+    pub fn decode_u32(&self) -> Option<Vec<u32>> {
+        match self {
+            Segment::Plain(c) => c.as_native::<u32>().map(<[u32]>::to_vec),
+            Segment::Dict(d) => (d.data_type() == DataType::U32).then(|| {
+                (0..d.len())
+                    .map(|i| match d.value_at(i) {
+                        Value::U32(v) => v,
+                        _ => unreachable!("checked U32 above"),
+                    })
+                    .collect()
+            }),
+            Segment::Packed(p) => Some(p.unpack()),
+            Segment::For(f) => Some(f.unpack()),
+            Segment::ByteSliced(b) => Some(b.unpack()),
         }
     }
 }
@@ -294,6 +362,12 @@ impl Table {
                             Segment::Packed(p) => {
                                 Ok(Segment::Dict(DictColumn::encode_native(&p.unpack())?))
                             }
+                            Segment::For(f) => {
+                                Ok(Segment::Dict(DictColumn::encode_native(&f.unpack())?))
+                            }
+                            Segment::ByteSliced(b) => {
+                                Ok(Segment::Dict(DictColumn::encode_native(&b.unpack())?))
+                            }
                         }
                     } else {
                         Ok(seg.clone())
@@ -323,14 +397,13 @@ impl Table {
                         return Ok(seg.clone());
                     }
                     match seg {
-                        Segment::Plain(c) => match c.as_native::<u32>() {
+                        p @ Segment::Packed(_) => Ok(p.clone()),
+                        seg => match seg.decode_u32() {
                             Some(values) => {
-                                Ok(Segment::Packed(PackedColumn::pack_min_bits(values)))
+                                Ok(Segment::Packed(PackedColumn::pack_min_bits(&values)))
                             }
                             None => Err(TableError::PackNeedsU32 { column: i }),
                         },
-                        p @ Segment::Packed(_) => Ok(p.clone()),
-                        Segment::Dict(_) => Err(TableError::PackNeedsU32 { column: i }),
                     }
                 })
                 .collect::<Result<Vec<_>, TableError>>()?;
@@ -341,6 +414,135 @@ impl Table {
             chunks,
             rows: self.rows,
         })
+    }
+
+    /// Return a copy with the given `u32` columns re-encoded as
+    /// frame-of-reference blocks (per chunk, per-block minimal widths).
+    pub fn with_for_encoding(&self, columns: &[usize]) -> Result<Table, TableError> {
+        self.map_segments(columns, |seg, i| match seg {
+            f @ Segment::For(_) => Ok(f.clone()),
+            seg => match seg.decode_u32() {
+                Some(values) => Ok(Segment::For(ForColumn::encode(&values))),
+                None => Err(TableError::PackNeedsU32 { column: i }),
+            },
+        })
+    }
+
+    /// Return a copy with the given `u32` columns re-encoded byte-sliced.
+    pub fn with_byte_slicing(&self, columns: &[usize]) -> Result<Table, TableError> {
+        self.map_segments(columns, |seg, i| match seg {
+            b @ Segment::ByteSliced(_) => Ok(b.clone()),
+            seg => match seg.decode_u32() {
+                Some(values) => Ok(Segment::ByteSliced(ByteSlicedColumn::encode(&values))),
+                None => Err(TableError::PackNeedsU32 { column: i }),
+            },
+        })
+    }
+
+    fn map_segments(
+        &self,
+        columns: &[usize],
+        mut f: impl FnMut(&Segment, usize) -> Result<Segment, TableError>,
+    ) -> Result<Table, TableError> {
+        let mut chunks = Vec::with_capacity(self.chunks.len());
+        for chunk in &self.chunks {
+            let segments = chunk
+                .segments()
+                .iter()
+                .enumerate()
+                .map(|(i, seg)| {
+                    if columns.contains(&i) {
+                        f(seg, i)
+                    } else {
+                        Ok(seg.clone())
+                    }
+                })
+                .collect::<Result<Vec<_>, TableError>>()?;
+            chunks.push(Arc::new(Chunk::new(segments)));
+        }
+        Ok(Table {
+            schema: self.schema.clone(),
+            chunks,
+            rows: self.rows,
+        })
+    }
+
+    /// Re-encode one column of one chunk to `layout`, returning the new
+    /// chunk (the old one is untouched — callers swap it in with
+    /// [`Table::with_chunk_replaced`]). Compressed layouts require the
+    /// decoded data to be `u32`; `Dict` accepts any type.
+    pub fn reencode_chunk_column(
+        &self,
+        chunk_idx: usize,
+        column: usize,
+        layout: crate::advisor::Layout,
+    ) -> Result<Arc<Chunk>, TableError> {
+        use crate::advisor::Layout;
+        let chunk = &self.chunks[chunk_idx];
+        let seg = chunk.segment(column);
+        let new_seg = match layout {
+            Layout::Plain => match seg.decode_u32() {
+                Some(values) => Segment::Plain(Column::from_slice(&values)),
+                None => match seg {
+                    Segment::Plain(c) => Segment::Plain(c.clone()),
+                    Segment::Dict(d) => Segment::Plain(d.decode()),
+                    _ => return Err(TableError::PackNeedsU32 { column }),
+                },
+            },
+            Layout::Dict => match seg {
+                Segment::Plain(c) => Segment::Dict(DictColumn::encode(c)?),
+                Segment::Dict(d) => Segment::Dict(d.clone()),
+                seg => Segment::Dict(DictColumn::encode_native(
+                    &seg.decode_u32()
+                        .ok_or(TableError::PackNeedsU32 { column })?,
+                )?),
+            },
+            Layout::Packed => Segment::Packed(PackedColumn::pack_min_bits(
+                &seg.decode_u32()
+                    .ok_or(TableError::PackNeedsU32 { column })?,
+            )),
+            Layout::For => Segment::For(ForColumn::encode(
+                &seg.decode_u32()
+                    .ok_or(TableError::PackNeedsU32 { column })?,
+            )),
+            Layout::ByteSliced => Segment::ByteSliced(ByteSlicedColumn::encode(
+                &seg.decode_u32()
+                    .ok_or(TableError::PackNeedsU32 { column })?,
+            )),
+        };
+        let segments = chunk
+            .segments()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i == column {
+                    new_seg.clone()
+                } else {
+                    s.clone()
+                }
+            })
+            .collect();
+        Ok(Arc::new(Chunk::new(segments)))
+    }
+
+    /// Return a copy of this table with chunk `chunk_idx` replaced — the
+    /// copy-on-write half of a background re-encode: the new table shares
+    /// every other chunk's `Arc` with the old one, so concurrent scans
+    /// pinning the old table keep reading their snapshot.
+    pub fn with_chunk_replaced(&self, chunk_idx: usize, chunk: Arc<Chunk>) -> Table {
+        assert!(chunk_idx < self.chunks.len(), "chunk index out of bounds");
+        assert_eq!(
+            chunk.rows(),
+            self.chunks[chunk_idx].rows(),
+            "replacement chunk must keep the row count"
+        );
+        let mut chunks = self.chunks.clone();
+        chunks[chunk_idx] = chunk;
+        Table {
+            schema: self.schema.clone(),
+            chunks,
+            rows: self.rows,
+        }
     }
 
     /// The schema.

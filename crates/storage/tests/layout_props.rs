@@ -1,0 +1,152 @@
+//! Property tests for the compressed on-chunk layouts: encode → decode is
+//! the identity for frame-of-reference and byte-sliced columns across
+//! randomized domains, widths, offsets and clusterings — including the
+//! degenerate shapes (empty, constant, single value, partial tail block)
+//! the block-structured codecs are most likely to get wrong. A final
+//! group round-trips whole table chunks through every layout conversion
+//! the advisor can request.
+
+use fts_storage::{
+    ByteSlicedColumn, Column, ColumnDef, DataType, ForColumn, Layout, Table, FOR_BLOCK_LEN,
+};
+use proptest::prelude::*;
+
+/// Deterministic xorshift so a case is reproducible from its seed.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Random values in `[base, base + 2^bits)`, optionally sorted — the
+/// offset exercises the frame subtraction, `bits` the per-block width,
+/// `sorted` the clustered-blocks fast path.
+fn values(rows: usize, base: u32, bits: u32, sorted: bool, seed: u64) -> Vec<u32> {
+    let mut state = seed | 1;
+    let span = 1u64 << bits;
+    let mut v: Vec<u32> = (0..rows)
+        .map(|_| {
+            let delta = (xorshift(&mut state) % span) as u32;
+            base.saturating_add(delta)
+        })
+        .collect();
+    if sorted {
+        v.sort_unstable();
+    }
+    v
+}
+
+fn check_for_roundtrip(v: &[u32]) -> Result<(), TestCaseError> {
+    let col = ForColumn::encode(v);
+    prop_assert_eq!(col.len(), v.len());
+    prop_assert_eq!(&col.unpack(), v, "bulk decode");
+    // Random access agrees with bulk decode (spot-check a stride plus the
+    // block boundaries, where the off-by-ones live).
+    for row in (0..v.len()).step_by(97) {
+        prop_assert_eq!(col.get(row), v[row], "get({})", row);
+    }
+    for b in 0..col.blocks() {
+        let first = b * FOR_BLOCK_LEN;
+        let last = (first + col.block_len(b)).saturating_sub(1);
+        prop_assert_eq!(col.get(first), v[first]);
+        prop_assert_eq!(col.get(last), v[last]);
+    }
+    if !v.is_empty() {
+        prop_assert_eq!(col.min(), *v.iter().min().unwrap());
+        prop_assert_eq!(col.max(), *v.iter().max().unwrap());
+    }
+    Ok(())
+}
+
+fn check_bytesliced_roundtrip(v: &[u32]) -> Result<(), TestCaseError> {
+    let col = ByteSlicedColumn::encode(v);
+    prop_assert_eq!(col.len(), v.len());
+    prop_assert_eq!(&col.unpack(), v, "bulk decode");
+    for row in (0..v.len()).step_by(89) {
+        prop_assert_eq!(col.get(row), v[row], "get({})", row);
+    }
+    if !v.is_empty() {
+        prop_assert_eq!(col.min(), *v.iter().min().unwrap());
+        prop_assert_eq!(col.max(), *v.iter().max().unwrap());
+        // The plane count covers the maximum value and nothing more.
+        let need = ((32 - col.max().leading_zeros()).div_ceil(8)).max(1) as usize;
+        prop_assert_eq!(col.planes(), need);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FoR: random rows (crossing block boundaries), random frame offsets
+    /// (including near u32::MAX), random per-block widths, both clustered
+    /// and unclustered.
+    #[test]
+    fn for_encode_decode_roundtrip(
+        rows in 0usize..2000,
+        base in prop::sample::select(vec![0u32, 1, 127, 4_000_000_000, u32::MAX - 1024]),
+        bits in 0u32..=10,
+        sorted in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        check_for_roundtrip(&values(rows, base, bits, sorted, seed))?;
+    }
+
+    /// Byte-sliced: widths from 1 bit to the full 32 (1–4 planes).
+    #[test]
+    fn bytesliced_encode_decode_roundtrip(
+        rows in 0usize..2000,
+        bits in 1u32..=31,
+        sorted in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        check_bytesliced_roundtrip(&values(rows, 0, bits, sorted, seed))?;
+    }
+
+    /// Any chunk can be re-encoded to any layout and back to plain without
+    /// changing a value — the exact operation the background advisor
+    /// performs, across every (source, target) layout pair for u32 data.
+    #[test]
+    fn reencode_roundtrips_through_every_layout(
+        rows in 1usize..600,
+        bits in 0u32..=12,
+        base in prop::sample::select(vec![0u32, 1_000_000]),
+        seed in any::<u64>(),
+    ) {
+        let v = values(rows, base, bits, false, seed);
+        let table = Table::from_chunked_columns(
+            vec![ColumnDef::new("a", DataType::U32)],
+            vec![Column::from_slice(&v)],
+            rows,
+        ).unwrap();
+        for source in Layout::ALL {
+            let encoded = table.reencode_chunk_column(0, 0, source).unwrap();
+            let staged = table.with_chunk_replaced(0, encoded);
+            prop_assert_eq!(staged.chunks()[0].segment(0).layout(), source);
+            for target in Layout::ALL {
+                let back = staged.reencode_chunk_column(0, 0, target).unwrap();
+                let decoded = back.segment(0).decode_u32()
+                    .expect("u32 data stays decodable in every layout");
+                prop_assert_eq!(&decoded, &v, "{} -> {}", source, target);
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_shapes_roundtrip() {
+    let shapes: Vec<Vec<u32>> = vec![
+        vec![],
+        vec![0],
+        vec![u32::MAX],
+        vec![7; FOR_BLOCK_LEN],                  // exactly one constant block
+        vec![7; FOR_BLOCK_LEN + 1],              // one-value tail block
+        (0..FOR_BLOCK_LEN as u32 * 3).collect(), // multiple full sorted blocks
+        vec![0, u32::MAX],                       // full-range frame in one block
+    ];
+    for v in &shapes {
+        check_for_roundtrip(v).unwrap();
+        check_bytesliced_roundtrip(v).unwrap();
+    }
+}
